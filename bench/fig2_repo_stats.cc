@@ -1,0 +1,39 @@
+// Figure 2: arity, cardinality and data-type statistics of the Synthetic
+// and Smaller-Real repositories.
+#include "bench/bench_common.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 2 analogue: repository statistics (scale=%.2f) ===\n\n", scale);
+
+  auto synth = bench::MakeSynthetic(scale);
+  auto real = bench::MakeRealish(scale);
+
+  auto row = [](const char* name, const benchdata::GeneratedLake& g) {
+    LakeStats s = g.lake.Stats();
+    return std::vector<std::string>{
+        name,
+        std::to_string(s.num_tables),
+        std::to_string(s.num_attributes),
+        eval::TablePrinter::Num(s.avg_arity, 1),
+        eval::TablePrinter::Num(s.max_arity, 0),
+        eval::TablePrinter::Num(s.avg_cardinality, 1),
+        eval::TablePrinter::Num(s.max_cardinality, 0),
+        eval::TablePrinter::Num(s.numeric_ratio * 100, 1) + "%",
+        eval::TablePrinter::Num(g.truth.AverageAnswerSize(), 1)};
+  };
+
+  eval::TablePrinter out({"repository", "tables", "attrs", "avg arity", "max arity",
+                          "avg card", "max card", "numeric", "avg answer"});
+  out.AddRow(row("Synthetic", synth));
+  out.AddRow(row("Smaller Real", real));
+  out.Print();
+
+  printf(
+      "\nPaper shape to check: the real repository has a higher numeric\n"
+      "attribute ratio than the synthetic one (Fig. 2c), comparable arity,\n"
+      "and a positive average answer size for both.\n");
+  return 0;
+}

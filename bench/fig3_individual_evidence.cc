@@ -1,0 +1,70 @@
+// Figure 3 (Experiment 1): precision and recall on Smaller Real for each
+// individual evidence type vs the aggregated framework, as answer size
+// grows. Includes the paper's DD=1 (non-numeric-only) ablation.
+#include "bench/bench_common.h"
+
+using namespace d3l;
+using core::Evidence;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 3 analogue: individual evidence effectiveness (scale=%.2f) ===\n\n",
+         scale);
+
+  auto data = bench::MakeRealish(scale);
+  core::D3LEngine engine;
+  engine.IndexLake(data.lake).CheckOK();
+
+  auto targets = eval::SampleTargets(data.lake, eval::Scaled(20, scale), 1234);
+  std::vector<size_t> ks = {5, 10, 20, 35, 50, 70};
+
+  struct Config {
+    const char* name;
+    std::array<bool, core::kNumEvidence> mask;
+  };
+  const std::vector<Config> configs = {
+      {"name(N)", {true, false, false, false, false}},
+      {"value(V)", {false, true, false, false, false}},
+      {"format(F)", {false, false, true, false, false}},
+      {"embedding(E)", {false, false, false, true, false}},
+      {"ALL", {true, true, true, true, true}},
+      {"ALL\\D (DD=1)", {true, true, true, true, false}},
+  };
+
+  std::vector<std::vector<bench::PrPoint>> curves;
+  for (const Config& cfg : configs) {
+    auto search = [&](const Table& target, size_t k) {
+      auto res = engine.Search(target, k, cfg.mask);
+      res.status().CheckOK();
+      return bench::NamesOf(*res, data.lake);
+    };
+    curves.push_back(bench::PrCurve(search, data.lake, data.truth, targets, ks));
+  }
+
+  auto print_metric = [&](const char* title, bool recall) {
+    printf("%s\n", title);
+    std::vector<std::string> headers = {"k"};
+    for (const Config& c : configs) headers.push_back(c.name);
+    eval::TablePrinter out(headers);
+    for (size_t i = 0; i < ks.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(ks[i])};
+      for (const auto& curve : curves) {
+        row.push_back(eval::TablePrinter::Num(
+            recall ? curve[i].recall : curve[i].precision));
+      }
+      out.AddRow(std::move(row));
+    }
+    out.Print();
+    printf("\n");
+  };
+
+  print_metric("(a) Precision", false);
+  print_metric("(b) Recall", true);
+
+  printf(
+      "Paper shape to check: format alone is the weakest signal; value is\n"
+      "the strongest individual type; ALL dominates every individual type;\n"
+      "dropping D (DD=1) costs only a few points (Experiment 1 reports\n"
+      "< 3.5%% average decrease).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 4 (Experiment 2): D3L vs TUS vs Aurum precision/recall on the
+// Synthetic repository as answer size grows.
+#include "bench/bench_common.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 4 analogue: comparative P/R on Synthetic (scale=%.2f) ===\n\n",
+         scale);
+
+  auto data = bench::MakeSynthetic(scale);
+  printf("lake: %zu tables, avg answer size %.1f\n\n", data.lake.size(),
+         data.truth.AverageAnswerSize());
+
+  core::D3LEngine d3l_engine;
+  d3l_engine.IndexLake(data.lake).CheckOK();
+  bench::TusStack tus;
+  tus.engine.IndexLake(data.lake).CheckOK();
+  baselines::AurumEngine aurum;
+  aurum.BuildEkg(data.lake).CheckOK();
+
+  auto targets = eval::SampleTargets(data.lake, eval::Scaled(20, scale), 77);
+  std::vector<size_t> ks = {5, 15, 30, 50, 80, 120};
+
+  auto d3l_search = [&](const Table& t, size_t k) {
+    auto r = d3l_engine.Search(t, k);
+    r.status().CheckOK();
+    return bench::NamesOf(*r, data.lake);
+  };
+  auto tus_search = [&](const Table& t, size_t k) {
+    auto r = tus.engine.Search(t, k);
+    r.status().CheckOK();
+    std::vector<std::string> names;
+    for (const auto& m : r->ranked) names.push_back(data.lake.table(m.table_index).name());
+    return names;
+  };
+  auto aurum_search = [&](const Table& t, size_t k) {
+    auto r = aurum.Search(t, k);
+    r.status().CheckOK();
+    std::vector<std::string> names;
+    for (const auto& m : r->ranked) names.push_back(data.lake.table(m.table_index).name());
+    return names;
+  };
+
+  auto d3l_pr = bench::PrCurve(d3l_search, data.lake, data.truth, targets, ks);
+  auto tus_pr = bench::PrCurve(tus_search, data.lake, data.truth, targets, ks);
+  auto aurum_pr = bench::PrCurve(aurum_search, data.lake, data.truth, targets, ks);
+
+  printf("(a) Precision\n");
+  eval::TablePrinter prec({"k", "D3L", "TUS", "Aurum"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    prec.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(d3l_pr[i].precision),
+                 eval::TablePrinter::Num(tus_pr[i].precision),
+                 eval::TablePrinter::Num(aurum_pr[i].precision)});
+  }
+  prec.Print();
+
+  printf("\n(b) Recall\n");
+  eval::TablePrinter rec({"k", "D3L", "TUS", "Aurum"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    rec.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(d3l_pr[i].recall),
+                eval::TablePrinter::Num(tus_pr[i].recall),
+                eval::TablePrinter::Num(aurum_pr[i].recall)});
+  }
+  rec.Print();
+
+  printf(
+      "\nPaper shape to check: D3L is most precise at small-to-mid k and\n"
+      "degrades most slowly; recall rises with k for all systems with D3L\n"
+      "on top (up to ~20%% over TUS, ~10%% over Aurum in the paper).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 5 (Experiment 3): D3L vs TUS vs Aurum precision/recall on the
+// Smaller-Real repository (dirty, inconsistently represented values).
+#include "bench/bench_common.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 5 analogue: comparative P/R on Smaller Real (scale=%.2f) ===\n\n",
+         scale);
+
+  auto data = bench::MakeRealish(scale);
+  printf("lake: %zu tables, avg answer size %.1f\n\n", data.lake.size(),
+         data.truth.AverageAnswerSize());
+
+  core::D3LEngine d3l_engine;
+  d3l_engine.IndexLake(data.lake).CheckOK();
+  bench::TusStack tus;
+  tus.engine.IndexLake(data.lake).CheckOK();
+  baselines::AurumEngine aurum;
+  aurum.BuildEkg(data.lake).CheckOK();
+
+  auto targets = eval::SampleTargets(data.lake, eval::Scaled(20, scale), 55);
+  std::vector<size_t> ks = {5, 10, 20, 35, 50, 70};
+
+  auto d3l_search = [&](const Table& t, size_t k) {
+    auto r = d3l_engine.Search(t, k);
+    r.status().CheckOK();
+    return bench::NamesOf(*r, data.lake);
+  };
+  auto tus_search = [&](const Table& t, size_t k) {
+    auto r = tus.engine.Search(t, k);
+    r.status().CheckOK();
+    std::vector<std::string> names;
+    for (const auto& m : r->ranked) names.push_back(data.lake.table(m.table_index).name());
+    return names;
+  };
+  auto aurum_search = [&](const Table& t, size_t k) {
+    auto r = aurum.Search(t, k);
+    r.status().CheckOK();
+    std::vector<std::string> names;
+    for (const auto& m : r->ranked) names.push_back(data.lake.table(m.table_index).name());
+    return names;
+  };
+
+  auto d3l_pr = bench::PrCurve(d3l_search, data.lake, data.truth, targets, ks);
+  auto tus_pr = bench::PrCurve(tus_search, data.lake, data.truth, targets, ks);
+  auto aurum_pr = bench::PrCurve(aurum_search, data.lake, data.truth, targets, ks);
+
+  printf("(a) Precision\n");
+  eval::TablePrinter prec({"k", "D3L", "TUS", "Aurum"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    prec.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(d3l_pr[i].precision),
+                 eval::TablePrinter::Num(tus_pr[i].precision),
+                 eval::TablePrinter::Num(aurum_pr[i].precision)});
+  }
+  prec.Print();
+
+  printf("\n(b) Recall\n");
+  eval::TablePrinter rec({"k", "D3L", "TUS", "Aurum"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    rec.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(d3l_pr[i].recall),
+                eval::TablePrinter::Num(tus_pr[i].recall),
+                eval::TablePrinter::Num(aurum_pr[i].recall)});
+  }
+  rec.Print();
+
+  printf(
+      "\nPaper shape to check: the D3L-vs-baselines gap is WIDER here than\n"
+      "on Synthetic (Fig. 4) — TUS and Aurum lean on value equality, which\n"
+      "dirty real data violates, while D3L's fine-grained features cope.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6b (Experiment 5): effect of the answer size k on search time,
+// Synthetic repository. Aurum's traversal-based query model is not
+// parameterized by k; its average query time is reported separately, as in
+// the paper.
+#include "bench/bench_common.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 6b analogue: search time vs k on Synthetic (scale=%.2f) ===\n\n",
+         scale);
+
+  auto data = bench::MakeSynthetic(scale);
+  core::D3LOptions d3l_opts;
+  d3l_opts.num_threads = 1;
+  core::D3LEngine d3l_engine(d3l_opts);
+  d3l_engine.IndexLake(data.lake).CheckOK();
+  bench::TusStack tus;
+  tus.engine.IndexLake(data.lake).CheckOK();
+  baselines::AurumEngine aurum;
+  aurum.BuildEkg(data.lake).CheckOK();
+
+  auto targets = eval::SampleTargets(data.lake, eval::Scaled(15, scale), 31);
+  std::vector<size_t> ks = {20, 50, 100, 150, 220};
+
+  eval::TablePrinter out({"k", "D3L (ms/query)", "TUS (ms/query)"});
+  for (size_t k : ks) {
+    eval::Timer td;
+    for (uint32_t t : targets) {
+      d3l_engine.Search(data.lake.table(t), k).status().CheckOK();
+    }
+    double d3l_ms = td.Seconds() * 1000 / static_cast<double>(targets.size());
+
+    eval::Timer tt;
+    for (uint32_t t : targets) {
+      tus.engine.Search(data.lake.table(t), k).status().CheckOK();
+    }
+    double tus_ms = tt.Seconds() * 1000 / static_cast<double>(targets.size());
+
+    out.AddRow({std::to_string(k), eval::TablePrinter::Num(d3l_ms, 2),
+                eval::TablePrinter::Num(tus_ms, 2)});
+  }
+  out.Print();
+
+  eval::Timer ta;
+  for (uint32_t t : targets) {
+    aurum.Search(data.lake.table(t), 220).status().CheckOK();
+  }
+  printf("\nAurum average search time (not k-parameterized): %.2f ms/query\n",
+         ta.Seconds() * 1000 / static_cast<double>(targets.size()));
+
+  printf(
+      "\nPaper shape to check: D3L is much faster than TUS at every k — TUS\n"
+      "re-maps target tokens through the KB and exactly re-scores every\n"
+      "blocked candidate, while D3L's lookups plug directly into distance\n"
+      "estimates. Both grow with k; Aurum is flat but slow.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 7 (Experiments 8-9): target coverage and attribute precision on
+// Synthetic as answer size grows, with (+J) and without join paths.
+#include "bench/join_experiment.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 7 analogue: join impact on Synthetic (scale=%.2f) ===\n\n", scale);
+
+  auto data = bench::MakeSynthetic(scale);
+  printf("lake: %zu tables\n", data.lake.size());
+  std::vector<size_t> ks = {5, 15, 30, 50, 80};
+  bench::RunJoinExperiment(data, ks, eval::Scaled(12, scale), 321);
+
+  printf(
+      "\nPaper shape to check: +J variants cover notably more target\n"
+      "attributes than their join-unaware versions; D3L(+J) attribute\n"
+      "precision stays high (85-100%% in the paper) and does not drop below\n"
+      "join-less D3L, while Aurum+J degrades faster as k grows.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 8 (Experiments 10-11): target coverage and attribute precision on
+// Smaller Real as answer size grows, with (+J) and without join paths.
+#include "bench/join_experiment.h"
+
+using namespace d3l;
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Fig. 8 analogue: join impact on Smaller Real (scale=%.2f) ===\n\n",
+         scale);
+
+  auto data = bench::MakeRealish(scale);
+  printf("lake: %zu tables\n", data.lake.size());
+  std::vector<size_t> ks = {5, 10, 20, 35, 50};
+  bench::RunJoinExperiment(data, ks, eval::Scaled(12, scale), 654);
+
+  printf(
+      "\nPaper shape to check: both D3L+J and Aurum+J improve coverage over\n"
+      "their join-unaware variants, more so at larger k; TUS coverage stays\n"
+      "low (top-ranked tables align with few target attributes); D3L's\n"
+      "attribute precision remains the highest and +J never sinks below it.\n");
+  return 0;
+}

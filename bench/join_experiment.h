@@ -1,0 +1,96 @@
+// Shared implementation of Experiments 8-11 (Figs. 7-8): target coverage
+// and attribute precision vs answer size, with and without join paths, for
+// D3L(+J), TUS and Aurum(+J).
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace d3l::bench {
+
+inline void RunJoinExperiment(benchdata::GeneratedLake& data,
+                              const std::vector<size_t>& ks, size_t num_targets,
+                              uint64_t target_seed) {
+  core::D3LEngine d3l_engine;
+  d3l_engine.IndexLake(data.lake).CheckOK();
+  core::SaJoinGraph graph = core::SaJoinGraph::Build(d3l_engine);
+  printf("SA-join graph: %zu edges\n", graph.num_edges());
+
+  TusStack tus;
+  tus.engine.IndexLake(data.lake).CheckOK();
+  baselines::AurumEngine aurum;
+  aurum.BuildEkg(data.lake).CheckOK();
+  printf("Aurum EKG: %zu edges (%zu PK/FK candidates)\n\n",
+         aurum.num_graph_edges(), aurum.num_fk_edges());
+
+  auto targets = eval::SampleTargets(data.lake, num_targets, target_seed);
+
+  struct Row {
+    double d3l_cov = 0, d3lj_cov = 0, tus_cov = 0, aurum_cov = 0, aurumj_cov = 0;
+    double d3l_ap = 0, d3lj_ap = 0, tus_ap = 0, aurum_ap = 0, aurumj_ap = 0;
+  };
+  std::vector<Row> rows(ks.size());
+
+  for (uint32_t t : targets) {
+    const Table& target = data.lake.table(t);
+    const std::string& tname = target.name();
+    size_t arity = target.num_columns();
+
+    for (size_t i = 0; i < ks.size(); ++i) {
+      size_t k = ks[i];
+
+      auto d3l_res = d3l_engine.Search(target, k);
+      d3l_res.status().CheckOK();
+      auto d3l_topk = ToRankedTables(d3l_engine, *d3l_res);
+      auto d3l_joins = D3lJoinTables(d3l_engine, graph, *d3l_res);
+
+      auto tus_res = tus.engine.Search(target, k);
+      tus_res.status().CheckOK();
+      auto tus_topk = ToRankedTables(tus.engine, *tus_res);
+
+      auto aurum_res = aurum.Search(target, k);
+      aurum_res.status().CheckOK();
+      auto aurum_topk = ToRankedTables(aurum, *aurum_res);
+      auto aurum_joins = AurumJoinTables(aurum, *aurum_res);
+
+      Row& r = rows[i];
+      r.d3l_cov += eval::AverageCoverage(d3l_topk, arity);
+      r.d3lj_cov += eval::AverageJoinCoverage(d3l_topk, d3l_joins, arity);
+      r.tus_cov += eval::AverageCoverage(tus_topk, arity);
+      r.aurum_cov += eval::AverageCoverage(aurum_topk, arity);
+      r.aurumj_cov += eval::AverageJoinCoverage(aurum_topk, aurum_joins, arity);
+
+      r.d3l_ap += eval::AverageAttributePrecision(d3l_topk, tname, data.truth);
+      r.d3lj_ap += eval::AverageJoinAttributePrecision(d3l_topk, d3l_joins, tname,
+                                                       data.truth);
+      r.tus_ap += eval::AverageAttributePrecision(tus_topk, tname, data.truth);
+      r.aurum_ap += eval::AverageAttributePrecision(aurum_topk, tname, data.truth);
+      r.aurumj_ap += eval::AverageJoinAttributePrecision(aurum_topk, aurum_joins,
+                                                         tname, data.truth);
+    }
+  }
+
+  double n = static_cast<double>(targets.size());
+  printf("(a) Target coverage\n");
+  eval::TablePrinter cov({"k", "D3L", "D3L+J", "TUS", "Aurum", "Aurum+J"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    cov.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(rows[i].d3l_cov / n),
+                eval::TablePrinter::Num(rows[i].d3lj_cov / n),
+                eval::TablePrinter::Num(rows[i].tus_cov / n),
+                eval::TablePrinter::Num(rows[i].aurum_cov / n),
+                eval::TablePrinter::Num(rows[i].aurumj_cov / n)});
+  }
+  cov.Print();
+
+  printf("\n(b) Attribute precision\n");
+  eval::TablePrinter ap({"k", "D3L", "D3L+J", "TUS", "Aurum", "Aurum+J"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    ap.AddRow({std::to_string(ks[i]), eval::TablePrinter::Num(rows[i].d3l_ap / n),
+               eval::TablePrinter::Num(rows[i].d3lj_ap / n),
+               eval::TablePrinter::Num(rows[i].tus_ap / n),
+               eval::TablePrinter::Num(rows[i].aurum_ap / n),
+               eval::TablePrinter::Num(rows[i].aurumj_ap / n)});
+  }
+  ap.Print();
+}
+
+}  // namespace d3l::bench

@@ -1,0 +1,76 @@
+// Micro-benchmarks for the text/profile substrate: tokenization, q-grams,
+// format strings, subword embeddings and full attribute profiling.
+#include <benchmark/benchmark.h>
+
+#include "core/attribute_profile.h"
+#include "embedding/subword_model.h"
+#include "table/table.h"
+#include "text/format.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+
+namespace d3l {
+namespace {
+
+const char* kSampleValues[] = {
+    "18 Portland Street, M1 3BE",
+    "Blackfriars Medical Practice",
+    "https://www.example.co.uk/services",
+    "john.smith@mail.co.uk",
+    "0161 496 0123",
+    "2019-03-12",
+};
+
+void BM_Tokenize(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(kSampleValues[i++ % 6]));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_QGrams(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGrams("Practice Name", 4));
+  }
+}
+BENCHMARK(BM_QGrams);
+
+void BM_FormatOf(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FormatOf(kSampleValues[i++ % 6]));
+  }
+}
+BENCHMARK(BM_FormatOf);
+
+void BM_SubwordEmbed(benchmark::State& state) {
+  SubwordHashModel model;
+  size_t i = 0;
+  const char* words[] = {"manchester", "salford", "practice", "medical"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Embed(words[i++ % 4]));
+  }
+}
+BENCHMARK(BM_SubwordEmbed);
+
+void BM_BuildProfile(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t("bench");
+  t.AddColumn("Address").CheckOK();
+  for (size_t r = 0; r < rows; ++r) {
+    t.AddRow({std::string(kSampleValues[r % 6]) + " #" + std::to_string(r)}).CheckOK();
+  }
+  SubwordHashModel wem;
+  CachingEmbedder cache(&wem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildProfile(t, 0, wem, &cache));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_BuildProfile)->Arg(64)->Arg(256)->Arg(512);
+
+}  // namespace
+}  // namespace d3l
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table II (Experiment 7): space occupied by each system's indexes,
+// relative to the (in-memory) size of the data lake.
+#include "bench/bench_common.h"
+
+using namespace d3l;
+
+namespace {
+std::string Pct(size_t part, size_t whole) {
+  double pct = whole > 0 ? 100.0 * static_cast<double>(part) /
+                               static_cast<double>(whole)
+                         : 0;
+  return eval::TablePrinter::Num(pct, 0) + "%";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = eval::ParseScaleArg(argc, argv);
+  printf("=== Table II analogue: index space overhead (scale=%.2f) ===\n\n", scale);
+
+  struct Repo {
+    const char* name;
+    benchdata::GeneratedLake data;
+  };
+  std::vector<Repo> repos;
+  repos.push_back({"Synthetic", bench::MakeSynthetic(scale)});
+  repos.push_back({"Smaller Real", bench::MakeRealish(scale)});
+  repos.push_back({"Larger Real (sample)",
+                   bench::MakeLargerReal(eval::Scaled(600, scale))});
+
+  eval::TablePrinter out({"system", "Synthetic", "Smaller Real", "Larger Real (sample)"});
+  std::vector<std::string> d3l_row = {"D3L"};
+  std::vector<std::string> tus_row = {"TUS"};
+  std::vector<std::string> aurum_row = {"Aurum"};
+
+  for (Repo& r : repos) {
+    size_t lake_bytes = r.data.lake.Stats().total_bytes;
+
+    core::D3LEngine d3l_engine;
+    d3l_engine.IndexLake(r.data.lake).CheckOK();
+    d3l_row.push_back(Pct(d3l_engine.indexes().MemoryUsage(), lake_bytes));
+
+    bench::TusStack tus;
+    tus.engine.IndexLake(r.data.lake).CheckOK();
+    tus_row.push_back(Pct(tus.engine.MemoryUsage(), lake_bytes));
+
+    baselines::AurumEngine aurum;
+    aurum.BuildEkg(r.data.lake).CheckOK();
+    aurum_row.push_back(Pct(aurum.MemoryUsage(), lake_bytes));
+
+    printf("%s: lake size %.1f MB\n", r.name,
+           static_cast<double>(lake_bytes) / (1024 * 1024));
+  }
+  printf("\n");
+  out.AddRow(std::move(d3l_row));
+  out.AddRow(std::move(tus_row));
+  out.AddRow(std::move(aurum_row));
+  out.Print();
+
+  printf(
+      "\nPaper shape to check: D3L occupies the most index space (four\n"
+      "evidence indexes vs three in TUS / Aurum's profile store + graph;\n"
+      "the paper reports 69/33/58%% for D3L vs 55-56/19-20/29-32%% for the\n"
+      "baselines).\n");
+  return 0;
+}

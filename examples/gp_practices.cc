@@ -1,0 +1,111 @@
+// The paper's running example (Figure 1 / Table I / Example 1).
+//
+// Builds the GP tables T, S1, S2, S3, prints a Table-I-style distance
+// matrix for (T, S2), runs the top-k search, and shows how a join path
+// through S3 covers the target's "Hours" attribute.
+//
+//   $ ./build/examples/gp_practices
+#include <cstdio>
+
+#include "core/join_graph.h"
+#include "core/query.h"
+#include "eval/table_printer.h"
+#include "table/lake.h"
+
+using namespace d3l;
+
+namespace {
+Table MakeTable(std::string name, std::vector<std::string> cols,
+                std::vector<std::vector<std::string>> rows) {
+  return std::move(Table::FromRows(std::move(name), std::move(cols), std::move(rows)))
+      .ValueOrDie();
+}
+}  // namespace
+
+int main() {
+  // Figure 1 of the paper (S1 and S2 padded with a few extra practices so
+  // extents carry enough signal for hashing).
+  Table s1 = MakeTable(
+      "S1_gp_practices", {"Practice Name", "Address", "City", "Postcode", "Patients"},
+      {{"Dr E Cullen", "51 Botanic Av", "Belfast", "BT7 1JL", "1202"},
+       {"Blackfriars", "1a Chapel St", "Salford", "M3 6AF", "3572"},
+       {"Radclife Care", "69 Church St", "Manchester", "M26 2SP", "2210"},
+       {"Bolton Medical", "21 Rupert St", "Bolton", "BL3 6PY", "1870"},
+       {"Mirabel Surgery", "9 Mirabel St", "Manchester", "M3 1NN", "950"}});
+  Table s2 = MakeTable("S2_gp_funding", {"Practice", "City", "Postcode", "Payment"},
+                       {{"The London Clinic", "London", "W1G 6BW", "73648"},
+                        {"Blackfriars", "Salford", "M3 6AF", "15530"},
+                        {"Radclife Care", "Manchester", "M26 2SP", "18220"},
+                        {"Bolton Medical", "Bolton", "BL3 6PY", "12790"}});
+  Table s3 = MakeTable("S3_local_gps", {"GP", "Location", "Opening hours"},
+                       {{"Blackfriars", "Salford", "08:00-18:00"},
+                        {"Radclife Care", "-", "07:00-20:00"},
+                        {"Bolton Medical", "Bolton", "08:00-16:00"}});
+  Table target = MakeTable("T_gps", {"Practice", "Street", "City", "Postcode", "Hours"},
+                           {{"Radclife Care", "69 Church St", "Manchester", "M26 2SP",
+                             "07:00-20:00"},
+                            {"Bolton Medical", "21 Rupert St", "Bolton", "BL3 6PY",
+                             "08:00-16:00"}});
+
+  DataLake lake;
+  lake.AddTable(s1).CheckOK();
+  lake.AddTable(s2).CheckOK();
+  lake.AddTable(s3).CheckOK();
+
+  core::D3LEngine engine;
+  engine.IndexLake(lake).CheckOK();
+
+  // --- Table I analogue: per-pair distances between T and S2 -------------
+  auto result = engine.Search(target, 3);
+  result.status().CheckOK();
+
+  printf("Table I analogue — attribute-pair distances for (T, S2):\n\n");
+  eval::TablePrinter tbl({"Pair", "DN", "DV", "DF", "DE", "DD"});
+  uint32_t s2_idx = static_cast<uint32_t>(lake.TableIndex("S2_gp_funding"));
+  for (const core::TableMatch& m : result->ranked) {
+    if (m.table_index != s2_idx) continue;
+    for (const core::PairDistances& p : m.pairs) {
+      const auto& prof = engine.indexes().profile(p.attribute_id);
+      std::string pair_name = "(T." + target.column(p.target_column).name() + ", S2." +
+                              prof.column_name + ")";
+      tbl.AddRow({pair_name, eval::TablePrinter::Num(p.d[0], 2),
+                  eval::TablePrinter::Num(p.d[1], 2), eval::TablePrinter::Num(p.d[2], 2),
+                  eval::TablePrinter::Num(p.d[3], 2),
+                  eval::TablePrinter::Num(p.d[4], 2)});
+    }
+  }
+  tbl.Print();
+
+  // --- top-k ranking ------------------------------------------------------
+  printf("\nTop-k datasets related to T:\n\n");
+  eval::TablePrinter rank({"rank", "dataset", "distance"});
+  int r = 1;
+  for (const core::TableMatch& m : result->ranked) {
+    rank.AddRow({std::to_string(r++), lake.table(m.table_index).name(),
+                 eval::TablePrinter::Num(m.distance)});
+  }
+  rank.Print();
+
+  // --- join paths (Section IV): S3 contributes "Hours" --------------------
+  core::SaJoinGraph graph = core::SaJoinGraph::Build(engine);
+  printf("\nSA-join graph: %zu edges\n", graph.num_edges());
+
+  auto top2 = engine.Search(target, 2);
+  top2.status().CheckOK();
+  auto paths = core::FindAllJoinPaths(graph, *top2);
+  for (const core::JoinPath& p : paths) {
+    std::string desc = lake.table(p.tables[0]).name();
+    for (size_t i = 0; i < p.edges.size(); ++i) {
+      const core::JoinEdge& e = p.edges[i];
+      desc += " --[" + lake.table(e.from_table).column(e.from_column).name() + " ~ " +
+              lake.table(e.to_table).column(e.to_column).name() + "]--> " +
+              lake.table(p.tables[i + 1]).name();
+    }
+    printf("join path: %s\n", desc.c_str());
+  }
+  printf(
+      "\nS3 is weakly related to T, but joins with the top-k tables on\n"
+      "practice names — its 'Opening hours' column can populate T.Hours,\n"
+      "exactly the Example-1 scenario.\n");
+  return 0;
+}

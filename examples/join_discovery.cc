@@ -1,0 +1,92 @@
+// Join-path discovery on a generated dirty lake (Section IV at benchmark
+// scale): shows target coverage with and without join paths.
+//
+//   $ ./build/examples/join_discovery
+#include <cstdio>
+
+#include "benchdata/realish_gen.h"
+#include "core/join_graph.h"
+#include "core/query.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+
+using namespace d3l;
+
+int main() {
+  // A small dirty lake with topic clusters (shared entity pools -> joins).
+  benchdata::RealishOptions opts;
+  opts.num_clusters = 10;
+  opts.tables_per_cluster_min = 4;
+  opts.tables_per_cluster_max = 7;
+  opts.seed = 99;
+  auto gen = benchdata::GenerateRealish(opts);
+  gen.status().CheckOK();
+  printf("generated lake: %zu tables\n", gen->lake.size());
+
+  core::D3LEngine engine;
+  engine.IndexLake(gen->lake).CheckOK();
+  core::SaJoinGraph graph = core::SaJoinGraph::Build(engine);
+  printf("SA-join graph: %zu edges over %zu tables\n\n", graph.num_edges(),
+         graph.num_tables());
+
+  eval::TablePrinter out({"target", "k", "coverage", "coverage+J", "paths"});
+  for (uint32_t t : eval::SampleTargets(gen->lake, 5, 42)) {
+    const Table& target = gen->lake.table(t);
+    const size_t k = 8;
+    auto res = engine.Search(target, k);
+    res.status().CheckOK();
+    if (res->ranked.empty()) continue;
+
+    // Convert matches into the evaluation representation.
+    std::vector<eval::RankedTable> topk;
+    for (const auto& m : res->ranked) {
+      eval::RankedTable rt;
+      rt.name = gen->lake.table(m.table_index).name();
+      for (const auto& p : m.pairs) {
+        rt.alignments.push_back(
+            {p.target_column, engine.indexes().profile(p.attribute_id).ref.column});
+      }
+      topk.push_back(std::move(rt));
+    }
+
+    // Join paths per top-k table (Algorithm 3).
+    std::unordered_set<uint32_t> top_set;
+    for (const auto& m : res->ranked) top_set.insert(m.table_index);
+    std::unordered_set<uint32_t> related;
+    for (const auto& [ti, a] : res->candidate_alignments) related.insert(ti);
+
+    size_t total_paths = 0;
+    std::vector<std::vector<eval::RankedTable>> joins(topk.size());
+    for (size_t i = 0; i < res->ranked.size(); ++i) {
+      auto paths =
+          core::FindJoinPaths(graph, res->ranked[i].table_index, top_set, related);
+      total_paths += paths.size();
+      std::unordered_set<uint32_t> path_tables;
+      for (const auto& p : paths) {
+        for (size_t j = 1; j < p.tables.size(); ++j) path_tables.insert(p.tables[j]);
+      }
+      for (uint32_t pt : path_tables) {
+        eval::RankedTable rt;
+        rt.name = gen->lake.table(pt).name();
+        auto it = res->candidate_alignments.find(pt);
+        if (it != res->candidate_alignments.end()) {
+          for (const auto& [tc, attr] : it->second) {
+            rt.alignments.push_back({tc, engine.indexes().profile(attr).ref.column});
+          }
+        }
+        joins[i].push_back(std::move(rt));
+      }
+    }
+
+    double cov = eval::AverageCoverage(topk, target.num_columns());
+    double cov_j = eval::AverageJoinCoverage(topk, joins, target.num_columns());
+    out.AddRow({target.name(), std::to_string(k), eval::TablePrinter::Num(cov, 3),
+                eval::TablePrinter::Num(cov_j, 3), std::to_string(total_paths)});
+  }
+  out.Print();
+  printf(
+      "\nTables with weak direct relatedness contribute extra target\n"
+      "attributes when reached through SA-join paths (coverage+J >= coverage).\n");
+  return 0;
+}

@@ -1,0 +1,264 @@
+#include "baselines/aurum.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "stats/descriptive.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+
+namespace d3l::baselines {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double RangeOverlap(double a_min, double a_max, double b_min, double b_max) {
+  double inter = std::min(a_max, b_max) - std::max(a_min, b_min);
+  double uni = std::max(a_max, b_max) - std::min(a_min, b_min);
+  if (uni <= 0) return a_min == b_min ? 1.0 : 0.0;
+  return std::max(0.0, inter) / uni;
+}
+}  // namespace
+
+AurumEngine::AurumEngine(AurumOptions options)
+    : options_(options),
+      name_hasher_(options.minhash_size, options.seed ^ 0x11),
+      value_hasher_(options.minhash_size, options.seed ^ 0x22),
+      name_forest_(options.forest),
+      value_forest_(options.forest) {}
+
+AurumEngine::ColumnProfile AurumEngine::ProfileColumn(const Table& table,
+                                                      size_t col) const {
+  const Column& c = table.column(col);
+  ColumnProfile p;
+  p.column = static_cast<uint32_t>(col);
+  p.numeric = c.type() == ColumnType::kNumeric;
+
+  size_t non_null = c.size() - c.null_count();
+  p.uniqueness = non_null > 0 ? static_cast<double>(c.distinct_count()) /
+                                    static_cast<double>(non_null)
+                              : 0;
+
+  // Name profile: tokens of the attribute name (Aurum's schema signal).
+  for (const std::string& tok : d3l::Tokenize(c.name())) p.name_tokens.insert(tok);
+  // q-grams enrich short names, mirroring Aurum's fuzzy name matching.
+  for (const std::string& g : d3l::QGrams(c.name(), 4)) p.name_tokens.insert(g);
+  p.name_sig = name_hasher_.Sign(p.name_tokens);
+
+  if (p.numeric) {
+    std::vector<double> vals = c.NumericExtent();
+    d3l::Summary s = d3l::Summarize(vals);
+    p.range_min = s.min;
+    p.range_max = s.max;
+    return p;
+  }
+
+  std::set<std::string> tokens;
+  size_t used = 0;
+  const size_t cap = options_.max_values == 0 ? c.size() : options_.max_values;
+  for (size_t r = 0; r < c.size() && used < cap; ++r) {
+    if (IsNullCell(c.cell(r))) continue;
+    ++used;
+    for (const std::string& tok : d3l::Tokenize(c.cell(r))) tokens.insert(tok);
+  }
+  if (!tokens.empty()) {
+    p.value_sig = value_hasher_.Sign(tokens);
+    p.has_values = true;
+  }
+  return p;
+}
+
+double AurumEngine::NodeSimilarity(const ColumnProfile& a,
+                                   const ColumnProfile& b) const {
+  double name_sim = EstimateJaccard(a.name_sig, b.name_sig);
+  double content_sim = 0;
+  if (a.numeric && b.numeric) {
+    content_sim = RangeOverlap(a.range_min, a.range_max, b.range_min, b.range_max);
+    // Range overlap alone is weak evidence (any two age columns overlap);
+    // damp it well below text overlap.
+    content_sim *= 0.5;
+  } else if (a.has_values && b.has_values) {
+    content_sim = EstimateJaccard(a.value_sig, b.value_sig);
+  }
+  // Certainty semantics: the strongest signal wins.
+  return std::max(name_sim, content_sim);
+}
+
+Status AurumEngine::BuildEkg(const DataLake& lake) {
+  if (lake_ != nullptr) return Status::InvalidArgument("BuildEkg already called");
+  lake_ = &lake;
+
+  // Phase 1: profiling.
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint32_t ti = 0; ti < lake.size(); ++ti) {
+    const Table& t = lake.table(ti);
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      ColumnProfile p = ProfileColumn(t, c);
+      p.table = ti;
+      uint32_t id = static_cast<uint32_t>(profiles_.size());
+      name_forest_.Insert(id, p.name_sig);
+      if (p.has_values) value_forest_.Insert(id, p.value_sig);
+      profiles_.push_back(std::move(p));
+    }
+  }
+  name_forest_.Index();
+  value_forest_.Index();
+  build_stats_.profile_seconds = SecondsSince(t0);
+
+  // Phase 2: EKG construction — the dominant indexing cost. Every node
+  // queries the indexes for neighbours and keeps edges above threshold.
+  t0 = std::chrono::steady_clock::now();
+  graph_.resize(profiles_.size());
+  for (uint32_t id = 0; id < profiles_.size(); ++id) {
+    const ColumnProfile& p = profiles_[id];
+    std::unordered_set<uint32_t> cands;
+    for (uint32_t n : name_forest_.Query(p.name_sig, options_.neighbours_per_node)) {
+      if (n != id) cands.insert(n);
+    }
+    if (p.has_values) {
+      for (uint32_t n :
+           value_forest_.Query(p.value_sig, options_.neighbours_per_node)) {
+        if (n != id) cands.insert(n);
+      }
+    }
+    for (uint32_t n : cands) {
+      if (n < id) continue;  // add each undirected edge once
+      const ColumnProfile& q = profiles_[n];
+      double sim = NodeSimilarity(p, q);
+      if (sim < options_.edge_threshold) continue;
+
+      // Candidate PK/FK: one endpoint near-unique, high estimated
+      // containment of the other endpoint's values.
+      bool is_fk = false;
+      if (p.has_values && q.has_values &&
+          (p.uniqueness >= options_.fk_uniqueness ||
+           q.uniqueness >= options_.fk_uniqueness)) {
+        double j = EstimateJaccard(p.value_sig, q.value_sig);
+        // Containment >= Jaccard; the Jaccard estimate is a conservative
+        // proxy given only signatures.
+        if (j / (1.0 + j) * 2.0 >= options_.fk_containment * 0.5 &&
+            j >= options_.fk_containment * 0.4) {
+          is_fk = true;
+        }
+      }
+      graph_[id].push_back(EkgEdge{n, sim, is_fk});
+      graph_[n].push_back(EkgEdge{id, sim, is_fk});
+      ++num_edges_;
+      if (is_fk) ++fk_edges_count_;
+    }
+  }
+  build_stats_.graph_seconds = SecondsSince(t0);
+  build_stats_.num_nodes = profiles_.size();
+  build_stats_.num_edges = num_edges_;
+  build_stats_.num_fk_edges = fk_edges_count_;
+  build_stats_.index_bytes = MemoryUsage();
+  return Status::OK();
+}
+
+Result<AurumSearchResult> AurumEngine::Search(const Table& target, size_t k) const {
+  if (lake_ == nullptr) return Status::InvalidArgument("BuildEkg not called");
+  AurumSearchResult result;
+  std::unordered_map<uint32_t, double> table_score;
+
+  for (size_t c = 0; c < target.num_columns(); ++c) {
+    ColumnProfile q = ProfileColumn(target, c);
+
+    // One-shot index consultation to map the target column onto EKG nodes.
+    std::unordered_set<uint32_t> seeds;
+    for (uint32_t id : name_forest_.Query(q.name_sig, options_.candidates_per_attribute)) {
+      seeds.insert(id);
+    }
+    if (q.has_values) {
+      for (uint32_t id :
+           value_forest_.Query(q.value_sig, options_.candidates_per_attribute)) {
+        seeds.insert(id);
+      }
+    }
+
+    // Graph phase: score seeds, then expand one hop along EKG edges
+    // (similarity damped by the edge weight).
+    std::unordered_map<uint32_t, double> node_score;
+    for (uint32_t id : seeds) {
+      node_score[id] = std::max(node_score[id], NodeSimilarity(q, profiles_[id]));
+    }
+    for (uint32_t id : seeds) {
+      double base = node_score[id];
+      for (const EkgEdge& e : graph_[id]) {
+        // Indirect evidence: damped by the edge weight and a constant
+        // discount, so traversal broadens recall without letting 1-hop
+        // neighbours outscore directly-matched columns.
+        double propagated = base * e.similarity * 0.6;
+        auto it = node_score.find(e.to_node);
+        if (it == node_score.end() || it->second < propagated) {
+          node_score[e.to_node] = propagated;
+        }
+      }
+    }
+
+    for (const auto& [id, score] : node_score) {
+      if (score <= 0) continue;
+      const ColumnProfile& p = profiles_[id];
+      auto& best = table_score[p.table];
+      best = std::max(best, score);
+      result.candidate_alignments[p.table].push_back(
+          AurumMatch::Alignment{static_cast<uint32_t>(c), p.column, score});
+    }
+  }
+
+  std::vector<AurumMatch> ranked;
+  ranked.reserve(table_score.size());
+  for (const auto& [ti, score] : table_score) {
+    AurumMatch m;
+    m.table_index = ti;
+    m.score = score;
+    m.alignments = result.candidate_alignments[ti];
+    ranked.push_back(std::move(m));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AurumMatch& a, const AurumMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.table_index < b.table_index;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  result.ranked = std::move(ranked);
+  return result;
+}
+
+std::vector<uint32_t> AurumEngine::JoinExpand(const std::vector<uint32_t>& tables,
+                                              size_t hops) const {
+  std::unordered_set<uint32_t> start(tables.begin(), tables.end());
+  std::unordered_set<uint32_t> reached;
+  std::unordered_set<uint32_t> frontier_tables = start;
+  for (size_t h = 0; h < hops; ++h) {
+    std::unordered_set<uint32_t> next;
+    for (uint32_t id = 0; id < profiles_.size(); ++id) {
+      if (frontier_tables.count(profiles_[id].table) == 0) continue;
+      for (const EkgEdge& e : graph_[id]) {
+        if (!e.is_fk) continue;
+        uint32_t tt = profiles_[e.to_node].table;
+        if (start.count(tt) > 0 || reached.count(tt) > 0) continue;
+        reached.insert(tt);
+        next.insert(tt);
+      }
+    }
+    if (next.empty()) break;
+    frontier_tables = std::move(next);
+  }
+  return {reached.begin(), reached.end()};
+}
+
+size_t AurumEngine::MemoryUsage() const {
+  size_t bytes = sizeof(AurumEngine);
+  bytes += name_forest_.MemoryUsage() + value_forest_.MemoryUsage();
+  for (const ColumnProfile& p : profiles_) {
+    bytes += sizeof(ColumnProfile);
+    for (const auto& t : p.name_tokens) bytes += t.size() + 16;
+    bytes += (p.name_sig.capacity() + p.value_sig.capacity()) * sizeof(uint64_t);
+  }
+  for (const auto& edges : graph_) bytes += edges.capacity() * sizeof(EkgEdge);
+  return bytes;
+}
+
+}  // namespace d3l::baselines

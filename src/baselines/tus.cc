@@ -1,0 +1,203 @@
+#include "baselines/tus.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+#include "text/tokenizer.h"
+
+namespace d3l::baselines {
+
+namespace {
+template <typename T>
+double ExactJaccard(const std::set<T>& a, const std::set<T>& b) {
+  if (a.empty() || b.empty()) return 0;
+  size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return d3l::JaccardFromCounts(inter, a.size(), b.size());
+}
+}  // namespace
+
+TusEngine::TusEngine(TusOptions options, const YagoKb* kb,
+                     const WordEmbeddingModel* wem)
+    : options_(options),
+      kb_(kb),
+      wem_(wem),
+      embed_cache_(wem),
+      token_hasher_(options.minhash_size, options.seed ^ 0x01),
+      class_hasher_(options.minhash_size, options.seed ^ 0x02),
+      rp_hasher_(options.embedding_dim, options.rp_bits, options.seed ^ 0x03),
+      token_forest_(options.forest),
+      class_forest_(options.forest),
+      emb_forest_(options.forest) {}
+
+TusEngine::ColumnSketch TusEngine::SketchColumn(const Table& table, size_t col) const {
+  const Column& c = table.column(col);
+  ColumnSketch s;
+  s.column = static_cast<uint32_t>(col);
+
+  // TUS uses every token of every value (no informativeness filtering) and
+  // annotates each token with its knowledge-base classes.
+  Vec acc(wem_->dim(), 0.0f);
+  size_t n_words = 0;
+  size_t used = 0;
+  const size_t cap = options_.max_values == 0 ? c.size() : options_.max_values;
+  for (size_t r = 0; r < c.size() && used < cap; ++r) {
+    const std::string& cell = c.cell(r);
+    if (IsNullCell(cell)) continue;
+    ++used;
+    for (const std::string& tok : d3l::Tokenize(cell)) {
+      s.tokens.insert(tok);
+      for (uint32_t cls : kb_->ClassesOf(tok)) s.classes.insert(cls);
+      AddInPlace(&acc, embed_cache_.Embed(tok));
+      ++n_words;
+    }
+  }
+  if (n_words > 0) {
+    for (float& x : acc) x = static_cast<float>(x / static_cast<double>(n_words));
+    s.embedding = std::move(acc);
+    s.has_embedding = true;
+  }
+  s.token_sig = token_hasher_.Sign(s.tokens);
+  {
+    std::vector<uint64_t> class_hashes;
+    class_hashes.reserve(s.classes.size());
+    for (uint32_t cls : s.classes) class_hashes.push_back(d3l::Mix64(cls + 1));
+    s.class_sig = class_hasher_.SignHashed(class_hashes);
+  }
+  if (s.has_embedding) s.emb_sig = rp_hasher_.Sign(s.embedding);
+  return s;
+}
+
+Status TusEngine::IndexLake(const DataLake& lake) {
+  if (lake_ != nullptr) return Status::InvalidArgument("IndexLake already called");
+  lake_ = &lake;
+  auto t0 = std::chrono::steady_clock::now();
+
+  for (uint32_t ti = 0; ti < lake.size(); ++ti) {
+    const Table& t = lake.table(ti);
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      // TUS considers only textual attributes.
+      if (t.column(c).type() == ColumnType::kNumeric) continue;
+      ColumnSketch s = SketchColumn(t, c);
+      s.table = ti;
+      uint32_t id = static_cast<uint32_t>(sketches_.size());
+      token_forest_.Insert(id, s.token_sig);
+      class_forest_.Insert(id, s.class_sig);
+      if (s.has_embedding) {
+        emb_forest_.Insert(id, rp_hasher_.SignatureAsHashSequence(s.emb_sig));
+      }
+      sketches_.push_back(std::move(s));
+    }
+  }
+  token_forest_.Index();
+  class_forest_.Index();
+  emb_forest_.Index();
+
+  build_stats_.index_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  build_stats_.num_attributes = sketches_.size();
+  build_stats_.index_bytes = MemoryUsage();
+  build_stats_.kb_lookups = kb_->lookup_count();
+  return Status::OK();
+}
+
+double TusEngine::ExactUnionability(const ColumnSketch& a, const ColumnSketch& b) const {
+  double set_u = ExactJaccard(a.tokens, b.tokens);
+  double sem_u = ExactJaccard(a.classes, b.classes);
+  double nl_u = 0;
+  if (a.has_embedding && b.has_embedding) {
+    nl_u = std::max(0.0, CosineSimilarity(a.embedding, b.embedding));
+  }
+  // Ensemble goodness: the maximum over the three measures.
+  return std::max({set_u, sem_u, nl_u});
+}
+
+Result<TusSearchResult> TusEngine::Search(const Table& target, size_t k) const {
+  if (lake_ == nullptr) return Status::InvalidArgument("IndexLake not called");
+  TusSearchResult result;
+  // Larger answers require more blocking candidates (and thus more exact
+  // re-scoring), the k-dependence measured in Experiments 5-6.
+  const size_t per_index_m = std::max(options_.candidates_per_attribute, k);
+
+  // score per candidate table; alignment list per candidate table
+  std::unordered_map<uint32_t, double> table_score;
+
+  for (size_t c = 0; c < target.num_columns(); ++c) {
+    if (target.column(c).type() == ColumnType::kNumeric) continue;
+    ColumnSketch q = SketchColumn(target, c);
+
+    std::unordered_set<uint32_t> candidates;
+    for (uint32_t id : token_forest_.Query(q.token_sig, per_index_m)) {
+      candidates.insert(id);
+    }
+    for (uint32_t id : class_forest_.Query(q.class_sig, per_index_m)) {
+      candidates.insert(id);
+    }
+    if (q.has_embedding) {
+      Signature seq = rp_hasher_.SignatureAsHashSequence(q.emb_sig);
+      for (uint32_t id : emb_forest_.Query(seq, per_index_m)) {
+        candidates.insert(id);
+      }
+    }
+
+    // Exact re-scoring of every blocked candidate (the post-blocking
+    // computation that dominates TUS's query time).
+    for (uint32_t id : candidates) {
+      const ColumnSketch& s = sketches_[id];
+      double u = ExactUnionability(q, s);
+      if (u <= 0) continue;
+      auto& best = table_score[s.table];
+      best = std::max(best, u);
+      result.candidate_alignments[s.table].push_back(
+          TusMatch::Alignment{static_cast<uint32_t>(c), s.column, u});
+    }
+  }
+
+  std::vector<TusMatch> ranked;
+  ranked.reserve(table_score.size());
+  for (const auto& [ti, score] : table_score) {
+    TusMatch m;
+    m.table_index = ti;
+    m.score = score;
+    m.alignments = result.candidate_alignments[ti];
+    ranked.push_back(std::move(m));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const TusMatch& a, const TusMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.table_index < b.table_index;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  result.ranked = std::move(ranked);
+  return result;
+}
+
+size_t TusEngine::MemoryUsage() const {
+  size_t bytes = sizeof(TusEngine);
+  bytes += token_forest_.MemoryUsage() + class_forest_.MemoryUsage() +
+           emb_forest_.MemoryUsage();
+  for (const ColumnSketch& s : sketches_) {
+    bytes += sizeof(ColumnSketch);
+    for (const auto& t : s.tokens) bytes += t.size() + 16;
+    bytes += s.classes.size() * 8;
+    bytes += s.embedding.capacity() * sizeof(float);
+    bytes += (s.token_sig.capacity() + s.class_sig.capacity()) * sizeof(uint64_t);
+    bytes += s.emb_sig.words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace d3l::baselines

@@ -1,0 +1,119 @@
+// TUS — Table Union Search (Nargesian, Zhu, Pu, Miller; PVLDB 2018),
+// reimplemented as the paper's first baseline (its implementation is not
+// public; the D3L authors also reimplemented it, Section V-D).
+//
+// TUS measures attribute unionability from instance values only, with
+// three measures: *set* unionability (value-token overlap), *semantic*
+// unionability (overlap of YAGO class annotations of tokens), and
+// *natural-language* unionability (word-embedding similarity). LSH indexes
+// serve only as a blocking step: candidate pairs are exactly re-scored
+// from the stored token/class sets (the "significant amount of computation
+// ... before the unionability measurements are obtained" of Experiment 5).
+// Scores are combined by taking the maximum (the ensemble's goodness), and
+// a table is ranked by its best attribute alignment (max-score
+// aggregation, contrasted with D3L's Eq. 1-3 in Experiment 2). Numeric
+// attributes are ignored entirely (Experiment 6 relies on this).
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/yago_kb.h"
+#include "common/status.h"
+#include "embedding/subword_model.h"
+#include "lsh/lsh_forest.h"
+#include "lsh/minhash.h"
+#include "lsh/simhash.h"
+#include "table/lake.h"
+
+namespace d3l::baselines {
+
+struct TusOptions {
+  size_t minhash_size = 256;
+  size_t rp_bits = 256;
+  size_t embedding_dim = 64;
+  LshForestOptions forest;
+  size_t candidates_per_attribute = 64;
+  /// Extent cap; 0 = none. TUS processes full extents (sampling is a D3L
+  /// design choice the paper credits for part of its indexing advantage).
+  size_t max_values = 0;
+  uint64_t seed = 0x705;
+};
+
+/// \brief One ranked candidate with its attribute alignments.
+struct TusMatch {
+  uint32_t table_index = 0;
+  double score = 0;  ///< max attribute-pair unionability (descending rank)
+  /// (target column, lake table, lake column, pair score)
+  struct Alignment {
+    uint32_t target_column;
+    uint32_t column;
+    double score;
+  };
+  std::vector<Alignment> alignments;
+};
+
+struct TusSearchResult {
+  std::vector<TusMatch> ranked;
+  /// Every candidate table touched, with alignments (for coverage eval).
+  std::unordered_map<uint32_t, std::vector<TusMatch::Alignment>> candidate_alignments;
+};
+
+struct TusBuildStats {
+  double index_seconds = 0;
+  size_t num_attributes = 0;
+  size_t index_bytes = 0;
+  uint64_t kb_lookups = 0;
+};
+
+class TusEngine {
+ public:
+  /// The KB and WEM must outlive the engine.
+  TusEngine(TusOptions options, const YagoKb* kb, const WordEmbeddingModel* wem);
+
+  Status IndexLake(const DataLake& lake);
+  Result<TusSearchResult> Search(const Table& target, size_t k) const;
+
+  const TusBuildStats& build_stats() const { return build_stats_; }
+  const DataLake* lake() const { return lake_; }
+  size_t MemoryUsage() const;
+
+ private:
+  struct ColumnSketch {
+    uint32_t table = 0;
+    uint32_t column = 0;
+    std::set<std::string> tokens;     ///< all value tokens (exact re-scoring)
+    std::set<uint32_t> classes;       ///< YAGO class annotations
+    Vec embedding;                    ///< mean token embedding
+    bool has_embedding = false;
+    Signature token_sig;              ///< MinHash of tokens
+    Signature class_sig;              ///< MinHash of class ids
+    BitSignature emb_sig;             ///< random projections of embedding
+  };
+
+  ColumnSketch SketchColumn(const Table& table, size_t col) const;
+  // Exact unionability of a (target sketch, indexed sketch) pair:
+  // max(set, semantic, natural-language).
+  double ExactUnionability(const ColumnSketch& a, const ColumnSketch& b) const;
+
+  TusOptions options_;
+  const YagoKb* kb_;
+  const WordEmbeddingModel* wem_;
+  /// Word vectors are memoized, as a fastText table lookup would be; the
+  /// per-token KB lookups are NOT cached (each annotation pays full cost,
+  /// the behaviour the D3L paper attributes TUS's slowness to).
+  mutable CachingEmbedder embed_cache_;
+  MinHasher token_hasher_;
+  MinHasher class_hasher_;
+  RandomProjectionHasher rp_hasher_;
+  LshForest token_forest_;
+  LshForest class_forest_;
+  LshForest emb_forest_;
+  std::vector<ColumnSketch> sketches_;
+  const DataLake* lake_ = nullptr;
+  TusBuildStats build_stats_;
+};
+
+}  // namespace d3l::baselines

@@ -1,0 +1,44 @@
+#include "baselines/yago_kb.h"
+
+#include "common/hash.h"
+
+namespace d3l::baselines {
+
+YagoKb::YagoKb(Dictionary dictionary, size_t fallback_classes, uint64_t seed)
+    : dictionary_(std::move(dictionary)),
+      fallback_classes_(fallback_classes == 0 ? 1 : fallback_classes),
+      seed_(seed) {}
+
+std::vector<uint32_t> YagoKb::ClassesOf(const std::string& token) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint32_t> leaves;
+  auto it = dictionary_.find(token);
+  if (it != dictionary_.end()) {
+    leaves = it->second;
+  } else {
+    // Pseudo-classes (offset past dictionary class-id space).
+    leaves.push_back(static_cast<uint32_t>(
+        1000 + HashString(token, seed_) % fallback_classes_));
+    std::string prefix = token.substr(0, 4);
+    leaves.push_back(static_cast<uint32_t>(1000 + fallback_classes_ +
+                                           HashString(prefix, seed_ ^ 0x7e) %
+                                               fallback_classes_));
+  }
+  // Transitive supertype closure: each leaf contributes its parent chain.
+  // Parents converge quickly (chains are quotiented into ever-smaller id
+  // spaces), mimicking YAGO's DAG narrowing toward owl:Thing.
+  std::vector<uint32_t> classes = leaves;
+  for (uint32_t leaf : leaves) {
+    uint64_t node = leaf;
+    uint64_t space = 1 << 16;
+    for (size_t level = 0; level < hierarchy_depth_; ++level) {
+      space = space > 64 ? space / 8 : 64;
+      node = Mix64(node ^ (seed_ + level)) % space;
+      classes.push_back(static_cast<uint32_t>(0x40000000u + (level << 20) +
+                                              static_cast<uint32_t>(node)));
+    }
+  }
+  return classes;
+}
+
+}  // namespace d3l::baselines

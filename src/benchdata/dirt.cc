@@ -1,0 +1,62 @@
+#include "benchdata/dirt.h"
+
+#include <cctype>
+#include <vector>
+
+namespace d3l::benchdata {
+
+std::string ApplyTypo(std::string s, Rng* rng) {
+  if (s.size() < 3) return s;
+  size_t i = 1 + rng->Uniform(s.size() - 2);
+  switch (rng->Uniform(3)) {
+    case 0:  // adjacent swap
+      std::swap(s[i], s[i - 1]);
+      break;
+    case 1:  // drop
+      s.erase(i, 1);
+      break;
+    default:  // duplicate
+      s.insert(i, 1, s[i]);
+  }
+  return s;
+}
+
+std::string AbbreviateWord(std::string s, Rng* rng) {
+  // Find word boundaries; abbreviate one word of length >= 5.
+  std::vector<std::pair<size_t, size_t>> words;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || !std::isalpha(static_cast<unsigned char>(s[i]))) {
+      if (i - start >= 5) words.emplace_back(start, i - start);
+      start = i + 1;
+    }
+  }
+  if (words.empty()) return s;
+  auto [pos, len] = words[rng->Uniform(words.size())];
+  return s.substr(0, pos + 3) + "." + s.substr(pos + len);
+}
+
+std::string DirtyValue(std::string value, const DirtOptions& options, Rng* rng) {
+  if (rng->Chance(options.null_prob)) {
+    static const std::vector<std::string> kNulls = {"", "-", "N/A", "null"};
+    return kNulls[rng->Uniform(kNulls.size())];
+  }
+  if (rng->Chance(options.abbrev_prob)) value = AbbreviateWord(std::move(value), rng);
+  if (rng->Chance(options.typo_prob)) value = ApplyTypo(std::move(value), rng);
+  if (rng->Chance(options.case_prob)) {
+    if (rng->Chance(0.5)) {
+      for (char& c : value) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return value;
+}
+
+std::string DirtyAttributeName(std::string name, const DirtOptions& options,
+                               Rng* rng) {
+  if (rng->Chance(options.name_typo_prob)) return ApplyTypo(std::move(name), rng);
+  return name;
+}
+
+}  // namespace d3l::benchdata

@@ -1,0 +1,36 @@
+// Cell-level dirtiness transforms for the real-world-like generator.
+//
+// The paper motivates D3L with lakes where "attributes may have names or
+// values that denote the same real-world entity but are represented
+// differently". Structural representation variance is produced by the
+// per-column *variant* mechanism in DomainRegistry; this module adds
+// character-level noise: typos, abbreviations, case changes and nulls.
+#pragma once
+
+#include <string>
+
+#include "common/random.h"
+
+namespace d3l::benchdata {
+
+struct DirtOptions {
+  double typo_prob = 0.07;        ///< per-cell chance of a character typo
+  double abbrev_prob = 0.10;      ///< per-cell chance of word abbreviation
+  double case_prob = 0.08;        ///< per-cell chance of case mangling
+  double null_prob = 0.04;        ///< per-cell chance of a null marker
+  double name_typo_prob = 0.12;   ///< per-attribute-name chance of a typo
+};
+
+/// \brief Applies character-level noise to a clean value.
+std::string DirtyValue(std::string value, const DirtOptions& options, Rng* rng);
+
+/// \brief Applies a typo to an attribute name with the configured chance.
+std::string DirtyAttributeName(std::string name, const DirtOptions& options, Rng* rng);
+
+/// \brief One random character-level typo (swap, drop or duplicate).
+std::string ApplyTypo(std::string s, Rng* rng);
+
+/// \brief Abbreviates one multi-character word ("Street" -> "Str.").
+std::string AbbreviateWord(std::string s, Rng* rng);
+
+}  // namespace d3l::benchdata

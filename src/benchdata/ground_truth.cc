@@ -1,0 +1,78 @@
+#include "benchdata/ground_truth.h"
+
+namespace d3l::benchdata {
+
+void GroundTruth::SetTableLabels(const std::string& table,
+                                 std::vector<uint64_t> labels) {
+  std::unordered_set<uint64_t> set;
+  for (uint64_t l : labels) {
+    if (l != 0) set.insert(l);
+  }
+  label_sets_[table] = std::move(set);
+  labels_[table] = std::move(labels);
+}
+
+const std::vector<uint64_t>* GroundTruth::Labels(const std::string& table) const {
+  auto it = labels_.find(table);
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+uint64_t GroundTruth::LabelOf(const std::string& table, uint32_t col) const {
+  const auto* l = Labels(table);
+  if (l == nullptr || col >= l->size()) return 0;
+  return (*l)[col];
+}
+
+bool GroundTruth::AttributesRelated(const std::string& t1, uint32_t c1,
+                                    const std::string& t2, uint32_t c2) const {
+  uint64_t a = LabelOf(t1, c1);
+  uint64_t b = LabelOf(t2, c2);
+  return a != 0 && a == b;
+}
+
+bool GroundTruth::TablesRelated(const std::string& t1, const std::string& t2) const {
+  auto it1 = label_sets_.find(t1);
+  auto it2 = label_sets_.find(t2);
+  if (it1 == label_sets_.end() || it2 == label_sets_.end()) return false;
+  const auto& small = it1->second.size() <= it2->second.size() ? it1->second
+                                                               : it2->second;
+  const auto& large = it1->second.size() <= it2->second.size() ? it2->second
+                                                               : it1->second;
+  for (uint64_t l : small) {
+    if (large.count(l) > 0) return true;
+  }
+  return false;
+}
+
+size_t GroundTruth::RelatedCount(const std::string& table) const {
+  size_t n = 0;
+  for (const auto& [other, set] : label_sets_) {
+    if (other == table) continue;
+    if (TablesRelated(table, other)) ++n;
+  }
+  return n;
+}
+
+std::vector<uint32_t> GroundTruth::CoveredColumns(const std::string& target,
+                                                  const std::string& source) const {
+  std::vector<uint32_t> covered;
+  const auto* tl = Labels(target);
+  auto its = label_sets_.find(source);
+  if (tl == nullptr || its == label_sets_.end()) return covered;
+  for (uint32_t c = 0; c < tl->size(); ++c) {
+    uint64_t l = (*tl)[c];
+    if (l != 0 && its->second.count(l) > 0) covered.push_back(c);
+  }
+  return covered;
+}
+
+double GroundTruth::AverageAnswerSize() const {
+  if (labels_.empty()) return 0;
+  double sum = 0;
+  for (const auto& [table, l] : labels_) {
+    sum += static_cast<double>(RelatedCount(table));
+  }
+  return sum / static_cast<double>(labels_.size());
+}
+
+}  // namespace d3l::benchdata

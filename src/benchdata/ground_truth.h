@@ -1,0 +1,55 @@
+// Ground-truth bookkeeping for generated lakes.
+//
+// Both generators label every attribute with the identity of its
+// originating domain (realish) or base-table column (synthetic); per
+// Definition 1, two attributes are related iff they carry the same label,
+// and two tables are related iff they share at least one attribute label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace d3l::benchdata {
+
+class GroundTruth {
+ public:
+  /// Registers a table's per-column labels (0 = unlabeled; unlabeled
+  /// attributes are related to nothing).
+  void SetTableLabels(const std::string& table, std::vector<uint64_t> labels);
+
+  bool HasTable(const std::string& table) const { return labels_.count(table) > 0; }
+
+  /// Definition-1 attribute relatedness: same non-zero label.
+  bool AttributesRelated(const std::string& t1, uint32_t c1, const std::string& t2,
+                         uint32_t c2) const;
+
+  /// Table relatedness: at least one shared attribute label.
+  bool TablesRelated(const std::string& t1, const std::string& t2) const;
+
+  /// Label of one attribute (0 if unknown).
+  uint64_t LabelOf(const std::string& table, uint32_t col) const;
+
+  /// Number of lake tables related to `table` (the table itself excluded).
+  size_t RelatedCount(const std::string& table) const;
+
+  /// Target-attribute coverage support: which columns of `target` share a
+  /// label with any column of `source`.
+  std::vector<uint32_t> CoveredColumns(const std::string& target,
+                                       const std::string& source) const;
+
+  /// Mean RelatedCount over all tables (the paper's "average answer size").
+  double AverageAnswerSize() const;
+
+  size_t num_tables() const { return labels_.size(); }
+
+ private:
+  const std::vector<uint64_t>* Labels(const std::string& table) const;
+
+  std::unordered_map<std::string, std::vector<uint64_t>> labels_;
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> label_sets_;
+};
+
+}  // namespace d3l::benchdata

@@ -1,0 +1,48 @@
+// The Smaller-Real-like repository: dirty, topically clustered open-data
+// tables (Section V's Smaller Real, ~700 UK open-government tables), and a
+// scaled-up Larger-Real-like variant for efficiency experiments.
+//
+// Structure: the lake is a set of topic clusters. Each cluster has an
+// entity domain (its subject-attribute domain) with a shared pool of entity
+// instances, plus several property domains. Tables of a cluster take a
+// subset of the cluster's domains and draw their entity values from the
+// shared pool — giving real joinability through subject attributes — while
+// representation variants, synonym column names and character-level dirt
+// (see dirt.h) make the same entities inconsistently represented, the
+// dirtiness mode the paper emphasizes for real lakes. Generic domains are
+// shared across clusters, giving cross-cluster relatedness.
+#pragma once
+
+#include "benchdata/dirt.h"
+#include "benchdata/synthetic_gen.h"  // GeneratedLake
+
+namespace d3l::benchdata {
+
+struct RealishOptions {
+  size_t num_clusters = 40;
+  size_t tables_per_cluster_min = 4;
+  size_t tables_per_cluster_max = 12;
+  size_t rows_min = 60;
+  size_t rows_max = 250;
+  size_t cluster_domains_min = 4;
+  size_t cluster_domains_max = 8;
+  /// Fraction of a cluster's non-entity domains that are numeric (paper
+  /// Fig. 2c: Smaller Real is noticeably more numeric than Synthetic).
+  double numeric_domain_ratio = 0.45;
+  /// Size of the per-cluster entity instance pool.
+  size_t entity_pool_size = 150;
+  /// Chance a table keeps the cluster's entity domain (subject attribute).
+  double entity_domain_prob = 0.85;
+  DirtOptions dirt;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates the Smaller-Real-like repository with ground truth.
+Result<GeneratedLake> GenerateRealish(const RealishOptions& options = {});
+
+/// \brief Options for a Larger-Real-like lake of roughly `num_tables`
+/// tables (more clusters, same per-cluster structure). Used by the
+/// efficiency experiments, where ground truth is not needed.
+RealishOptions LargerRealOptions(size_t num_tables, uint64_t seed = 11);
+
+}  // namespace d3l::benchdata

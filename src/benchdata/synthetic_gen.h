@@ -1,0 +1,47 @@
+// The Synthetic repository: the TUS-benchmark recipe (Section V).
+//
+// "~5,000 tables synthetically derived from 32 base tables containing
+// Canadian open government data using random projections and selections on
+// the base tables." We generate base tables from the domain registry (each
+// base table draws its values from a base-specific sub-pool, mimicking
+// distinct source datasets that happen to share domains), then derive
+// tables by random column projections and row selections. Ground truth:
+// derived tables of the same base are related; attribute labels identify
+// the originating base column.
+#pragma once
+
+#include <cstdint>
+
+#include "benchdata/ground_truth.h"
+#include "common/status.h"
+#include "table/lake.h"
+
+namespace d3l::benchdata {
+
+struct SyntheticOptions {
+  size_t num_base_tables = 30;   ///< paper: 32
+  size_t derived_per_base = 29;  ///< total tables = base * (1 + derived)
+  size_t base_rows_min = 150;
+  size_t base_rows_max = 400;
+  size_t base_cols_min = 4;
+  size_t base_cols_max = 9;
+  /// A derived table keeps at least this fraction of columns / rows.
+  double min_col_fraction = 0.4;
+  double min_row_fraction = 0.25;
+  /// Chance that a projected column is renamed to a domain synonym.
+  double rename_prob = 0.10;
+  /// Fraction of numeric columns targeted per base table (paper Fig. 2c:
+  /// Synthetic has a lower numeric ratio than Smaller Real).
+  double numeric_col_ratio = 0.2;
+  uint64_t seed = 42;
+};
+
+struct GeneratedLake {
+  DataLake lake;
+  GroundTruth truth;
+};
+
+/// \brief Generates the synthetic repository with its ground truth.
+Result<GeneratedLake> GenerateSynthetic(const SyntheticOptions& options = {});
+
+}  // namespace d3l::benchdata

@@ -1,0 +1,37 @@
+#include "common/hash.h"
+
+#include <cmath>
+
+namespace d3l {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a with a seeded basis, finalized with SplitMix64 for avalanche.
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+HashFamily::HashFamily(size_t k, uint64_t seed) {
+  seeds_.reserve(k);
+  uint64_t s = seed;
+  for (size_t i = 0; i < k; ++i) {
+    s = Mix64(s + 0x9e3779b97f4a7c15ULL);
+    seeds_.push_back(s);
+  }
+}
+
+double GaussianFromKey(uint64_t key) {
+  // Box-Muller on two uniforms derived from the key. Both uniforms are kept
+  // away from 0 to avoid log(0).
+  uint64_t a = Mix64(key);
+  uint64_t b = Mix64(a ^ 0xD6E8FEB86659FD93ULL);
+  double u1 = (static_cast<double>(a >> 11) + 1.0) / 9007199254740994.0;
+  double u2 = static_cast<double>(b >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace d3l

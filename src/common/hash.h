@@ -1,0 +1,60 @@
+// Deterministic 64-bit hashing primitives used across the LSH layers.
+//
+// All hash families here are explicitly seeded so that every index build is
+// reproducible; nothing depends on std::hash (whose values are unspecified
+// across implementations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d3l {
+
+/// \brief SplitMix64 finalizer: a cheap, well-distributed bijective mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief FNV-1a over raw bytes, then mixed for avalanche on short inputs.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// \brief Hashes a string_view with an optional seed.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// \brief Combines two hashes (order-sensitive).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// \brief A family of k independent 64-bit hash functions derived from a seed.
+///
+/// Function i maps a pre-hashed 64-bit key x to Mix64(x ^ seeds_[i]); this is
+/// the standard "one strong hash + cheap rehash family" construction used by
+/// MinHash implementations.
+class HashFamily {
+ public:
+  HashFamily(size_t k, uint64_t seed);
+
+  size_t size() const { return seeds_.size(); }
+
+  /// Applies the i-th function to an already-hashed key.
+  uint64_t Apply(size_t i, uint64_t key) const { return Mix64(key ^ seeds_[i]); }
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+/// \brief Deterministic standard Gaussian associated with an integer key.
+///
+/// Used to materialize random-projection hyperplane components and subword
+/// embedding vectors lazily, without storing them.
+double GaussianFromKey(uint64_t key);
+
+}  // namespace d3l

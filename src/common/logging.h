@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Benches use INFO to narrate progress;
+// libraries only log at WARNING and above.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace d3l {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace d3l
+
+#define D3L_LOG_DEBUG ::d3l::internal::LogMessage(::d3l::LogLevel::kDebug)
+#define D3L_LOG_INFO ::d3l::internal::LogMessage(::d3l::LogLevel::kInfo)
+#define D3L_LOG_WARNING ::d3l::internal::LogMessage(::d3l::LogLevel::kWarning)
+#define D3L_LOG_ERROR ::d3l::internal::LogMessage(::d3l::LogLevel::kError)

@@ -1,0 +1,104 @@
+// Seeded random number generation helpers. Header-only.
+//
+// Everything stochastic in this repository (generators, samplers) goes
+// through Rng so runs are reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace d3l {
+
+/// \brief xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t s = seed;
+    for (auto& w : state_) {
+      s = Mix64(s + 0x9e3779b97f4a7c15ULL);
+      w = s;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = (static_cast<double>(Next() >> 11) + 1.0) / 9007199254740994.0;
+    double u2 = UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(&idx);
+    idx.resize(std::min(k, n));
+    return idx;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace d3l

@@ -1,0 +1,173 @@
+// Status / Result<T> error-handling primitives, in the style of Apache
+// Arrow / RocksDB: no exceptions cross public API boundaries; fallible
+// operations return a Status (or a Result<T> carrying a value on success).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace d3l {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error statuses carry a heap message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Renders e.g. "Invalid argument: bad q value".
+  std::string ToString() const;
+
+  /// Aborts the process if this status is not OK. Use only where an error
+  /// indicates a programming bug (e.g. in examples and benches).
+  void CheckOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+/// \brief A value-or-Status holder for fallible functions that produce a T.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Access the contained value; requires ok().
+  const T& ValueOrDie() const& {
+    CheckHasValue();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    CheckHasValue();
+    return std::get<T>(v_);
+  }
+  T&& ValueOrDie() && {
+    CheckHasValue();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      // Failing loudly here mirrors arrow::Result::ValueOrDie semantics.
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              std::get<Status>(v_).ToString().c_str());
+      abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define D3L_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::d3l::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status to the caller.
+#define D3L_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define D3L_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define D3L_ASSIGN_OR_RETURN_NAME(x, y) D3L_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define D3L_ASSIGN_OR_RETURN(lhs, expr) \
+  D3L_ASSIGN_OR_RETURN_IMPL(D3L_ASSIGN_OR_RETURN_NAME(_result_, __COUNTER__), lhs, expr)
+
+}  // namespace d3l

@@ -1,0 +1,42 @@
+// Small string utilities shared by the text-processing and table layers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d3l {
+
+/// \brief ASCII-lowercases a copy of the input.
+std::string ToLower(std::string_view s);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+inline std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+/// \brief Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// \brief Attempts to parse the whole (trimmed) string as a double.
+///
+/// Accepts optional thousands separators (commas) and a leading currency-like
+/// sign character is NOT accepted; "" and partial parses return nullopt.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// \brief True if the (trimmed) string parses fully as a number.
+inline bool LooksNumeric(std::string_view s) { return ParseDouble(s).has_value(); }
+
+/// \brief Formats a double compactly (up to `prec` digits, no trailing zeros).
+std::string FormatDouble(double v, int prec = 6);
+
+}  // namespace d3l

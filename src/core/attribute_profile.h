@@ -1,0 +1,58 @@
+// Attribute profiles: the per-attribute set representations of Algorithm 1.
+//
+// From an attribute name we derive a qset; from its values we derive a tset
+// (informative tokens), an rset (format strings) and a word-embedding vector
+// (frequent tokens); from numeric extents we derive distribution samples
+// (Section III-A). Numeric attributes get no tset/embedding (Section III-C).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/evidence.h"
+#include "embedding/subword_model.h"
+#include "table/table.h"
+
+namespace d3l::core {
+
+struct ProfileOptions {
+  size_t qgram_q = 4;  ///< q for name q-grams (paper: 4)
+  /// Cap on the number of extent values profiled per attribute; larger
+  /// extents are stride-sampled deterministically. 0 = no cap.
+  size_t max_values = 512;
+  /// Cap on numeric extent sample size retained for KS computations.
+  size_t max_numeric_sample = 512;
+};
+
+/// \brief The set representations (and numeric sample) of one attribute.
+struct AttributeProfile {
+  AttributeRef ref;
+  std::string table_name;
+  std::string column_name;
+  bool is_numeric = false;
+  size_t extent_size = 0;  ///< non-null cells profiled
+
+  std::set<std::string> qset;  ///< name q-grams (evidence N)
+  std::set<std::string> tset;  ///< informative tokens (evidence V); empty for numeric
+  std::set<std::string> rset;  ///< format strings (evidence F)
+  Vec embedding;               ///< mean frequent-token vector (evidence E)
+  bool has_embedding = false;  ///< false for numeric/empty-text attributes
+
+  std::vector<double> numeric_sample;  ///< extent sample for KS (evidence D)
+
+  /// Approximate heap footprint (space-overhead accounting).
+  size_t MemoryUsage() const;
+};
+
+/// \brief Builds the profile of `table.column(col)` per Algorithm 1.
+///
+/// Two passes over the (possibly sampled) extent: the first builds the
+/// token histogram and rset; the second applies the Example-2 selection —
+/// per value part, the least frequent word joins the tset and the most
+/// frequent word's embedding joins the attribute vector.
+AttributeProfile BuildProfile(const Table& table, size_t col,
+                              const WordEmbeddingModel& wem, CachingEmbedder* cache,
+                              const ProfileOptions& options = {});
+
+}  // namespace d3l::core

@@ -1,0 +1,59 @@
+// The five evidence types of D3L (Section III-A) and the distance-vector
+// types shared across the core.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace d3l::core {
+
+/// \brief D3L's relatedness evidence types (Section III-A).
+enum class Evidence : uint8_t {
+  kName = 0,          ///< N: q-grams of the attribute name
+  kValue = 1,         ///< V: informative tokens of the extent
+  kFormat = 2,        ///< F: format-describing regex strings
+  kEmbedding = 3,     ///< E: word-embedding vector of frequent tokens
+  kDistribution = 4,  ///< D: numeric domain distribution (KS statistic)
+};
+
+inline constexpr size_t kNumEvidence = 5;
+
+inline constexpr std::array<Evidence, kNumEvidence> kAllEvidence = {
+    Evidence::kName, Evidence::kValue, Evidence::kFormat, Evidence::kEmbedding,
+    Evidence::kDistribution};
+
+inline const char* EvidenceName(Evidence e) {
+  switch (e) {
+    case Evidence::kName:
+      return "N";
+    case Evidence::kValue:
+      return "V";
+    case Evidence::kFormat:
+      return "F";
+    case Evidence::kEmbedding:
+      return "E";
+    case Evidence::kDistribution:
+      return "D";
+  }
+  return "?";
+}
+
+/// \brief A 5-dimensional distance vector [DN, DV, DF, DE, DD]; every
+/// component lies in [0, 1] with 1 = maximally distant (the paper's value
+/// for missing evidence).
+using DistanceVector = std::array<double, kNumEvidence>;
+
+/// \brief A maximally-distant vector (all ones).
+inline DistanceVector MaxDistances() { return {1.0, 1.0, 1.0, 1.0, 1.0}; }
+
+/// \brief Globally unique attribute identifier within an indexed lake.
+struct AttributeRef {
+  uint32_t table = 0;   ///< index of the table in the lake
+  uint32_t column = 0;  ///< index of the column within the table
+
+  bool operator==(const AttributeRef&) const = default;
+};
+
+}  // namespace d3l::core

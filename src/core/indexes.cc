@@ -1,0 +1,191 @@
+#include "core/indexes.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d3l::core {
+
+namespace {
+BandedLshOptions BandedOptionsFrom(const IndexOptions& o) {
+  BandedLshOptions b;
+  b.threshold = o.lsh_threshold;
+  b.signature_size = o.minhash_size;
+  return b;
+}
+
+BandedLshOptions JoinBandedOptionsFrom(const IndexOptions& o) {
+  BandedLshOptions b;
+  b.threshold = o.join_threshold;
+  b.signature_size = o.minhash_size;
+  return b;
+}
+
+BandedLshOptions BandedOptionsForBits(const IndexOptions& o) {
+  // The embedding banded index runs over the byte sequence of the bit
+  // signature (rp_bits / 8 values).
+  BandedLshOptions b;
+  b.threshold = o.lsh_threshold;
+  b.signature_size = o.rp_bits / 8;
+  return b;
+}
+
+// The embedding forest also runs over the byte sequence, so its per-tree
+// key length is clamped to what rp_bits / 8 values can provide.
+LshForestOptions EmbForestOptionsFrom(const IndexOptions& o) {
+  LshForestOptions f = o.forest;
+  size_t available = (o.rp_bits / 8) / std::max<size_t>(1, f.num_trees);
+  f.hashes_per_tree = std::max<size_t>(1, std::min(f.hashes_per_tree, available));
+  return f;
+}
+}  // namespace
+
+D3LIndexes::D3LIndexes(IndexOptions options)
+    : options_(options),
+      name_hasher_(options.minhash_size, options.seed ^ 0x4e),
+      value_hasher_(options.minhash_size, options.seed ^ 0x56),
+      format_hasher_(options.minhash_size, options.seed ^ 0x46),
+      rp_hasher_(options.embedding_dim, options.rp_bits, options.seed ^ 0x45),
+      name_forest_(options.forest),
+      value_forest_(options.forest),
+      format_forest_(options.forest),
+      emb_forest_(EmbForestOptionsFrom(options)),
+      name_banded_(BandedOptionsFrom(options)),
+      value_banded_(BandedOptionsFrom(options)),
+      format_banded_(BandedOptionsFrom(options)),
+      emb_banded_(BandedOptionsForBits(options)),
+      value_join_banded_(JoinBandedOptionsFrom(options)) {
+  assert(options.forest.num_trees * options.forest.hashes_per_tree <=
+         options.minhash_size);
+}
+
+AttributeSignatures D3LIndexes::Sign(const AttributeProfile& profile) const {
+  AttributeSignatures s;
+  s.name_sig = name_hasher_.Sign(profile.qset);
+  s.format_sig = format_hasher_.Sign(profile.rset);
+  if (!profile.tset.empty()) {
+    s.value_sig = value_hasher_.Sign(profile.tset);
+    s.has_value = true;
+  }
+  if (profile.has_embedding) {
+    s.emb_sig = rp_hasher_.Sign(profile.embedding);
+    s.has_embedding = true;
+  }
+  return s;
+}
+
+uint32_t D3LIndexes::Insert(AttributeProfile profile) {
+  const uint32_t id = static_cast<uint32_t>(profiles_.size());
+  AttributeSignatures s = Sign(profile);
+
+  // Algorithm 1, lines 15-18: insert set representations into the indexes.
+  name_forest_.Insert(id, s.name_sig);
+  name_banded_.Insert(id, s.name_sig);
+  format_forest_.Insert(id, s.format_sig);
+  format_banded_.Insert(id, s.format_sig);
+  if (s.has_value) {
+    value_forest_.Insert(id, s.value_sig);
+    value_banded_.Insert(id, s.value_sig);
+    value_join_banded_.Insert(id, s.value_sig);
+  }
+  if (s.has_embedding) {
+    Signature seq = rp_hasher_.SignatureAsHashSequence(s.emb_sig);
+    emb_forest_.Insert(id, seq);
+    emb_banded_.Insert(id, seq);
+  }
+  profiles_.push_back(std::move(profile));
+  sigs_.push_back(std::move(s));
+  return id;
+}
+
+void D3LIndexes::Finalize() {
+  name_forest_.Index();
+  value_forest_.Index();
+  format_forest_.Index();
+  emb_forest_.Index();
+}
+
+std::vector<uint32_t> D3LIndexes::Lookup(Evidence e, const AttributeSignatures& query,
+                                         size_t m) const {
+  switch (e) {
+    case Evidence::kName:
+      return name_forest_.Query(query.name_sig, m);
+    case Evidence::kValue:
+      if (!query.has_value) return {};
+      return value_forest_.Query(query.value_sig, m);
+    case Evidence::kFormat:
+      return format_forest_.Query(query.format_sig, m);
+    case Evidence::kEmbedding: {
+      if (!query.has_embedding) return {};
+      Signature seq = rp_hasher_.SignatureAsHashSequence(query.emb_sig);
+      return emb_forest_.Query(seq, m);
+    }
+    case Evidence::kDistribution:
+      return {};
+  }
+  return {};
+}
+
+std::vector<uint32_t> D3LIndexes::LookupThreshold(
+    Evidence e, const AttributeSignatures& query) const {
+  switch (e) {
+    case Evidence::kName:
+      return name_banded_.Query(query.name_sig);
+    case Evidence::kValue:
+      if (!query.has_value) return {};
+      return value_banded_.Query(query.value_sig);
+    case Evidence::kFormat:
+      return format_banded_.Query(query.format_sig);
+    case Evidence::kEmbedding: {
+      if (!query.has_embedding) return {};
+      Signature seq = rp_hasher_.SignatureAsHashSequence(query.emb_sig);
+      return emb_banded_.Query(seq);
+    }
+    case Evidence::kDistribution:
+      return {};
+  }
+  return {};
+}
+
+std::vector<uint32_t> D3LIndexes::LookupValueJoin(
+    const AttributeSignatures& query) const {
+  if (!query.has_value) return {};
+  return value_join_banded_.Query(query.value_sig);
+}
+
+double D3LIndexes::EstimateDistance(Evidence e, const AttributeSignatures& query,
+                                    uint32_t id) const {
+  const AttributeSignatures& s = sigs_[id];
+  switch (e) {
+    case Evidence::kName:
+      return EstimateJaccardDistance(query.name_sig, s.name_sig);
+    case Evidence::kValue:
+      if (!query.has_value || !s.has_value) return 1.0;
+      return EstimateJaccardDistance(query.value_sig, s.value_sig);
+    case Evidence::kFormat:
+      return EstimateJaccardDistance(query.format_sig, s.format_sig);
+    case Evidence::kEmbedding:
+      if (!query.has_embedding || !s.has_embedding) return 1.0;
+      return EstimateCosineDistance(query.emb_sig, s.emb_sig);
+    case Evidence::kDistribution:
+      return 1.0;  // computed by the guarded KS path, not from signatures
+  }
+  return 1.0;
+}
+
+size_t D3LIndexes::MemoryUsage() const {
+  size_t bytes = sizeof(D3LIndexes);
+  bytes += name_forest_.MemoryUsage() + value_forest_.MemoryUsage() +
+           format_forest_.MemoryUsage() + emb_forest_.MemoryUsage();
+  bytes += name_banded_.MemoryUsage() + value_banded_.MemoryUsage() +
+           format_banded_.MemoryUsage() + emb_banded_.MemoryUsage() +
+           value_join_banded_.MemoryUsage();
+  for (const AttributeProfile& p : profiles_) bytes += p.MemoryUsage();
+  for (const AttributeSignatures& s : sigs_) {
+    bytes += (s.name_sig.capacity() + s.value_sig.capacity() + s.format_sig.capacity()) *
+             sizeof(uint64_t);
+    bytes += s.emb_sig.words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace d3l::core

@@ -1,0 +1,85 @@
+// Relatedness through join paths (Section IV).
+//
+// Two datasets are SA-joinable iff (i) there is IV evidence that two of
+// their attributes' tsets overlap, and (ii) at least one of the two
+// attributes is a subject attribute. The SA-join graph has the lake's
+// tables as nodes and SA-joinability edges; Algorithm 3 walks it depth-
+// first from each top-k table, collecting paths through non-top-k tables
+// that the indexes relate to the target.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query.h"
+
+namespace d3l::core {
+
+struct JoinGraphOptions {
+  /// Maximum number of tables on a path (Algorithm 3 is unbounded; paths in
+  /// open-data lakes are short, and the cap bounds DFS cost).
+  size_t max_path_length = 4;
+  /// Cap on the number of paths collected per start table.
+  size_t max_paths_per_start = 512;
+};
+
+/// \brief An SA-joinability edge: `from`'s column joins `to`'s column; at
+/// least one side is its table's subject attribute.
+struct JoinEdge {
+  uint32_t from_table = 0;
+  uint32_t from_column = 0;
+  uint32_t to_table = 0;
+  uint32_t to_column = 0;
+  /// Estimated overlap coefficient ov(T(a), T(a')) derived from the MinHash
+  /// Jaccard estimate and the tset sizes (Section IV's bound).
+  double overlap_estimate = 0;
+};
+
+/// \brief The SA-join graph G_S = (S, I) over an indexed lake.
+class SaJoinGraph {
+ public:
+  /// Builds the graph from the engine's join-threshold IV index and
+  /// detected subject attributes. Candidate pairs whose estimated overlap
+  /// coefficient falls below `min_overlap` are dropped (Section IV's
+  /// containment semantics: partial inclusion dependencies).
+  static SaJoinGraph Build(const D3LEngine& engine, double min_overlap = 0.6);
+
+  size_t num_tables() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Outgoing edges of a table (the graph is stored symmetrically).
+  const std::vector<JoinEdge>& neighbours(uint32_t table) const {
+    return adjacency_[table];
+  }
+
+  bool HasEdge(uint32_t a, uint32_t b) const;
+
+ private:
+  std::vector<std::vector<JoinEdge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// \brief A join path rooted at a top-k table.
+struct JoinPath {
+  std::vector<uint32_t> tables;  ///< tables[0] is the start (top-k) table
+  std::vector<JoinEdge> edges;   ///< edges[i] joins tables[i] to tables[i+1]
+};
+
+/// \brief Algorithm 3: DFS join-path discovery from one start table.
+///
+/// A path is admissible iff every node after the start is (i) not in the
+/// top-k, (ii) not already on the path (acyclic), and (iii) related to the
+/// target under at least one index — callers pass the candidate-table set
+/// of a Search as `related_to_target`.
+std::vector<JoinPath> FindJoinPaths(const SaJoinGraph& graph, uint32_t start,
+                                    const std::unordered_set<uint32_t>& top_k,
+                                    const std::unordered_set<uint32_t>& related_to_target,
+                                    const JoinGraphOptions& options = {});
+
+/// \brief Convenience: join paths for every table of a ranked result.
+std::vector<JoinPath> FindAllJoinPaths(const SaJoinGraph& graph,
+                                       const SearchResult& result,
+                                       const JoinGraphOptions& options = {});
+
+}  // namespace d3l::core

@@ -1,0 +1,219 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace d3l::core {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+D3LEngine::D3LEngine(D3LOptions options)
+    : options_([&options] {
+        options.wem.dim = options.index.embedding_dim;
+        return options;
+      }()),
+      wem_(options_.wem),
+      indexes_(options_.index) {}
+
+Status D3LEngine::IndexLake(const DataLake& lake) {
+  if (lake_ != nullptr) return Status::InvalidArgument("IndexLake already called");
+  lake_ = &lake;
+
+  const size_t n_tables = lake.size();
+  attr_ids_.resize(n_tables);
+  subject_cols_.assign(n_tables, -1);
+
+  // Phase 1: profile every attribute (data pre-processing; the dominant
+  // indexing cost per Experiment 4). Parallel across tables — profiles are
+  // pure functions of the table contents, so the result is deterministic.
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<AttributeProfile>> profiles(n_tables);
+  size_t n_threads = options_.num_threads > 0
+                         ? options_.num_threads
+                         : std::max<size_t>(1, std::thread::hardware_concurrency());
+  n_threads = std::min(n_threads, std::max<size_t>(1, n_tables));
+  {
+    std::vector<std::thread> workers;
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < n_threads; ++w) {
+      workers.emplace_back([&] {
+        CachingEmbedder cache(&wem_);
+        for (;;) {
+          size_t ti = next.fetch_add(1);
+          if (ti >= n_tables) break;
+          const Table& t = lake.table(ti);
+          profiles[ti].reserve(t.num_columns());
+          for (size_t c = 0; c < t.num_columns(); ++c) {
+            AttributeProfile p = BuildProfile(t, c, wem_, &cache, options_.profile);
+            p.ref = AttributeRef{static_cast<uint32_t>(ti), static_cast<uint32_t>(c)};
+            profiles[ti].push_back(std::move(p));
+          }
+          subject_cols_[ti] = detector_.Detect(t);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  build_stats_.profile_seconds = SecondsSince(t0);
+
+  // Phase 2: signature computation + LSH insertion (Algorithm 1).
+  t0 = std::chrono::steady_clock::now();
+  for (size_t ti = 0; ti < n_tables; ++ti) {
+    attr_ids_[ti].reserve(profiles[ti].size());
+    for (AttributeProfile& p : profiles[ti]) {
+      attr_ids_[ti].push_back(indexes_.Insert(std::move(p)));
+    }
+  }
+  indexes_.Finalize();
+  build_stats_.insert_seconds = SecondsSince(t0);
+  build_stats_.num_attributes = indexes_.num_attributes();
+  build_stats_.index_bytes = indexes_.MemoryUsage();
+  return Status::OK();
+}
+
+int D3LEngine::subject_column(uint32_t table_index) const {
+  return subject_cols_[table_index];
+}
+
+uint32_t D3LEngine::attribute_id(uint32_t table_index, uint32_t column) const {
+  return attr_ids_[table_index][column];
+}
+
+uint32_t D3LEngine::subject_attribute_id(uint32_t table_index) const {
+  int col = subject_cols_[table_index];
+  if (col < 0) return UINT32_MAX;
+  return attr_ids_[table_index][static_cast<size_t>(col)];
+}
+
+Result<SearchResult> D3LEngine::Search(const Table& target, size_t k) const {
+  return Search(target, k, options_.enabled);
+}
+
+Result<SearchResult> D3LEngine::Search(
+    const Table& target, size_t k,
+    const std::array<bool, kNumEvidence>& enabled_mask) const {
+  if (lake_ == nullptr) return Status::InvalidArgument("IndexLake not called");
+  if (target.num_columns() == 0) {
+    return Status::InvalidArgument("target has no columns");
+  }
+  const size_t per_index_m = std::max(options_.candidates_per_attribute, k);
+
+  SearchResult result;
+  const size_t n_cols = target.num_columns();
+
+  // Profile the target and its subject attribute.
+  CachingEmbedder cache(&wem_);
+  result.target_profiles.reserve(n_cols);
+  result.target_sigs.reserve(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    AttributeProfile p = BuildProfile(target, c, wem_, &cache, options_.profile);
+    result.target_sigs.push_back(indexes_.Sign(p));
+    result.target_profiles.push_back(std::move(p));
+  }
+  int target_subject_col = detector_.Detect(target);
+  const AttributeSignatures* target_subject_sigs =
+      target_subject_col >= 0
+          ? &result.target_sigs[static_cast<size_t>(target_subject_col)]
+          : nullptr;
+
+  const auto enabled = [&](Evidence e) {
+    return enabled_mask[static_cast<size_t>(e)];
+  };
+
+  // Per target attribute: retrieve candidates from each enabled index,
+  // compute full distance vectors and record every observed distance into
+  // the per-attribute R_t distributions (Eq. 2).
+  DistanceDistributions dists(n_cols);
+  // (target_column, attribute_id) -> distance vector
+  std::vector<std::vector<PairDistances>> per_table_rows(lake_->size());
+
+  for (size_t c = 0; c < n_cols; ++c) {
+    const AttributeSignatures& qsigs = result.target_sigs[c];
+    const AttributeProfile& qprof = result.target_profiles[c];
+
+    std::unordered_set<uint32_t> candidates;
+    for (Evidence e : {Evidence::kName, Evidence::kValue, Evidence::kFormat,
+                       Evidence::kEmbedding}) {
+      if (!enabled(e)) continue;
+      for (uint32_t id : indexes_.Lookup(e, qsigs, per_index_m)) {
+        candidates.insert(id);
+      }
+    }
+    // The distribution evidence has no index of its own (Section III-C);
+    // when it is the only enabled evidence, numeric candidates are drawn
+    // through the guard indexes (IN, IF).
+    if (enabled(Evidence::kDistribution) && qprof.is_numeric) {
+      for (Evidence e : {Evidence::kName, Evidence::kFormat}) {
+        for (uint32_t id : indexes_.Lookup(e, qsigs, per_index_m)) {
+          candidates.insert(id);
+        }
+      }
+    }
+    if (candidates.empty()) continue;
+
+    PrecomputedGuards guards = BuildGuards(indexes_, qsigs, target_subject_sigs);
+
+    for (uint32_t id : candidates) {
+      const AttributeProfile& cand_prof = indexes_.profile(id);
+      PairDistances row;
+      row.target_column = static_cast<uint32_t>(c);
+      row.attribute_id = id;
+      for (Evidence e : {Evidence::kName, Evidence::kValue, Evidence::kFormat,
+                         Evidence::kEmbedding}) {
+        size_t t = static_cast<size_t>(e);
+        row.d[t] = enabled(e) ? indexes_.EstimateDistance(e, qsigs, id) : 1.0;
+      }
+      if (enabled(Evidence::kDistribution)) {
+        uint32_t src_subject = subject_attribute_id(cand_prof.ref.table);
+        row.d[static_cast<size_t>(Evidence::kDistribution)] =
+            ComputeDistributionDistanceFast(indexes_, qprof, id, guards, src_subject);
+      }
+      for (size_t t = 0; t < kNumEvidence; ++t) {
+        dists.Observe(static_cast<uint32_t>(c), static_cast<Evidence>(t), row.d[t]);
+      }
+      per_table_rows[cand_prof.ref.table].push_back(row);
+    }
+  }
+  dists.Finalize();
+
+  // Evidence weights restricted to the enabled mask.
+  EvidenceWeights weights = options_.weights;
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    if (!enabled_mask[t]) weights.w[t] = 0;
+  }
+
+  // Aggregate per candidate dataset (Eq. 1) and combine (Eq. 3).
+  std::vector<TableMatch> matches;
+  for (size_t ti = 0; ti < per_table_rows.size(); ++ti) {
+    auto& rows = per_table_rows[ti];
+    if (rows.empty()) continue;
+    TableMatch m;
+    m.table_index = static_cast<uint32_t>(ti);
+    m.evidence_distances = AggregateDataset(rows, dists);
+    m.distance = CombineDistances(m.evidence_distances, weights);
+    // Record alignments for coverage/attribute-precision evaluation and for
+    // Algorithm 3's "related to the target" condition.
+    auto& aligns = result.candidate_alignments[m.table_index];
+    for (const PairDistances& row : rows) {
+      aligns.emplace_back(row.target_column, row.attribute_id);
+    }
+    m.pairs = std::move(rows);
+    matches.push_back(std::move(m));
+  }
+
+  std::sort(matches.begin(), matches.end(), [](const TableMatch& a, const TableMatch& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.table_index < b.table_index;
+  });
+  if (matches.size() > k) matches.resize(k);
+  result.ranked = std::move(matches);
+  return result;
+}
+
+}  // namespace d3l::core

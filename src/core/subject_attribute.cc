@@ -1,0 +1,87 @@
+#include "core/subject_attribute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace d3l::core {
+
+std::vector<double> SubjectAttributeFeatures(const Table& table, size_t col) {
+  const Column& c = table.column(col);
+  const double n_cols = static_cast<double>(std::max<size_t>(table.num_columns(), 1));
+  const double n_rows = static_cast<double>(std::max<size_t>(table.num_rows(), 1));
+
+  double position = 1.0 - static_cast<double>(col) / n_cols;
+  double distinct_ratio = static_cast<double>(c.distinct_count()) / n_rows;
+  double non_null = 1.0 - static_cast<double>(c.null_count()) / n_rows;
+  double textiness = c.type() == ColumnType::kString ? 1.0 : 0.0;
+
+  // Mean token count, squashed: single-word ids ~0.33, 2-word names ~0.5.
+  double tokens = 0;
+  size_t counted = 0;
+  for (size_t r = 0; r < c.size() && counted < 64; ++r) {
+    if (IsNullCell(c.cell(r))) continue;
+    tokens += static_cast<double>(Tokenize(c.cell(r)).size());
+    ++counted;
+  }
+  double mean_tokens = counted > 0 ? tokens / static_cast<double>(counted) : 0;
+  double tokenness = mean_tokens / (mean_tokens + 2.0);
+
+  return {position, distinct_ratio, non_null, textiness, tokenness};
+}
+
+LogisticModel SubjectAttributeDetector::DefaultModel() {
+  // Learned on generator-labelled tables (realish_gen, 400 tables); the
+  // signs match the Venetis intuition: leftmost, distinct, non-null,
+  // textual columns score high.
+  return LogisticModel({3.4, 2.6, 1.2, 2.1, 0.8}, -5.1);
+}
+
+double SubjectAttributeDetector::Score(const Table& table, size_t col) const {
+  return model_.PredictProbability(SubjectAttributeFeatures(table, col));
+}
+
+int SubjectAttributeDetector::Detect(const Table& table) const {
+  if (table.num_columns() == 0) return -1;
+  int best_text = -1;
+  double best_text_score = -1;
+  int best_any = -1;
+  double best_any_score = -1;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    double s = Score(table, c);
+    if (s > best_any_score) {
+      best_any_score = s;
+      best_any = static_cast<int>(c);
+    }
+    if (table.column(c).type() == ColumnType::kString && s > best_text_score) {
+      best_text_score = s;
+      best_text = static_cast<int>(c);
+    }
+  }
+  // The paper assumes the subject attribute has non-numeric values.
+  return best_text >= 0 ? best_text : best_any;
+}
+
+Result<SubjectAttributeDetector> SubjectAttributeDetector::Train(
+    const std::vector<const Table*>& tables, const std::vector<size_t>& subject_cols) {
+  if (tables.size() != subject_cols.size() || tables.empty()) {
+    return Status::InvalidArgument("tables/labels size mismatch or empty");
+  }
+  std::vector<std::vector<double>> xs;
+  std::vector<int> ys;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table& t = *tables[i];
+    if (subject_cols[i] >= t.num_columns()) {
+      return Status::InvalidArgument("subject column out of range");
+    }
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      xs.push_back(SubjectAttributeFeatures(t, c));
+      ys.push_back(c == subject_cols[i] ? 1 : 0);
+    }
+  }
+  D3L_ASSIGN_OR_RETURN(LogisticModel model, TrainLogistic(xs, ys));
+  return SubjectAttributeDetector(std::move(model));
+}
+
+}  // namespace d3l::core

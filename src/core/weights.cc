@@ -1,0 +1,61 @@
+#include "core/weights.h"
+
+#include <cmath>
+
+namespace d3l::core {
+
+Result<LearnedWeights> LearnEvidenceWeights(
+    const D3LEngine& engine, const std::vector<uint32_t>& target_tables,
+    const std::function<bool(uint32_t, uint32_t)>& related,
+    const WeightLearnOptions& options) {
+  if (engine.lake() == nullptr) return Status::InvalidArgument("engine has no lake");
+  if (target_tables.empty()) return Status::InvalidArgument("no target tables");
+
+  std::vector<std::vector<double>> xs;
+  std::vector<int> ys;
+  size_t positives = 0;
+
+  for (uint32_t ti : target_tables) {
+    const Table& target = engine.lake()->table(ti);
+    D3L_ASSIGN_OR_RETURN(SearchResult res,
+                         engine.Search(target, options.candidates_per_target));
+    for (const TableMatch& m : res.ranked) {
+      if (m.table_index == ti) continue;  // a table trivially matches itself
+      std::vector<double> feat(m.evidence_distances.begin(),
+                               m.evidence_distances.end());
+      int label = related(ti, m.table_index) ? 1 : 0;
+      positives += static_cast<size_t>(label);
+      xs.push_back(std::move(feat));
+      ys.push_back(label);
+    }
+  }
+  if (xs.empty() || positives == 0 || positives == xs.size()) {
+    return Status::InvalidArgument(
+        "training pairs must contain both related and unrelated examples (got " +
+        std::to_string(positives) + "/" + std::to_string(xs.size()) + " positives)");
+  }
+
+  D3L_ASSIGN_OR_RETURN(LogisticModel model, TrainLogistic(xs, ys, options.logistic));
+
+  LearnedWeights out;
+  out.model = model;
+  out.train_accuracy = model.Accuracy(xs, ys);
+  out.num_pairs = xs.size();
+
+  // Coefficient magnitudes -> Eq. 3 weights. Coefficients on distances are
+  // negative for informative evidence (larger distance => less related);
+  // their magnitude is the evidence's discriminative strength.
+  double sum = 0;
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    out.weights.w[t] = std::fabs(model.weights()[t]);
+    sum += out.weights.w[t];
+  }
+  if (sum > 0) {
+    for (double& w : out.weights.w) w /= sum;
+  } else {
+    out.weights = EvidenceWeights::Uniform();
+  }
+  return out;
+}
+
+}  // namespace d3l::core

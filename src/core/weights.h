@@ -1,0 +1,44 @@
+// Learning the Eq. 3 evidence weights (Section III-D).
+//
+// Relatedness discovery is construed as binary classification: pairs
+// (T, S) drawn from a benchmark with ground truth are featurized by their
+// five Eq. 1 aggregated distances and labelled related/unrelated; a
+// logistic-regression classifier is fit by coordinate descent, and the
+// magnitudes of its coefficients become the Eq. 3 weights.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "ml/logistic.h"
+
+namespace d3l::core {
+
+struct WeightLearnOptions {
+  /// Candidates per target used to harvest training pairs.
+  size_t candidates_per_target = 80;
+  LogisticOptions logistic;
+};
+
+/// \brief Output of the learning procedure.
+struct LearnedWeights {
+  EvidenceWeights weights;  ///< |coefficients|, normalized to sum to 1
+  LogisticModel model;      ///< the underlying classifier
+  double train_accuracy = 0;
+  size_t num_pairs = 0;
+};
+
+/// \brief Runs the Section III-D procedure end-to-end on an indexed lake.
+///
+/// For each target table (drawn from the lake, as the paper draws targets
+/// from the benchmark), a search collects candidate datasets and their
+/// Eq. 1 distance vectors; `related(target_table, candidate_table)` labels
+/// each pair from ground truth. Requires at least one example per class.
+Result<LearnedWeights> LearnEvidenceWeights(
+    const D3LEngine& engine, const std::vector<uint32_t>& target_tables,
+    const std::function<bool(uint32_t, uint32_t)>& related,
+    const WeightLearnOptions& options = {});
+
+}  // namespace d3l::core

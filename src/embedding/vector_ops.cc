@@ -1,0 +1,49 @@
+#include "embedding/vector_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace d3l {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+void Normalize(Vec* v) {
+  double n = Norm(*v);
+  if (n == 0) return;
+  for (float& x : *v) x = static_cast<float>(x / n);
+}
+
+double CosineSimilarity(const Vec& a, const Vec& b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na == 0 || nb == 0) return 0;
+  return Dot(a, b) / (na * nb);
+}
+
+double CosineDistance(const Vec& a, const Vec& b) {
+  double d = 1.0 - CosineSimilarity(a, b);
+  return std::clamp(d, 0.0, 1.0);
+}
+
+Vec MeanVector(const std::vector<Vec>& vectors) {
+  assert(!vectors.empty());
+  Vec out(vectors[0].size(), 0.0f);
+  for (const Vec& v : vectors) AddInPlace(&out, v);
+  for (float& x : out) x = static_cast<float>(x / static_cast<double>(vectors.size()));
+  return out;
+}
+
+void AddInPlace(Vec* a, const Vec& b) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += b[i];
+}
+
+}  // namespace d3l

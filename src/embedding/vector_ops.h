@@ -1,0 +1,32 @@
+// Dense vector helpers for the embedding evidence type (E).
+#pragma once
+
+#include <vector>
+
+namespace d3l {
+
+using Vec = std::vector<float>;
+
+/// \brief Dot product; vectors must have equal dimension.
+double Dot(const Vec& a, const Vec& b);
+
+/// \brief L2 norm.
+double Norm(const Vec& v);
+
+/// \brief Scales v to unit norm in place (no-op on the zero vector).
+void Normalize(Vec* v);
+
+/// \brief Cosine *similarity* in [-1, 1]; 0 if either vector is zero.
+double CosineSimilarity(const Vec& a, const Vec& b);
+
+/// \brief Cosine *distance* clamped to [0, 1]: (1 - cos_sim) / 2 would keep
+/// antipodal vectors at 1; the paper uses 1 - cos_sim, so we clamp at 0/1.
+double CosineDistance(const Vec& a, const Vec& b);
+
+/// \brief Component-wise mean of a non-empty set of equal-dimension vectors.
+Vec MeanVector(const std::vector<Vec>& vectors);
+
+/// \brief a += b (equal dimensions).
+void AddInPlace(Vec* a, const Vec& b);
+
+}  // namespace d3l

@@ -1,0 +1,32 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace d3l::eval {
+
+std::vector<uint32_t> SampleTargets(const DataLake& lake, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> idx = rng.SampleIndices(lake.size(), n);
+  std::vector<uint32_t> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(static_cast<uint32_t>(i));
+  return out;
+}
+
+double ParseScaleArg(int argc, char** argv, double default_scale) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      double v = std::atof(a + 8);
+      if (v > 0) return v;
+    }
+  }
+  return default_scale;
+}
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(1, static_cast<size_t>(static_cast<double>(base) * scale));
+}
+
+}  // namespace d3l::eval

@@ -1,0 +1,39 @@
+// Small experiment-harness helpers: wall-clock timing and target sampling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/lake.h"
+
+namespace d3l::eval {
+
+/// \brief Steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Samples `n` distinct table indices from a lake to serve as
+/// targets (the paper draws 100 random targets per experiment point).
+std::vector<uint32_t> SampleTargets(const DataLake& lake, size_t n, uint64_t seed);
+
+/// \brief Parses a "--scale=<float>" argument from argv (1.0 if absent);
+/// benches use it to grow/shrink workload sizes.
+double ParseScaleArg(int argc, char** argv, double default_scale = 1.0);
+
+/// \brief Scales a count by the bench scale factor (minimum 1).
+size_t Scaled(size_t base, double scale);
+
+}  // namespace d3l::eval

@@ -1,0 +1,127 @@
+#include "eval/metrics.h"
+
+#include <map>
+
+namespace d3l::eval {
+
+TopKEval EvaluateTopK(const std::vector<std::string>& ranked_names,
+                      const std::string& target_name,
+                      const benchdata::GroundTruth& truth) {
+  TopKEval e;
+  std::unordered_set<std::string> returned;
+  for (const std::string& name : ranked_names) {
+    if (name == target_name) continue;
+    returned.insert(name);
+    if (truth.TablesRelated(target_name, name)) {
+      ++e.tp;
+    } else {
+      ++e.fp;
+    }
+  }
+  // FN: related tables not returned. RelatedCount counts all related lake
+  // members; subtract the related ones we did return.
+  size_t related_total = truth.RelatedCount(target_name);
+  e.fn = related_total >= e.tp ? related_total - e.tp : 0;
+  e.precision = (e.tp + e.fp) > 0
+                    ? static_cast<double>(e.tp) / static_cast<double>(e.tp + e.fp)
+                    : 0;
+  e.recall = (e.tp + e.fn) > 0
+                 ? static_cast<double>(e.tp) / static_cast<double>(e.tp + e.fn)
+                 : 0;
+  return e;
+}
+
+double CoverageOf(const RankedTable& source, size_t target_arity) {
+  if (target_arity == 0) return 0;
+  std::unordered_set<uint32_t> covered;
+  for (const Alignment& a : source.alignments) covered.insert(a.target_column);
+  return static_cast<double>(covered.size()) / static_cast<double>(target_arity);
+}
+
+double JoinCoverageOf(const RankedTable& start,
+                      const std::vector<RankedTable>& join_tables,
+                      size_t target_arity) {
+  if (target_arity == 0) return 0;
+  std::unordered_set<uint32_t> covered;
+  for (const Alignment& a : start.alignments) covered.insert(a.target_column);
+  for (const RankedTable& t : join_tables) {
+    for (const Alignment& a : t.alignments) covered.insert(a.target_column);
+  }
+  return static_cast<double>(covered.size()) / static_cast<double>(target_arity);
+}
+
+double AverageCoverage(const std::vector<RankedTable>& top_k, size_t target_arity) {
+  if (top_k.empty()) return 0;
+  double sum = 0;
+  for (const RankedTable& t : top_k) sum += CoverageOf(t, target_arity);
+  return sum / static_cast<double>(top_k.size());
+}
+
+double AverageJoinCoverage(
+    const std::vector<RankedTable>& top_k,
+    const std::vector<std::vector<RankedTable>>& join_tables_per_start,
+    size_t target_arity) {
+  if (top_k.empty()) return 0;
+  double sum = 0;
+  for (size_t i = 0; i < top_k.size(); ++i) {
+    const auto& joins = i < join_tables_per_start.size() ? join_tables_per_start[i]
+                                                         : std::vector<RankedTable>{};
+    sum += JoinCoverageOf(top_k[i], joins, target_arity);
+  }
+  return sum / static_cast<double>(top_k.size());
+}
+
+double AverageAttributePrecision(const std::vector<RankedTable>& top_k,
+                                 const std::string& target_name,
+                                 const benchdata::GroundTruth& truth) {
+  double sum = 0;
+  size_t counted = 0;
+  for (const RankedTable& t : top_k) {
+    if (t.alignments.empty()) continue;
+    size_t tp = 0;
+    for (const Alignment& a : t.alignments) {
+      if (truth.AttributesRelated(target_name, a.target_column, t.name,
+                                  a.source_column)) {
+        ++tp;
+      }
+    }
+    sum += static_cast<double>(tp) / static_cast<double>(t.alignments.size());
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0;
+}
+
+double AverageJoinAttributePrecision(
+    const std::vector<RankedTable>& top_k,
+    const std::vector<std::vector<RankedTable>>& join_tables_per_start,
+    const std::string& target_name, const benchdata::GroundTruth& truth) {
+  double sum = 0;
+  size_t counted = 0;
+  for (size_t i = 0; i < top_k.size(); ++i) {
+    // Group all alignments (start + join-path datasets) by target column.
+    // A group is a TP if any member alignment is correct (Section V-E).
+    std::map<uint32_t, bool> group_correct;
+    auto absorb = [&](const RankedTable& t) {
+      for (const Alignment& a : t.alignments) {
+        bool ok = truth.AttributesRelated(target_name, a.target_column, t.name,
+                                          a.source_column);
+        auto [it, inserted] = group_correct.emplace(a.target_column, ok);
+        if (!inserted) it->second = it->second || ok;
+      }
+    };
+    absorb(top_k[i]);
+    if (i < join_tables_per_start.size()) {
+      for (const RankedTable& t : join_tables_per_start[i]) absorb(t);
+    }
+    if (group_correct.empty()) continue;
+    size_t tp = 0;
+    for (const auto& [col, ok] : group_correct) {
+      if (ok) ++tp;
+    }
+    sum += static_cast<double>(tp) / static_cast<double>(group_correct.size());
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0;
+}
+
+}  // namespace d3l::eval

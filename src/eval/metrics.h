@@ -1,0 +1,82 @@
+// Evaluation metrics as defined in Section V of the paper.
+//
+// Table-level precision/recall at k (Section V-A's TP/FP/FN definitions),
+// target coverage (Eq. 4-5) and attribute precision (Section V-E), all
+// computed against generated ground truth. Metrics operate on a
+// system-agnostic alignment representation so D3L, TUS and Aurum results
+// evaluate identically.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "benchdata/ground_truth.h"
+
+namespace d3l::eval {
+
+/// \brief One attribute alignment claimed by a discovery system.
+struct Alignment {
+  uint32_t target_column = 0;
+  uint32_t source_column = 0;
+};
+
+/// \brief One returned table with its claimed alignments.
+struct RankedTable {
+  std::string name;
+  std::vector<Alignment> alignments;
+};
+
+/// \brief Table-level precision/recall at k (Section V-A).
+///
+/// TP: returned table related to the target in the ground truth. FP:
+/// returned but unrelated. FN: related in the ground truth but missing from
+/// the top-k. The target itself is not counted in either direction.
+struct TopKEval {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  double precision = 0;
+  double recall = 0;
+};
+
+TopKEval EvaluateTopK(const std::vector<std::string>& ranked_names,
+                      const std::string& target_name,
+                      const benchdata::GroundTruth& truth);
+
+/// \brief Eq. 4: coverage of one source on the target — the fraction of
+/// target columns that appear in the source's claimed alignments.
+double CoverageOf(const RankedTable& source, size_t target_arity);
+
+/// \brief Eq. 5 for one start table: combined coverage of the start table
+/// plus all datasets reachable on its join paths.
+double JoinCoverageOf(const RankedTable& start,
+                      const std::vector<RankedTable>& join_tables,
+                      size_t target_arity);
+
+/// \brief Average Eq. 4 coverage over the top-k tables.
+double AverageCoverage(const std::vector<RankedTable>& top_k, size_t target_arity);
+
+/// \brief Average Eq. 5 coverage; join_tables_per_start[i] holds the
+/// datasets on join paths starting at top_k[i].
+double AverageJoinCoverage(const std::vector<RankedTable>& top_k,
+                           const std::vector<std::vector<RankedTable>>& join_tables_per_start,
+                           size_t target_arity);
+
+/// \brief Attribute precision without joins (Section V-E): per source, an
+/// alignment is a TP iff the ground truth relates the two attributes;
+/// returns the average per-source precision (sources with no alignments
+/// are skipped).
+double AverageAttributePrecision(const std::vector<RankedTable>& top_k,
+                                 const std::string& target_name,
+                                 const benchdata::GroundTruth& truth);
+
+/// \brief Attribute precision with joins: per start table, the alignments
+/// of all join-path datasets (start included) are grouped by target
+/// column; a group is a TP iff at least one of its alignments is correct.
+double AverageJoinAttributePrecision(
+    const std::vector<RankedTable>& top_k,
+    const std::vector<std::vector<RankedTable>>& join_tables_per_start,
+    const std::string& target_name, const benchdata::GroundTruth& truth);
+
+}  // namespace d3l::eval

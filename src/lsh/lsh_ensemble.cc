@@ -1,0 +1,126 @@
+#include "lsh/lsh_ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d3l {
+
+double ContainmentFromJaccard(double jaccard, size_t query_size, size_t set_size) {
+  if (query_size == 0) return 0;
+  double inter =
+      jaccard / (1.0 + jaccard) * static_cast<double>(query_size + set_size);
+  return std::clamp(inter / static_cast<double>(query_size), 0.0, 1.0);
+}
+
+LshEnsemble::LshEnsemble(LshEnsembleOptions options) : options_(options) {}
+
+void LshEnsemble::Insert(ItemId id, const Signature& signature, size_t set_size) {
+  assert(!indexed_);
+  items_.push_back(Item{id, signature, set_size});
+}
+
+void LshEnsemble::Index() {
+  assert(!indexed_);
+  indexed_ = true;
+  if (items_.empty()) return;
+
+  // Order by cardinality; cut into near-equal partitions so each partition
+  // has tight size bounds (the ensemble's skew fix).
+  std::vector<size_t> order(items_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (items_[a].set_size != items_[b].set_size) {
+      return items_[a].set_size < items_[b].set_size;
+    }
+    return items_[a].id < items_[b].id;
+  });
+
+  size_t n_parts = std::max<size_t>(1, std::min(options_.num_partitions, items_.size()));
+  assert(!options_.threshold_ladder.empty());
+
+  partitions_.clear();
+  partitions_.reserve(n_parts);
+  size_t per_part = (items_.size() + n_parts - 1) / n_parts;
+  for (size_t p = 0; p < n_parts; ++p) {
+    size_t begin = p * per_part;
+    if (begin >= items_.size()) break;
+    size_t end = std::min(items_.size(), begin + per_part);
+    Partition part;
+    part.min_size = items_[order[begin]].set_size;
+    part.max_size = items_[order[end - 1]].set_size;
+    for (double rung_threshold : options_.threshold_ladder) {
+      BandedLshOptions banded;
+      banded.threshold = rung_threshold;
+      banded.signature_size = options_.signature_size;
+      part.rungs.emplace_back(banded);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      part.member_indexes.push_back(order[i]);
+      for (BandedLsh& rung : part.rungs) {
+        rung.Insert(static_cast<ItemId>(order[i]), items_[order[i]].signature);
+      }
+    }
+    partitions_.push_back(std::move(part));
+  }
+}
+
+std::vector<LshEnsemble::ItemId> LshEnsemble::QueryContainment(
+    const Signature& query, size_t query_set_size, double threshold) const {
+  assert(indexed_);
+  std::vector<ItemId> out;
+  if (query_set_size == 0) return out;
+
+  for (const Partition& part : partitions_) {
+    // Containment threshold t translates into the partition-specific
+    // Jaccard lower bound using the *largest* member size (most permissive
+    // within the partition): j >= t*|Q| / (|Q| + u - t*|Q|).
+    double tq = threshold * static_cast<double>(query_set_size);
+    double denom = static_cast<double>(query_set_size + part.max_size) - tq;
+    double jaccard_bound = denom > 0 ? tq / denom : 1.0;
+
+    // If even a maximal overlap in this partition cannot reach the
+    // containment threshold, skip it entirely.
+    double best_inter = static_cast<double>(std::min(query_set_size, part.max_size));
+    if (best_inter / static_cast<double>(query_set_size) < threshold) continue;
+
+    // Dynamic banding: probe the ladder rung tuned just below the bound.
+    size_t rung_idx = 0;
+    for (size_t r = 0; r < options_.threshold_ladder.size(); ++r) {
+      if (options_.threshold_ladder[r] <= jaccard_bound) rung_idx = r;
+    }
+
+    for (ItemId idx : part.rungs[rung_idx].Query(query)) {
+      const Item& item = items_[idx];
+      double j = EstimateJaccard(query, item.signature);
+      if (j + 1e-12 < jaccard_bound * 0.5) continue;  // clearly hopeless
+      double c = ContainmentFromJaccard(j, query_set_size, item.set_size);
+      if (c >= threshold) out.push_back(item.id);
+    }
+  }
+  return out;
+}
+
+double LshEnsemble::EstimateContainment(const Signature& query, size_t query_set_size,
+                                        ItemId id) const {
+  for (const Item& item : items_) {
+    if (item.id == id) {
+      return ContainmentFromJaccard(EstimateJaccard(query, item.signature),
+                                    query_set_size, item.set_size);
+    }
+  }
+  return 0;
+}
+
+size_t LshEnsemble::MemoryUsage() const {
+  size_t bytes = sizeof(LshEnsemble);
+  for (const Item& i : items_) {
+    bytes += sizeof(Item) + i.signature.size() * sizeof(uint64_t);
+  }
+  for (const Partition& p : partitions_) {
+    for (const BandedLsh& rung : p.rungs) bytes += rung.MemoryUsage();
+    bytes += p.member_indexes.size() * sizeof(size_t);
+  }
+  return bytes;
+}
+
+}  // namespace d3l

@@ -1,0 +1,89 @@
+// LSH Ensemble (Zhu, Nargesian, Pu, Miller — PVLDB 2016).
+//
+// The D3L paper (Section II) names LSH Ensemble as an indexing scheme
+// compatible with its use case: it "aims to overcome the weaknesses of
+// MinHash when used on sets with skewed lengths". Plain MinHash banding
+// thresholds *Jaccard* similarity, which under-retrieves small sets
+// contained in large ones; domain search wants *containment*
+// c(Q, X) = |Q ∩ X| / |Q|.
+//
+// This implementation follows the ensemble recipe: indexed sets are
+// partitioned by cardinality into near-equal buckets, each partition keeps
+// a recall-oriented banded index plus its members' signatures and exact
+// sizes. A containment query converts the containment threshold into the
+// partition-specific Jaccard threshold (using the partition's size bounds)
+// and filters candidates on the containment estimate derived from the
+// MinHash Jaccard estimate and the known set sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/lsh_banding.h"
+#include "lsh/minhash.h"
+
+namespace d3l {
+
+struct LshEnsembleOptions {
+  size_t num_partitions = 8;
+  size_t signature_size = 256;
+  /// Jaccard-threshold ladder of the per-partition banded indexes
+  /// (dynamic banding): a containment query converts its threshold into a
+  /// partition-specific Jaccard bound — which can be tiny when a small
+  /// query probes a large-set partition — and probes the rung just below
+  /// that bound. Precision comes from the subsequent containment filter.
+  std::vector<double> threshold_ladder = {0.02, 0.12, 0.25, 0.45, 0.7};
+};
+
+/// \brief Containment-threshold search over sets of skewed cardinalities.
+class LshEnsemble {
+ public:
+  using ItemId = uint32_t;
+
+  explicit LshEnsemble(LshEnsembleOptions options = {});
+
+  /// Registers a set's signature together with its exact cardinality.
+  void Insert(ItemId id, const Signature& signature, size_t set_size);
+
+  /// Partitions by cardinality and builds the per-partition indexes. Must
+  /// be called after the last Insert and before queries.
+  void Index();
+
+  /// Ids X with estimated containment c(Q, X) = |Q ∩ X| / |Q| at or above
+  /// `threshold`, for a query set of size `query_set_size`.
+  std::vector<ItemId> QueryContainment(const Signature& query, size_t query_set_size,
+                                       double threshold) const;
+
+  /// Estimated containment of the query in one indexed item.
+  double EstimateContainment(const Signature& query, size_t query_set_size,
+                             ItemId id) const;
+
+  size_t size() const { return items_.size(); }
+  size_t num_partitions() const { return partitions_.size(); }
+  size_t MemoryUsage() const;
+
+ private:
+  struct Item {
+    ItemId id;
+    Signature signature;
+    size_t set_size;
+  };
+  struct Partition {
+    size_t min_size = 0;
+    size_t max_size = 0;
+    std::vector<size_t> member_indexes;   // into items_
+    std::vector<BandedLsh> rungs;         // one banded index per ladder rung
+  };
+
+  LshEnsembleOptions options_;
+  std::vector<Item> items_;
+  std::vector<size_t> item_index_of_id_;  // id -> index into items_ (post-Index)
+  std::vector<Partition> partitions_;
+  bool indexed_ = false;
+};
+
+/// \brief Containment estimate from a Jaccard estimate and both set sizes:
+/// |Q ∩ X| ≈ j / (1 + j) * (|Q| + |X|), c = |Q ∩ X| / |Q|. Clamped to [0,1].
+double ContainmentFromJaccard(double jaccard, size_t query_size, size_t set_size);
+
+}  // namespace d3l

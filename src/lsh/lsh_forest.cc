@@ -1,0 +1,119 @@
+#include "lsh/lsh_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace d3l {
+
+LshForest::LshForest(LshForestOptions options) : options_(options) {
+  trees_.resize(options_.num_trees);
+}
+
+std::vector<uint64_t> LshForest::TreeKey(size_t tree, const Signature& sig) const {
+  const size_t kpt = options_.hashes_per_tree;
+  assert(sig.size() >= options_.num_trees * kpt);
+  std::vector<uint64_t> key(kpt);
+  for (size_t i = 0; i < kpt; ++i) {
+    key[i] = sig[tree * kpt + i];
+  }
+  return key;
+}
+
+void LshForest::Insert(ItemId id, const Signature& signature) {
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].entries.push_back(Entry{TreeKey(t, signature), id});
+    trees_[t].sorted = false;
+  }
+  ++num_items_;
+}
+
+void LshForest::Index() {
+  for (Tree& tree : trees_) {
+    if (tree.sorted) continue;
+    std::sort(tree.entries.begin(), tree.entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.id < b.id;
+              });
+    tree.sorted = true;
+  }
+}
+
+void LshForest::CollectAtDepth(const Tree& tree, const std::vector<uint64_t>& key,
+                               size_t depth, std::vector<ItemId>* out) const {
+  assert(tree.sorted);
+  // Entries matching the first `depth` components form a contiguous sorted
+  // range; locate it with prefix-comparing binary searches.
+  auto prefix_less = [depth](const Entry& e, const std::vector<uint64_t>& k) {
+    for (size_t i = 0; i < depth; ++i) {
+      if (e.key[i] != k[i]) return e.key[i] < k[i];
+    }
+    return false;
+  };
+  auto less_prefix = [depth](const std::vector<uint64_t>& k, const Entry& e) {
+    for (size_t i = 0; i < depth; ++i) {
+      if (k[i] != e.key[i]) return k[i] < e.key[i];
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
+  auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
+  for (auto it = lo; it != hi; ++it) {
+    out->push_back(it->id);
+  }
+}
+
+std::vector<LshForest::ItemId> LshForest::Query(const Signature& signature,
+                                                size_t m) const {
+  std::unordered_set<ItemId> seen;
+  std::vector<ItemId> result;
+  if (m == 0) return result;
+  std::vector<std::vector<uint64_t>> keys(trees_.size());
+  for (size_t t = 0; t < trees_.size(); ++t) keys[t] = TreeKey(t, signature);
+
+  // Descend from the deepest prefix; stop as soon as enough distinct
+  // candidates have been accumulated (LSH Forest's synchronous descent).
+  for (size_t depth = options_.hashes_per_tree; depth >= 1; --depth) {
+    std::vector<ItemId> level;
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      CollectAtDepth(trees_[t], keys[t], depth, &level);
+    }
+    for (ItemId id : level) {
+      if (seen.insert(id).second) {
+        result.push_back(id);
+      }
+    }
+    if (result.size() >= m) break;
+  }
+  if (result.size() > m) result.resize(m);
+  return result;
+}
+
+std::vector<LshForest::ItemId> LshForest::QueryAtDepth(const Signature& signature,
+                                                       size_t min_depth) const {
+  assert(min_depth >= 1 && min_depth <= options_.hashes_per_tree);
+  std::unordered_set<ItemId> seen;
+  std::vector<ItemId> result;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    std::vector<ItemId> level;
+    CollectAtDepth(trees_[t], TreeKey(t, signature), min_depth, &level);
+    for (ItemId id : level) {
+      if (seen.insert(id).second) result.push_back(id);
+    }
+  }
+  return result;
+}
+
+size_t LshForest::MemoryUsage() const {
+  size_t bytes = sizeof(LshForest);
+  for (const Tree& tree : trees_) {
+    bytes += tree.entries.capacity() * sizeof(Entry);
+    for (const Entry& e : tree.entries) {
+      bytes += e.key.capacity() * sizeof(uint64_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace d3l

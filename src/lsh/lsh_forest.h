@@ -1,0 +1,79 @@
+// LSH Forest (Bawa, Condie, Ganesan — WWW 2005).
+//
+// A self-tuning LSH index: l prefix trees, each keyed by a fixed-length
+// sequence of hash values taken from an item's signature. A top-m query
+// starts at the deepest shared prefix and relaxes the prefix length until
+// enough candidates are found, which keeps search time nearly independent
+// of repository size (the property the paper relies on, Section II).
+//
+// This implementation stores each tree as a sorted array of fixed-width
+// keys and performs prefix-range binary searches, equivalent to a prefix
+// tree but far more cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/minhash.h"
+
+namespace d3l {
+
+struct LshForestOptions {
+  size_t num_trees = 8;       ///< l: number of prefix trees
+  size_t hashes_per_tree = 8; ///< k_l: key length per tree (in hash values)
+};
+
+/// \brief Top-m candidate index over integer-sequence signatures.
+///
+/// Works for MinHash signatures directly and for bit signatures via
+/// RandomProjectionHasher::SignatureAsHashSequence. Signatures must provide
+/// at least num_trees * hashes_per_tree values.
+class LshForest {
+ public:
+  using ItemId = uint32_t;
+
+  explicit LshForest(LshForestOptions options = {});
+
+  /// Registers an item; call Index() before querying.
+  void Insert(ItemId id, const Signature& signature);
+
+  /// Sorts the trees. Insert/Index may be alternated (Index re-sorts).
+  void Index();
+
+  /// Returns up to m item ids whose keys share the longest prefixes with
+  /// the query, most-similar-first ordering is NOT guaranteed (callers
+  /// re-rank with exact signature distances). The query signature must come
+  /// from the same hasher family as the inserted ones.
+  std::vector<ItemId> Query(const Signature& signature, size_t m) const;
+
+  /// All items sharing a prefix of at least `min_depth` hash values with
+  /// the query in at least one tree (threshold-flavoured lookup).
+  std::vector<ItemId> QueryAtDepth(const Signature& signature, size_t min_depth) const;
+
+  size_t size() const { return num_items_; }
+
+  /// Approximate heap footprint in bytes (space-overhead bench).
+  size_t MemoryUsage() const;
+
+ private:
+  struct Entry {
+    // Fixed-width key: hashes_per_tree values, then the item id.
+    std::vector<uint64_t> key;
+    ItemId id;
+  };
+  struct Tree {
+    std::vector<Entry> entries;
+    bool sorted = false;
+  };
+
+  std::vector<uint64_t> TreeKey(size_t tree, const Signature& sig) const;
+  // Collects ids of entries matching the first `depth` key values.
+  void CollectAtDepth(const Tree& tree, const std::vector<uint64_t>& key, size_t depth,
+                      std::vector<ItemId>* out) const;
+
+  LshForestOptions options_;
+  std::vector<Tree> trees_;
+  size_t num_items_ = 0;
+};
+
+}  // namespace d3l

@@ -1,0 +1,53 @@
+// MinHash signatures (Broder 1997) for Jaccard-similarity LSH.
+//
+// Evidence types N, V and F are grounded on Jaccard similarity of set
+// representations (qsets/tsets/rsets); their distances are estimated from
+// MinHash signatures (Section III-B). The paper uses a MinHash size of 256.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace d3l {
+
+using Signature = std::vector<uint64_t>;
+
+/// \brief Produces k-permutation MinHash signatures of string sets.
+///
+/// Uses the "one strong hash + k cheap rehashes" construction: an element is
+/// first hashed to 64 bits, then each of the k component values is the
+/// minimum of a seeded remix over the set.
+class MinHasher {
+ public:
+  /// \param k signature size (paper: 256)
+  /// \param seed hash-family seed; equal seeds give comparable signatures
+  MinHasher(size_t k, uint64_t seed);
+
+  size_t k() const { return family_.size(); }
+
+  /// Signature of a set of strings. An empty set gets a sentinel signature
+  /// (all-max) that matches nothing.
+  Signature Sign(const std::set<std::string>& elements) const;
+  Signature Sign(const std::vector<std::string>& elements) const;
+
+  /// Signature from pre-hashed 64-bit element keys.
+  Signature SignHashed(const std::vector<uint64_t>& element_hashes) const;
+
+ private:
+  HashFamily family_;
+};
+
+/// \brief Fraction of matching components: unbiased estimator of Jaccard
+/// similarity for signatures produced with the same MinHasher.
+double EstimateJaccard(const Signature& a, const Signature& b);
+
+/// \brief 1 - EstimateJaccard: the estimated Jaccard distance.
+inline double EstimateJaccardDistance(const Signature& a, const Signature& b) {
+  return 1.0 - EstimateJaccard(a, b);
+}
+
+}  // namespace d3l

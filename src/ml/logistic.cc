@@ -1,0 +1,100 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d3l {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double LogisticModel::PredictProbability(const std::vector<double>& x) const {
+  double z = bias_;
+  size_t n = std::min(x.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) z += weights_[i] * x[i];
+  return Sigmoid(z);
+}
+
+double LogisticModel::Accuracy(const std::vector<std::vector<double>>& xs,
+                               const std::vector<int>& ys) const {
+  if (xs.empty()) return 0;
+  size_t correct = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (PredictLabel(xs[i]) == (ys[i] != 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+Result<LogisticModel> TrainLogistic(const std::vector<std::vector<double>>& xs,
+                                    const std::vector<int>& ys,
+                                    const LogisticOptions& options) {
+  if (xs.empty()) return Status::InvalidArgument("empty training set");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  const size_t n = xs.size();
+  const size_t d = xs[0].size();
+  for (const auto& row : xs) {
+    if (row.size() != d) return Status::InvalidArgument("ragged feature rows");
+  }
+  for (int y : ys) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be 0/1");
+  }
+
+  std::vector<double> w(d, 0.0);
+  double b = 0;
+  // Cached margins z_i = w.x_i + b, updated incrementally per coordinate.
+  std::vector<double> z(n, 0.0);
+
+  // Curvature bound: sigma'(z) <= 1/4, so the per-coordinate Hessian is
+  // bounded by sum_i x_ij^2 / 4 + l2. Using the bound keeps steps stable.
+  std::vector<double> hess_bound(d, options.l2);
+  for (size_t j = 0; j < d; ++j) {
+    double s = 0;
+    for (size_t i = 0; i < n; ++i) s += xs[i][j] * xs[i][j];
+    hess_bound[j] += s / 4.0;
+  }
+  double bias_hess = static_cast<double>(n) / 4.0;
+
+  for (size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double max_delta = 0;
+    // Coordinate sweep over weights.
+    for (size_t j = 0; j < d; ++j) {
+      double grad = options.l2 * w[j];
+      for (size_t i = 0; i < n; ++i) {
+        double p = Sigmoid(z[i]);
+        grad += (p - ys[i]) * xs[i][j];
+      }
+      if (hess_bound[j] <= 0) continue;
+      double delta = -grad / hess_bound[j];
+      if (delta != 0) {
+        w[j] += delta;
+        for (size_t i = 0; i < n; ++i) z[i] += delta * xs[i][j];
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    // Bias coordinate (unregularized).
+    {
+      double grad = 0;
+      for (size_t i = 0; i < n; ++i) grad += Sigmoid(z[i]) - ys[i];
+      double delta = bias_hess > 0 ? -grad / bias_hess : 0;
+      if (delta != 0) {
+        b += delta;
+        for (size_t i = 0; i < n; ++i) z[i] += delta;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  return LogisticModel(std::move(w), b);
+}
+
+}  // namespace d3l

@@ -1,0 +1,46 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace d3l {
+
+void StandardScaler::Fit(const std::vector<std::vector<double>>& xs) {
+  means_.clear();
+  stds_.clear();
+  if (xs.empty()) return;
+  size_t d = xs[0].size();
+  means_.assign(d, 0.0);
+  stds_.assign(d, 0.0);
+  for (const auto& row : xs) {
+    for (size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) means_[j] /= static_cast<double>(xs.size());
+  for (const auto& row : xs) {
+    for (size_t j = 0; j < d; ++j) {
+      double dd = row[j] - means_[j];
+      stds_[j] += dd * dd;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stds_[j] = std::sqrt(stds_[j] / static_cast<double>(xs.size()));
+  }
+}
+
+std::vector<double> StandardScaler::Transform(const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size() && j < means_.size(); ++j) {
+    out[j] = stds_[j] > 0 ? (x[j] - means_[j]) / stds_[j] : x[j] - means_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::FitTransform(
+    const std::vector<std::vector<double>>& xs) {
+  Fit(xs);
+  std::vector<std::vector<double>> out;
+  out.reserve(xs.size());
+  for (const auto& row : xs) out.push_back(Transform(row));
+  return out;
+}
+
+}  // namespace d3l

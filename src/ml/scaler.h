@@ -1,0 +1,29 @@
+// Feature standardization for classifier training.
+#pragma once
+
+#include <vector>
+
+namespace d3l {
+
+/// \brief Z-score standardizer fitted on a training matrix.
+class StandardScaler {
+ public:
+  /// Fits means and standard deviations per feature column.
+  void Fit(const std::vector<std::vector<double>>& xs);
+
+  /// Standardizes one row: (x - mean) / std (std of 0 maps to passthrough).
+  std::vector<double> Transform(const std::vector<double>& x) const;
+
+  /// Fit + transform all rows.
+  std::vector<std::vector<double>> FitTransform(
+      const std::vector<std::vector<double>>& xs);
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace d3l

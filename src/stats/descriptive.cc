@@ -1,0 +1,50 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d3l {
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) {
+    double d = x - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(xs.size());
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double JaccardFromCounts(size_t intersection, size_t size_a, size_t size_b) {
+  size_t uni = size_a + size_b - intersection;
+  if (uni == 0) return 0;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double OverlapCoefficientFromCounts(size_t intersection, size_t size_a, size_t size_b) {
+  size_t mn = std::min(size_a, size_b);
+  if (mn == 0) return 0;
+  return static_cast<double>(intersection) / static_cast<double>(mn);
+}
+
+}  // namespace d3l

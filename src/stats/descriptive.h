@@ -1,0 +1,31 @@
+// Basic descriptive statistics used by profiling and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace d3l {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0;
+  double variance = 0;  ///< population variance
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// \brief One-pass summary of a sample (all zeros if empty).
+Summary Summarize(const std::vector<double>& xs);
+
+/// \brief Arithmetic mean (0 if empty).
+double Mean(const std::vector<double>& xs);
+
+/// \brief Jaccard similarity of two sets given their sizes and the size of
+/// their intersection.
+double JaccardFromCounts(size_t intersection, size_t size_a, size_t size_b);
+
+/// \brief Overlap coefficient |A∩B| / min(|A|,|B|) from counts (Section IV).
+double OverlapCoefficientFromCounts(size_t intersection, size_t size_a, size_t size_b);
+
+}  // namespace d3l

@@ -1,0 +1,43 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace d3l {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::Cdf(double x) const {
+  if (sorted_.empty()) return 0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::Ccdf(double x) const {
+  if (sorted_.empty()) return 1.0;
+  return 1.0 - Cdf(x);
+}
+
+double EmpiricalDistribution::Quantile(double q) const {
+  assert(!sorted_.empty());
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_.size()));
+  if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+  return sorted_[idx];
+}
+
+double EmpiricalDistribution::min() const {
+  assert(!sorted_.empty());
+  return sorted_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  assert(!sorted_.empty());
+  return sorted_.back();
+}
+
+}  // namespace d3l

@@ -1,0 +1,35 @@
+// Empirical distribution over observed distances; provides the CCDF used
+// for the Eq. 2 weighting scheme.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace d3l {
+
+/// \brief Immutable empirical distribution of a sample of real values.
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(std::vector<double> sample);
+
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// P(X <= x) over the sample.
+  double Cdf(double x) const;
+
+  /// 1 - P(X <= x): Eq. 2's w = 1 - P(d <= D). The smallest observed value
+  /// gets the largest weight. Returns 1 on an empty sample.
+  double Ccdf(double x) const;
+
+  /// q-quantile (0 <= q <= 1), nearest-rank.
+  double Quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace d3l

@@ -1,0 +1,178 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace d3l {
+
+namespace {
+
+// Incremental RFC-4180 parser over a string.
+class CsvParser {
+ public:
+  CsvParser(std::string_view text, char delim) : text_(text), delim_(delim) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  // Parses one record (handles quoted fields spanning newlines).
+  Result<std::vector<std::string>> NextRecord() {
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        if (in_quotes) {
+          return Status::IOError("unterminated quoted field at end of input");
+        }
+        fields.push_back(std::move(field));
+        return fields;
+      }
+      char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            field += '"';
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+        } else {
+          field += c;
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '"' && field.empty() && !field_was_quoted) {
+        in_quotes = true;
+        field_was_quoted = true;
+        ++pos_;
+      } else if (c == delim_) {
+        fields.push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+        ++pos_;
+      } else if (c == '\r') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') ++pos_;
+        ++pos_;
+        fields.push_back(std::move(field));
+        return fields;
+      } else if (c == '\n') {
+        ++pos_;
+        fields.push_back(std::move(field));
+        return fields;
+      } else {
+        field += c;
+        ++pos_;
+      }
+    }
+  }
+
+ private:
+  std::string_view text_;
+  char delim_;
+  size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& field, char delim) {
+  if (!NeedsQuoting(field, delim)) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+std::string FileStem(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return (dot == std::string::npos) ? base : base.substr(0, dot);
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options) {
+  CsvParser parser(text, options.delimiter);
+  if (parser.AtEnd()) {
+    return Status::IOError("empty CSV input for table '" + table_name + "'");
+  }
+  D3L_ASSIGN_OR_RETURN(std::vector<std::string> header, parser.NextRecord());
+  Table t(std::move(table_name));
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::string name = Trim(header[i]);
+    if (name.empty()) name = "col_" + std::to_string(i);
+    // De-duplicate repeated header names rather than failing the load.
+    std::string unique = name;
+    int suffix = 2;
+    while (t.ColumnIndex(unique) >= 0) {
+      unique = name + "_" + std::to_string(suffix++);
+    }
+    D3L_RETURN_NOT_OK(t.AddColumn(std::move(unique)));
+  }
+  size_t line = 1;
+  while (!parser.AtEnd()) {
+    D3L_ASSIGN_OR_RETURN(std::vector<std::string> rec, parser.NextRecord());
+    ++line;
+    if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
+    if (rec.size() != t.num_columns()) {
+      if (options.skip_malformed_rows) continue;
+      return Status::IOError("record " + std::to_string(line) + " has arity " +
+                             std::to_string(rec.size()) + ", expected " +
+                             std::to_string(t.num_columns()));
+    }
+    D3L_RETURN_NOT_OK(t.AddRow(rec));
+  }
+  return t;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), FileStem(path), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += options.delimiter;
+    AppendField(&out, table.column(c).name(), options.delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      AppendField(&out, table.column(c).cell(r), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace d3l

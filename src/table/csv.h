@@ -1,0 +1,35 @@
+// RFC-4180-style CSV reading and writing (quoted fields, embedded commas,
+// quotes and newlines). The first record is taken as the header row.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace d3l {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, rows whose arity differs from the header are skipped rather
+  /// than failing the whole file (common in scraped open data).
+  bool skip_malformed_rows = false;
+};
+
+/// \brief Parses CSV text into a Table. The table name must be supplied by
+/// the caller (usually the file stem).
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options = {});
+
+/// \brief Reads a CSV file; the table is named after the file stem.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// \brief Serializes a table as CSV (header + rows), quoting when needed.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace d3l

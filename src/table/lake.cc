@@ -1,0 +1,68 @@
+#include "table/lake.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace d3l {
+
+int DataLake::TableIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Status DataLake::AddTable(Table table) {
+  if (by_name_.count(table.name()) > 0) {
+    return Status::AlreadyExists("table '" + table.name() + "' already in lake");
+  }
+  by_name_[table.name()] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status DataLake::LoadDirectory(const std::string& dir, const CsvOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IOError("'" + dir + "' is not a directory");
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::IOError("error listing '" + dir + "': " + ec.message());
+  std::sort(paths.begin(), paths.end());  // deterministic load order
+  for (const std::string& p : paths) {
+    D3L_ASSIGN_OR_RETURN(Table t, ReadCsvFile(p, options));
+    D3L_RETURN_NOT_OK(AddTable(std::move(t)));
+  }
+  return Status::OK();
+}
+
+LakeStats DataLake::Stats() const {
+  LakeStats s;
+  s.num_tables = tables_.size();
+  for (const Table& t : tables_) {
+    s.num_attributes += t.num_columns();
+    s.avg_arity += static_cast<double>(t.num_columns());
+    s.max_arity = std::max(s.max_arity, static_cast<double>(t.num_columns()));
+    s.avg_cardinality += static_cast<double>(t.num_rows());
+    s.max_cardinality = std::max(s.max_cardinality, static_cast<double>(t.num_rows()));
+    s.total_bytes += t.MemoryUsage();
+    for (const Column& c : t.columns()) {
+      if (c.type() == ColumnType::kNumeric) ++s.num_numeric_attributes;
+    }
+  }
+  if (!tables_.empty()) {
+    s.avg_arity /= static_cast<double>(tables_.size());
+    s.avg_cardinality /= static_cast<double>(tables_.size());
+  }
+  if (s.num_attributes > 0) {
+    s.numeric_ratio =
+        static_cast<double>(s.num_numeric_attributes) / static_cast<double>(s.num_attributes);
+  }
+  return s;
+}
+
+}  // namespace d3l

@@ -1,0 +1,55 @@
+// The data lake: a flat collection of tables with name lookup and
+// aggregate statistics (Fig. 2 of the paper).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace d3l {
+
+/// \brief Aggregate shape statistics of a lake (paper Fig. 2).
+struct LakeStats {
+  size_t num_tables = 0;
+  size_t num_attributes = 0;
+  size_t num_numeric_attributes = 0;
+  double avg_arity = 0;
+  double max_arity = 0;
+  double avg_cardinality = 0;
+  double max_cardinality = 0;
+  double numeric_ratio = 0;  ///< numeric attributes / all attributes
+  size_t total_bytes = 0;    ///< approximate in-memory footprint
+};
+
+/// \brief A repository of datasets with no inter-dataset metadata.
+class DataLake {
+ public:
+  DataLake() = default;
+
+  size_t size() const { return tables_.size(); }
+  const Table& table(size_t i) const { return tables_[i]; }
+  Table& table(size_t i) { return tables_[i]; }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  /// Index of a table by name, or -1.
+  int TableIndex(const std::string& name) const;
+
+  /// Adds a table; fails on duplicate name.
+  Status AddTable(Table table);
+
+  /// Loads every *.csv file in a directory (non-recursive).
+  Status LoadDirectory(const std::string& dir, const CsvOptions& options = {});
+
+  /// Computes aggregate statistics over the current contents.
+  LakeStats Stats() const;
+
+ private:
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace d3l

@@ -1,0 +1,147 @@
+#include "table/table.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace d3l {
+
+void Column::ComputeStats() const {
+  if (!dirty_) return;
+  size_t nulls = 0;
+  size_t numeric = 0;
+  size_t non_null = 0;
+  std::unordered_set<std::string_view> distinct;
+  distinct.reserve(cells_.size());
+  for (const std::string& c : cells_) {
+    if (IsNullCell(c)) {
+      ++nulls;
+      continue;
+    }
+    ++non_null;
+    distinct.insert(c);
+    if (LooksNumeric(c)) ++numeric;
+  }
+  null_count_ = nulls;
+  distinct_count_ = distinct.size();
+  type_ = (non_null > 0 && numeric * 4 >= non_null * 3) ? ColumnType::kNumeric
+                                                        : ColumnType::kString;
+  dirty_ = false;
+}
+
+ColumnType Column::type() const {
+  ComputeStats();
+  return type_;
+}
+
+size_t Column::null_count() const {
+  ComputeStats();
+  return null_count_;
+}
+
+size_t Column::distinct_count() const {
+  ComputeStats();
+  return distinct_count_;
+}
+
+std::vector<double> Column::NumericExtent() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const std::string& c : cells_) {
+    if (auto v = CellAsNumber(c)) out.push_back(*v);
+  }
+  return out;
+}
+
+std::vector<std::string> Column::TextExtent() const {
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const std::string& c : cells_) {
+    if (!IsNullCell(c)) out.push_back(c);
+  }
+  return out;
+}
+
+size_t Column::MemoryUsage() const {
+  size_t bytes = sizeof(Column) + name_.capacity();
+  bytes += cells_.capacity() * sizeof(std::string);
+  for (const std::string& c : cells_) {
+    if (c.capacity() > sizeof(std::string)) bytes += c.capacity();
+  }
+  return bytes;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AddColumn(std::string name) {
+  if (num_rows() > 0) {
+    return Status::InvalidArgument("cannot add column '" + name +
+                                   "' after rows were inserted");
+  }
+  if (ColumnIndex(name) >= 0) {
+    return Status::AlreadyExists("duplicate column name '" + name + "' in table '" +
+                                 name_ + "'");
+  }
+  columns_.emplace_back(std::move(name));
+  return Status::OK();
+}
+
+Status Table::AddRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(cells.size()) + " does not match table arity " +
+        std::to_string(columns_.size()) + " in table '" + name_ + "'");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    columns_[i].Append(cells[i]);
+  }
+  return Status::OK();
+}
+
+Result<Table> Table::FromRows(std::string name, std::vector<std::string> column_names,
+                              std::vector<std::vector<std::string>> rows) {
+  Table t(std::move(name));
+  for (auto& cn : column_names) {
+    D3L_RETURN_NOT_OK(t.AddColumn(std::move(cn)));
+  }
+  for (auto& r : rows) {
+    D3L_RETURN_NOT_OK(t.AddRow(r));
+  }
+  return t;
+}
+
+Table Table::Project(const std::vector<size_t>& column_indices,
+                     std::string new_name) const {
+  Table out(std::move(new_name));
+  for (size_t ci : column_indices) {
+    out.columns_.push_back(columns_[ci]);
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& row_indices,
+                        std::string new_name) const {
+  Table out(std::move(new_name));
+  for (const Column& col : columns_) {
+    Column nc(col.name());
+    nc.Reserve(row_indices.size());
+    for (size_t ri : row_indices) {
+      nc.Append(col.cell(ri));
+    }
+    out.columns_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = sizeof(Table) + name_.capacity();
+  for (const Column& c : columns_) bytes += c.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace d3l

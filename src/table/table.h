@@ -1,0 +1,107 @@
+// Column-major in-memory tables: the unit of storage in a data lake.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace d3l {
+
+/// \brief One attribute (column) of a table: a name plus raw textual cells.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return cells_.size(); }
+  const std::string& cell(size_t row) const { return cells_[row]; }
+  const std::vector<std::string>& cells() const { return cells_; }
+
+  void Append(std::string cell) {
+    dirty_ = true;
+    cells_.push_back(std::move(cell));
+  }
+  void Reserve(size_t n) { cells_.reserve(n); }
+
+  /// Inferred coarse type: numeric iff >= 75% of non-null cells parse as
+  /// numbers (and there is at least one non-null cell). Cached.
+  ColumnType type() const;
+
+  /// Number of NULL cells (see IsNullCell).
+  size_t null_count() const;
+
+  /// Number of distinct non-null cell strings.
+  size_t distinct_count() const;
+
+  /// Parsed values of all numeric non-null cells, in row order.
+  std::vector<double> NumericExtent() const;
+
+  /// All non-null cell strings, in row order (duplicates preserved).
+  std::vector<std::string> TextExtent() const;
+
+  /// Approximate heap footprint in bytes (used by the space-overhead bench).
+  size_t MemoryUsage() const;
+
+ private:
+  void ComputeStats() const;
+
+  std::string name_;
+  std::vector<std::string> cells_;
+
+  // Lazily computed statistics.
+  mutable bool dirty_ = true;
+  mutable ColumnType type_ = ColumnType::kString;
+  mutable size_t null_count_ = 0;
+  mutable size_t distinct_count_ = 0;
+};
+
+/// \brief A named table: a list of columns of equal length.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Adds an empty column. Fails if rows already exist or name duplicates.
+  Status AddColumn(std::string name);
+
+  /// Appends a row; must match num_columns().
+  Status AddRow(const std::vector<std::string>& cells);
+
+  /// Builds a table in one call (used heavily by tests and examples).
+  static Result<Table> FromRows(std::string name, std::vector<std::string> column_names,
+                                std::vector<std::vector<std::string>> rows);
+
+  /// Returns a new table with only the given columns (projection).
+  Table Project(const std::vector<size_t>& column_indices, std::string new_name) const;
+
+  /// Returns a new table with only the given rows (selection).
+  Table SelectRows(const std::vector<size_t>& row_indices, std::string new_name) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace d3l

@@ -1,0 +1,36 @@
+#include "table/value.h"
+
+#include "common/string_util.h"
+
+namespace d3l {
+
+const char* ColumnTypeToString(ColumnType t) {
+  switch (t) {
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kNumeric:
+      return "numeric";
+  }
+  return "?";
+}
+
+bool IsNullCell(std::string_view cell) {
+  std::string_view t = TrimView(cell);
+  if (t.empty()) return true;
+  if (t == "-" || t == "--" || t == "?") return true;
+  if (t.size() <= 4) {
+    std::string lower = ToLower(t);
+    if (lower == "na" || lower == "n/a" || lower == "null" || lower == "none" ||
+        lower == "nan") {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<double> CellAsNumber(std::string_view cell) {
+  if (IsNullCell(cell)) return std::nullopt;
+  return ParseDouble(cell);
+}
+
+}  // namespace d3l

@@ -1,0 +1,126 @@
+#include "text/format.h"
+
+#include <cctype>
+
+namespace d3l {
+
+namespace {
+
+enum class Lex { kC, kU, kL, kN, kA, kP };
+
+char LexSymbol(Lex l) {
+  switch (l) {
+    case Lex::kC:
+      return 'C';
+    case Lex::kU:
+      return 'U';
+    case Lex::kL:
+      return 'L';
+    case Lex::kN:
+      return 'N';
+    case Lex::kA:
+      return 'A';
+    case Lex::kP:
+      return 'P';
+  }
+  return '?';
+}
+
+// Classifies a whole token by the first fully-matching primitive class, in
+// the order C, U, L, N, A, P (Section III-B).
+Lex ClassifyToken(std::string_view token) {
+  bool all_upper = true;
+  bool all_lower = true;
+  bool all_digit = true;
+  bool all_alnum = true;
+  for (char c : token) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isupper(u)) all_upper = false;
+    if (!std::islower(u)) all_lower = false;
+    if (!std::isdigit(u)) all_digit = false;
+    if (!std::isalnum(u)) all_alnum = false;
+  }
+  // C = [A-Z][a-z]+ : first char upper, rest lower, length >= 2.
+  if (token.size() >= 2 && std::isupper(static_cast<unsigned char>(token[0]))) {
+    bool rest_lower = true;
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (!std::islower(static_cast<unsigned char>(token[i]))) {
+        rest_lower = false;
+        break;
+      }
+    }
+    if (rest_lower) return Lex::kC;
+  }
+  if (all_upper) return Lex::kU;
+  if (all_lower) return Lex::kL;
+  if (all_digit) return Lex::kN;
+  if (all_alnum) return Lex::kA;
+  return Lex::kP;
+}
+
+}  // namespace
+
+std::string FormatOf(std::string_view value) {
+  // Tokenize into maximal runs of (a) non-space non-punctuation characters
+  // and (b) punctuation characters; whitespace only separates tokens.
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool cur_is_punct = false;
+  auto is_punct = [](unsigned char u) { return !std::isalnum(u) && !std::isspace(u); };
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char c : value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isspace(u)) {
+      flush();
+      continue;
+    }
+    bool punct = is_punct(u);
+    if (!cur.empty() && punct != cur_is_punct) flush();
+    cur_is_punct = punct;
+    cur += c;
+  }
+  flush();
+
+  std::string format;
+  char last = '\0';
+  bool last_plused = false;
+  for (const std::string& tok : tokens) {
+    char sym = LexSymbol(ClassifyToken(tok));
+    if (sym == last) {
+      // Collapse consecutive identical symbols into "X+".
+      if (!last_plused) {
+        format += '+';
+        last_plused = true;
+      }
+    } else {
+      format += sym;
+      last = sym;
+      // Punctuation runs always render as "P+": P absorbs the variable-
+      // length separator region (the paper's example formats a single
+      // comma as P+ in "NC+P+A+").
+      if (sym == 'P') {
+        format += '+';
+        last_plused = true;
+      } else {
+        last_plused = false;
+      }
+    }
+  }
+  return format;
+}
+
+std::set<std::string> RSet(const std::vector<std::string>& extent) {
+  std::set<std::string> out;
+  for (const std::string& v : extent) {
+    std::string f = FormatOf(v);
+    if (!f.empty()) out.insert(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace d3l

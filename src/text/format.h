@@ -1,0 +1,30 @@
+// Format-describing "regular expression strings" (evidence type F,
+// Section III-B, get_regex_string).
+//
+// Primitive lexical classes, tried in this order (first full match wins):
+//   C = [A-Z][a-z]+   capitalized word
+//   U = [A-Z]+        all-caps run
+//   L = [a-z]+        all-lowercase run
+//   N = [0-9]+        digit run
+//   A = [A-Za-z0-9]+  alphanumeric mix
+//   P = [.,;:/-]+     punctuation (and any symbol not matched above)
+//
+// A value is tokenized into alternating non-space/punctuation runs; each
+// token maps to a class symbol, consecutive repeats collapse to "X+":
+// "18 Portland Street, M1 3BE"  ->  "NC+P+A+".
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d3l {
+
+/// \brief Returns the format string of one value, e.g. "NC+P+A+".
+std::string FormatOf(std::string_view value);
+
+/// \brief The rset of an extent: the set of format strings of its values.
+std::set<std::string> RSet(const std::vector<std::string>& extent);
+
+}  // namespace d3l

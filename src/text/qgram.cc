@@ -1,0 +1,31 @@
+#include "text/qgram.h"
+
+#include <cctype>
+
+namespace d3l {
+
+std::string NormalizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) out += static_cast<char>(std::tolower(u));
+  }
+  return out;
+}
+
+std::set<std::string> QGrams(std::string_view name, size_t q) {
+  std::set<std::string> grams;
+  std::string norm = NormalizeName(name);
+  if (norm.empty()) return grams;
+  if (norm.size() <= q) {
+    grams.insert(norm);
+    return grams;
+  }
+  for (size_t i = 0; i + q <= norm.size(); ++i) {
+    grams.insert(norm.substr(i, q));
+  }
+  return grams;
+}
+
+}  // namespace d3l

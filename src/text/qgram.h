@@ -1,0 +1,19 @@
+// q-gram extraction for attribute names (evidence type N, Section III-A).
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace d3l {
+
+/// \brief Computes the qset of a name: sliding q-grams over the lowercased,
+/// alphanumeric-normalized name. The paper uses q = 4 ("addr, ddre, dres,
+/// ress" for "Address"). Names shorter than q contribute themselves.
+std::set<std::string> QGrams(std::string_view name, size_t q = 4);
+
+/// \brief Lowercases and strips non-alphanumeric characters (the
+/// normalization applied before q-gram extraction).
+std::string NormalizeName(std::string_view name);
+
+}  // namespace d3l

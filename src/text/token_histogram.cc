@@ -1,0 +1,47 @@
+#include "text/token_histogram.h"
+
+#include <algorithm>
+
+namespace d3l {
+
+void TokenHistogram::Insert(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) {
+    ++counts_[t];
+    ++total_;
+  }
+}
+
+size_t TokenHistogram::CountOf(const std::string& token) const {
+  auto it = counts_.find(token);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+size_t TokenHistogram::MedianCount() const {
+  if (counts_.empty()) return 0;
+  std::vector<size_t> c;
+  c.reserve(counts_.size());
+  for (const auto& [tok, n] : counts_) c.push_back(n);
+  size_t mid = c.size() / 2;
+  std::nth_element(c.begin(), c.begin() + mid, c.end());
+  return c[mid];
+}
+
+std::vector<std::string> TokenHistogram::Infrequent() const {
+  size_t median = MedianCount();
+  std::vector<std::string> out;
+  for (const auto& [tok, n] : counts_) {
+    if (n <= median) out.push_back(tok);
+  }
+  return out;
+}
+
+std::vector<std::string> TokenHistogram::Frequent() const {
+  size_t median = MedianCount();
+  std::vector<std::string> out;
+  for (const auto& [tok, n] : counts_) {
+    if (n > median) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace d3l

@@ -1,0 +1,43 @@
+// Extent-wide token occurrence histogram (Algorithm 1, lines 5-14).
+//
+// The histogram drives the TF/IDF-like split used by D3L: per value part,
+// the *least* frequent word is an informative token (goes into the tset) and
+// the *most* frequent word indicates the domain-specific type (its embedding
+// goes into the attribute's embedding vector).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace d3l {
+
+class TokenHistogram {
+ public:
+  /// Inserts one occurrence of each token.
+  void Insert(const std::vector<std::string>& tokens);
+  void InsertOne(const std::string& token) { ++counts_[token]; }
+
+  size_t CountOf(const std::string& token) const;
+  size_t distinct_tokens() const { return counts_.size(); }
+  size_t total_occurrences() const { return total_; }
+
+  /// Tokens whose count is <= the median count ("infrequent", Algorithm 1
+  /// line 9). Ties at the median are included.
+  std::vector<std::string> Infrequent() const;
+
+  /// Tokens whose count is > the median count ("frequent", line 12).
+  std::vector<std::string> Frequent() const;
+
+  const std::unordered_map<std::string, size_t>& counts() const { return counts_; }
+
+ private:
+  size_t MedianCount() const;
+
+  std::unordered_map<std::string, size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace d3l

@@ -1,0 +1,54 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace d3l {
+
+bool IsPartDelimiter(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (std::isalnum(u) || std::isspace(u)) return false;
+  return true;  // every other symbol delimits parts (.,;:/- etc.)
+}
+
+std::vector<Part> SplitParts(std::string_view value) {
+  std::vector<Part> parts;
+  Part current;
+  std::string word;
+  auto flush_word = [&]() {
+    if (!word.empty()) {
+      current.words.push_back(word);
+      word.clear();
+    }
+  };
+  auto flush_part = [&]() {
+    flush_word();
+    if (!current.words.empty()) {
+      parts.push_back(std::move(current));
+      current = Part{};
+    }
+  };
+  for (char c : value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (IsPartDelimiter(c)) {
+      flush_part();
+    } else if (std::isspace(u)) {
+      flush_word();
+    } else {
+      word += static_cast<char>(std::tolower(u));
+    }
+  }
+  flush_part();
+  return parts;
+}
+
+std::vector<std::string> Tokenize(std::string_view value) {
+  std::vector<std::string> out;
+  for (Part& p : SplitParts(value)) {
+    for (std::string& w : p.words) {
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace d3l

@@ -1,0 +1,28 @@
+// Value tokenization following Section III-B / Example 2 of the paper:
+// a value (document) is split at punctuation characters into *parts*, and
+// each part is split at whitespace into lowercase *words*.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace d3l {
+
+/// \brief A contiguous punctuation-free segment of a value, as words.
+struct Part {
+  std::vector<std::string> words;
+};
+
+/// \brief True for characters that delimit parts (the paper's punctuation
+/// class: `.,;:/-` plus other non-alphanumeric, non-space symbols).
+bool IsPartDelimiter(char c);
+
+/// \brief Splits a value into parts at punctuation, each part into
+/// lowercased words at whitespace. Empty parts/words are dropped.
+std::vector<Part> SplitParts(std::string_view value);
+
+/// \brief All lowercased words of a value, across parts (get_tokens(v)).
+std::vector<std::string> Tokenize(std::string_view value);
+
+}  // namespace d3l

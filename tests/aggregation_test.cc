@@ -1,0 +1,153 @@
+#include "core/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace d3l::core {
+namespace {
+
+TEST(DistanceDistributionsTest, CcdfWeightsFavourSmallDistances) {
+  DistanceDistributions dists(1);
+  for (double d : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    dists.Observe(0, Evidence::kValue, d);
+  }
+  dists.Finalize();
+  double w_small = dists.Weight(0, Evidence::kValue, 0.1);
+  double w_mid = dists.Weight(0, Evidence::kValue, 0.5);
+  double w_large = dists.Weight(0, Evidence::kValue, 0.9);
+  EXPECT_DOUBLE_EQ(w_small, 0.8);  // 4 of 5 observations exceed 0.1
+  EXPECT_DOUBLE_EQ(w_mid, 0.4);
+  EXPECT_GT(w_small, w_mid);
+  EXPECT_GT(w_mid, w_large);
+  EXPECT_GT(w_large, 0);  // floored, never exactly zero
+}
+
+TEST(DistanceDistributionsTest, EmptyDistributionGivesFloorWeight) {
+  DistanceDistributions dists(1);
+  dists.Finalize();
+  EXPECT_GT(dists.Weight(0, Evidence::kName, 0.2), 0);
+  EXPECT_LT(dists.Weight(0, Evidence::kName, 0.2), 1e-3);
+}
+
+TEST(DistanceDistributionsTest, PerColumnIsolation) {
+  DistanceDistributions dists(2);
+  dists.Observe(0, Evidence::kName, 0.1);
+  dists.Observe(0, Evidence::kName, 0.9);
+  dists.Observe(1, Evidence::kName, 0.5);
+  dists.Finalize();
+  // Column 0 has two observations; column 1's single observation does not
+  // affect column 0's CCDF.
+  EXPECT_DOUBLE_EQ(dists.Weight(0, Evidence::kName, 0.1), 0.5);
+  EXPECT_NEAR(dists.Weight(1, Evidence::kName, 0.4), 1.0, 1e-9);
+}
+
+PairDistances Row(uint32_t col, uint32_t attr, DistanceVector d) {
+  PairDistances r;
+  r.target_column = col;
+  r.attribute_id = attr;
+  r.d = d;
+  return r;
+}
+
+TEST(AggregateDatasetTest, SingleRowPassesThrough) {
+  DistanceDistributions dists(1);
+  DistanceVector d = {0.2, 0.4, 0.6, 0.8, 1.0};
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    dists.Observe(0, static_cast<Evidence>(t), d[t]);
+    dists.Observe(0, static_cast<Evidence>(t), 0.99);  // a worse candidate
+  }
+  dists.Finalize();
+  DistanceVector out = AggregateDataset({Row(0, 0, d)}, dists);
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    EXPECT_NEAR(out[t], d[t], 1e-9) << "evidence " << t;
+  }
+}
+
+TEST(AggregateDatasetTest, WeightedAverageFavoursStrongPairs) {
+  // Two rows; the first is the best candidate in the lake for its column
+  // (weight ~1), the second the worst (weight ~floor). Eq. 1 should land
+  // near the first row's distance.
+  DistanceDistributions dists(2);
+  for (double d : {0.1, 0.5, 0.7, 0.9}) dists.Observe(0, Evidence::kValue, d);
+  for (double d : {0.1, 0.5, 0.7, 0.9}) dists.Observe(1, Evidence::kValue, d);
+  dists.Finalize();
+
+  DistanceVector strong = MaxDistances();
+  strong[static_cast<size_t>(Evidence::kValue)] = 0.1;
+  DistanceVector weak = MaxDistances();
+  weak[static_cast<size_t>(Evidence::kValue)] = 0.9;
+
+  DistanceVector out = AggregateDataset({Row(0, 0, strong), Row(1, 1, weak)}, dists);
+  double v = out[static_cast<size_t>(Evidence::kValue)];
+  EXPECT_LT(v, 0.35);  // pulled toward 0.1, not the plain mean 0.5
+}
+
+TEST(AggregateDatasetTest, EmptyRowsGiveMaxDistances) {
+  DistanceDistributions dists(1);
+  dists.Finalize();
+  DistanceVector out = AggregateDataset({}, dists);
+  EXPECT_EQ(out, MaxDistances());
+}
+
+TEST(AggregateDatasetTest, DegenerateDistributionFallsBackGracefully) {
+  // All candidates at the same distance: CCDF is 0 everywhere; the floor
+  // keeps Eq. 1 well-defined and equal to that distance.
+  DistanceDistributions dists(1);
+  for (int i = 0; i < 4; ++i) dists.Observe(0, Evidence::kName, 0.5);
+  dists.Finalize();
+  DistanceVector d = MaxDistances();
+  d[0] = 0.5;
+  DistanceVector out = AggregateDataset({Row(0, 0, d)}, dists);
+  EXPECT_NEAR(out[0], 0.5, 1e-9);
+}
+
+TEST(CombineDistancesTest, WeightedL2Formula) {
+  // Eq. 3: sqrt( sum (w_t * dv_t)^2 / sum w_t ).
+  EvidenceWeights w = EvidenceWeights::Uniform();
+  DistanceVector dv = {1, 1, 1, 1, 1};
+  double expected = std::sqrt(5 * (0.2 * 0.2) / 1.0);
+  EXPECT_NEAR(CombineDistances(dv, w), expected, 1e-12);
+}
+
+TEST(CombineDistancesTest, ZeroVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(CombineDistances({0, 0, 0, 0, 0}, EvidenceWeights::Default()), 0.0);
+}
+
+TEST(CombineDistancesTest, MonotoneInEachComponent) {
+  EvidenceWeights w = EvidenceWeights::Default();
+  DistanceVector lo = {0.2, 0.2, 0.2, 0.2, 0.2};
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    DistanceVector hi = lo;
+    hi[t] = 0.8;
+    EXPECT_GT(CombineDistances(hi, w), CombineDistances(lo, w)) << t;
+  }
+}
+
+TEST(CombineDistancesTest, ZeroWeightsIgnoreComponent) {
+  EvidenceWeights w;
+  w.w = {1, 0, 0, 0, 0};
+  DistanceVector a = {0.3, 1.0, 1.0, 1.0, 1.0};
+  DistanceVector b = {0.3, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(CombineDistances(a, w), CombineDistances(b, w));
+}
+
+TEST(CombineDistancesTest, AllZeroWeightsReturnOne) {
+  EvidenceWeights w;
+  w.w = {0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(CombineDistances({0.5, 0.5, 0.5, 0.5, 0.5}, w), 1.0);
+}
+
+TEST(EvidenceWeightsTest, DefaultsSumToOneAndFavourValue) {
+  EvidenceWeights w = EvidenceWeights::Default();
+  double sum = 0;
+  for (double x : w.w) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Experiment 1: value evidence is the strongest individual signal,
+  // format the weakest.
+  EXPECT_GT(w.w[static_cast<size_t>(Evidence::kValue)],
+            w.w[static_cast<size_t>(Evidence::kFormat)]);
+}
+
+}  // namespace
+}  // namespace d3l::core

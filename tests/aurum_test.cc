@@ -1,0 +1,105 @@
+#include "baselines/aurum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace d3l::baselines {
+namespace {
+
+class AurumTest : public ::testing::Test {
+ protected:
+  AurumEngine engine_;
+};
+
+TEST_F(AurumTest, SearchBeforeBuildFails) {
+  EXPECT_FALSE(engine_.Search(testutil::FigureTarget(), 3).ok());
+}
+
+TEST_F(AurumTest, BuildsGraphWithEdges) {
+  DataLake lake = testutil::FigureLake(4);
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  const AurumBuildStats& s = engine_.build_stats();
+  EXPECT_GT(s.num_nodes, 0u);
+  EXPECT_GT(s.num_edges, 0u);  // the GP tables' columns must connect
+  EXPECT_GT(s.index_bytes, 0u);
+  EXPECT_TRUE(engine_.BuildEkg(lake).IsInvalidArgument());
+}
+
+TEST_F(AurumTest, CertaintyRankingFindsGpTables) {
+  DataLake lake = testutil::FigureLake(5);
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  auto res = engine_.Search(testutil::FigureTarget(), 3);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  std::string top = lake.table(res->ranked[0].table_index).name();
+  EXPECT_TRUE(top.find("gp") != std::string::npos ||
+              top.find("local") != std::string::npos)
+      << top;
+  for (size_t i = 1; i < res->ranked.size(); ++i) {
+    EXPECT_GE(res->ranked[i - 1].score, res->ranked[i].score);
+  }
+}
+
+TEST_F(AurumTest, PkFkCandidatesDetected) {
+  DataLake lake;
+  // Practice names: near-unique on both sides with heavy containment — a
+  // textbook PK/FK candidate.
+  lake.AddTable(testutil::FigureS1()).CheckOK();
+  lake.AddTable(testutil::FigureS2()).CheckOK();
+  lake.AddTable(testutil::FigureS3()).CheckOK();
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  EXPECT_GT(engine_.num_fk_edges(), 0u);
+}
+
+TEST_F(AurumTest, JoinExpandReachesFkNeighbours) {
+  DataLake lake = testutil::FigureLake(3);
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  int s1 = lake.TableIndex("s1_gp_practices");
+  ASSERT_GE(s1, 0);
+  auto expanded = engine_.JoinExpand({static_cast<uint32_t>(s1)}, 2);
+  // Expansion must not include the seed itself.
+  EXPECT_EQ(std::count(expanded.begin(), expanded.end(), static_cast<uint32_t>(s1)),
+            0);
+  // With FK edges present, some GP neighbour should be reachable.
+  if (engine_.num_fk_edges() > 0) {
+    EXPECT_FALSE(expanded.empty());
+  }
+}
+
+TEST_F(AurumTest, AlignmentsReported) {
+  DataLake lake = testutil::FigureLake(2);
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  auto res = engine_.Search(testutil::FigureTarget(), 2);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  EXPECT_FALSE(res->ranked[0].alignments.empty());
+  EXPECT_FALSE(res->candidate_alignments.empty());
+}
+
+TEST_F(AurumTest, NumericColumnsProfiledWithRanges) {
+  DataLake lake;
+  lake.AddTable(testutil::MakeTable("a", {"ID", "Amount"},
+                                    {{"x1", "10"}, {"x2", "20"}, {"x3", "30"}}))
+      .CheckOK();
+  lake.AddTable(testutil::MakeTable("b", {"Key", "Amount"},
+                                    {{"y1", "12"}, {"y2", "22"}, {"y3", "28"}}))
+      .CheckOK();
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  // Overlapping ranges with identical names must produce an edge between
+  // the two Amount columns.
+  EXPECT_GT(engine_.num_graph_edges(), 0u);
+}
+
+TEST_F(AurumTest, GraphDominatesBuildTimeOnLargerInput) {
+  DataLake lake = testutil::FigureLake(30);
+  ASSERT_TRUE(engine_.BuildEkg(lake).ok());
+  // Not a strict timing assertion (too flaky); both phases must be timed.
+  EXPECT_GE(engine_.build_stats().profile_seconds, 0.0);
+  EXPECT_GE(engine_.build_stats().graph_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace d3l::baselines

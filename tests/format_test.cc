@@ -1,0 +1,74 @@
+#include "text/format.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l {
+namespace {
+
+TEST(FormatTest, PaperExample) {
+  // Section III-B: "18 Portland Street, M1 3BE" -> NC+P+A+ (N, then two
+  // capitalized words collapsing to C+, punctuation, two alnum tokens).
+  EXPECT_EQ(FormatOf("18 Portland Street, M1 3BE"), "NC+P+A+");
+}
+
+TEST(FormatTest, PrimitiveClasses) {
+  EXPECT_EQ(FormatOf("Hello"), "C");    // [A-Z][a-z]+
+  EXPECT_EQ(FormatOf("HELLO"), "U");    // [A-Z]+
+  EXPECT_EQ(FormatOf("hello"), "L");    // [a-z]+
+  EXPECT_EQ(FormatOf("12345"), "N");    // [0-9]+
+  EXPECT_EQ(FormatOf("M13"), "A");      // alnum mix
+  EXPECT_EQ(FormatOf("..."), "P+");     // punctuation always renders P+
+}
+
+TEST(FormatTest, FirstMatchOrder) {
+  // Single uppercase letter: not C (needs lowercase tail), so U.
+  EXPECT_EQ(FormatOf("X"), "U");
+  // Mixed case beyond C's shape falls through to A.
+  EXPECT_EQ(FormatOf("McDonald"), "A");
+}
+
+TEST(FormatTest, ConsecutiveCollapse) {
+  EXPECT_EQ(FormatOf("one two three"), "L+");
+  EXPECT_EQ(FormatOf("One Two three"), "C+L");
+  EXPECT_EQ(FormatOf("1 2 3 4"), "N+");
+}
+
+TEST(FormatTest, PunctuationRunsSeparateFromWords) {
+  EXPECT_EQ(FormatOf("a-b"), "LP+L");
+  EXPECT_EQ(FormatOf("a--b"), "LP+L");   // the run "--" is one P token
+  EXPECT_EQ(FormatOf("a- -b"), "LP+L");  // two P tokens collapse into P+
+}
+
+TEST(FormatTest, StructuredValues) {
+  EXPECT_EQ(FormatOf("08:00-18:00"), "NP+NP+NP+N");
+  EXPECT_EQ(FormatOf("2019-03-12"), "NP+NP+N");
+  EXPECT_EQ(FormatOf("john.smith@mail.co.uk"), "LP+LP+LP+LP+L");
+}
+
+TEST(FormatTest, EmptyValue) { EXPECT_EQ(FormatOf(""), ""); }
+
+TEST(FormatTest, RSetDeduplicates) {
+  auto rset = RSet({"2019-03-12", "2020-11-01", "12 Mar 2019", ""});
+  // Two ISO dates share a format; the textual date differs; empty is dropped.
+  EXPECT_EQ(rset.size(), 2u);
+  EXPECT_TRUE(rset.count("NP+NP+N"));
+}
+
+class FormatStabilityTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(FormatStabilityTest, SameDomainSameFormat) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(FormatOf(a), FormatOf(b)) << a << " vs " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SameFormatPairs, FormatStabilityTest,
+    ::testing::Values(std::make_pair("M3 6AF", "BT7 1JL"),
+                      std::make_pair("2019-01-02", "2021-12-30"),
+                      std::make_pair("08:00-18:00", "07:30-20:15"),
+                      std::make_pair("0161 496 0123", "0151 336 9876"),
+                      std::make_pair("john.smith@mail.com", "a.b@c.org")));
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/dirt.h"
+#include "common/string_util.h"
+#include "benchdata/domains.h"
+#include "benchdata/realish_gen.h"
+#include "benchdata/synthetic_gen.h"
+
+namespace d3l::benchdata {
+namespace {
+
+TEST(DomainsTest, RegistryShape) {
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  EXPECT_GT(reg.size(), 25u);
+  EXPECT_FALSE(reg.EntityDomains().empty());
+  EXPECT_FALSE(reg.NumericDomains().empty());
+  for (const DomainSpec& s : reg.domains()) {
+    EXPECT_FALSE(s.name_synonyms.empty()) << s.name;
+    EXPECT_GE(s.num_variants, 1u) << s.name;
+  }
+}
+
+TEST(DomainsTest, ValuesAreDeterministicGivenSeed) {
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  for (const DomainSpec& s : reg.domains()) {
+    Rng r1(42);
+    Rng r2(42);
+    EXPECT_EQ(reg.GenerateValue(s.id, 0, &r1), reg.GenerateValue(s.id, 0, &r2))
+        << s.name;
+  }
+}
+
+TEST(DomainsTest, NumericDomainsGenerateNumbers) {
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  Rng rng(7);
+  for (uint32_t id : reg.NumericDomains()) {
+    for (int i = 0; i < 20; ++i) {
+      std::string v = reg.GenerateValue(id, 0, &rng);
+      EXPECT_TRUE(LooksNumeric(v)) << reg.spec(id).name << ": " << v;
+    }
+  }
+}
+
+TEST(DomainsTest, NumericDistributionsDiffer) {
+  // KS evidence needs distinguishable numeric domains.
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  Rng rng(9);
+  auto sample = [&](const char* name) {
+    std::vector<double> xs;
+    uint32_t id = reg.IdOf(name);
+    for (int i = 0; i < 300; ++i) {
+      xs.push_back(*ParseDouble(reg.GenerateValue(id, 0, &rng)));
+    }
+    return xs;
+  };
+  auto age = sample("age");
+  auto money = sample("money");
+  double max_age = *std::max_element(age.begin(), age.end());
+  double max_money = *std::max_element(money.begin(), money.end());
+  EXPECT_LE(max_age, 99);
+  EXPECT_GT(max_money, 1000);
+}
+
+TEST(DomainsTest, VariantsChangeRepresentation) {
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  uint32_t date = reg.IdOf("date");
+  Rng r1(5);
+  Rng r2(5);
+  std::string iso = reg.GenerateValue(date, 0, &r1);
+  std::string slashed = reg.GenerateValue(date, 1, &r2);
+  EXPECT_NE(iso.find('-'), std::string::npos);
+  EXPECT_NE(slashed.find('/'), std::string::npos);
+}
+
+TEST(DomainsTest, KbVocabularyCoversEntityTokens) {
+  const DomainRegistry& reg = DomainRegistry::Instance();
+  auto vocab = reg.BuildKbVocabulary();
+  EXPECT_GT(vocab.size(), 200u);
+  ASSERT_TRUE(vocab.count("manchester"));
+  // "manchester" belongs to the city domain (and possibly school).
+  bool has_city = false;
+  for (uint32_t c : vocab["manchester"]) {
+    if (c == reg.IdOf("city")) has_city = true;
+  }
+  EXPECT_TRUE(has_city);
+}
+
+TEST(DirtTest, TransformsAreBoundedEdits) {
+  Rng rng(3);
+  std::string typo = ApplyTypo("manchester", &rng);
+  EXPECT_NE(typo, "manchester");
+  EXPECT_NEAR(static_cast<double>(typo.size()), 10.0, 1.0);
+  std::string abbrev = AbbreviateWord("Portland Street", &rng);
+  EXPECT_LT(abbrev.size(), std::string("Portland Street").size());
+  EXPECT_NE(abbrev.find('.'), std::string::npos);
+  // Short strings pass through untouched.
+  EXPECT_EQ(ApplyTypo("ab", &rng), "ab");
+  EXPECT_EQ(AbbreviateWord("ab cd", &rng), "ab cd");
+}
+
+TEST(DirtTest, ZeroProbabilityIsIdentity) {
+  DirtOptions clean;
+  clean.typo_prob = clean.abbrev_prob = clean.case_prob = clean.null_prob = 0;
+  Rng rng(4);
+  EXPECT_EQ(DirtyValue("Bolton Medical", clean, &rng), "Bolton Medical");
+}
+
+TEST(SyntheticGenTest, ShapeAndDeterminism) {
+  SyntheticOptions opts;
+  opts.num_base_tables = 4;
+  opts.derived_per_base = 5;
+  opts.seed = 3;
+  auto a = GenerateSynthetic(opts);
+  auto b = GenerateSynthetic(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->lake.size(), 4u * 6u);
+  ASSERT_EQ(a->lake.size(), b->lake.size());
+  for (size_t i = 0; i < a->lake.size(); ++i) {
+    EXPECT_EQ(a->lake.table(i).name(), b->lake.table(i).name());
+    EXPECT_EQ(a->lake.table(i).num_rows(), b->lake.table(i).num_rows());
+  }
+}
+
+TEST(SyntheticGenTest, DerivedTablesRelatedToBase) {
+  SyntheticOptions opts;
+  opts.num_base_tables = 3;
+  opts.derived_per_base = 4;
+  opts.seed = 11;
+  auto gen = GenerateSynthetic(opts);
+  ASSERT_TRUE(gen.ok());
+  // Every derived table is related to its base and to its siblings.
+  EXPECT_TRUE(gen->truth.TablesRelated("synth_0_0", "synth_base_0"));
+  EXPECT_TRUE(gen->truth.TablesRelated("synth_0_0", "synth_0_1"));
+  // Different bases are unrelated (labels are base-scoped).
+  EXPECT_FALSE(gen->truth.TablesRelated("synth_0_0", "synth_1_0"));
+  EXPECT_FALSE(gen->truth.TablesRelated("synth_base_0", "synth_base_1"));
+}
+
+TEST(SyntheticGenTest, DerivedRowsComeFromBase) {
+  SyntheticOptions opts;
+  opts.num_base_tables = 1;
+  opts.derived_per_base = 2;
+  opts.seed = 19;
+  auto gen = GenerateSynthetic(opts);
+  ASSERT_TRUE(gen.ok());
+  int base_idx = gen->lake.TableIndex("synth_base_0");
+  int der_idx = gen->lake.TableIndex("synth_0_0");
+  ASSERT_GE(base_idx, 0);
+  ASSERT_GE(der_idx, 0);
+  const Table& base = gen->lake.table(static_cast<size_t>(base_idx));
+  const Table& der = gen->lake.table(static_cast<size_t>(der_idx));
+  EXPECT_LE(der.num_columns(), base.num_columns());
+  EXPECT_LE(der.num_rows(), base.num_rows());
+  // Spot-check: every derived cell of column 0 appears in some base column.
+  std::unordered_set<std::string> base_values;
+  for (const Column& c : base.columns()) {
+    for (const std::string& v : c.cells()) base_values.insert(v);
+  }
+  for (size_t r = 0; r < der.num_rows(); ++r) {
+    EXPECT_TRUE(base_values.count(der.column(0).cell(r)));
+  }
+}
+
+TEST(RealishGenTest, ShapeAndGroundTruth) {
+  RealishOptions opts;
+  opts.num_clusters = 6;
+  opts.tables_per_cluster_min = 3;
+  opts.tables_per_cluster_max = 5;
+  opts.seed = 13;
+  auto gen = GenerateRealish(opts);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_GE(gen->lake.size(), 18u);
+  EXPECT_LE(gen->lake.size(), 30u);
+  // Every table has labels in the truth.
+  for (const Table& t : gen->lake.tables()) {
+    EXPECT_TRUE(gen->truth.HasTable(t.name())) << t.name();
+  }
+  // Same-cluster tables share domains: related.
+  EXPECT_GT(gen->truth.RelatedCount(gen->lake.table(0).name()), 0u);
+}
+
+TEST(RealishGenTest, NumericRatioHigherThanSynthetic) {
+  RealishOptions ropts;
+  ropts.num_clusters = 10;
+  ropts.seed = 21;
+  auto real = GenerateRealish(ropts);
+  ASSERT_TRUE(real.ok());
+  SyntheticOptions sopts;
+  sopts.num_base_tables = 6;
+  sopts.derived_per_base = 9;
+  sopts.seed = 21;
+  auto synth = GenerateSynthetic(sopts);
+  ASSERT_TRUE(synth.ok());
+  // Paper Fig. 2c: the real repository is more numeric.
+  EXPECT_GT(real->lake.Stats().numeric_ratio, synth->lake.Stats().numeric_ratio);
+}
+
+TEST(RealishGenTest, ClusterTablesShareEntityValues) {
+  RealishOptions opts;
+  opts.num_clusters = 1;
+  opts.tables_per_cluster_min = 4;
+  opts.tables_per_cluster_max = 4;
+  opts.entity_domain_prob = 1.0;
+  opts.dirt.null_prob = 0;
+  opts.dirt.typo_prob = 0;
+  opts.dirt.abbrev_prob = 0;
+  opts.dirt.case_prob = 0;
+  opts.seed = 23;
+  auto gen = GenerateRealish(opts);
+  ASSERT_TRUE(gen.ok());
+  ASSERT_EQ(gen->lake.size(), 4u);
+  // Entity columns (col 0) of two cluster tables overlap on values.
+  std::unordered_set<std::string> a;
+  for (const std::string& v : gen->lake.table(0).column(0).cells()) a.insert(v);
+  size_t shared = 0;
+  for (const std::string& v : gen->lake.table(1).column(0).cells()) {
+    if (a.count(v)) ++shared;
+  }
+  EXPECT_GT(shared, 5u);
+}
+
+TEST(RealishGenTest, LargerRealOptionsScale) {
+  RealishOptions o = LargerRealOptions(800);
+  EXPECT_EQ(o.num_clusters, 100u);
+  auto gen = GenerateRealish(LargerRealOptions(80, 3));
+  ASSERT_TRUE(gen.ok());
+  EXPECT_GE(gen->lake.size(), 40u);
+}
+
+TEST(GroundTruthTest, BasicRelations) {
+  GroundTruth gt;
+  gt.SetTableLabels("t1", {1, 2, 0});
+  gt.SetTableLabels("t2", {2, 3});
+  gt.SetTableLabels("t3", {4});
+  EXPECT_TRUE(gt.TablesRelated("t1", "t2"));
+  EXPECT_FALSE(gt.TablesRelated("t1", "t3"));
+  EXPECT_FALSE(gt.TablesRelated("t1", "absent"));
+  EXPECT_TRUE(gt.AttributesRelated("t1", 1, "t2", 0));
+  EXPECT_FALSE(gt.AttributesRelated("t1", 0, "t2", 0));
+  // Label 0 is "unlabeled": never related.
+  gt.SetTableLabels("t4", {0});
+  EXPECT_FALSE(gt.AttributesRelated("t1", 2, "t4", 0));
+  EXPECT_EQ(gt.RelatedCount("t1"), 1u);
+  auto covered = gt.CoveredColumns("t1", "t2");
+  ASSERT_EQ(covered.size(), 1u);
+  EXPECT_EQ(covered[0], 1u);
+  EXPECT_GT(gt.AverageAnswerSize(), 0.0);
+}
+
+}  // namespace
+}  // namespace d3l::benchdata

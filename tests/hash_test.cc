@@ -1,0 +1,120 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace d3l {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString("hello", 1), HashString("hello", 2));
+}
+
+TEST(HashTest, EmptyInputIsStable) {
+  EXPECT_EQ(HashString(""), HashString(""));
+  EXPECT_NE(HashString("", 1), HashString("", 2));
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashFamilyTest, FunctionsAreIndependent) {
+  HashFamily family(16, 99);
+  EXPECT_EQ(family.size(), 16u);
+  uint64_t key = HashString("value");
+  std::set<uint64_t> values;
+  for (size_t i = 0; i < family.size(); ++i) {
+    values.insert(family.Apply(i, key));
+  }
+  EXPECT_EQ(values.size(), 16u);  // all functions map the key differently
+  // Same seed -> same family.
+  HashFamily family2(16, 99);
+  for (size_t i = 0; i < family.size(); ++i) {
+    EXPECT_EQ(family.Apply(i, key), family2.Apply(i, key));
+  }
+}
+
+TEST(GaussianFromKeyTest, RoughlyStandardNormal) {
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = GaussianFromKey(static_cast<uint64_t>(i) * 2654435761ULL);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, DeterministicAndUniform) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(123);
+  int buckets[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    buckets[r.Uniform(10)]++;
+  }
+  for (int c : buckets) {
+    EXPECT_NEAR(c, n / 10, n / 100);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng r(9);
+  auto idx = r.SampleIndices(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 30u);
+  // Clamped when k > n.
+  auto all = r.SampleIndices(5, 50);
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(31);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.04);
+}
+
+}  // namespace
+}  // namespace d3l

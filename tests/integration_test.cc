@@ -1,0 +1,276 @@
+// End-to-end integration tests: D3L against generated benchmarks with
+// ground truth, echoing (at reduced scale) the paper's experimental claims.
+#include <gtest/gtest.h>
+
+#include "baselines/tus.h"
+#include "benchdata/domains.h"
+#include "benchdata/realish_gen.h"
+#include "benchdata/synthetic_gen.h"
+#include "core/join_graph.h"
+#include "core/query.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace d3l {
+namespace {
+
+using core::D3LEngine;
+using core::D3LOptions;
+using core::SearchResult;
+using eval::RankedTable;
+
+// Shared fixtures are expensive; build once per suite.
+class SyntheticIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchdata::SyntheticOptions opts;
+    opts.num_base_tables = 10;
+    opts.derived_per_base = 9;
+    opts.base_rows_min = 80;
+    opts.base_rows_max = 160;
+    opts.seed = 101;
+    auto gen = benchdata::GenerateSynthetic(opts);
+    ASSERT_TRUE(gen.ok());
+    data_ = new benchdata::GeneratedLake(std::move(*gen));
+    engine_ = new D3LEngine();
+    ASSERT_TRUE(engine_->IndexLake(data_->lake).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete data_;
+    engine_ = nullptr;
+    data_ = nullptr;
+  }
+
+  std::vector<std::string> RankedNames(const SearchResult& res) {
+    std::vector<std::string> names;
+    for (const auto& m : res.ranked) {
+      names.push_back(data_->lake.table(m.table_index).name());
+    }
+    return names;
+  }
+
+  static benchdata::GeneratedLake* data_;
+  static D3LEngine* engine_;
+};
+
+benchdata::GeneratedLake* SyntheticIntegrationTest::data_ = nullptr;
+D3LEngine* SyntheticIntegrationTest::engine_ = nullptr;
+
+TEST_F(SyntheticIntegrationTest, HighPrecisionAtSmallK) {
+  // Experiment 2's headline: D3L is highly precise for small k.
+  auto targets = eval::SampleTargets(data_->lake, 10, 7);
+  double precision_sum = 0;
+  for (uint32_t t : targets) {
+    auto res = engine_->Search(data_->lake.table(t), 5);
+    ASSERT_TRUE(res.ok());
+    auto e = eval::EvaluateTopK(RankedNames(*res), data_->lake.table(t).name(),
+                                data_->truth);
+    precision_sum += e.precision;
+  }
+  EXPECT_GE(precision_sum / 10, 0.8);
+}
+
+TEST_F(SyntheticIntegrationTest, RecallGrowsWithK) {
+  auto targets = eval::SampleTargets(data_->lake, 6, 13);
+  double recall_small = 0;
+  double recall_large = 0;
+  for (uint32_t t : targets) {
+    const Table& target = data_->lake.table(t);
+    auto res5 = engine_->Search(target, 5);
+    auto res40 = engine_->Search(target, 40);
+    ASSERT_TRUE(res5.ok());
+    ASSERT_TRUE(res40.ok());
+    recall_small +=
+        eval::EvaluateTopK(RankedNames(*res5), target.name(), data_->truth).recall;
+    recall_large +=
+        eval::EvaluateTopK(RankedNames(*res40), target.name(), data_->truth).recall;
+  }
+  EXPECT_GT(recall_large, recall_small);
+  EXPECT_GE(recall_large / 6, 0.5);
+}
+
+TEST_F(SyntheticIntegrationTest, AggregateBeatsWorstIndividualEvidence) {
+  // Experiment 1's shape: the combined framework is at least as good as
+  // weak individual evidence types (format is the weakest).
+  auto targets = eval::SampleTargets(data_->lake, 6, 29);
+
+  D3LOptions format_only;
+  format_only.enabled = {false, false, true, false, false};
+  D3LEngine format_engine(format_only);
+  ASSERT_TRUE(format_engine.IndexLake(data_->lake).ok());
+
+  double agg = 0;
+  double fmt = 0;
+  for (uint32_t t : targets) {
+    const Table& target = data_->lake.table(t);
+    auto res_a = engine_->Search(target, 20);
+    auto res_f = format_engine.Search(target, 20);
+    ASSERT_TRUE(res_a.ok());
+    ASSERT_TRUE(res_f.ok());
+    agg += eval::EvaluateTopK(RankedNames(*res_a), target.name(), data_->truth)
+               .precision;
+    fmt += eval::EvaluateTopK(RankedNames(*res_f), target.name(), data_->truth)
+               .precision;
+  }
+  EXPECT_GE(agg, fmt);
+}
+
+TEST_F(SyntheticIntegrationTest, SelfIsNearestWhenQueried) {
+  // A table drawn from the lake should retrieve itself at distance ~0.
+  const Table& self = data_->lake.table(3);
+  auto res = engine_->Search(self, 3);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  EXPECT_EQ(res->ranked[0].table_index, 3u);
+  EXPECT_LT(res->ranked[0].distance, 0.15);
+}
+
+class RealishIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchdata::RealishOptions opts;
+    opts.num_clusters = 12;
+    opts.tables_per_cluster_min = 4;
+    opts.tables_per_cluster_max = 7;
+    opts.rows_min = 50;
+    opts.rows_max = 120;
+    opts.seed = 201;
+    auto gen = benchdata::GenerateRealish(opts);
+    ASSERT_TRUE(gen.ok());
+    data_ = new benchdata::GeneratedLake(std::move(*gen));
+    engine_ = new D3LEngine();
+    ASSERT_TRUE(engine_->IndexLake(data_->lake).ok());
+    graph_ = new core::SaJoinGraph(core::SaJoinGraph::Build(*engine_));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete engine_;
+    delete data_;
+    graph_ = nullptr;
+    engine_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static benchdata::GeneratedLake* data_;
+  static D3LEngine* engine_;
+  static core::SaJoinGraph* graph_;
+};
+
+benchdata::GeneratedLake* RealishIntegrationTest::data_ = nullptr;
+D3LEngine* RealishIntegrationTest::engine_ = nullptr;
+core::SaJoinGraph* RealishIntegrationTest::graph_ = nullptr;
+
+TEST_F(RealishIntegrationTest, FindsRelatedTablesDespiteDirt) {
+  auto targets = eval::SampleTargets(data_->lake, 8, 5);
+  double precision = 0;
+  for (uint32_t t : targets) {
+    const Table& target = data_->lake.table(t);
+    auto res = engine_->Search(target, 10);
+    ASSERT_TRUE(res.ok());
+    std::vector<std::string> names;
+    for (const auto& m : res->ranked) {
+      names.push_back(data_->lake.table(m.table_index).name());
+    }
+    precision += eval::EvaluateTopK(names, target.name(), data_->truth).precision;
+  }
+  EXPECT_GE(precision / 8, 0.5);
+}
+
+TEST_F(RealishIntegrationTest, JoinGraphConnectsClusters) {
+  // Cluster tables share entity pools: the SA-join graph must not be empty.
+  EXPECT_GT(graph_->num_edges(), 0u);
+}
+
+TEST_F(RealishIntegrationTest, JoinPathsImproveCoverage) {
+  // Experiments 8/10: join paths increase average target coverage.
+  auto targets = eval::SampleTargets(data_->lake, 6, 17);
+  double cov_plain_sum = 0;
+  double cov_join_sum = 0;
+  size_t counted = 0;
+  for (uint32_t t : targets) {
+    const Table& target = data_->lake.table(t);
+    auto res = engine_->Search(target, 8);
+    ASSERT_TRUE(res.ok());
+    if (res->ranked.empty()) continue;
+
+    std::vector<RankedTable> topk;
+    for (const auto& m : res->ranked) {
+      RankedTable rt;
+      rt.name = data_->lake.table(m.table_index).name();
+      for (const auto& p : m.pairs) {
+        rt.alignments.push_back(
+            {p.target_column, engine_->indexes().profile(p.attribute_id).ref.column});
+      }
+      topk.push_back(std::move(rt));
+    }
+
+    std::vector<std::vector<RankedTable>> joins(topk.size());
+    std::unordered_set<uint32_t> top_set;
+    for (const auto& m : res->ranked) top_set.insert(m.table_index);
+    std::unordered_set<uint32_t> related;
+    for (const auto& [ti, a] : res->candidate_alignments) related.insert(ti);
+
+    for (size_t i = 0; i < res->ranked.size(); ++i) {
+      auto paths = core::FindJoinPaths(*graph_, res->ranked[i].table_index, top_set,
+                                       related);
+      std::unordered_set<uint32_t> path_tables;
+      for (const auto& p : paths) {
+        for (size_t j = 1; j < p.tables.size(); ++j) path_tables.insert(p.tables[j]);
+      }
+      for (uint32_t pt : path_tables) {
+        RankedTable rt;
+        rt.name = data_->lake.table(pt).name();
+        auto it = res->candidate_alignments.find(pt);
+        if (it != res->candidate_alignments.end()) {
+          for (const auto& [tc, attr] : it->second) {
+            rt.alignments.push_back({tc, engine_->indexes().profile(attr).ref.column});
+          }
+        }
+        joins[i].push_back(std::move(rt));
+      }
+    }
+
+    cov_plain_sum += eval::AverageCoverage(topk, target.num_columns());
+    cov_join_sum +=
+        eval::AverageJoinCoverage(topk, joins, target.num_columns());
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GE(cov_join_sum, cov_plain_sum);  // joins never hurt coverage
+  EXPECT_GT(cov_plain_sum / static_cast<double>(counted), 0.2);
+}
+
+TEST_F(RealishIntegrationTest, D3LBeatsTusOnDirtyData) {
+  // Experiment 3's shape: on dirty data D3L's fine-grained features beat
+  // TUS's equality-leaning value evidence.
+  baselines::YagoKb kb(benchdata::DomainRegistry::Instance().BuildKbVocabulary());
+  SubwordHashModel wem;
+  baselines::TusEngine tus(baselines::TusOptions{}, &kb, &wem);
+  ASSERT_TRUE(tus.IndexLake(data_->lake).ok());
+
+  auto targets = eval::SampleTargets(data_->lake, 8, 23);
+  double d3l_prec = 0;
+  double tus_prec = 0;
+  for (uint32_t t : targets) {
+    const Table& target = data_->lake.table(t);
+    auto res_d = engine_->Search(target, 10);
+    auto res_t = tus.Search(target, 10);
+    ASSERT_TRUE(res_d.ok());
+    ASSERT_TRUE(res_t.ok());
+    std::vector<std::string> names_d;
+    for (const auto& m : res_d->ranked) {
+      names_d.push_back(data_->lake.table(m.table_index).name());
+    }
+    std::vector<std::string> names_t;
+    for (const auto& m : res_t->ranked) {
+      names_t.push_back(data_->lake.table(m.table_index).name());
+    }
+    d3l_prec += eval::EvaluateTopK(names_d, target.name(), data_->truth).precision;
+    tus_prec += eval::EvaluateTopK(names_t, target.name(), data_->truth).precision;
+  }
+  EXPECT_GE(d3l_prec, tus_prec);
+}
+
+}  // namespace
+}  // namespace d3l

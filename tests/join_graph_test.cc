@@ -1,0 +1,147 @@
+#include "core/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace d3l::core {
+namespace {
+
+class JoinGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake_ = testutil::FigureLake(4);
+    engine_ = std::make_unique<D3LEngine>();
+    ASSERT_TRUE(engine_->IndexLake(lake_).ok());
+    graph_ = std::make_unique<SaJoinGraph>(SaJoinGraph::Build(*engine_));
+  }
+
+  uint32_t IndexOf(const std::string& name) {
+    int i = lake_.TableIndex(name);
+    EXPECT_GE(i, 0) << name;
+    return static_cast<uint32_t>(i);
+  }
+
+  DataLake lake_;
+  std::unique_ptr<D3LEngine> engine_;
+  std::unique_ptr<SaJoinGraph> graph_;
+};
+
+TEST_F(JoinGraphTest, GpTablesAreJoinable) {
+  // S1, S2 and S3 share practice names through their subject attributes.
+  uint32_t s1 = IndexOf("s1_gp_practices");
+  uint32_t s2 = IndexOf("s2_gp_funding");
+  uint32_t s3 = IndexOf("s3_local_gps");
+  EXPECT_TRUE(graph_->HasEdge(s1, s2) || graph_->HasEdge(s2, s1));
+  EXPECT_TRUE(graph_->HasEdge(s1, s3) || graph_->HasEdge(s3, s1));
+  EXPECT_GT(graph_->num_edges(), 0u);
+}
+
+TEST_F(JoinGraphTest, FillersNotJoinedToGpTables) {
+  uint32_t s1 = IndexOf("s1_gp_practices");
+  for (int i = 0; i < 4; ++i) {
+    uint32_t f = IndexOf("filler_colors_" + std::to_string(i));
+    EXPECT_FALSE(graph_->HasEdge(s1, f));
+  }
+}
+
+TEST_F(JoinGraphTest, EdgesAreSymmetricAndCarryOverlap) {
+  for (uint32_t t = 0; t < graph_->num_tables(); ++t) {
+    for (const JoinEdge& e : graph_->neighbours(t)) {
+      EXPECT_EQ(e.from_table, t);
+      EXPECT_NE(e.to_table, t) << "self-edge";
+      EXPECT_GE(e.overlap_estimate, 0.0);
+      EXPECT_LE(e.overlap_estimate, 1.0);
+      EXPECT_TRUE(graph_->HasEdge(e.to_table, e.from_table));
+    }
+  }
+}
+
+TEST_F(JoinGraphTest, Algorithm3PathConditions) {
+  uint32_t s2 = IndexOf("s2_gp_funding");
+  uint32_t s3 = IndexOf("s3_local_gps");
+
+  std::unordered_set<uint32_t> top_k = {IndexOf("s1_gp_practices"), s2};
+  std::unordered_set<uint32_t> related;
+  for (uint32_t t = 0; t < lake_.size(); ++t) related.insert(t);
+
+  auto paths = FindJoinPaths(*graph_, s2, top_k, related);
+  ASSERT_FALSE(paths.empty());
+  for (const JoinPath& p : paths) {
+    EXPECT_EQ(p.tables[0], s2);                      // starts at the top-k table
+    EXPECT_EQ(p.edges.size(), p.tables.size() - 1);  // consistent edges
+    std::unordered_set<uint32_t> seen;
+    for (size_t i = 0; i < p.tables.size(); ++i) {
+      EXPECT_TRUE(seen.insert(p.tables[i]).second) << "cyclic path";
+      if (i > 0) {
+        EXPECT_EQ(top_k.count(p.tables[i]), 0u) << "path re-enters top-k";
+        EXPECT_EQ(related.count(p.tables[i]), 1u);
+      }
+    }
+  }
+  // S3 is reachable from S2 (shared GP names) and not in the top-k.
+  bool found_s3 = false;
+  for (const JoinPath& p : paths) {
+    for (uint32_t t : p.tables) {
+      if (t == s3) found_s3 = true;
+    }
+  }
+  EXPECT_TRUE(found_s3);
+}
+
+TEST_F(JoinGraphTest, UnrelatedTablesExcludedFromPaths) {
+  uint32_t s2 = IndexOf("s2_gp_funding");
+  std::unordered_set<uint32_t> top_k = {s2};
+  std::unordered_set<uint32_t> related = {s2};  // nothing else related
+  auto paths = FindJoinPaths(*graph_, s2, top_k, related);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST_F(JoinGraphTest, MaxPathLengthRespected) {
+  uint32_t s1 = IndexOf("s1_gp_practices");
+  std::unordered_set<uint32_t> top_k = {s1};
+  std::unordered_set<uint32_t> related;
+  for (uint32_t t = 0; t < lake_.size(); ++t) related.insert(t);
+  JoinGraphOptions opts;
+  opts.max_path_length = 2;
+  auto paths = FindJoinPaths(*graph_, s1, top_k, related, opts);
+  for (const JoinPath& p : paths) {
+    EXPECT_LE(p.tables.size(), 2u);
+  }
+}
+
+TEST_F(JoinGraphTest, FindAllJoinPathsUsesSearchResult) {
+  auto res = engine_->Search(testutil::FigureTarget(), 2);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->ranked.size(), 2u);
+  // The three GP tables are mutually joinable; whichever one missed the
+  // top-2 must be reachable from the top-2 through a join path.
+  std::unordered_set<uint32_t> top;
+  for (const auto& m : res->ranked) top.insert(m.table_index);
+  std::vector<uint32_t> gp = {IndexOf("s1_gp_practices"), IndexOf("s2_gp_funding"),
+                              IndexOf("s3_local_gps")};
+  uint32_t missing = UINT32_MAX;
+  for (uint32_t t : gp) {
+    if (top.count(t) == 0) missing = t;
+  }
+  ASSERT_NE(missing, UINT32_MAX) << "all GP tables in top-2 of size 2?";
+
+  auto paths = FindAllJoinPaths(*graph_, *res);
+  bool reached = false;
+  for (const JoinPath& p : paths) {
+    for (size_t i = 1; i < p.tables.size(); ++i) {
+      if (p.tables[i] == missing) reached = true;
+    }
+  }
+  EXPECT_TRUE(reached);
+}
+
+TEST_F(JoinGraphTest, EmptyGraphForEmptyEngine) {
+  D3LEngine fresh;
+  SaJoinGraph g = SaJoinGraph::Build(fresh);
+  EXPECT_EQ(g.num_tables(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace d3l::core

@@ -1,0 +1,124 @@
+#include "lsh/lsh_banding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "lsh/minhash.h"
+
+namespace d3l {
+namespace {
+
+std::set<std::string> OverlappingSet(int shared, int total, int salt) {
+  std::set<std::string> s;
+  for (int i = 0; i < shared; ++i) s.insert("shared_" + std::to_string(i));
+  for (int i = shared; i < total; ++i) {
+    s.insert("salt" + std::to_string(salt) + "_" + std::to_string(i));
+  }
+  return s;
+}
+
+TEST(BandingMathTest, OptimalBandsRowsApproximateThreshold) {
+  for (double tau : {0.4, 0.5, 0.7, 0.9}) {
+    auto [b, r] = OptimalBandsRows(256, tau);
+    EXPECT_LE(b * r, 256u);
+    EXPECT_GE(b, 1u);
+    double achieved = std::pow(1.0 / static_cast<double>(b),
+                               1.0 / static_cast<double>(r));
+    EXPECT_NEAR(achieved, tau, 0.08) << "tau=" << tau;
+  }
+}
+
+TEST(BandingMathTest, CollisionProbabilityIsSCurve) {
+  auto [b, r] = OptimalBandsRows(256, 0.7);
+  double below = BandingCollisionProbability(0.4, b, r);
+  double at = BandingCollisionProbability(0.7, b, r);
+  double above = BandingCollisionProbability(0.9, b, r);
+  EXPECT_LT(below, 0.25);
+  EXPECT_GT(at, 0.3);
+  EXPECT_GT(above, 0.95);
+  EXPECT_LT(below, at);
+  EXPECT_LT(at, above);
+}
+
+class BandedLshTest : public ::testing::Test {
+ protected:
+  BandedLshTest() : hasher_(256, 3) {}
+  MinHasher hasher_;
+};
+
+TEST_F(BandedLshTest, HighSimilarityCollides) {
+  BandedLsh index;
+  auto query = OverlappingSet(60, 60, 0);
+  auto near = OverlappingSet(57, 60, 1);  // jaccard ~ 0.9
+  index.Insert(0, hasher_.Sign(near));
+  auto hits = index.Query(hasher_.Sign(query));
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 0u), 1);
+}
+
+TEST_F(BandedLshTest, LowSimilarityRarelyCollides) {
+  BandedLsh index;
+  // jaccard ~ 10/(110) ~ 0.09 — far below tau=0.7.
+  for (uint32_t i = 0; i < 50; ++i) {
+    index.Insert(i, hasher_.Sign(OverlappingSet(10, 60, 100 + i)));
+  }
+  auto hits = index.Query(hasher_.Sign(OverlappingSet(60, 60, 0)));
+  EXPECT_LE(hits.size(), 3u);
+}
+
+TEST_F(BandedLshTest, QueryDeduplicates) {
+  BandedLsh index;
+  auto sig = hasher_.Sign(OverlappingSet(40, 40, 0));
+  index.Insert(7, sig);
+  auto hits = index.Query(sig);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 7u), 1);
+}
+
+TEST_F(BandedLshTest, SizeAndMemory) {
+  BandedLsh index;
+  EXPECT_EQ(index.size(), 0u);
+  index.Insert(0, hasher_.Sign(OverlappingSet(20, 20, 0)));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_GT(index.MemoryUsage(), 0u);
+}
+
+// Property sweep: empirical collision rates bracket the threshold S-curve.
+class BandedThresholdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedThresholdTest, CollisionRateTracksSimilarity) {
+  int shared = GetParam();
+  MinHasher hasher(256, 19);
+  int collided = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    BandedLsh index;
+    auto a = OverlappingSet(60, 60, 100 * t);
+    std::set<std::string> b;
+    int i = 0;
+    for (const auto& e : a) {
+      if (i++ >= shared) break;
+      b.insert(e);
+    }
+    for (int j = 0; j < 60 - shared; ++j) {
+      b.insert("b_" + std::to_string(t) + "_" + std::to_string(j));
+    }
+    index.Insert(0, hasher.Sign(b));
+    auto hits = index.Query(hasher.Sign(a));
+    if (!hits.empty()) ++collided;
+  }
+  double rate = static_cast<double>(collided) / trials;
+  double jaccard = static_cast<double>(shared) / (120.0 - shared);
+  if (jaccard >= 0.85) {
+    EXPECT_GE(rate, 0.85) << "shared=" << shared;
+  } else if (jaccard <= 0.3) {
+    EXPECT_LE(rate, 0.35) << "shared=" << shared;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedLevels, BandedThresholdTest,
+                         ::testing::Values(25, 40, 56, 60));
+
+}  // namespace
+}  // namespace d3l

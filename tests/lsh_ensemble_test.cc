@@ -1,0 +1,143 @@
+#include "lsh/lsh_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace d3l {
+namespace {
+
+std::set<std::string> RangeSet(int lo, int hi, const char* prefix = "e") {
+  std::set<std::string> s;
+  for (int i = lo; i < hi; ++i) s.insert(std::string(prefix) + std::to_string(i));
+  return s;
+}
+
+TEST(ContainmentMathTest, FromJaccard) {
+  // Q of size 10 fully inside X of size 90: j = 10/90, c = 1.
+  EXPECT_NEAR(ContainmentFromJaccard(10.0 / 90.0, 10, 90), 1.0, 1e-9);
+  // Disjoint: c = 0.
+  EXPECT_DOUBLE_EQ(ContainmentFromJaccard(0, 10, 90), 0.0);
+  // Identical sets: j = 1, c = 1.
+  EXPECT_NEAR(ContainmentFromJaccard(1.0, 50, 50), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ContainmentFromJaccard(0.5, 0, 10), 0.0);
+}
+
+class LshEnsembleTest : public ::testing::Test {
+ protected:
+  LshEnsembleTest() : hasher_(256, 17) {}
+
+  void InsertSet(uint32_t id, const std::set<std::string>& s) {
+    ensemble_.Insert(id, hasher_.Sign(s), s.size());
+  }
+
+  MinHasher hasher_;
+  LshEnsemble ensemble_;
+};
+
+TEST_F(LshEnsembleTest, FindsSmallSetContainedInLargeSet) {
+  // The skew case plain Jaccard banding misses: a 30-element query fully
+  // contained in a 600-element set has Jaccard 0.05 but containment 1.0.
+  auto query = RangeSet(0, 30);
+  auto big = RangeSet(0, 600);
+  InsertSet(1, big);
+  for (uint32_t i = 2; i < 40; ++i) {
+    InsertSet(i, RangeSet(1000 * static_cast<int>(i), 1000 * static_cast<int>(i) + 50));
+  }
+  ensemble_.Index();
+
+  auto hits = ensemble_.QueryContainment(hasher_.Sign(query), query.size(), 0.7);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 1u), hits.end())
+      << "contained superset not retrieved";
+  // Unrelated sets must not pass the containment filter.
+  for (uint32_t id : hits) {
+    EXPECT_TRUE(id == 1u) << "spurious hit " << id;
+  }
+}
+
+TEST_F(LshEnsembleTest, ThresholdFiltersPartialContainment) {
+  auto query = RangeSet(0, 100);
+  InsertSet(1, RangeSet(0, 80, "e"));    // 80% of query (plus nothing else)
+  InsertSet(2, RangeSet(0, 30, "e"));    // 30% of query
+  for (uint32_t i = 3; i < 20; ++i) {
+    InsertSet(i, RangeSet(5000 + 100 * static_cast<int>(i),
+                          5000 + 100 * static_cast<int>(i) + 60));
+  }
+  ensemble_.Index();
+  Signature qs = hasher_.Sign(query);
+
+  auto strict = ensemble_.QueryContainment(qs, query.size(), 0.7);
+  EXPECT_NE(std::find(strict.begin(), strict.end(), 1u), strict.end());
+  EXPECT_EQ(std::find(strict.begin(), strict.end(), 2u), strict.end());
+
+  auto loose = ensemble_.QueryContainment(qs, query.size(), 0.2);
+  EXPECT_NE(std::find(loose.begin(), loose.end(), 2u), loose.end());
+}
+
+TEST_F(LshEnsembleTest, PartitionsCoverSkewedSizes) {
+  for (uint32_t i = 0; i < 64; ++i) {
+    // Sizes from 10 to 640 — heavy skew.
+    InsertSet(i, RangeSet(10000 + 1000 * static_cast<int>(i),
+                          10000 + 1000 * static_cast<int>(i) + 10 * (static_cast<int>(i) + 1)));
+  }
+  ensemble_.Index();
+  EXPECT_GT(ensemble_.num_partitions(), 1u);
+  EXPECT_LE(ensemble_.num_partitions(), 8u);
+  EXPECT_EQ(ensemble_.size(), 64u);
+  EXPECT_GT(ensemble_.MemoryUsage(), 0u);
+}
+
+TEST_F(LshEnsembleTest, EmptyQueryAndEmptyIndex) {
+  ensemble_.Index();
+  auto hits = ensemble_.QueryContainment(hasher_.Sign(RangeSet(0, 10)), 10, 0.5);
+  EXPECT_TRUE(hits.empty());
+  LshEnsemble other;
+  other.Insert(1, hasher_.Sign(RangeSet(0, 10)), 10);
+  other.Index();
+  EXPECT_TRUE(other.QueryContainment(hasher_.Sign(RangeSet(0, 10)), 0, 0.5).empty());
+}
+
+TEST_F(LshEnsembleTest, EstimateContainmentTracksTruth) {
+  auto query = RangeSet(0, 50);
+  InsertSet(7, RangeSet(0, 200));  // contains the query entirely
+  ensemble_.Index();
+  double c = ensemble_.EstimateContainment(hasher_.Sign(query), query.size(), 7);
+  EXPECT_GT(c, 0.8);
+  EXPECT_DOUBLE_EQ(
+      ensemble_.EstimateContainment(hasher_.Sign(query), query.size(), 99), 0.0);
+}
+
+// Property sweep: true containment level vs retrieval at threshold 0.6.
+class EnsembleContainmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnsembleContainmentSweep, RetrievalMatchesContainmentLevel) {
+  int contained = GetParam();  // elements of the 60-element query inside X
+  MinHasher hasher(256, 23);
+  LshEnsemble ensemble;
+  auto query = RangeSet(0, 60);
+  // X: `contained` query elements plus 400 others (skewed large set).
+  std::set<std::string> x = RangeSet(0, contained);
+  for (int i = 0; i < 400; ++i) x.insert("pad" + std::to_string(i));
+  ensemble.Insert(1, hasher.Sign(x), x.size());
+  for (uint32_t i = 2; i < 30; ++i) {
+    ensemble.Insert(i, hasher.Sign(RangeSet(9000 + 300 * static_cast<int>(i),
+                                            9000 + 300 * static_cast<int>(i) + 100)),
+                    100);
+  }
+  ensemble.Index();
+  auto hits = ensemble.QueryContainment(hasher.Sign(query), query.size(), 0.6);
+  bool found = std::find(hits.begin(), hits.end(), 1u) != hits.end();
+  double true_containment = static_cast<double>(contained) / 60.0;
+  if (true_containment >= 0.85) {
+    EXPECT_TRUE(found) << "containment " << true_containment;
+  } else if (true_containment <= 0.3) {
+    EXPECT_FALSE(found) << "containment " << true_containment;
+  }
+  // Mid-range (0.3-0.85) is the estimator's noise band; nothing asserted.
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, EnsembleContainmentSweep,
+                         ::testing::Values(6, 18, 36, 54, 60));
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,157 @@
+#include "lsh/lsh_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "lsh/minhash.h"
+
+namespace d3l {
+namespace {
+
+std::set<std::string> SetWithSharedPrefix(int shared, int total, int salt) {
+  std::set<std::string> s;
+  for (int i = 0; i < shared; ++i) s.insert("common_" + std::to_string(i));
+  for (int i = shared; i < total; ++i) {
+    s.insert("own_" + std::to_string(salt) + "_" + std::to_string(i));
+  }
+  return s;
+}
+
+class LshForestTest : public ::testing::Test {
+ protected:
+  LshForestTest() : hasher_(256, 7) {}
+  MinHasher hasher_;
+};
+
+TEST_F(LshForestTest, FindsExactDuplicate) {
+  LshForest forest;
+  auto q = hasher_.Sign(SetWithSharedPrefix(50, 50, 0));
+  forest.Insert(0, q);
+  for (uint32_t i = 1; i < 50; ++i) {
+    forest.Insert(i, hasher_.Sign(SetWithSharedPrefix(0, 40, i)));
+  }
+  forest.Index();
+  auto hits = forest.Query(q, 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST_F(LshForestTest, NearNeighbourRecall) {
+  // 10 planted near-duplicates of the query among 300 unrelated items; the
+  // forest must retrieve most planted items in a top-20 query.
+  LshForest forest;
+  auto query_set = SetWithSharedPrefix(60, 60, 1000);
+  for (uint32_t i = 0; i < 10; ++i) {
+    // ~85% overlapping with the query set.
+    auto s = SetWithSharedPrefix(55, 60, 2000 + i);
+    forest.Insert(i, hasher_.Sign(s));
+  }
+  for (uint32_t i = 10; i < 310; ++i) {
+    forest.Insert(i, hasher_.Sign(SetWithSharedPrefix(5, 50, 3000 + i)));
+  }
+  forest.Index();
+  auto hits = forest.Query(hasher_.Sign(query_set), 20);
+  size_t planted = 0;
+  for (uint32_t id : hits) {
+    if (id < 10) ++planted;
+  }
+  EXPECT_GE(planted, 7u);
+}
+
+TEST_F(LshForestTest, QueryRespectsM) {
+  LshForest forest;
+  auto s = SetWithSharedPrefix(30, 30, 0);
+  auto sig = hasher_.Sign(s);
+  for (uint32_t i = 0; i < 40; ++i) forest.Insert(i, sig);
+  forest.Index();
+  EXPECT_LE(forest.Query(sig, 10).size(), 10u);
+  EXPECT_TRUE(forest.Query(sig, 0).empty());
+}
+
+TEST_F(LshForestTest, NoCandidatesForUnrelatedQuery) {
+  LshForest forest;
+  for (uint32_t i = 0; i < 50; ++i) {
+    forest.Insert(i, hasher_.Sign(SetWithSharedPrefix(0, 30, i)));
+  }
+  forest.Index();
+  auto hits = forest.Query(hasher_.Sign(SetWithSharedPrefix(0, 30, 9999)), 10);
+  // Descending to depth 1 may return a few accidental collisions, but the
+  // unrelated query must not flood.
+  EXPECT_LE(hits.size(), 10u);
+}
+
+TEST_F(LshForestTest, QueryAtDepthIsSelective) {
+  LshForest forest;
+  auto near = SetWithSharedPrefix(58, 60, 1);   // near-duplicate
+  auto far = SetWithSharedPrefix(10, 60, 2);    // weak overlap
+  auto query = SetWithSharedPrefix(60, 60, 3);
+  forest.Insert(0, hasher_.Sign(near));
+  forest.Insert(1, hasher_.Sign(far));
+  forest.Index();
+  auto deep_hits = forest.QueryAtDepth(hasher_.Sign(query), 4);
+  // The weak-overlap item should not match 4 consecutive minima in a tree.
+  EXPECT_EQ(std::count(deep_hits.begin(), deep_hits.end(), 1u), 0);
+}
+
+TEST_F(LshForestTest, InsertAfterIndexReindexes) {
+  LshForest forest;
+  auto sig = hasher_.Sign(SetWithSharedPrefix(20, 20, 0));
+  forest.Insert(0, sig);
+  forest.Index();
+  forest.Insert(1, sig);
+  forest.Index();
+  auto hits = forest.Query(sig, 10);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(LshForestTest, SizeAndMemory) {
+  LshForest forest;
+  EXPECT_EQ(forest.size(), 0u);
+  forest.Insert(0, hasher_.Sign(SetWithSharedPrefix(10, 10, 0)));
+  EXPECT_EQ(forest.size(), 1u);
+  EXPECT_GT(forest.MemoryUsage(), 0u);
+}
+
+// Property: recall grows with the similarity of the planted neighbour.
+class ForestRecallTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestRecallTest, HigherOverlapFoundMoreReliably) {
+  int shared = GetParam();  // out of 60
+  MinHasher hasher(256, 13);
+  int found = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    LshForest forest;
+    auto query = SetWithSharedPrefix(60, 60, 5000 + trial);
+    // Planted: `shared` elements common with query.
+    std::set<std::string> planted;
+    int i = 0;
+    for (const auto& e : query) {
+      if (i++ >= shared) break;
+      planted.insert(e);
+    }
+    for (int j = 0; j < 60 - shared; ++j) {
+      planted.insert("p_" + std::to_string(trial) + "_" + std::to_string(j));
+    }
+    forest.Insert(0, hasher.Sign(planted));
+    for (uint32_t u = 1; u < 100; ++u) {
+      forest.Insert(u, hasher.Sign(SetWithSharedPrefix(0, 50, 7000 + 100 * trial + u)));
+    }
+    forest.Index();
+    auto hits = forest.Query(hasher.Sign(query), 10);
+    if (std::find(hits.begin(), hits.end(), 0u) != hits.end()) ++found;
+  }
+  if (shared >= 54) {
+    EXPECT_GE(found, 17) << "shared=" << shared;  // j ~ 0.8+
+  } else if (shared >= 42) {
+    EXPECT_GE(found, 10) << "shared=" << shared;  // j ~ 0.5+
+  }
+  // Low-similarity plants carry no guarantee; nothing asserted.
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapLevels, ForestRecallTest,
+                         ::testing::Values(42, 48, 54, 60));
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,131 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l::eval {
+namespace {
+
+benchdata::GroundTruth MakeTruth() {
+  benchdata::GroundTruth gt;
+  gt.SetTableLabels("target", {1, 2, 3});
+  gt.SetTableLabels("rel_a", {1, 9});
+  gt.SetTableLabels("rel_b", {2, 3});
+  gt.SetTableLabels("unrel_c", {7});
+  gt.SetTableLabels("unrel_d", {8});
+  return gt;
+}
+
+TEST(TopKEvalTest, CountsTpFpFn) {
+  auto gt = MakeTruth();
+  TopKEval e = EvaluateTopK({"rel_a", "unrel_c"}, "target", gt);
+  EXPECT_EQ(e.tp, 1u);
+  EXPECT_EQ(e.fp, 1u);
+  EXPECT_EQ(e.fn, 1u);  // rel_b missed
+  EXPECT_DOUBLE_EQ(e.precision, 0.5);
+  EXPECT_DOUBLE_EQ(e.recall, 0.5);
+}
+
+TEST(TopKEvalTest, PerfectAnswer) {
+  auto gt = MakeTruth();
+  TopKEval e = EvaluateTopK({"rel_a", "rel_b"}, "target", gt);
+  EXPECT_DOUBLE_EQ(e.precision, 1.0);
+  EXPECT_DOUBLE_EQ(e.recall, 1.0);
+}
+
+TEST(TopKEvalTest, TargetItselfExcluded) {
+  auto gt = MakeTruth();
+  TopKEval e = EvaluateTopK({"target", "rel_a"}, "target", gt);
+  EXPECT_EQ(e.tp, 1u);
+  EXPECT_EQ(e.fp, 0u);
+}
+
+TEST(TopKEvalTest, EmptyAnswer) {
+  auto gt = MakeTruth();
+  TopKEval e = EvaluateTopK({}, "target", gt);
+  EXPECT_EQ(e.tp, 0u);
+  EXPECT_DOUBLE_EQ(e.precision, 0.0);
+  EXPECT_DOUBLE_EQ(e.recall, 0.0);
+  EXPECT_EQ(e.fn, 2u);
+}
+
+TEST(CoverageTest, Eq4CountsDistinctTargetColumns) {
+  RankedTable s;
+  s.name = "rel_a";
+  s.alignments = {{0, 0}, {0, 1}, {2, 0}};  // target cols {0, 2}
+  EXPECT_DOUBLE_EQ(CoverageOf(s, 4), 0.5);
+  EXPECT_DOUBLE_EQ(CoverageOf(s, 0), 0.0);
+  RankedTable empty;
+  EXPECT_DOUBLE_EQ(CoverageOf(empty, 4), 0.0);
+}
+
+TEST(CoverageTest, Eq5UnionsJoinPathCoverage) {
+  RankedTable start;
+  start.name = "s";
+  start.alignments = {{0, 0}};
+  RankedTable join1;
+  join1.name = "j1";
+  join1.alignments = {{1, 0}};
+  RankedTable join2;
+  join2.name = "j2";
+  join2.alignments = {{1, 1}, {2, 0}};
+  EXPECT_DOUBLE_EQ(JoinCoverageOf(start, {join1, join2}, 4), 0.75);
+  // Joins can only improve coverage.
+  EXPECT_GE(JoinCoverageOf(start, {join1}, 4), CoverageOf(start, 4));
+}
+
+TEST(CoverageTest, Averages) {
+  RankedTable a;
+  a.alignments = {{0, 0}};
+  RankedTable b;
+  b.alignments = {{0, 0}, {1, 0}};
+  EXPECT_DOUBLE_EQ(AverageCoverage({a, b}, 2), 0.75);
+  EXPECT_DOUBLE_EQ(AverageCoverage({}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AverageJoinCoverage({a}, {{b}}, 2), 1.0);
+  // Missing join lists are treated as empty.
+  EXPECT_DOUBLE_EQ(AverageJoinCoverage({a, b}, {{}}, 2), 0.75);
+}
+
+TEST(AttrPrecisionTest, PerSourcePrecisionAveraged) {
+  auto gt = MakeTruth();
+  RankedTable good;
+  good.name = "rel_a";
+  good.alignments = {{0, 0}};  // target col 0 (label 1) vs rel_a col 0 (label 1): TP
+  RankedTable mixed;
+  mixed.name = "rel_b";
+  mixed.alignments = {{1, 0}, {0, 0}};  // (2==2): TP; (1 vs 2): FP
+  double p = AverageAttributePrecision({good, mixed}, "target", gt);
+  EXPECT_DOUBLE_EQ(p, (1.0 + 0.5) / 2);
+}
+
+TEST(AttrPrecisionTest, SourcesWithoutAlignmentsSkipped) {
+  auto gt = MakeTruth();
+  RankedTable good;
+  good.name = "rel_a";
+  good.alignments = {{0, 0}};
+  RankedTable empty;
+  empty.name = "unrel_c";
+  EXPECT_DOUBLE_EQ(AverageAttributePrecision({good, empty}, "target", gt), 1.0);
+  EXPECT_DOUBLE_EQ(AverageAttributePrecision({}, "target", gt), 0.0);
+}
+
+TEST(AttrPrecisionTest, JoinGroupsCountTpIfAnyMemberCorrect) {
+  auto gt = MakeTruth();
+  RankedTable start;
+  start.name = "rel_a";
+  start.alignments = {{0, 1}};  // label 1 vs 9: wrong
+  RankedTable join;
+  join.name = "rel_b";  // label of col 0 is 2
+  join.alignments = {{0, 0}};  // target col 0 label 1 vs 2: wrong
+  double p_wrong = AverageJoinAttributePrecision({start}, {{join}}, "target", gt);
+  EXPECT_DOUBLE_EQ(p_wrong, 0.0);
+
+  RankedTable join_right;
+  join_right.name = "rel_a";
+  join_right.alignments = {{0, 0}};  // label 1 vs 1: right -> group TP
+  double p_right =
+      AverageJoinAttributePrecision({start}, {{join_right}}, "target", gt);
+  EXPECT_DOUBLE_EQ(p_right, 1.0);
+}
+
+}  // namespace
+}  // namespace d3l::eval

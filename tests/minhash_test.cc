@@ -1,0 +1,108 @@
+#include "lsh/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace d3l {
+namespace {
+
+std::set<std::string> MakeSet(int lo, int hi) {
+  std::set<std::string> s;
+  for (int i = lo; i < hi; ++i) s.insert("elem_" + std::to_string(i));
+  return s;
+}
+
+double ExactJaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+  size_t inter = 0;
+  for (const auto& x : a) inter += b.count(x);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+TEST(MinHashTest, DeterministicSignatures) {
+  MinHasher h(128, 7);
+  auto s = MakeSet(0, 50);
+  EXPECT_EQ(h.Sign(s), h.Sign(s));
+  MinHasher h2(128, 7);
+  EXPECT_EQ(h.Sign(s), h2.Sign(s));
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  MinHasher h(256, 7);
+  auto s = MakeSet(0, 40);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(h.Sign(s), h.Sign(s)), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  MinHasher h(256, 7);
+  double est = EstimateJaccard(h.Sign(MakeSet(0, 50)), h.Sign(MakeSet(100, 150)));
+  EXPECT_LT(est, 0.05);
+}
+
+TEST(MinHashTest, EmptySetMatchesNothing) {
+  MinHasher h(64, 7);
+  Signature empty = h.Sign(std::set<std::string>{});
+  Signature other = h.Sign(MakeSet(0, 10));
+  EXPECT_DOUBLE_EQ(EstimateJaccard(empty, other), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(empty, empty), 0.0);
+}
+
+TEST(MinHashTest, VectorAndSetInputsAgree) {
+  MinHasher h(64, 7);
+  std::set<std::string> s = MakeSet(0, 20);
+  std::vector<std::string> v(s.begin(), s.end());
+  EXPECT_EQ(h.Sign(s), h.Sign(v));
+}
+
+// Property: the estimator is unbiased with standard error
+// sqrt(j(1-j)/k); with k=256, 3 sigma is under 0.095 for any j.
+class MinHashAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinHashAccuracyTest, EstimateWithinThreeSigma) {
+  double target_jaccard = GetParam();
+  MinHasher h(256, 99);
+  // Construct two sets with the exact target overlap: |A|=|B|=n with
+  // shared prefix m: j = m / (2n - m)  =>  m = 2nj/(1+j).
+  const int n = 400;
+  int m = static_cast<int>(std::round(2.0 * n * target_jaccard / (1 + target_jaccard)));
+  auto a = MakeSet(0, n);
+  std::set<std::string> b;
+  for (int i = 0; i < m; ++i) b.insert("elem_" + std::to_string(i));
+  for (int i = 0; i < n - m; ++i) b.insert("other_" + std::to_string(i));
+  double exact = ExactJaccard(a, b);
+  double est = EstimateJaccard(h.Sign(a), h.Sign(b));
+  double sigma = std::sqrt(exact * (1 - exact) / 256.0);
+  EXPECT_NEAR(est, exact, 3 * sigma + 0.02) << "target j=" << target_jaccard;
+}
+
+INSTANTIATE_TEST_SUITE_P(JaccardLevels, MinHashAccuracyTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// Property: monotonicity — higher true overlap gives higher estimates on
+// average (checked across several disjoint seeds).
+TEST(MinHashTest, EstimatesOrderedByTrueSimilarity) {
+  MinHasher h(256, 5);
+  auto base = MakeSet(0, 100);
+  double prev = -1;
+  for (int shared : {20, 50, 80, 100}) {
+    std::set<std::string> other;
+    for (int i = 0; i < shared; ++i) other.insert("elem_" + std::to_string(i));
+    for (int i = 0; i < 100 - shared; ++i) other.insert("x_" + std::to_string(i));
+    double est = EstimateJaccard(h.Sign(base), h.Sign(other));
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(MinHashTest, DistanceIsOneMinusSimilarity) {
+  MinHasher h(64, 3);
+  auto a = h.Sign(MakeSet(0, 30));
+  auto b = h.Sign(MakeSet(10, 40));
+  EXPECT_DOUBLE_EQ(EstimateJaccardDistance(a, b), 1.0 - EstimateJaccard(a, b));
+}
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,124 @@
+#include "core/attribute_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace d3l::core {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest() : cache_(&wem_) {}
+  AttributeProfile Build(const Table& t, size_t col, ProfileOptions opts = {}) {
+    return BuildProfile(t, col, wem_, &cache_, opts);
+  }
+  SubwordHashModel wem_;
+  CachingEmbedder cache_;
+};
+
+TEST_F(ProfileTest, NameQGrams) {
+  Table t = testutil::FigureS1();
+  AttributeProfile p = Build(t, 1);  // "Address"
+  EXPECT_TRUE(p.qset.count("addr"));
+  EXPECT_TRUE(p.qset.count("ress"));
+  EXPECT_EQ(p.column_name, "Address");
+  EXPECT_EQ(p.table_name, "s1_gp_practices");
+}
+
+TEST_F(ProfileTest, TextualAttributeHasTsetRsetEmbedding) {
+  Table t = testutil::FigureS1();
+  AttributeProfile p = Build(t, 1);  // Address: "51 Botanic Av" etc.
+  EXPECT_FALSE(p.is_numeric);
+  EXPECT_FALSE(p.tset.empty());
+  EXPECT_FALSE(p.rset.empty());
+  EXPECT_TRUE(p.has_embedding);
+  EXPECT_TRUE(p.numeric_sample.empty());
+  EXPECT_EQ(p.extent_size, t.num_rows());
+}
+
+TEST_F(ProfileTest, NumericAttributeHasNoTsetOrEmbedding) {
+  Table t = testutil::FigureS1();
+  AttributeProfile p = Build(t, 4);  // Patients
+  EXPECT_TRUE(p.is_numeric);
+  EXPECT_TRUE(p.tset.empty());       // Section III-C
+  EXPECT_FALSE(p.has_embedding);     // Section III-C
+  EXPECT_FALSE(p.rset.empty());      // F stays (numbers have formats)
+  EXPECT_FALSE(p.qset.empty());      // N stays
+  ASSERT_EQ(p.numeric_sample.size(), t.num_rows());
+  EXPECT_TRUE(std::is_sorted(p.numeric_sample.begin(), p.numeric_sample.end()));
+}
+
+TEST_F(ProfileTest, InformativeTokensExcludeFrequentOnes) {
+  // Per Example 2: per part, only the least frequent word joins the tset.
+  Table t = testutil::MakeTable(
+      "addresses", {"Address"},
+      {{"18 Portland Street"}, {"41 Oxford Street"}, {"9 Mirabel Street"}});
+  AttributeProfile p = Build(t, 0);
+  // "street" appears in every part: never the per-part minimum.
+  EXPECT_EQ(p.tset.count("street"), 0u);
+  // The distinctive words are informative.
+  EXPECT_TRUE(p.tset.count("portland") || p.tset.count("18"));
+  EXPECT_TRUE(p.tset.count("oxford") || p.tset.count("41"));
+}
+
+TEST_F(ProfileTest, FormatSetCapturesValueShape) {
+  Table t = testutil::FigureS2();
+  AttributeProfile p = Build(t, 2);  // Postcode
+  // UK postcodes: alnum alnum, e.g. "M3 6AF" -> "A+".
+  EXPECT_TRUE(p.rset.count("A+"));
+}
+
+TEST_F(ProfileTest, NullsAreSkipped) {
+  Table t = testutil::MakeTable("with_nulls", {"X"}, {{"alpha"}, {""}, {"-"}, {"beta"}});
+  AttributeProfile p = Build(t, 0);
+  EXPECT_EQ(p.extent_size, 2u);
+}
+
+TEST_F(ProfileTest, EmptyColumnProfileIsSane) {
+  Table t = testutil::MakeTable("empties", {"X"}, {{""}, {"-"}});
+  AttributeProfile p = Build(t, 0);
+  EXPECT_EQ(p.extent_size, 0u);
+  EXPECT_TRUE(p.tset.empty());
+  EXPECT_TRUE(p.rset.empty());
+  EXPECT_FALSE(p.has_embedding);
+  EXPECT_FALSE(p.qset.empty());  // the name still profiles
+}
+
+TEST_F(ProfileTest, MaxValuesCapSamplesExtent) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({"value " + std::to_string(i)});
+  Table t = testutil::MakeTable("big", {"X"}, rows);
+  ProfileOptions opts;
+  opts.max_values = 10;
+  AttributeProfile p = Build(t, 0, opts);
+  EXPECT_EQ(p.extent_size, 10u);
+}
+
+TEST_F(ProfileTest, NumericSampleCapped) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 300; ++i) rows.push_back({std::to_string(i)});
+  Table t = testutil::MakeTable("nums", {"N"}, rows);
+  ProfileOptions opts;
+  opts.max_numeric_sample = 50;
+  AttributeProfile p = Build(t, 0, opts);
+  EXPECT_EQ(p.numeric_sample.size(), 50u);
+}
+
+TEST_F(ProfileTest, DeterministicAcrossCalls) {
+  Table t = testutil::FigureS1();
+  AttributeProfile a = Build(t, 0);
+  AttributeProfile b = Build(t, 0);
+  EXPECT_EQ(a.tset, b.tset);
+  EXPECT_EQ(a.rset, b.rset);
+  EXPECT_EQ(a.qset, b.qset);
+  EXPECT_EQ(a.embedding, b.embedding);
+}
+
+TEST_F(ProfileTest, MemoryUsagePositive) {
+  Table t = testutil::FigureS1();
+  EXPECT_GT(Build(t, 0).MemoryUsage(), sizeof(AttributeProfile));
+}
+
+}  // namespace
+}  // namespace d3l::core

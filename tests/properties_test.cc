@@ -1,0 +1,214 @@
+// Cross-module property tests: invariants that must hold for arbitrary
+// (seeded) inputs, swept with parameterized suites.
+#include <gtest/gtest.h>
+
+#include "benchdata/domains.h"
+#include "benchdata/realish_gen.h"
+#include "benchdata/synthetic_gen.h"
+#include "common/random.h"
+#include "core/query.h"
+#include "eval/metrics.h"
+#include "table/csv.h"
+#include "text/format.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+
+namespace d3l {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSV round-trip holds for arbitrary cell content.
+// ---------------------------------------------------------------------------
+class CsvRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripSweep, ArbitraryCellsSurviveRoundTrip) {
+  Rng rng(GetParam());
+  const std::string alphabet = "abz09,\"\n\r ;|'\t\\.-";
+  Table t("fuzz");
+  size_t cols = 1 + rng.Uniform(5);
+  for (size_t c = 0; c < cols; ++c) {
+    ASSERT_TRUE(t.AddColumn("c" + std::to_string(c)).ok());
+  }
+  size_t rows = rng.Uniform(20);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < cols; ++c) {
+      std::string cell;
+      size_t len = rng.Uniform(12);
+      for (size_t i = 0; i < len; ++i) cell += alphabet[rng.Uniform(alphabet.size())];
+      row.push_back(std::move(cell));
+    }
+    ASSERT_TRUE(t.AddRow(row).ok());
+  }
+  auto back = ReadCsvString(WriteCsvString(t), "fuzz");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(back->column(c).cell(r), t.column(c).cell(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Text substrate invariants over generated values.
+// ---------------------------------------------------------------------------
+class TextInvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TextInvariantSweep, TokensLowercaseAndDelimiterFree) {
+  const auto& reg = benchdata::DomainRegistry::Instance();
+  Rng rng(GetParam());
+  for (uint32_t d : reg.TextDomains()) {
+    for (int i = 0; i < 5; ++i) {
+      std::string v = reg.GenerateValue(d, 0, &rng);
+      for (const std::string& tok : Tokenize(v)) {
+        ASSERT_FALSE(tok.empty());
+        for (char c : tok) {
+          EXPECT_FALSE(IsPartDelimiter(c)) << v << " -> " << tok;
+          EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c))) << tok;
+          EXPECT_FALSE(std::isspace(static_cast<unsigned char>(c))) << tok;
+        }
+      }
+      // Formats contain only class symbols and '+'.
+      for (char c : FormatOf(v)) {
+        EXPECT_TRUE(c == 'C' || c == 'U' || c == 'L' || c == 'N' || c == 'A' ||
+                    c == 'P' || c == '+')
+            << FormatOf(v);
+      }
+      // q-grams of the value's own name-normalization are within length q.
+      for (const std::string& g : QGrams(v, 4)) {
+        EXPECT_LE(g.size(), 4u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextInvariantSweep, ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// Engine invariants over generated lakes of varying shapes.
+// ---------------------------------------------------------------------------
+struct LakeShape {
+  size_t clusters;
+  uint64_t seed;
+};
+
+class EngineInvariantSweep : public ::testing::TestWithParam<LakeShape> {};
+
+TEST_P(EngineInvariantSweep, SearchInvariantsHold) {
+  benchdata::RealishOptions opts;
+  opts.num_clusters = GetParam().clusters;
+  opts.tables_per_cluster_min = 3;
+  opts.tables_per_cluster_max = 5;
+  opts.rows_min = 30;
+  opts.rows_max = 60;
+  opts.seed = GetParam().seed;
+  auto gen = benchdata::GenerateRealish(opts);
+  ASSERT_TRUE(gen.ok());
+
+  core::D3LEngine engine;
+  ASSERT_TRUE(engine.IndexLake(gen->lake).ok());
+
+  const Table& target = gen->lake.table(0);
+  auto res = engine.Search(target, 10);
+  ASSERT_TRUE(res.ok());
+
+  // Invariant 1: ranking sorted ascending, distances in [0, 1].
+  for (size_t i = 0; i < res->ranked.size(); ++i) {
+    const auto& m = res->ranked[i];
+    EXPECT_GE(m.distance, 0.0);
+    EXPECT_LE(m.distance, 1.0);
+    if (i > 0) {
+      EXPECT_GE(m.distance, res->ranked[i - 1].distance);
+    }
+    // Invariant 2: every ranked table has at least one alignment row.
+    EXPECT_FALSE(m.pairs.empty());
+    // Invariant 3: Eq. 1 aggregates bounded by the pair distances.
+    for (size_t t = 0; t < core::kNumEvidence; ++t) {
+      double lo = 1.0;
+      double hi = 0.0;
+      for (const auto& p : m.pairs) {
+        lo = std::min(lo, p.d[t]);
+        hi = std::max(hi, p.d[t]);
+      }
+      EXPECT_GE(m.evidence_distances[t], lo - 1e-9);
+      EXPECT_LE(m.evidence_distances[t], hi + 1e-9);
+    }
+  }
+  // Invariant 4: a lake table used as target retrieves itself first with
+  // near-zero distance.
+  ASSERT_FALSE(res->ranked.empty());
+  EXPECT_EQ(res->ranked[0].table_index, 0u);
+  EXPECT_LT(res->ranked[0].distance, 0.2);
+  // Invariant 5: candidate_alignments covers every ranked table.
+  for (const auto& m : res->ranked) {
+    EXPECT_TRUE(res->candidate_alignments.count(m.table_index));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EngineInvariantSweep,
+                         ::testing::Values(LakeShape{4, 1}, LakeShape{8, 2},
+                                           LakeShape{12, 3}, LakeShape{6, 99}));
+
+// ---------------------------------------------------------------------------
+// Metric sanity over ground truth: our own ranking from the ground truth
+// itself must score perfectly; a reversed one, poorly.
+// ---------------------------------------------------------------------------
+TEST(MetricPropertyTest, OracleRankingScoresPerfectly) {
+  benchdata::SyntheticOptions opts;
+  opts.num_base_tables = 4;
+  opts.derived_per_base = 5;
+  opts.seed = 17;
+  auto gen = benchdata::GenerateSynthetic(opts);
+  ASSERT_TRUE(gen.ok());
+  const std::string target = gen->lake.table(0).name();
+
+  std::vector<std::string> oracle;
+  std::vector<std::string> inverse;
+  for (const Table& t : gen->lake.tables()) {
+    if (t.name() == target) continue;
+    if (gen->truth.TablesRelated(target, t.name())) {
+      oracle.push_back(t.name());
+    } else {
+      inverse.push_back(t.name());
+    }
+  }
+  ASSERT_FALSE(oracle.empty());
+  auto good = eval::EvaluateTopK(oracle, target, gen->truth);
+  EXPECT_DOUBLE_EQ(good.precision, 1.0);
+  EXPECT_DOUBLE_EQ(good.recall, 1.0);
+  auto bad = eval::EvaluateTopK(
+      std::vector<std::string>(inverse.begin(),
+                               inverse.begin() + std::min<size_t>(5, inverse.size())),
+      target, gen->truth);
+  EXPECT_DOUBLE_EQ(bad.precision, 0.0);
+  EXPECT_DOUBLE_EQ(bad.recall, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dirt transforms: idempotent at zero probability, bounded edit otherwise.
+// ---------------------------------------------------------------------------
+class DirtSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DirtSweep, EditsAreBounded) {
+  Rng rng(GetParam());
+  benchdata::DirtOptions dirt;
+  dirt.null_prob = 0;  // keep content for the length check
+  for (int i = 0; i < 50; ++i) {
+    std::string original = "Blackfriars Medical Practice";
+    std::string dirty = benchdata::DirtyValue(original, dirt, &rng);
+    // One typo and one abbreviation can shrink the string, but never below
+    // half, and never grow it by more than a couple of characters.
+    EXPECT_GE(dirty.size(), original.size() / 2);
+    EXPECT_LE(dirty.size(), original.size() + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirtSweep, ::testing::Values(3, 7, 31));
+
+}  // namespace
+}  // namespace d3l

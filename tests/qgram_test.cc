@@ -1,0 +1,78 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l {
+namespace {
+
+TEST(QGramTest, PaperExample) {
+  // Example 2: get_qgrams("Address") = {addr, ddre, dres, ress}.
+  auto grams = QGrams("Address", 4);
+  std::set<std::string> expected = {"addr", "ddre", "dres", "ress"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(QGramTest, NormalizationStripsNonAlnum) {
+  EXPECT_EQ(NormalizeName("Practice Name"), "practicename");
+  EXPECT_EQ(NormalizeName("GP_code-2"), "gpcode2");
+  EXPECT_EQ(NormalizeName("  "), "");
+}
+
+TEST(QGramTest, ShortNamesContributeThemselves) {
+  auto grams = QGrams("GP", 4);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_TRUE(grams.count("gp"));
+}
+
+TEST(QGramTest, ExactLengthName) {
+  auto grams = QGrams("City", 4);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_TRUE(grams.count("city"));
+}
+
+TEST(QGramTest, EmptyNameGivesEmptySet) {
+  EXPECT_TRUE(QGrams("", 4).empty());
+  EXPECT_TRUE(QGrams("!!!", 4).empty());
+}
+
+TEST(QGramTest, SimilarNamesShareGrams) {
+  auto a = QGrams("Postcode", 4);
+  auto b = QGrams("Post Code", 4);
+  // Normalization makes these identical.
+  EXPECT_EQ(a, b);
+}
+
+TEST(QGramTest, DifferentQ) {
+  auto grams = QGrams("abcde", 2);
+  std::set<std::string> expected = {"ab", "bc", "cd", "de"};
+  EXPECT_EQ(grams, expected);
+}
+
+class QGramSimilarityTest : public ::testing::TestWithParam<
+                                std::tuple<std::string, std::string, bool>> {};
+
+TEST_P(QGramSimilarityTest, RelatedNamesOverlapMoreThanUnrelated) {
+  auto [a, b, should_overlap] = GetParam();
+  auto ga = QGrams(a, 4);
+  auto gb = QGrams(b, 4);
+  size_t inter = 0;
+  for (const auto& g : ga) inter += gb.count(g);
+  if (should_overlap) {
+    EXPECT_GT(inter, 0u) << a << " vs " << b;
+  } else {
+    EXPECT_EQ(inter, 0u) << a << " vs " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamePairs, QGramSimilarityTest,
+    ::testing::Values(
+        std::make_tuple("Practice Name", "Practice", true),
+        std::make_tuple("Postcode", "Post Code", true),
+        std::make_tuple("Opening hours", "Hours", true),
+        std::make_tuple("City", "Payment", false),
+        std::make_tuple("Telephone", "Phone Number", true),
+        std::make_tuple("Age", "Postcode", false)));
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,117 @@
+#include "lsh/simhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "embedding/vector_ops.h"
+
+namespace d3l {
+namespace {
+
+Vec RandomUnit(Rng* rng, size_t dim) {
+  Vec v(dim);
+  for (float& x : v) x = static_cast<float>(rng->Gaussian());
+  Normalize(&v);
+  return v;
+}
+
+TEST(SimHashTest, Deterministic) {
+  RandomProjectionHasher h(16, 128, 42);
+  Rng rng(1);
+  Vec v = RandomUnit(&rng, 16);
+  BitSignature a = h.Sign(v);
+  BitSignature b = h.Sign(v);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.bits, 128u);
+}
+
+TEST(SimHashTest, IdenticalVectorsZeroHamming) {
+  RandomProjectionHasher h(8, 64, 7);
+  Rng rng(2);
+  Vec v = RandomUnit(&rng, 8);
+  EXPECT_EQ(HammingDistance(h.Sign(v), h.Sign(v)), 0u);
+  EXPECT_DOUBLE_EQ(EstimateCosine(h.Sign(v), h.Sign(v)), 1.0);
+}
+
+TEST(SimHashTest, OppositeVectorsMaxHamming) {
+  RandomProjectionHasher h(8, 256, 7);
+  Rng rng(3);
+  Vec v = RandomUnit(&rng, 8);
+  Vec neg = v;
+  for (float& x : neg) x = -x;
+  size_t hd = HammingDistance(h.Sign(v), h.Sign(neg));
+  // Antipodal vectors disagree on every hyperplane (up to boundary ties).
+  EXPECT_GT(hd, 250u);
+  EXPECT_LT(EstimateCosine(h.Sign(v), h.Sign(neg)), -0.95);
+  EXPECT_DOUBLE_EQ(EstimateCosineDistance(h.Sign(v), h.Sign(neg)), 1.0);
+}
+
+TEST(SimHashTest, OrthogonalVectorsHalfHamming) {
+  RandomProjectionHasher h(2, 512, 11);
+  Vec a = {1, 0};
+  Vec b = {0, 1};
+  double est = EstimateCosine(h.Sign(a), h.Sign(b));
+  EXPECT_NEAR(est, 0.0, 0.15);
+}
+
+// Property sweep: the angle estimate tracks the true angle across the range.
+class SimHashAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimHashAccuracyTest, CosineEstimateWithinTolerance) {
+  double angle = GetParam();  // radians
+  const size_t dim = 24;
+  const size_t bits = 512;
+  RandomProjectionHasher h(dim, bits, 99);
+  Rng rng(17);
+  // Build two unit vectors at the requested angle in a random 2D subspace.
+  Vec u = RandomUnit(&rng, dim);
+  Vec w = RandomUnit(&rng, dim);
+  // Gram-Schmidt w against u.
+  double proj = Dot(u, w);
+  for (size_t i = 0; i < dim; ++i) w[i] = static_cast<float>(w[i] - proj * u[i]);
+  Normalize(&w);
+  Vec v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = static_cast<float>(std::cos(angle) * u[i] + std::sin(angle) * w[i]);
+  }
+  double true_cos = std::cos(angle);
+  double est = EstimateCosine(h.Sign(u), h.Sign(v));
+  // Hamming/bits has stddev sqrt(p(1-p)/bits) <= 0.5/sqrt(512) ~ 0.022;
+  // propagated through cos() stays below ~0.08 with 3-sigma margin.
+  EXPECT_NEAR(est, true_cos, 0.12) << "angle=" << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, SimHashAccuracyTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5708, 2.2, 3.0));
+
+TEST(SimHashTest, HashSequenceRoundTripsBits) {
+  RandomProjectionHasher h(8, 64, 5);
+  Rng rng(4);
+  Vec v = RandomUnit(&rng, 8);
+  BitSignature sig = h.Sign(v);
+  std::vector<uint64_t> seq = h.SignatureAsHashSequence(sig);
+  ASSERT_EQ(seq.size(), 8u);  // 64 bits -> 8 bytes
+  for (size_t b = 0; b < sig.bits; ++b) {
+    uint64_t bit = (sig.words[b / 64] >> (b % 64)) & 1;
+    uint64_t seq_bit = (seq[b / 8] >> (b % 8)) & 1;
+    EXPECT_EQ(bit, seq_bit) << "bit " << b;
+  }
+}
+
+TEST(SimHashTest, SimilarVectorsShareSequencePrefixMoreOften) {
+  const size_t dim = 16;
+  RandomProjectionHasher h(dim, 256, 21);
+  Rng rng(5);
+  Vec v = RandomUnit(&rng, dim);
+  Vec close = v;
+  close[0] += 0.05f;
+  Normalize(&close);
+  Vec far = RandomUnit(&rng, dim);
+  EXPECT_LT(HammingDistance(h.Sign(v), h.Sign(close)),
+            HammingDistance(h.Sign(v), h.Sign(far)));
+}
+
+}  // namespace
+}  // namespace d3l

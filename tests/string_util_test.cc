@@ -1,0 +1,87 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123-XY"), "123-xy");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("notrim"), "notrim");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("none", "X", "Y"), "none");
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsPlainNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-12"), -12.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7.25 "), 7.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleHandlesThousandsSeparators) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("12,345.6"), 12345.6);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1,000"), 1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsNonNumbers) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("12abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(ParseDouble(",").has_value());
+}
+
+TEST(StringUtilTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_FALSE(LooksNumeric("M3 6AF"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,117 @@
+#include "core/subject_attribute.h"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/realish_gen.h"
+#include "tests/test_util.h"
+
+namespace d3l::core {
+namespace {
+
+TEST(SubjectFeaturesTest, FeatureRangesAndShapes) {
+  Table t = testutil::FigureS1();
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    auto f = SubjectAttributeFeatures(t, c);
+    ASSERT_EQ(f.size(), 5u);
+    for (double x : f) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  // Leftmost column has the highest position feature.
+  EXPECT_GT(SubjectAttributeFeatures(t, 0)[0], SubjectAttributeFeatures(t, 4)[0]);
+  // Numeric column has textiness 0.
+  EXPECT_DOUBLE_EQ(SubjectAttributeFeatures(t, 4)[3], 0.0);
+  EXPECT_DOUBLE_EQ(SubjectAttributeFeatures(t, 0)[3], 1.0);
+}
+
+TEST(SubjectDetectorTest, PaperExampleSubjects) {
+  // Section III-C: the subject attribute of S1 is Practice Name, of S2 is
+  // Practice, of S3 is GP, and of T is Practice.
+  SubjectAttributeDetector det;
+  EXPECT_EQ(det.Detect(testutil::FigureS1()), 0);
+  EXPECT_EQ(det.Detect(testutil::FigureS2()), 0);
+  EXPECT_EQ(det.Detect(testutil::FigureS3()), 0);
+  EXPECT_EQ(det.Detect(testutil::FigureTarget()), 0);
+}
+
+TEST(SubjectDetectorTest, PrefersDistinctTextOverRepeatedText) {
+  // Column 1 is leftmost but has heavy repetition; column 0..
+  Table t = testutil::MakeTable(
+      "repeats", {"Category", "Entity"},
+      {{"health", "Blackfriars Surgery"},
+       {"health", "Radclife Care"},
+       {"health", "Bolton Medical"},
+       {"health", "Oxford Road Practice"}});
+  SubjectAttributeDetector det;
+  EXPECT_EQ(det.Detect(t), 1);
+}
+
+TEST(SubjectDetectorTest, NeverPicksNumericWhenTextExists) {
+  Table t = testutil::MakeTable("nums_first", {"Rank", "Name"},
+                                {{"1", "Alpha Co"}, {"2", "Beta Co"}, {"3", "Gamma Co"}});
+  SubjectAttributeDetector det;
+  int s = det.Detect(t);
+  ASSERT_GE(s, 0);
+  EXPECT_EQ(t.column(static_cast<size_t>(s)).type(), ColumnType::kString);
+}
+
+TEST(SubjectDetectorTest, EmptyTableGivesMinusOne) {
+  Table t("empty");
+  SubjectAttributeDetector det;
+  EXPECT_EQ(det.Detect(t), -1);
+}
+
+TEST(SubjectDetectorTest, AllNumericFallsBackToBestColumn) {
+  Table t = testutil::MakeTable("allnum", {"A", "B"}, {{"1", "2"}, {"3", "4"}});
+  SubjectAttributeDetector det;
+  EXPECT_GE(det.Detect(t), 0);
+}
+
+// Reproduces the paper's validation setup (§III-C footnote 2): train on
+// labelled tables, check accuracy. The paper reports 89% over 350
+// data.gov.uk tables; we require >= 75% on generator-labelled tables where
+// the generator's entity column is the label.
+TEST(SubjectDetectorTest, TrainedDetectorAccuracyOnGeneratedTables) {
+  benchdata::RealishOptions opts;
+  opts.num_clusters = 24;
+  opts.tables_per_cluster_min = 3;
+  opts.tables_per_cluster_max = 5;
+  opts.rows_min = 40;
+  opts.rows_max = 80;
+  opts.entity_domain_prob = 1.0;  // every table has an entity column (col 0)
+  opts.seed = 77;
+  auto gen = GenerateRealish(opts);
+  ASSERT_TRUE(gen.ok());
+  const DataLake& lake = gen->lake;
+
+  std::vector<const Table*> tables;
+  std::vector<size_t> labels;
+  for (const Table& t : gen->lake.tables()) {
+    tables.push_back(&t);
+    labels.push_back(0);  // generator puts the entity column first
+  }
+  size_t split = tables.size() / 2;
+  std::vector<const Table*> train(tables.begin(), tables.begin() + split);
+  std::vector<size_t> train_labels(labels.begin(), labels.begin() + split);
+
+  auto det = SubjectAttributeDetector::Train(train, train_labels);
+  ASSERT_TRUE(det.ok());
+
+  size_t correct = 0;
+  for (size_t i = split; i < tables.size(); ++i) {
+    if (det->Detect(*tables[i]) == 0) ++correct;
+  }
+  double acc = static_cast<double>(correct) / static_cast<double>(tables.size() - split);
+  EXPECT_GE(acc, 0.75) << "held-out subject detection accuracy";
+  (void)lake;
+}
+
+TEST(SubjectDetectorTest, TrainRejectsBadInput) {
+  EXPECT_FALSE(SubjectAttributeDetector::Train({}, {}).ok());
+  Table t = testutil::FigureS1();
+  EXPECT_FALSE(SubjectAttributeDetector::Train({&t}, {99}).ok());
+}
+
+}  // namespace
+}  // namespace d3l::core

@@ -1,0 +1,67 @@
+#include "text/token_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace d3l {
+namespace {
+
+TEST(TokenHistogramTest, CountsOccurrences) {
+  TokenHistogram h;
+  h.Insert({"street", "portland"});
+  h.Insert({"street", "oxford"});
+  h.Insert({"street", "mirabel"});
+  EXPECT_EQ(h.CountOf("street"), 3u);
+  EXPECT_EQ(h.CountOf("oxford"), 1u);
+  EXPECT_EQ(h.CountOf("absent"), 0u);
+  EXPECT_EQ(h.distinct_tokens(), 4u);
+  EXPECT_EQ(h.total_occurrences(), 6u);
+}
+
+TEST(TokenHistogramTest, FrequentInfrequentSplit) {
+  TokenHistogram h;
+  // "street" appears 4x; the others once: median count is 1.
+  for (int i = 0; i < 4; ++i) h.InsertOne("street");
+  h.InsertOne("portland");
+  h.InsertOne("oxford");
+  h.InsertOne("mirabel");
+
+  auto infreq = h.Infrequent();
+  auto freq = h.Frequent();
+  EXPECT_EQ(freq.size(), 1u);
+  EXPECT_EQ(freq[0], "street");
+  EXPECT_EQ(infreq.size(), 3u);
+  EXPECT_EQ(std::count(infreq.begin(), infreq.end(), "street"), 0);
+}
+
+TEST(TokenHistogramTest, PartitionIsComplete) {
+  TokenHistogram h;
+  for (int i = 0; i < 10; ++i) h.InsertOne("common");
+  for (int i = 0; i < 5; ++i) h.InsertOne("medium");
+  h.InsertOne("rare1");
+  h.InsertOne("rare2");
+  auto infreq = h.Infrequent();
+  auto freq = h.Frequent();
+  EXPECT_EQ(infreq.size() + freq.size(), h.distinct_tokens());
+}
+
+TEST(TokenHistogramTest, EmptyHistogram) {
+  TokenHistogram h;
+  EXPECT_TRUE(h.Infrequent().empty());
+  EXPECT_TRUE(h.Frequent().empty());
+  EXPECT_EQ(h.distinct_tokens(), 0u);
+}
+
+TEST(TokenHistogramTest, AllEqualCountsAreInfrequent) {
+  TokenHistogram h;
+  h.InsertOne("a");
+  h.InsertOne("b");
+  h.InsertOne("c");
+  // Median count = 1; all tokens are <= median -> infrequent; none frequent.
+  EXPECT_EQ(h.Infrequent().size(), 3u);
+  EXPECT_TRUE(h.Frequent().empty());
+}
+
+}  // namespace
+}  // namespace d3l

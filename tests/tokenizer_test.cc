@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l {
+namespace {
+
+TEST(TokenizerTest, SplitsAtPunctuationIntoParts) {
+  // The paper's Example 2: "18 Portland Street, M1 3BE" splits into two
+  // parts at the comma.
+  auto parts = SplitParts("18 Portland Street, M1 3BE");
+  ASSERT_EQ(parts.size(), 2u);
+  ASSERT_EQ(parts[0].words.size(), 3u);
+  EXPECT_EQ(parts[0].words[0], "18");
+  EXPECT_EQ(parts[0].words[1], "portland");
+  EXPECT_EQ(parts[0].words[2], "street");
+  ASSERT_EQ(parts[1].words.size(), 2u);
+  EXPECT_EQ(parts[1].words[0], "m1");
+  EXPECT_EQ(parts[1].words[1], "3be");
+}
+
+TEST(TokenizerTest, LowercasesWords) {
+  auto toks = Tokenize("Hello WORLD");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+}
+
+TEST(TokenizerTest, MultiplePunctuationKinds) {
+  auto parts = SplitParts("a.b;c:d/e-f");
+  EXPECT_EQ(parts.size(), 6u);
+}
+
+TEST(TokenizerTest, ConsecutiveDelimitersYieldNoEmptyParts) {
+  auto parts = SplitParts("a,,  ,b");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].words[0], "a");
+  EXPECT_EQ(parts[1].words[0], "b");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceInputs) {
+  EXPECT_TRUE(SplitParts("").empty());
+  EXPECT_TRUE(SplitParts("   ").empty());
+  EXPECT_TRUE(SplitParts(",;:").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(TokenizerTest, DigitsAreWords) {
+  auto toks = Tokenize("08:00-18:00");
+  // ':' and '-' are delimiters: four numeric words.
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "08");
+  EXPECT_EQ(toks[3], "00");
+}
+
+TEST(TokenizerTest, IsPartDelimiterClassification) {
+  EXPECT_TRUE(IsPartDelimiter(','));
+  EXPECT_TRUE(IsPartDelimiter('/'));
+  EXPECT_TRUE(IsPartDelimiter('-'));
+  EXPECT_TRUE(IsPartDelimiter('@'));
+  EXPECT_FALSE(IsPartDelimiter('a'));
+  EXPECT_FALSE(IsPartDelimiter('7'));
+  EXPECT_FALSE(IsPartDelimiter(' '));
+}
+
+}  // namespace
+}  // namespace d3l

@@ -1,0 +1,102 @@
+#include "baselines/tus.h"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/domains.h"
+#include "tests/test_util.h"
+
+namespace d3l::baselines {
+namespace {
+
+class TusTest : public ::testing::Test {
+ protected:
+  TusTest()
+      : kb_(benchdata::DomainRegistry::Instance().BuildKbVocabulary()),
+        engine_(TusOptions{}, &kb_, &wem_) {}
+
+  YagoKb kb_;
+  SubwordHashModel wem_;
+  TusEngine engine_;
+};
+
+TEST_F(TusTest, SearchBeforeIndexFails) {
+  EXPECT_FALSE(engine_.Search(testutil::FigureTarget(), 3).ok());
+}
+
+TEST_F(TusTest, RanksValueOverlappingTablesFirst) {
+  DataLake lake = testutil::FigureLake(5);
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  auto res = engine_.Search(testutil::FigureTarget(), 3);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  // The top hit must be one of the GP tables (heavy value overlap).
+  std::string top = lake.table(res->ranked[0].table_index).name();
+  EXPECT_TRUE(top.find("gp") != std::string::npos || top.find("local") != std::string::npos)
+      << top;
+  // Scores descend.
+  for (size_t i = 1; i < res->ranked.size(); ++i) {
+    EXPECT_GE(res->ranked[i - 1].score, res->ranked[i].score);
+  }
+}
+
+TEST_F(TusTest, NumericColumnsIgnored) {
+  DataLake lake;
+  // A table whose only content is numeric must be invisible to TUS.
+  lake.AddTable(testutil::MakeTable("nums", {"Payment", "Count"},
+                                    {{"100", "1"}, {"200", "2"}, {"300", "3"}}))
+      .CheckOK();
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  EXPECT_EQ(engine_.build_stats().num_attributes, 0u);
+}
+
+TEST_F(TusTest, KbLookupsHappenDuringIndexing) {
+  DataLake lake = testutil::FigureLake(2);
+  uint64_t before = kb_.lookup_count();
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  // One lookup per token occurrence: far more than the attribute count.
+  EXPECT_GT(kb_.lookup_count() - before, 100u);
+}
+
+TEST_F(TusTest, AlignmentsReported) {
+  DataLake lake = testutil::FigureLake(2);
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  auto res = engine_.Search(testutil::FigureTarget(), 2);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  EXPECT_FALSE(res->ranked[0].alignments.empty());
+  for (const auto& a : res->ranked[0].alignments) {
+    EXPECT_LT(a.target_column, testutil::FigureTarget().num_columns());
+    EXPECT_GT(a.score, 0.0);
+    EXPECT_LE(a.score, 1.0);
+  }
+  EXPECT_FALSE(res->candidate_alignments.empty());
+}
+
+TEST_F(TusTest, SemanticEvidenceLinksDifferentValueSets) {
+  // Two city columns with disjoint city names: token overlap is zero, but
+  // the KB maps both into the "city" class, so TUS still finds them.
+  DataLake lake;
+  lake.AddTable(testutil::MakeTable(
+                    "cities_a", {"place"},
+                    {{"Manchester"}, {"Leeds"}, {"Sheffield"}, {"Bradford"}}))
+      .CheckOK();
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  Table target = testutil::MakeTable(
+      "cities_b", {"town"}, {{"Bristol"}, {"Cardiff"}, {"Swansea"}, {"Exeter"}});
+  auto res = engine_.Search(target, 1);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->ranked.empty());
+  EXPECT_GT(res->ranked[0].score, 0.2);
+}
+
+TEST_F(TusTest, MemoryAndStatsPopulated) {
+  DataLake lake = testutil::FigureLake(2);
+  ASSERT_TRUE(engine_.IndexLake(lake).ok());
+  EXPECT_GT(engine_.build_stats().num_attributes, 0u);
+  EXPECT_GT(engine_.build_stats().index_bytes, 0u);
+  EXPECT_GT(engine_.MemoryUsage(), 0u);
+  EXPECT_TRUE(engine_.IndexLake(lake).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace d3l::baselines

@@ -1,0 +1,98 @@
+#include "core/weights.h"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/synthetic_gen.h"
+#include "eval/experiment.h"
+
+namespace d3l::core {
+namespace {
+
+class WeightsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchdata::SyntheticOptions opts;
+    opts.num_base_tables = 8;
+    opts.derived_per_base = 7;
+    opts.base_rows_min = 60;
+    opts.base_rows_max = 120;
+    opts.seed = 5;
+    auto gen = benchdata::GenerateSynthetic(opts);
+    ASSERT_TRUE(gen.ok());
+    lake_ = new benchdata::GeneratedLake(std::move(*gen));
+    engine_ = new D3LEngine();
+    ASSERT_TRUE(engine_->IndexLake(lake_->lake).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    delete lake_;
+    lake_ = nullptr;
+  }
+
+  static benchdata::GeneratedLake* lake_;
+  static D3LEngine* engine_;
+};
+
+benchdata::GeneratedLake* WeightsTest::lake_ = nullptr;
+D3LEngine* WeightsTest::engine_ = nullptr;
+
+TEST_F(WeightsTest, LearnsFromGroundTruth) {
+  auto targets = eval::SampleTargets(lake_->lake, 12, 3);
+  auto related = [&](uint32_t t, uint32_t s) {
+    return lake_->truth.TablesRelated(lake_->lake.table(t).name(),
+                                      lake_->lake.table(s).name());
+  };
+  auto learned = LearnEvidenceWeights(*engine_, targets, related);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+
+  // Weights are a normalized distribution.
+  double sum = 0;
+  for (double w : learned->weights.w) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+
+  // The paper reports ~89% classifier accuracy; we require a comfortable
+  // margin over chance on the training pairs.
+  EXPECT_GE(learned->train_accuracy, 0.75) << "pairs=" << learned->num_pairs;
+  EXPECT_GT(learned->num_pairs, 50u);
+}
+
+TEST_F(WeightsTest, CoefficientsAreNegativeOnDistances) {
+  auto targets = eval::SampleTargets(lake_->lake, 10, 11);
+  auto related = [&](uint32_t t, uint32_t s) {
+    return lake_->truth.TablesRelated(lake_->lake.table(t).name(),
+                                      lake_->lake.table(s).name());
+  };
+  auto learned = LearnEvidenceWeights(*engine_, targets, related);
+  ASSERT_TRUE(learned.ok());
+  // Larger distance must lower the relatedness probability for the
+  // strongest evidence type.
+  size_t best = 0;
+  for (size_t t = 1; t < kNumEvidence; ++t) {
+    if (learned->weights.w[t] > learned->weights.w[best]) best = t;
+  }
+  EXPECT_LT(learned->model.weights()[best], 0);
+}
+
+TEST_F(WeightsTest, RejectsEmptyTargets) {
+  auto related = [](uint32_t, uint32_t) { return true; };
+  EXPECT_FALSE(LearnEvidenceWeights(*engine_, {}, related).ok());
+}
+
+TEST_F(WeightsTest, RejectsSingleClassLabels) {
+  auto targets = eval::SampleTargets(lake_->lake, 4, 3);
+  auto never_related = [](uint32_t, uint32_t) { return false; };
+  EXPECT_FALSE(LearnEvidenceWeights(*engine_, targets, never_related).ok());
+}
+
+TEST_F(WeightsTest, UnindexedEngineFails) {
+  D3LEngine fresh;
+  auto related = [](uint32_t, uint32_t) { return true; };
+  EXPECT_FALSE(LearnEvidenceWeights(fresh, {0}, related).ok());
+}
+
+}  // namespace
+}  // namespace d3l::core

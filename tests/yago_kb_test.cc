@@ -1,0 +1,61 @@
+#include "baselines/yago_kb.h"
+
+#include <gtest/gtest.h>
+
+namespace d3l::baselines {
+namespace {
+
+TEST(YagoKbTest, DictionaryHitsReturnCuratedLeavesPlusClosure) {
+  YagoKb::Dictionary dict;
+  dict["manchester"] = {7};
+  dict["salford"] = {7, 9};
+  YagoKb kb(std::move(dict));
+  auto m = kb.ClassesOf("manchester");
+  // Leaves first, then hierarchy_depth supertypes per leaf.
+  ASSERT_EQ(m.size(), 1u + kb.hierarchy_depth());
+  EXPECT_EQ(m[0], 7u);
+  auto s = kb.ClassesOf("salford");
+  ASSERT_EQ(s.size(), 2u * (1u + kb.hierarchy_depth()));
+  EXPECT_EQ(s[0], 7u);
+  EXPECT_EQ(s[1], 9u);
+  EXPECT_EQ(kb.dictionary_size(), 2u);
+  // Same leaf => same supertype chain: the closures of class 7 agree.
+  EXPECT_EQ(m[1], s[2]);
+}
+
+TEST(YagoKbTest, UnknownTokensGetPseudoClassesWithClosure) {
+  YagoKb kb({});
+  auto classes = kb.ClassesOf("zyxwv");
+  ASSERT_EQ(classes.size(), 2u * (1 + kb.hierarchy_depth()));
+  EXPECT_GE(classes[0], 1000u);
+  EXPECT_GE(classes[1], 1000u);
+  // Supertype ids live in a dedicated range.
+  for (size_t i = 2; i < classes.size(); ++i) EXPECT_GE(classes[i], 0x40000000u);
+  // Deterministic.
+  EXPECT_EQ(kb.ClassesOf("zyxwv"), classes);
+}
+
+TEST(YagoKbTest, SharedPrefixSharesOneClass) {
+  YagoKb kb({});
+  auto a = kb.ClassesOf("manchester");
+  auto b = kb.ClassesOf("manchestr");  // same 4-prefix "manc"
+  EXPECT_EQ(a[1], b[1]);  // prefix class matches
+  EXPECT_NE(a[0], b[0]);  // whole-token class differs
+}
+
+TEST(YagoKbTest, LookupCounterInstrumentsAccesses) {
+  YagoKb kb({});
+  EXPECT_EQ(kb.lookup_count(), 0u);
+  kb.ClassesOf("a");
+  kb.ClassesOf("b");
+  EXPECT_EQ(kb.lookup_count(), 2u);
+}
+
+TEST(YagoKbTest, ZeroFallbackBucketsClamped) {
+  YagoKb kb({}, 0);
+  // No division by zero; two leaves plus their closures.
+  EXPECT_EQ(kb.ClassesOf("x").size(), 2u * (1 + kb.hierarchy_depth()));
+}
+
+}  // namespace
+}  // namespace d3l::baselines
