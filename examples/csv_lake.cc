@@ -1,10 +1,12 @@
 // Loading a data lake from CSV files on disk.
 //
-// Writes a handful of CSVs to a temporary directory, loads them with
-// DataLake::LoadDirectory, and runs a discovery query — the workflow a
-// downstream user with a folder of open-data CSVs would follow.
+// With no argument, writes a handful of CSVs to a temporary directory,
+// loads them with DataLake::LoadDirectory, and runs a discovery query —
+// the workflow a downstream user with a folder of open-data CSVs would
+// follow. Pass a directory to load your own CSVs instead; the first
+// loaded table is then used as the query target.
 //
-//   $ ./build/examples/csv_lake
+//   $ ./build/csv_lake [DIR]
 #include <cstdio>
 #include <filesystem>
 
@@ -24,50 +26,73 @@ Table MakeTable(std::string name, std::vector<std::string> cols,
 }
 }  // namespace
 
-int main() {
-  fs::path dir = fs::temp_directory_path() / "d3l_csv_lake_example";
-  fs::create_directories(dir);
+int main(int argc, char** argv) {
+  const bool own_dir = argc < 2;
+  fs::path dir;
+  if (own_dir) {
+    dir = fs::temp_directory_path() / "d3l_csv_lake_example";
+    fs::create_directories(dir);
 
-  // Stage some open-data-style CSVs (quoting included).
-  WriteCsvFile(MakeTable("hospitals", {"Hospital", "City", "Beds"},
-                         {{"Manchester Royal", "Manchester", "950"},
-                          {"Salford Royal", "Salford", "720"},
-                          {"Leeds General", "Leeds", "1100"}}),
-               (dir / "hospitals.csv").string())
-      .CheckOK();
-  WriteCsvFile(MakeTable("hospital_funding", {"Provider", "City", "Funding"},
-                         {{"Manchester Royal", "Manchester", "1250000"},
-                          {"Salford Royal", "Salford", "870000"}}),
-               (dir / "hospital_funding.csv").string())
-      .CheckOK();
-  WriteCsvFile(MakeTable("bus_routes", {"Route", "Operator"},
-                         {{"192", "Stagecoach"}, {"43", "First"}}),
-               (dir / "bus_routes.csv").string())
-      .CheckOK();
+    // Stage some open-data-style CSVs (quoting included).
+    WriteCsvFile(MakeTable("hospitals", {"Hospital", "City", "Beds"},
+                           {{"Manchester Royal", "Manchester", "950"},
+                            {"Salford Royal", "Salford", "720"},
+                            {"Leeds General", "Leeds", "1100"}}),
+                 (dir / "hospitals.csv").string())
+        .CheckOK();
+    WriteCsvFile(MakeTable("hospital_funding", {"Provider", "City", "Funding"},
+                           {{"Manchester Royal", "Manchester", "1250000"},
+                            {"Salford Royal", "Salford", "870000"}}),
+                 (dir / "hospital_funding.csv").string())
+        .CheckOK();
+    WriteCsvFile(MakeTable("bus_routes", {"Route", "Operator"},
+                           {{"192", "Stagecoach"}, {"43", "First"}}),
+                 (dir / "bus_routes.csv").string())
+        .CheckOK();
+  } else {
+    dir = argv[1];
+  }
 
   // Load the directory as a lake.
   DataLake lake;
-  lake.LoadDirectory(dir.string()).CheckOK();
+  Status load = lake.LoadDirectory(dir.string());
+  if (!load.ok()) {
+    fprintf(stderr, "failed to load %s: %s\n", dir.string().c_str(),
+            load.ToString().c_str());
+    return 1;
+  }
+  if (lake.size() == 0) {
+    fprintf(stderr, "no CSV files found in %s\n", dir.string().c_str());
+    return 1;
+  }
   LakeStats stats = lake.Stats();
   printf("loaded %zu tables, %zu attributes (%.0f%% numeric)\n\n", stats.num_tables,
          stats.num_attributes, stats.numeric_ratio * 100);
 
-  // Discover datasets related to a hospital target.
+  // Discover datasets related to a target: a hospital table for the staged
+  // demo, or the first loaded table for a user-supplied directory.
   core::D3LEngine engine;
   engine.IndexLake(lake).CheckOK();
-  Table target = MakeTable("my_hospitals", {"Hospital Name", "Town"},
-                           {{"Salford Royal", "Salford"}, {"Leeds General", "Leeds"}});
-  auto res = engine.Search(target, 3);
+  Table target = own_dir ? MakeTable("my_hospitals", {"Hospital Name", "Town"},
+                                     {{"Salford Royal", "Salford"},
+                                      {"Leeds General", "Leeds"}})
+                         : lake.table(0);
+  printf("query target: %s\n\n", target.name().c_str());
+  // A lake table used as target trivially retrieves itself; ask for one
+  // extra result and drop the self-match below.
+  auto res = engine.Search(target, own_dir ? 3 : 4);
   res.status().CheckOK();
 
   eval::TablePrinter out({"rank", "dataset", "distance"});
   int r = 1;
   for (const auto& m : res->ranked) {
+    if (lake.table(m.table_index).name() == target.name()) continue;
+    if (r > 3) break;
     out.AddRow({std::to_string(r++), lake.table(m.table_index).name(),
                 eval::TablePrinter::Num(m.distance)});
   }
   out.Print();
 
-  fs::remove_all(dir);
+  if (own_dir) fs::remove_all(dir);
   return 0;
 }

@@ -29,6 +29,7 @@ double ExactJaccard(const std::set<T>& a, const std::set<T>& b) {
   }
   return d3l::JaccardFromCounts(inter, a.size(), b.size());
 }
+
 }  // namespace
 
 TusEngine::TusEngine(TusOptions options, const YagoKb* kb,
@@ -42,7 +43,9 @@ TusEngine::TusEngine(TusOptions options, const YagoKb* kb,
       rp_hasher_(options.embedding_dim, options.rp_bits, options.seed ^ 0x03),
       token_forest_(options.forest),
       class_forest_(options.forest),
-      emb_forest_(options.forest) {}
+      // The embedding forest indexes the byte sequence of the bit signature
+      // (rp_bits / 8 values); unclamped keys would read past its end.
+      emb_forest_(ClampForestToSignature(options.forest, options.rp_bits / 8)) {}
 
 TusEngine::ColumnSketch TusEngine::SketchColumn(const Table& table, size_t col) const {
   const Column& c = table.column(col);

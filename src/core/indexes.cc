@@ -29,13 +29,10 @@ BandedLshOptions BandedOptionsForBits(const IndexOptions& o) {
   return b;
 }
 
-// The embedding forest also runs over the byte sequence, so its per-tree
-// key length is clamped to what rp_bits / 8 values can provide.
+// The embedding forest also runs over the byte sequence, so its key shape
+// is clamped to what rp_bits / 8 values can provide.
 LshForestOptions EmbForestOptionsFrom(const IndexOptions& o) {
-  LshForestOptions f = o.forest;
-  size_t available = (o.rp_bits / 8) / std::max<size_t>(1, f.num_trees);
-  f.hashes_per_tree = std::max<size_t>(1, std::min(f.hashes_per_tree, available));
-  return f;
+  return ClampForestToSignature(o.forest, o.rp_bits / 8);
 }
 }  // namespace
 

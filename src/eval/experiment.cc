@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 namespace d3l::eval {
@@ -20,6 +21,9 @@ double ParseScaleArg(int argc, char** argv, double default_scale) {
     if (std::strncmp(a, "--scale=", 8) == 0) {
       double v = std::atof(a + 8);
       if (v > 0) return v;
+      std::fprintf(stderr, "ignoring non-positive scale '%s'\n", a);
+    } else {
+      std::fprintf(stderr, "unrecognized argument '%s' (expected --scale=X)\n", a);
     }
   }
   return default_scale;

@@ -2,12 +2,37 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace d3l {
 
+LshForestOptions ClampForestToSignature(LshForestOptions f, size_t available_values) {
+  assert(available_values >= 1);  // an empty signature fits no key shape
+  if (f.num_trees > available_values) {
+    f.num_trees = std::max<size_t>(1, available_values);
+  }
+  size_t per_tree = available_values / std::max<size_t>(1, f.num_trees);
+  f.hashes_per_tree = std::max<size_t>(1, std::min(f.hashes_per_tree, per_tree));
+  return f;
+}
+
 LshForest::LshForest(LshForestOptions options) : options_(options) {
   trees_.resize(options_.num_trees);
+}
+
+void LshForest::CheckSignatureSize(const Signature& sig) const {
+  // A short signature would make TreeKey read out of bounds; fail loudly in
+  // release builds too (Insert/Query are per-item, so the check is cheap).
+  const size_t need = options_.num_trees * options_.hashes_per_tree;
+  if (sig.size() < need) {
+    std::fprintf(stderr,
+                 "LshForest: signature has %zu values but num_trees * "
+                 "hashes_per_tree = %zu\n",
+                 sig.size(), need);
+    std::abort();
+  }
 }
 
 std::vector<uint64_t> LshForest::TreeKey(size_t tree, const Signature& sig) const {
@@ -21,6 +46,7 @@ std::vector<uint64_t> LshForest::TreeKey(size_t tree, const Signature& sig) cons
 }
 
 void LshForest::Insert(ItemId id, const Signature& signature) {
+  CheckSignatureSize(signature);
   for (size_t t = 0; t < trees_.size(); ++t) {
     trees_[t].entries.push_back(Entry{TreeKey(t, signature), id});
     trees_[t].sorted = false;
@@ -69,6 +95,7 @@ std::vector<LshForest::ItemId> LshForest::Query(const Signature& signature,
   std::unordered_set<ItemId> seen;
   std::vector<ItemId> result;
   if (m == 0) return result;
+  CheckSignatureSize(signature);
   std::vector<std::vector<uint64_t>> keys(trees_.size());
   for (size_t t = 0; t < trees_.size(); ++t) keys[t] = TreeKey(t, signature);
 
@@ -93,6 +120,7 @@ std::vector<LshForest::ItemId> LshForest::Query(const Signature& signature,
 std::vector<LshForest::ItemId> LshForest::QueryAtDepth(const Signature& signature,
                                                        size_t min_depth) const {
   assert(min_depth >= 1 && min_depth <= options_.hashes_per_tree);
+  CheckSignatureSize(signature);
   std::unordered_set<ItemId> seen;
   std::vector<ItemId> result;
   for (size_t t = 0; t < trees_.size(); ++t) {

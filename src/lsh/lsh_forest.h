@@ -23,6 +23,14 @@ struct LshForestOptions {
   size_t hashes_per_tree = 8; ///< k_l: key length per tree (in hash values)
 };
 
+/// \brief Clamps forest options so num_trees * hashes_per_tree fits within a
+/// signature of `available_values` values (e.g. rp_bits / 8 for bit
+/// signatures run through SignatureAsHashSequence). Shrinks hashes_per_tree
+/// first, then num_trees when even one hash per tree does not fit.
+/// Requires available_values >= 1: nothing fits an empty signature, and the
+/// returned 1x1 shape would still abort on the first Insert.
+LshForestOptions ClampForestToSignature(LshForestOptions f, size_t available_values);
+
 /// \brief Top-m candidate index over integer-sequence signatures.
 ///
 /// Works for MinHash signatures directly and for bit signatures via
@@ -67,6 +75,8 @@ class LshForest {
   };
 
   std::vector<uint64_t> TreeKey(size_t tree, const Signature& sig) const;
+  // Aborts (in all build types) if the signature is too short for TreeKey.
+  void CheckSignatureSize(const Signature& sig) const;
   // Collects ids of entries matching the first `depth` key values.
   void CollectAtDepth(const Tree& tree, const std::vector<uint64_t>& key, size_t depth,
                       std::vector<ItemId>* out) const;

@@ -10,6 +10,7 @@
 #include "core/query.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "tests/test_util.h"
 
 namespace d3l {
 namespace {
@@ -18,6 +19,40 @@ using core::D3LEngine;
 using core::D3LOptions;
 using core::SearchResult;
 using eval::RankedTable;
+
+// The paper's running example as a golden test: in a lake holding Figure 1's
+// S1/S2/S3 plus unrelated filler tables, querying with S1 must rank the two
+// related GP sources above every filler.
+TEST(Figure1GoldenTest, S1QueryRanksS2AndS3AboveFiller) {
+  DataLake lake = testutil::FigureLake(6);
+  D3LEngine engine;
+  ASSERT_TRUE(engine.IndexLake(lake).ok());
+
+  auto res = engine.Search(testutil::FigureS1(), lake.size());
+  ASSERT_TRUE(res.ok());
+
+  auto rank_of = [&](const std::string& name) {
+    for (size_t i = 0; i < res->ranked.size(); ++i) {
+      if (lake.table(res->ranked[i].table_index).name() == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  int rank_s2 = rank_of("s2_gp_funding");
+  int rank_s3 = rank_of("s3_local_gps");
+  ASSERT_GE(rank_s2, 0) << "S2 not retrieved at all";
+  ASSERT_GE(rank_s3, 0) << "S3 not retrieved at all";
+
+  for (size_t i = 0; i < res->ranked.size(); ++i) {
+    const std::string& name = lake.table(res->ranked[i].table_index).name();
+    if (name.rfind("filler_", 0) == 0) {
+      EXPECT_LT(rank_s2, static_cast<int>(i)) << name << " outranks S2";
+      EXPECT_LT(rank_s3, static_cast<int>(i)) << name << " outranks S3";
+    }
+  }
+}
 
 // Shared fixtures are expensive; build once per suite.
 class SyntheticIntegrationTest : public ::testing::Test {

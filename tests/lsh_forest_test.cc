@@ -25,6 +25,30 @@ class LshForestTest : public ::testing::Test {
   MinHasher hasher_;
 };
 
+TEST(ClampForestToSignatureTest, FitsKeyShapeToShortSignatures) {
+  LshForestOptions o;  // default 8 trees * 8 hashes = 64 values
+  // Plenty of values: untouched.
+  auto f = ClampForestToSignature(o, 256);
+  EXPECT_EQ(f.num_trees, 8u);
+  EXPECT_EQ(f.hashes_per_tree, 8u);
+  // 32 values (rp_bits=256 byte sequence): per-tree keys shrink to 4.
+  f = ClampForestToSignature(o, 32);
+  EXPECT_EQ(f.num_trees, 8u);
+  EXPECT_EQ(f.hashes_per_tree, 4u);
+  // Fewer values than trees: tree count shrinks too (rp_bits=32 -> 4 values).
+  f = ClampForestToSignature(o, 4);
+  EXPECT_EQ(f.num_trees, 4u);
+  EXPECT_EQ(f.hashes_per_tree, 1u);
+  EXPECT_LE(f.num_trees * f.hashes_per_tree, 4u);
+}
+
+TEST(ClampForestToSignatureTest, ClampedForestAcceptsTheShortSignature) {
+  LshForest forest(ClampForestToSignature(LshForestOptions{}, 4));
+  forest.Insert(0, Signature{1, 2, 3, 4});  // would abort unclamped
+  forest.Index();
+  EXPECT_EQ(forest.Query(Signature{1, 2, 3, 4}, 1), std::vector<uint32_t>{0});
+}
+
 TEST_F(LshForestTest, FindsExactDuplicate) {
   LshForest forest;
   auto q = hasher_.Sign(SetWithSharedPrefix(50, 50, 0));

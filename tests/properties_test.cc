@@ -2,12 +2,18 @@
 // (seeded) inputs, swept with parameterized suites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "benchdata/domains.h"
 #include "benchdata/realish_gen.h"
 #include "benchdata/synthetic_gen.h"
 #include "common/random.h"
 #include "core/query.h"
+#include "embedding/vector_ops.h"
 #include "eval/metrics.h"
+#include "lsh/minhash.h"
+#include "lsh/simhash.h"
 #include "table/csv.h"
 #include "text/format.h"
 #include "text/qgram.h"
@@ -187,6 +193,115 @@ TEST(MetricPropertyTest, OracleRankingScoresPerfectly) {
       target, gen->truth);
   EXPECT_DOUBLE_EQ(bad.precision, 0.0);
   EXPECT_DOUBLE_EQ(bad.recall, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LSH estimator statistics (fixed seeds, deterministic).
+// ---------------------------------------------------------------------------
+
+// Two overlapping string sets with an exactly known Jaccard similarity;
+// returns the Jaccard the construction actually achieves after rounding.
+double MakeSetsWithJaccard(size_t universe, double jaccard, uint64_t seed,
+                           std::vector<std::string>* a, std::vector<std::string>* b) {
+  // |A| = |B| = n, |A ∩ B| = m  =>  J = m / (2n - m). Solve m for given J.
+  size_t n = universe;
+  size_t m = static_cast<size_t>(std::round(2.0 * n * jaccard / (1.0 + jaccard)));
+  a->clear();
+  b->clear();
+  for (size_t i = 0; i < n; ++i) {
+    a->push_back("elem_" + std::to_string(seed) + "_" + std::to_string(i));
+  }
+  for (size_t i = n - m; i < 2 * n - m; ++i) {
+    b->push_back("elem_" + std::to_string(seed) + "_" + std::to_string(i));
+  }
+  return static_cast<double>(m) / static_cast<double>(2 * n - m);
+}
+
+// MinHash is an unbiased Jaccard estimator with stddev sqrt(J(1-J)/k): the
+// mean absolute error over many set pairs must shrink as the signature grows
+// and stay within a few standard deviations at the paper's k = 256.
+TEST(LshEstimatorPropertyTest, MinHashErrorShrinksWithSignatureSize) {
+  const size_t kUniverse = 400;
+  const double kJaccard = 0.4;
+  const int kPairs = 20;
+
+  double truth = kJaccard;
+  std::vector<double> mean_errors;
+  for (size_t k : {16u, 64u, 256u}) {
+    double err_sum = 0;
+    for (int p = 0; p < kPairs; ++p) {
+      MinHasher hasher(k, /*seed=*/1000 + p);
+      std::vector<std::string> a, b;
+      truth = MakeSetsWithJaccard(kUniverse, kJaccard, /*seed=*/50 + p, &a, &b);
+      err_sum += std::abs(EstimateJaccard(hasher.Sign(a), hasher.Sign(b)) - truth);
+    }
+    mean_errors.push_back(err_sum / kPairs);
+  }
+  // Monotone improvement across a 16x signature growth (small slack for the
+  // finite sample of pairs).
+  EXPECT_LT(mean_errors[2], mean_errors[0] + 1e-9);
+  EXPECT_LE(mean_errors[1], mean_errors[0] + 0.02);
+  EXPECT_LE(mean_errors[2], mean_errors[1] + 0.02);
+  // At k=256, stddev = sqrt(J(1-J)/256) ~= 0.031; mean |err| of an unbiased
+  // estimator is ~0.8 stddev, so 2 stddev is a generous deterministic bound.
+  EXPECT_LT(mean_errors[2], 2.0 * std::sqrt(truth * (1 - truth) / 256.0));
+}
+
+TEST(LshEstimatorPropertyTest, MinHashIdenticalAndDisjointSetsAreExact) {
+  MinHasher hasher(128, /*seed=*/7);
+  std::vector<std::string> a, b;
+  MakeSetsWithJaccard(200, 0.5, /*seed=*/3, &a, &b);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(hasher.Sign(a), hasher.Sign(a)), 1.0);
+  std::vector<std::string> c;
+  for (size_t i = 0; i < 200; ++i) c.push_back("other_" + std::to_string(i));
+  // Disjoint sets collide on a component only by hash accident: near zero.
+  EXPECT_LT(EstimateJaccard(hasher.Sign(a), hasher.Sign(c)), 0.05);
+}
+
+// SimHash: P[bit agreement] = 1 - theta/pi, so the cosine estimated from the
+// Hamming distance must track the true cosine within the binomial bound.
+TEST(LshEstimatorPropertyTest, SimHashCosineEstimateWithinBound) {
+  const size_t kDim = 64;
+  const size_t kBits = 256;
+  const int kVectorPairs = 20;
+  Rng rng(4242);
+
+  double worst_err = 0;
+  for (int p = 0; p < kVectorPairs; ++p) {
+    RandomProjectionHasher hasher(kDim, kBits, /*seed=*/900 + p);
+    Vec a(kDim), noise(kDim);
+    for (size_t i = 0; i < kDim; ++i) {
+      a[i] = static_cast<float>(rng.Gaussian());
+      noise[i] = static_cast<float>(rng.Gaussian());
+    }
+    // b = a rotated toward noise by a varying mix: covers cosines in (0, 1).
+    double mix = 0.1 + 0.8 * (p / static_cast<double>(kVectorPairs));
+    Vec b(kDim);
+    for (size_t i = 0; i < kDim; ++i) {
+      b[i] = static_cast<float>((1 - mix) * a[i] + mix * noise[i]);
+    }
+    double truth = CosineSimilarity(a, b);
+    double est = EstimateCosine(hasher.Sign(a), hasher.Sign(b));
+    worst_err = std::max(worst_err, std::abs(est - truth));
+  }
+  // Hamming/bits has stddev <= 0.5/sqrt(256) ~= 0.031; through the cosine
+  // transform the error stays well under 0.2 for every pair.
+  EXPECT_LT(worst_err, 0.2);
+}
+
+TEST(LshEstimatorPropertyTest, SimHashHammingSymmetricAndSelfZero) {
+  RandomProjectionHasher hasher(32, 128, /*seed=*/5);
+  Rng rng(99);
+  Vec a(32), b(32);
+  for (size_t i = 0; i < 32; ++i) {
+    a[i] = static_cast<float>(rng.Gaussian());
+    b[i] = static_cast<float>(rng.Gaussian());
+  }
+  auto sa = hasher.Sign(a);
+  auto sb = hasher.Sign(b);
+  EXPECT_EQ(HammingDistance(sa, sa), 0u);
+  EXPECT_EQ(HammingDistance(sa, sb), HammingDistance(sb, sa));
+  EXPECT_DOUBLE_EQ(EstimateCosine(sa, sa), 1.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -67,14 +67,52 @@ inline Table FillerColors(int salt) {
   return MakeTable("filler_colors_" + std::to_string(salt), {"Shade", "Stars"}, rows);
 }
 
-/// A small lake with the Figure 1 sources plus unrelated fillers.
+/// Unrelated filler: warehouse stock levels (numeric-heavy, no GP overlap).
+inline Table FillerInventory(int salt) {
+  std::vector<std::vector<std::string>> rows;
+  const char* items[] = {"Widget", "Sprocket", "Gasket", "Flange", "Bearing", "Valve"};
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({std::string(items[(i + salt) % 6]) + "-" + std::to_string(salt * 10 + i),
+                    std::to_string((i * 13 + salt * 3) % 400 + 20),
+                    std::to_string((i * 5 + salt) % 9 + 1) + "." +
+                        std::to_string((i + salt) % 10) + "0"});
+  }
+  return MakeTable("filler_inventory_" + std::to_string(salt),
+                   {"SKU", "Quantity", "Unit Price"}, rows);
+}
+
+/// Unrelated filler: daily weather readings (dates and signed numerics).
+inline Table FillerWeather(int salt) {
+  std::vector<std::vector<std::string>> rows;
+  const char* stations[] = {"Oban", "Lerwick", "Valley", "Leuchars", "Armagh", "Eskdale"};
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({std::string(stations[(i + salt) % 6]),
+                    "2019-0" + std::to_string(i % 9 + 1) + "-1" + std::to_string(salt % 9),
+                    std::to_string((i * 3 + salt) % 25 - 4),
+                    std::to_string((i * 11 + salt * 7) % 90)});
+  }
+  return MakeTable("filler_weather_" + std::to_string(salt),
+                   {"Station", "Date", "Max Temp", "Rainfall mm"}, rows);
+}
+
+/// The i-th filler table, cycling through the unrelated-domain kinds.
+inline Table Filler(int i) {
+  switch (i % 3) {
+    case 0: return FillerColors(i);
+    case 1: return FillerInventory(i);
+    default: return FillerWeather(i);
+  }
+}
+
+/// A small lake with the Figure 1 sources plus unrelated fillers drawn from
+/// several domains (colors, inventory, weather).
 inline DataLake FigureLake(int fillers = 4) {
   DataLake lake;
   lake.AddTable(FigureS1()).CheckOK();
   lake.AddTable(FigureS2()).CheckOK();
   lake.AddTable(FigureS3()).CheckOK();
   for (int i = 0; i < fillers; ++i) {
-    lake.AddTable(FillerColors(i)).CheckOK();
+    lake.AddTable(Filler(i)).CheckOK();
   }
   return lake;
 }
