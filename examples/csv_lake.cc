@@ -1,14 +1,21 @@
 // Loading a data lake from CSV files on disk.
 //
-// With no argument, writes a handful of CSVs to a temporary directory,
-// loads them with DataLake::LoadDirectory, and runs a discovery query —
-// the workflow a downstream user with a folder of open-data CSVs would
-// follow. Pass a directory to load your own CSVs instead; the first
+// With no directory argument, writes a handful of CSVs to a temporary
+// directory, loads them with DataLake::LoadDirectory, and runs a discovery
+// query — the workflow a downstream user with a folder of open-data CSVs
+// would follow. Pass a directory to load your own CSVs instead; the first
 // loaded table is then used as the query target.
 //
-//   $ ./build/csv_lake [DIR]
+// With --snapshot=PATH the example demonstrates profile-once/query-many:
+// the first run indexes the lake and saves the engine to PATH; subsequent
+// runs load the snapshot instead of re-profiling.
+//
+//   $ ./build/csv_lake [DIR] [--snapshot=PATH]
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <memory>
+#include <string>
 
 #include "core/query.h"
 #include "eval/table_printer.h"
@@ -27,7 +34,19 @@ Table MakeTable(std::string name, std::vector<std::string> cols,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool own_dir = argc < 2;
+  std::string snapshot_path;
+  std::string dir_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--snapshot=", 11) == 0) {
+      snapshot_path = argv[i] + 11;
+    } else if (dir_arg.empty()) {
+      dir_arg = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [DIR] [--snapshot=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bool own_dir = dir_arg.empty();
   fs::path dir;
   if (own_dir) {
     dir = fs::temp_directory_path() / "d3l_csv_lake_example";
@@ -50,7 +69,7 @@ int main(int argc, char** argv) {
                  (dir / "bus_routes.csv").string())
         .CheckOK();
   } else {
-    dir = argv[1];
+    dir = dir_arg;
   }
 
   // Load the directory as a lake.
@@ -70,9 +89,31 @@ int main(int argc, char** argv) {
          stats.num_attributes, stats.numeric_ratio * 100);
 
   // Discover datasets related to a target: a hospital table for the staged
-  // demo, or the first loaded table for a user-supplied directory.
-  core::D3LEngine engine;
-  engine.IndexLake(lake).CheckOK();
+  // demo, or the first loaded table for a user-supplied directory. With
+  // --snapshot, an existing snapshot is served directly (profile once,
+  // query many); otherwise the freshly built engine is persisted for the
+  // next run.
+  std::unique_ptr<core::D3LEngine> engine;
+  DataLake lake_metadata;  // backs a snapshot-loaded engine; must outlive it
+  // Result table indexes refer to the lake the engine was built over; for
+  // a snapshot-loaded engine that is the snapshot's metadata lake, which
+  // may disagree with the directory's current contents.
+  const DataLake* serving_lake = &lake;
+  if (!snapshot_path.empty() && fs::exists(snapshot_path)) {
+    auto loaded = core::D3LEngine::LoadSnapshot(snapshot_path, &lake_metadata);
+    loaded.status().CheckOK();
+    engine = std::move(loaded).ValueOrDie();
+    serving_lake = &lake_metadata;
+    printf("served from snapshot %s (skipped re-profiling %zu attributes)\n\n",
+           snapshot_path.c_str(), engine->indexes().num_attributes());
+  } else {
+    engine = std::make_unique<core::D3LEngine>();
+    engine->IndexLake(lake).CheckOK();
+    if (!snapshot_path.empty()) {
+      engine->SaveSnapshot(snapshot_path).CheckOK();
+      printf("snapshot saved to %s\n\n", snapshot_path.c_str());
+    }
+  }
   Table target = own_dir ? MakeTable("my_hospitals", {"Hospital Name", "Town"},
                                      {{"Salford Royal", "Salford"},
                                       {"Leeds General", "Leeds"}})
@@ -80,15 +121,15 @@ int main(int argc, char** argv) {
   printf("query target: %s\n\n", target.name().c_str());
   // A lake table used as target trivially retrieves itself; ask for one
   // extra result and drop the self-match below.
-  auto res = engine.Search(target, own_dir ? 3 : 4);
+  auto res = engine->Search(target, own_dir ? 3 : 4);
   res.status().CheckOK();
 
   eval::TablePrinter out({"rank", "dataset", "distance"});
   int r = 1;
   for (const auto& m : res->ranked) {
-    if (lake.table(m.table_index).name() == target.name()) continue;
+    if (serving_lake->table(m.table_index).name() == target.name()) continue;
     if (r > 3) break;
-    out.AddRow({std::to_string(r++), lake.table(m.table_index).name(),
+    out.AddRow({std::to_string(r++), serving_lake->table(m.table_index).name(),
                 eval::TablePrinter::Num(m.distance)});
   }
   out.Print();

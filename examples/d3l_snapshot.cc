@@ -1,0 +1,120 @@
+// Snapshot CLI: profile a CSV lake once, then serve discovery queries from
+// the persisted index ("profile once, serve many").
+//
+//   $ ./build/d3l_snapshot build <csv_dir> <out.d3l>
+//       Loads every *.csv in <csv_dir>, runs Algorithm 1 over the lake and
+//       writes the built engine (profiles, signatures, LSH structures,
+//       schema metadata) to <out.d3l>.
+//
+//   $ ./build/d3l_snapshot query <snapshot.d3l> <target.csv> [k]
+//       Loads the snapshot — no re-profiling of the lake — and prints the
+//       top-k datasets related to the target table (default k = 5).
+//
+// The snapshot is self-contained: `query` never touches the original CSV
+// directory, which is what makes a snapshot the unit of deployment for a
+// serving replica.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/query.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "table/csv.h"
+#include "table/lake.h"
+
+using namespace d3l;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s build <csv_dir> <out.d3l>\n"
+               "  %s query <snapshot.d3l> <target.csv> [k]\n",
+               argv0, argv0);
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int RunBuild(const std::string& csv_dir, const std::string& out_path) {
+  DataLake lake;
+  Status load = lake.LoadDirectory(csv_dir);
+  if (!load.ok()) return Fail(load);
+  if (lake.size() == 0) {
+    std::fprintf(stderr, "no CSV files found in %s\n", csv_dir.c_str());
+    return 1;
+  }
+  LakeStats stats = lake.Stats();
+  std::printf("loaded %zu tables, %zu attributes from %s\n", stats.num_tables,
+              stats.num_attributes, csv_dir.c_str());
+
+  core::D3LEngine engine;
+  eval::Timer timer;
+  Status indexed = engine.IndexLake(lake);
+  if (!indexed.ok()) return Fail(indexed);
+  std::printf("indexed in %.3fs (profiling %.3fs, insertion %.3fs)\n", timer.Seconds(),
+              engine.build_stats().profile_seconds, engine.build_stats().insert_seconds);
+
+  Status saved = engine.SaveSnapshot(out_path);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("snapshot written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int RunQuery(const std::string& snapshot_path, const std::string& target_csv, size_t k) {
+  DataLake lake_metadata;
+  eval::Timer timer;
+  auto loaded = core::D3LEngine::LoadSnapshot(snapshot_path, &lake_metadata);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::unique_ptr<core::D3LEngine> engine = std::move(loaded).ValueOrDie();
+  std::printf("snapshot loaded in %.3fs: %zu tables, %zu attributes "
+              "(original profiling cost: %.3fs)\n",
+              timer.Seconds(), lake_metadata.size(),
+              engine->indexes().num_attributes(),
+              engine->build_stats().profile_seconds);
+
+  auto target = ReadCsvFile(target_csv);
+  if (!target.ok()) return Fail(target.status());
+  std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
+              target->num_columns());
+
+  auto res = engine->Search(*target, k);
+  if (!res.ok()) return Fail(res.status());
+
+  eval::TablePrinter out({"rank", "dataset", "distance"});
+  int rank = 1;
+  for (const auto& m : res->ranked) {
+    out.AddRow({std::to_string(rank++), lake_metadata.table(m.table_index).name(),
+                eval::TablePrinter::Num(m.distance)});
+  }
+  out.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  if (std::strcmp(argv[1], "build") == 0) {
+    if (argc != 4) return Usage(argv[0]);
+    return RunBuild(argv[2], argv[3]);
+  }
+  if (std::strcmp(argv[1], "query") == 0) {
+    if (argc != 4 && argc != 5) return Usage(argv[0]);
+    size_t k = 5;
+    if (argc == 5) {
+      long parsed = std::atol(argv[4]);
+      if (parsed <= 0) return Usage(argv[0]);
+      k = static_cast<size_t>(parsed);
+    }
+    return RunQuery(argv[2], argv[3], k);
+  }
+  return Usage(argv[0]);
+}

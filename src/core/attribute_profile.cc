@@ -131,4 +131,37 @@ AttributeProfile BuildProfile(const Table& table, size_t col,
   return p;
 }
 
+void AttributeProfile::Save(io::Writer& w) const {
+  w.WriteU32(ref.table);
+  w.WriteU32(ref.column);
+  w.WriteString(table_name);
+  w.WriteString(column_name);
+  w.WriteBool(is_numeric);
+  w.WriteU64(extent_size);
+  w.WriteStringRange(qset);
+  w.WriteStringRange(tset);
+  w.WriteStringRange(rset);
+  w.WriteFloatVector(embedding);
+  w.WriteBool(has_embedding);
+  w.WriteDoubleVector(numeric_sample);
+}
+
+AttributeProfile AttributeProfile::Load(io::Reader& r) {
+  AttributeProfile p;
+  p.ref.table = r.ReadU32();
+  p.ref.column = r.ReadU32();
+  p.table_name = r.ReadString();
+  p.column_name = r.ReadString();
+  p.is_numeric = r.ReadBool();
+  p.extent_size = r.ReadU64();
+  for (std::set<std::string>* s : {&p.qset, &p.tset, &p.rset}) {
+    size_t n = r.ReadLength(1);
+    for (size_t i = 0; i < n && r.status().ok(); ++i) s->insert(r.ReadString());
+  }
+  p.embedding = r.ReadFloatVector();
+  p.has_embedding = r.ReadBool();
+  p.numeric_sample = r.ReadDoubleVector();
+  return p;
+}
+
 }  // namespace d3l::core

@@ -12,6 +12,7 @@
 
 #include "core/evidence.h"
 #include "embedding/subword_model.h"
+#include "io/binary_io.h"
 #include "table/table.h"
 
 namespace d3l::core {
@@ -43,6 +44,14 @@ struct AttributeProfile {
 
   /// Approximate heap footprint (space-overhead accounting).
   size_t MemoryUsage() const;
+
+  /// Serializes the full profile (sets, embedding, numeric sample) into
+  /// the writer's current section.
+  void Save(io::Writer& w) const;
+
+  /// Deserializes a profile written by Save(); check the reader's status()
+  /// before use.
+  static AttributeProfile Load(io::Reader& r);
 };
 
 /// \brief Builds the profile of `table.column(col)` per Algorithm 1.

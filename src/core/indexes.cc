@@ -169,6 +169,130 @@ double D3LIndexes::EstimateDistance(Evidence e, const AttributeSignatures& query
   return 1.0;
 }
 
+void AttributeSignatures::Save(io::Writer& w) const {
+  w.WriteU64Vector(name_sig);
+  w.WriteU64Vector(value_sig);
+  w.WriteU64Vector(format_sig);
+  w.WriteU64Vector(emb_sig.words);
+  w.WriteU64(emb_sig.bits);
+  w.WriteBool(has_value);
+  w.WriteBool(has_embedding);
+}
+
+AttributeSignatures AttributeSignatures::Load(io::Reader& r) {
+  AttributeSignatures s;
+  s.name_sig = r.ReadU64Vector();
+  s.value_sig = r.ReadU64Vector();
+  s.format_sig = r.ReadU64Vector();
+  s.emb_sig.words = r.ReadU64Vector();
+  s.emb_sig.bits = r.ReadU64();
+  s.has_value = r.ReadBool();
+  s.has_embedding = r.ReadBool();
+  return s;
+}
+
+void D3LIndexes::Save(io::Writer& w) const {
+  w.WriteU64(options_.minhash_size);
+  w.WriteDouble(options_.lsh_threshold);
+  w.WriteDouble(options_.join_threshold);
+  w.WriteU64(options_.rp_bits);
+  w.WriteU64(options_.embedding_dim);
+  w.WriteU64(options_.forest.num_trees);
+  w.WriteU64(options_.forest.hashes_per_tree);
+  w.WriteU64(options_.seed);
+
+  w.WriteU64(profiles_.size());
+  for (size_t i = 0; i < profiles_.size(); ++i) {
+    profiles_[i].Save(w);
+    sigs_[i].Save(w);
+  }
+
+  name_forest_.Save(w);
+  value_forest_.Save(w);
+  format_forest_.Save(w);
+  emb_forest_.Save(w);
+}
+
+Result<D3LIndexes> D3LIndexes::Load(io::Reader& r) {
+  IndexOptions o;
+  o.minhash_size = r.ReadU64();
+  o.lsh_threshold = r.ReadDouble();
+  o.join_threshold = r.ReadDouble();
+  o.rp_bits = r.ReadU64();
+  o.embedding_dim = r.ReadU64();
+  o.forest.num_trees = r.ReadU64();
+  o.forest.hashes_per_tree = r.ReadU64();
+  o.seed = r.ReadU64();
+  D3L_RETURN_NOT_OK(r.status());
+  // Constructing hashers from implausible options would allocate wildly;
+  // reject before building anything (the checksum makes this unreachable
+  // for corruption, but it also guards Save/Load format drift).
+  constexpr size_t kMaxDim = size_t{1} << 20;
+  if (o.minhash_size == 0 || o.minhash_size > kMaxDim || o.rp_bits < 8 ||
+      o.rp_bits > kMaxDim || o.embedding_dim == 0 || o.embedding_dim > kMaxDim ||
+      // Bound the factors before multiplying: a crafted pair like
+      // 2^32 * 2^32 would wrap the u64 product to 0 and slip through.
+      o.forest.num_trees > kMaxDim || o.forest.hashes_per_tree > kMaxDim ||
+      o.forest.num_trees * o.forest.hashes_per_tree > o.minhash_size) {
+    return Status::IOError("corrupt file: implausible index options");
+  }
+
+  D3LIndexes idx(o);
+  size_t n = r.ReadLength(1);
+  idx.profiles_.reserve(n);
+  idx.sigs_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AttributeProfile profile = AttributeProfile::Load(r);
+    AttributeSignatures s = AttributeSignatures::Load(r);
+    D3L_RETURN_NOT_OK(r.status());
+    if (s.name_sig.size() != o.minhash_size || s.format_sig.size() != o.minhash_size ||
+        (s.has_value && s.value_sig.size() != o.minhash_size) ||
+        (s.has_embedding &&
+         (s.emb_sig.bits != o.rp_bits ||
+          s.emb_sig.words.size() != (s.emb_sig.bits + 63) / 64))) {
+      return Status::IOError("corrupt file: signature sizes contradict index options");
+    }
+    // Replay the banded-index half of Insert() from the saved signatures
+    // (ids were assigned densely in insertion order, so the rebuilt buckets
+    // are identical to the originals).
+    const auto id = static_cast<uint32_t>(i);
+    idx.name_banded_.Insert(id, s.name_sig);
+    idx.format_banded_.Insert(id, s.format_sig);
+    if (s.has_value) {
+      idx.value_banded_.Insert(id, s.value_sig);
+      idx.value_join_banded_.Insert(id, s.value_sig);
+    }
+    if (s.has_embedding) {
+      Signature seq = idx.rp_hasher_.SignatureAsHashSequence(s.emb_sig);
+      idx.emb_banded_.Insert(id, seq);
+    }
+    idx.profiles_.push_back(std::move(profile));
+    idx.sigs_.push_back(std::move(s));
+  }
+
+  idx.name_forest_ = LshForest::Load(r);
+  idx.value_forest_ = LshForest::Load(r);
+  idx.format_forest_ = LshForest::Load(r);
+  idx.emb_forest_ = LshForest::Load(r);
+  D3L_RETURN_NOT_OK(r.status());
+  if (idx.name_forest_.size() != n || idx.format_forest_.size() != n) {
+    return Status::IOError("corrupt file: forest sizes disagree with attribute count");
+  }
+  // Forest entries feed straight into profiles_[id] at query time; reject
+  // ids outside the registry now rather than crashing during a Search.
+  for (const LshForest* forest :
+       {&idx.name_forest_, &idx.value_forest_, &idx.format_forest_, &idx.emb_forest_}) {
+    for (size_t t = 0; t < forest->num_trees(); ++t) {
+      for (const LshForest::Entry& e : forest->tree_entries(t)) {
+        if (e.id >= n) {
+          return Status::IOError("corrupt file: forest entry id out of range");
+        }
+      }
+    }
+  }
+  return idx;
+}
+
 size_t D3LIndexes::MemoryUsage() const {
   size_t bytes = sizeof(D3LIndexes);
   bytes += name_forest_.MemoryUsage() + value_forest_.MemoryUsage() +

@@ -11,8 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/attribute_profile.h"
 #include "core/evidence.h"
+#include "io/binary_io.h"
 #include "lsh/lsh_banding.h"
 #include "lsh/lsh_forest.h"
 #include "lsh/minhash.h"
@@ -43,6 +45,13 @@ struct AttributeSignatures {
   BitSignature emb_sig;  ///< random projections of the embedding vector
   bool has_value = false;
   bool has_embedding = false;
+
+  /// Serializes all signatures into the writer's current section.
+  void Save(io::Writer& w) const;
+
+  /// Deserializes signatures written by Save(); check the reader's
+  /// status() before use.
+  static AttributeSignatures Load(io::Reader& r);
 };
 
 /// \brief Attribute registry + IN/IV/IF/IE. Insertion is Algorithm 1.
@@ -86,6 +95,18 @@ class D3LIndexes {
                           uint32_t id) const;
 
   size_t MemoryUsage() const;
+
+  /// Serializes options, profiles, signatures and the four LSH forests into
+  /// the writer's current section. The banded threshold indexes are not
+  /// written: Load() rebuilds them deterministically from the saved
+  /// signatures (band hashing is orders of magnitude cheaper than the
+  /// profiling + MinHash work the snapshot exists to avoid).
+  void Save(io::Writer& w) const;
+
+  /// Deserializes indexes written by Save(). Fails with a non-OK Status on
+  /// truncated payloads, structural inconsistencies (e.g. signature sizes
+  /// that contradict the saved options) or reader errors.
+  static Result<D3LIndexes> Load(io::Reader& r);
 
  private:
   IndexOptions options_;

@@ -5,11 +5,66 @@
 #include <chrono>
 #include <thread>
 
+#include "io/binary_io.h"
+
 namespace d3l::core {
 
 namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+constexpr uint32_t kSectionOptions = io::SectionId("OPTS");
+constexpr uint32_t kSectionLake = io::SectionId("LAKE");
+constexpr uint32_t kSectionIndexes = io::SectionId("INDX");
+constexpr uint32_t kSectionEngine = io::SectionId("ENGN");
+
+void SaveOptions(io::Writer& w, const D3LOptions& o) {
+  w.WriteU64(o.index.minhash_size);
+  w.WriteDouble(o.index.lsh_threshold);
+  w.WriteDouble(o.index.join_threshold);
+  w.WriteU64(o.index.rp_bits);
+  w.WriteU64(o.index.embedding_dim);
+  w.WriteU64(o.index.forest.num_trees);
+  w.WriteU64(o.index.forest.hashes_per_tree);
+  w.WriteU64(o.index.seed);
+  w.WriteU64(o.profile.qgram_q);
+  w.WriteU64(o.profile.max_values);
+  w.WriteU64(o.profile.max_numeric_sample);
+  w.WriteU64(o.wem.dim);
+  w.WriteU64(o.wem.min_ngram);
+  w.WriteU64(o.wem.max_ngram);
+  w.WriteU64(o.wem.num_buckets);
+  w.WriteU64(o.wem.seed);
+  for (double wt : o.weights.w) w.WriteDouble(wt);
+  w.WriteU64(o.candidates_per_attribute);
+  for (bool e : o.enabled) w.WriteBool(e);
+  w.WriteU64(o.num_threads);
+}
+
+D3LOptions LoadOptions(io::Reader& r) {
+  D3LOptions o;
+  o.index.minhash_size = r.ReadU64();
+  o.index.lsh_threshold = r.ReadDouble();
+  o.index.join_threshold = r.ReadDouble();
+  o.index.rp_bits = r.ReadU64();
+  o.index.embedding_dim = r.ReadU64();
+  o.index.forest.num_trees = r.ReadU64();
+  o.index.forest.hashes_per_tree = r.ReadU64();
+  o.index.seed = r.ReadU64();
+  o.profile.qgram_q = r.ReadU64();
+  o.profile.max_values = r.ReadU64();
+  o.profile.max_numeric_sample = r.ReadU64();
+  o.wem.dim = r.ReadU64();
+  o.wem.min_ngram = r.ReadU64();
+  o.wem.max_ngram = r.ReadU64();
+  o.wem.num_buckets = r.ReadU64();
+  o.wem.seed = r.ReadU64();
+  for (double& wt : o.weights.w) wt = r.ReadDouble();
+  o.candidates_per_attribute = r.ReadU64();
+  for (size_t t = 0; t < kNumEvidence; ++t) o.enabled[t] = r.ReadBool();
+  o.num_threads = r.ReadU64();
+  return o;
 }
 }  // namespace
 
@@ -75,6 +130,138 @@ Status D3LEngine::IndexLake(const DataLake& lake) {
   build_stats_.num_attributes = indexes_.num_attributes();
   build_stats_.index_bytes = indexes_.MemoryUsage();
   return Status::OK();
+}
+
+Status D3LEngine::SaveSnapshot(const std::string& path) const {
+  if (lake_ == nullptr) {
+    return Status::InvalidArgument("SaveSnapshot requires a built engine (call IndexLake)");
+  }
+  io::Writer w;
+  D3L_RETURN_NOT_OK(w.Open(path, kSnapshotMagic, kSnapshotVersion));
+
+  w.BeginSection(kSectionOptions);
+  SaveOptions(w, options_);
+  D3L_RETURN_NOT_OK(w.EndSection());
+
+  w.BeginSection(kSectionLake);
+  lake_->SaveMetadata(w);
+  D3L_RETURN_NOT_OK(w.EndSection());
+
+  w.BeginSection(kSectionIndexes);
+  indexes_.Save(w);
+  D3L_RETURN_NOT_OK(w.EndSection());
+
+  w.BeginSection(kSectionEngine);
+  w.WriteU64(attr_ids_.size());
+  for (const std::vector<uint32_t>& ids : attr_ids_) {
+    w.WriteU64(ids.size());
+    for (uint32_t id : ids) w.WriteU32(id);
+  }
+  w.WriteU64(subject_cols_.size());
+  for (int col : subject_cols_) w.WriteI32(col);
+  w.WriteDouble(build_stats_.profile_seconds);
+  w.WriteDouble(build_stats_.insert_seconds);
+  w.WriteU64(build_stats_.num_attributes);
+  w.WriteU64(build_stats_.index_bytes);
+  D3L_RETURN_NOT_OK(w.EndSection());
+
+  return w.Finish();
+}
+
+Result<std::unique_ptr<D3LEngine>> D3LEngine::LoadSnapshot(const std::string& path,
+                                                           DataLake* lake_metadata) {
+  if (lake_metadata == nullptr || lake_metadata->size() != 0) {
+    return Status::InvalidArgument("LoadSnapshot requires an empty destination lake");
+  }
+  io::Reader r;
+  D3L_RETURN_NOT_OK(r.Open(path, kSnapshotMagic, kSnapshotVersion));
+
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionOptions));
+  D3LOptions options = LoadOptions(r);
+  D3L_RETURN_NOT_OK(r.status());
+  D3L_RETURN_NOT_OK(r.EndSection());
+  // The engine constructor materializes wem.num_buckets * wem.dim bucket
+  // vectors; bound them before allocating (checksummed files cannot trip
+  // this, but it guards format drift between Save and Load).
+  if (options.wem.dim == 0 || options.wem.dim > (1u << 16) ||
+      options.wem.num_buckets == 0 || options.wem.num_buckets > (1u << 24)) {
+    return Status::IOError("corrupt file: implausible embedding-model options");
+  }
+
+  auto engine = std::unique_ptr<D3LEngine>(new D3LEngine(options));
+
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionLake));
+  D3L_RETURN_NOT_OK(lake_metadata->LoadMetadata(r));
+  D3L_RETURN_NOT_OK(r.EndSection());
+
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionIndexes));
+  D3L_ASSIGN_OR_RETURN(engine->indexes_, D3LIndexes::Load(r));
+  D3L_RETURN_NOT_OK(r.EndSection());
+  // The index options live both in OPTS (engine construction) and inside
+  // INDX (self-contained D3LIndexes::Save). If the copies disagree, the
+  // engine would sign query attributes with parameters the loaded index
+  // was not built with — refuse rather than serve silently wrong results.
+  {
+    const IndexOptions& a = options.index;
+    const IndexOptions& b = engine->indexes_.options();
+    if (a.minhash_size != b.minhash_size || a.lsh_threshold != b.lsh_threshold ||
+        a.join_threshold != b.join_threshold || a.rp_bits != b.rp_bits ||
+        a.embedding_dim != b.embedding_dim ||
+        a.forest.num_trees != b.forest.num_trees ||
+        a.forest.hashes_per_tree != b.forest.hashes_per_tree || a.seed != b.seed) {
+      return Status::IOError(
+          "corrupt file: engine and index sections disagree on index options");
+    }
+  }
+
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionEngine));
+  size_t n_tables = r.ReadLength(sizeof(uint64_t));
+  engine->attr_ids_.resize(n_tables);
+  for (size_t ti = 0; ti < n_tables && r.status().ok(); ++ti) {
+    size_t n_cols = r.ReadLength(sizeof(uint32_t));
+    engine->attr_ids_[ti].reserve(n_cols);
+    for (size_t c = 0; c < n_cols; ++c) engine->attr_ids_[ti].push_back(r.ReadU32());
+  }
+  size_t n_subjects = r.ReadLength(sizeof(int32_t));
+  engine->subject_cols_.reserve(n_subjects);
+  for (size_t ti = 0; ti < n_subjects && r.status().ok(); ++ti) {
+    engine->subject_cols_.push_back(r.ReadI32());
+  }
+  engine->build_stats_.profile_seconds = r.ReadDouble();
+  engine->build_stats_.insert_seconds = r.ReadDouble();
+  engine->build_stats_.num_attributes = r.ReadU64();
+  engine->build_stats_.index_bytes = r.ReadU64();
+  D3L_RETURN_NOT_OK(r.status());
+  D3L_RETURN_NOT_OK(r.EndSection());
+
+  // Cross-section consistency: mappings must agree with the lake metadata
+  // and the attribute registry.
+  if (n_tables != lake_metadata->size() || n_subjects != n_tables) {
+    return Status::IOError("corrupt file: table mappings disagree with lake metadata");
+  }
+  size_t total_attrs = 0;
+  for (size_t ti = 0; ti < n_tables; ++ti) {
+    total_attrs += engine->attr_ids_[ti].size();
+    if (engine->attr_ids_[ti].size() != lake_metadata->table(ti).num_columns()) {
+      return Status::IOError("corrupt file: attribute mappings disagree with schemas");
+    }
+    const int subject = engine->subject_cols_[ti];
+    if (subject >= 0 &&
+        static_cast<size_t>(subject) >= lake_metadata->table(ti).num_columns()) {
+      return Status::IOError("corrupt file: subject column out of range");
+    }
+    for (uint32_t id : engine->attr_ids_[ti]) {
+      if (id >= engine->indexes_.num_attributes()) {
+        return Status::IOError("corrupt file: attribute id out of range");
+      }
+    }
+  }
+  if (total_attrs != engine->indexes_.num_attributes()) {
+    return Status::IOError("corrupt file: attribute count disagrees with registry");
+  }
+
+  engine->lake_ = lake_metadata;
+  return engine;
 }
 
 int D3LEngine::subject_column(uint32_t table_index) const {

@@ -92,6 +92,24 @@ class D3LEngine {
   const D3LIndexes& indexes() const { return indexes_; }
   const IndexBuildStats& build_stats() const { return build_stats_; }
 
+  /// Serializes the built engine — options, lake table/column metadata,
+  /// profiles, signatures, LSH structures and table→attribute mappings —
+  /// to a versioned binary snapshot ("profile once, serve many"). Requires
+  /// IndexLake to have run.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads a snapshot written by SaveSnapshot. `lake_metadata` receives
+  /// schema-only tables (names + column names, no cells), must be empty on
+  /// entry and must outlive the returned engine, which serves Search()
+  /// without re-profiling. Truncated, corrupt or version-mismatched files
+  /// fail with a descriptive non-OK Status.
+  static Result<std::unique_ptr<D3LEngine>> LoadSnapshot(const std::string& path,
+                                                         DataLake* lake_metadata);
+
+  /// Magic bytes and current format version of engine snapshot files.
+  static constexpr char kSnapshotMagic[9] = "D3LSNAP\n";
+  static constexpr uint32_t kSnapshotVersion = 1;
+
   /// Subject-attribute column of an indexed table (-1 if none).
   int subject_column(uint32_t table_index) const;
   /// Registry id of (table, column); tables/columns must be indexed.

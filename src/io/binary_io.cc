@@ -1,0 +1,300 @@
+#include "io/binary_io.h"
+
+#include <bit>
+#include <cstring>
+
+namespace d3l::io {
+
+namespace {
+
+/// Lazily built table for the reflected CRC-32 (polynomial 0xEDB88320).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendLittleEndian(std::string* out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+Status WriteAll(std::FILE* f, const void* data, size_t len, const char* what) {
+  if (len > 0 && std::fwrite(data, 1, len, f) != len) {
+    return Status::IOError(std::string("short write of ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- Writer
+
+Writer::~Writer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Writer::Open(const std::string& path, const char (&magic)[9], uint32_t version) {
+  if (file_ != nullptr) return Status::InvalidArgument("Writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create " + path);
+  }
+  D3L_RETURN_NOT_OK(WriteAll(file_, magic, 8, "magic"));
+  std::string header;
+  AppendLittleEndian(&header, version, 4);
+  return WriteAll(file_, header.data(), header.size(), "version");
+}
+
+void Writer::BeginSection(uint32_t id) {
+  // A Begin without End is a programming error; latch it rather than abort
+  // so the caller sees it at Finish().
+  if (in_section_ && status_.ok()) {
+    status_ = Status::Internal("BeginSection inside an open section");
+  }
+  in_section_ = true;
+  section_id_ = id;
+  section_.clear();
+}
+
+Status Writer::EndSection() {
+  if (!status_.ok()) return status_;
+  if (!in_section_) return Status::Internal("EndSection without BeginSection");
+  if (file_ == nullptr) return Status::Internal("Writer not open");
+  std::string header;
+  AppendLittleEndian(&header, section_id_, 4);
+  AppendLittleEndian(&header, section_.size(), 8);
+  D3L_RETURN_NOT_OK(WriteAll(file_, header.data(), header.size(), "section header"));
+  D3L_RETURN_NOT_OK(WriteAll(file_, section_.data(), section_.size(), "section payload"));
+  std::string crc;
+  AppendLittleEndian(&crc, Crc32(section_.data(), section_.size()), 4);
+  D3L_RETURN_NOT_OK(WriteAll(file_, crc.data(), crc.size(), "section checksum"));
+  in_section_ = false;
+  section_.clear();
+  return Status::OK();
+}
+
+Status Writer::Finish() {
+  if (in_section_) D3L_RETURN_NOT_OK(EndSection());
+  D3L_RETURN_NOT_OK(status_);
+  if (file_ == nullptr) return Status::Internal("Writer not open");
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close failed");
+  return Status::OK();
+}
+
+void Writer::WriteU8(uint8_t v) { section_.push_back(static_cast<char>(v)); }
+void Writer::WriteU32(uint32_t v) { AppendLittleEndian(&section_, v, 4); }
+void Writer::WriteU64(uint64_t v) { AppendLittleEndian(&section_, v, 8); }
+void Writer::WriteDouble(double v) { WriteU64(std::bit_cast<uint64_t>(v)); }
+
+void Writer::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  section_.append(s);
+}
+
+void Writer::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  for (uint64_t x : v) WriteU64(x);
+}
+
+void Writer::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+void Writer::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  for (float x : v) WriteU32(std::bit_cast<uint32_t>(x));
+}
+
+// ---------------------------------------------------------------- Reader
+
+Reader::~Reader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t version) {
+  if (file_ != nullptr) return Status::InvalidArgument("Reader already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  char got[8];
+  if (std::fread(got, 1, 8, file_) != 8 || std::memcmp(got, magic, 8) != 0) {
+    return Status::InvalidArgument(path + " is not a " + std::string(magic, 7) +
+                                   " file (bad magic)");
+  }
+  unsigned char vb[4];
+  if (std::fread(vb, 1, 4, file_) != 4) {
+    return Status::IOError(path + ": truncated header");
+  }
+  uint32_t got_version = static_cast<uint32_t>(vb[0]) | static_cast<uint32_t>(vb[1]) << 8 |
+                         static_cast<uint32_t>(vb[2]) << 16 |
+                         static_cast<uint32_t>(vb[3]) << 24;
+  if (got_version != version) {
+    return Status::InvalidArgument("format version mismatch: file has v" +
+                                   std::to_string(got_version) + ", reader expects v" +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Status Reader::OpenSection(uint32_t id) {
+  D3L_RETURN_NOT_OK(status_);
+  if (file_ == nullptr) return Status::Internal("Reader not open");
+  unsigned char header[12];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return Status::IOError("truncated file: missing section header");
+  }
+  uint32_t got_id = static_cast<uint32_t>(header[0]) |
+                    static_cast<uint32_t>(header[1]) << 8 |
+                    static_cast<uint32_t>(header[2]) << 16 |
+                    static_cast<uint32_t>(header[3]) << 24;
+  uint64_t size = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    size |= static_cast<uint64_t>(header[4 + i]) << (8 * i);
+  }
+  if (got_id != id) {
+    char want[5] = {static_cast<char>(id), static_cast<char>(id >> 8),
+                    static_cast<char>(id >> 16), static_cast<char>(id >> 24), 0};
+    char got[5] = {static_cast<char>(got_id), static_cast<char>(got_id >> 8),
+                   static_cast<char>(got_id >> 16), static_cast<char>(got_id >> 24), 0};
+    return Status::InvalidArgument(std::string("expected section '") + want +
+                                   "', found '" + got + "'");
+  }
+  section_.resize(size);
+  cursor_ = 0;
+  if (size > 0 && std::fread(section_.data(), 1, size, file_) != size) {
+    return Status::IOError("truncated file: section payload cut short");
+  }
+  unsigned char cb[4];
+  if (std::fread(cb, 1, 4, file_) != 4) {
+    return Status::IOError("truncated file: missing section checksum");
+  }
+  uint32_t got_crc = static_cast<uint32_t>(cb[0]) | static_cast<uint32_t>(cb[1]) << 8 |
+                     static_cast<uint32_t>(cb[2]) << 16 |
+                     static_cast<uint32_t>(cb[3]) << 24;
+  uint32_t want_crc = Crc32(section_.data(), section_.size());
+  if (got_crc != want_crc) {
+    return Status::IOError("corrupt file: section checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status Reader::EndSection() {
+  D3L_RETURN_NOT_OK(status_);
+  if (cursor_ != section_.size()) {
+    return Status::Internal("section has " + std::to_string(section_.size() - cursor_) +
+                            " unread bytes");
+  }
+  return Status::OK();
+}
+
+void Reader::Fail(Status s) {
+  if (status_.ok()) status_ = std::move(s);
+}
+
+bool Reader::TakeBytes(void* out, size_t n) {
+  if (!status_.ok()) return false;
+  if (cursor_ + n > section_.size()) {
+    Fail(Status::OutOfRange("read past end of section payload"));
+    return false;
+  }
+  std::memcpy(out, section_.data() + cursor_, n);
+  cursor_ += n;
+  return true;
+}
+
+uint8_t Reader::ReadU8() {
+  unsigned char b = 0;
+  TakeBytes(&b, 1);
+  return b;
+}
+
+uint32_t Reader::ReadU32() {
+  unsigned char b[4] = {0, 0, 0, 0};
+  if (!TakeBytes(b, 4)) return 0;
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+uint64_t Reader::ReadU64() {
+  unsigned char b[8] = {0};
+  if (!TakeBytes(b, 8)) return 0;
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+double Reader::ReadDouble() { return std::bit_cast<double>(ReadU64()); }
+
+size_t Reader::ReadLength(size_t elem_size) {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return 0;
+  size_t remaining = section_.size() - cursor_;
+  if (elem_size == 0) elem_size = 1;
+  if (n > remaining / elem_size) {
+    Fail(Status::OutOfRange("corrupt length prefix exceeds section payload"));
+    return 0;
+  }
+  return static_cast<size_t>(n);
+}
+
+std::string Reader::ReadString() {
+  size_t n = ReadLength(1);
+  std::string s;
+  if (n == 0 || !status_.ok()) return s;
+  s.resize(n);
+  TakeBytes(s.data(), n);
+  return s;
+}
+
+std::vector<uint64_t> Reader::ReadU64Vector() {
+  size_t n = ReadLength(8);
+  std::vector<uint64_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n && status_.ok(); ++i) v.push_back(ReadU64());
+  return v;
+}
+
+std::vector<double> Reader::ReadDoubleVector() {
+  size_t n = ReadLength(8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n && status_.ok(); ++i) v.push_back(ReadDouble());
+  return v;
+}
+
+std::vector<float> Reader::ReadFloatVector() {
+  size_t n = ReadLength(4);
+  std::vector<float> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n && status_.ok(); ++i) {
+    v.push_back(std::bit_cast<float>(ReadU32()));
+  }
+  return v;
+}
+
+}  // namespace d3l::io

@@ -1,0 +1,149 @@
+// Versioned binary snapshot I/O: little-endian Writer/Reader with
+// per-section CRC32 checksums.
+//
+// A snapshot file is
+//
+//   [magic: 8 bytes] [format version: u32]
+//   repeated sections, each
+//     [section id: u32 fourcc] [payload size: u64] [payload] [crc32: u32]
+//
+// The Writer buffers one section at a time in memory and flushes it with
+// its checksum on EndSection(); the Reader loads a whole section, verifies
+// its checksum, then serves typed reads from the buffer. Primitive reads
+// use soft-fail semantics (a failed read returns a zero value and latches
+// an error into status()); callers check status() once per loaded object
+// instead of after every field, mirroring Chromium's Pickle. All multi-byte
+// values are little-endian regardless of host byte order, so snapshots are
+// portable across machines.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace d3l::io {
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, as in zlib) of a byte range.
+uint32_t Crc32(const void* data, size_t len);
+
+/// \brief Builds a section id from four characters, e.g. SectionId("OPTS").
+constexpr uint32_t SectionId(const char (&s)[5]) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/// \brief Streams sections of little-endian primitives to a file.
+class Writer {
+ public:
+  Writer() = default;
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Creates/truncates `path` and writes the magic + format version header.
+  Status Open(const std::string& path, const char (&magic)[9], uint32_t version);
+
+  /// Starts buffering a new section. A section must be ended before the
+  /// next begins.
+  void BeginSection(uint32_t id);
+
+  /// Flushes the buffered section: header, payload, checksum.
+  Status EndSection();
+
+  /// Ends any open section and closes the file. Must be called to obtain
+  /// the final write status (close errors surface here).
+  Status Finish();
+
+  // -- primitives (append to the current section buffer) --
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteFloatVector(const std::vector<float>& v);
+
+  /// Writes any forward range of std::string (vector, set) as count + items.
+  template <typename Range>
+  void WriteStringRange(const Range& r) {
+    WriteU64(static_cast<uint64_t>(r.size()));
+    for (const std::string& s : r) WriteString(s);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string section_;  ///< payload of the section being built
+  uint32_t section_id_ = 0;
+  bool in_section_ = false;
+  Status status_;
+};
+
+/// \brief Reads sections written by Writer, verifying checksums.
+class Reader {
+ public:
+  Reader() = default;
+  ~Reader();
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Opens `path` and validates the magic and format version. A magic
+  /// mismatch yields InvalidArgument ("not a … file"); a version mismatch
+  /// names both versions so callers can report upgrade paths.
+  Status Open(const std::string& path, const char (&magic)[9], uint32_t version);
+
+  /// Loads the next section, which must have id `id`, and verifies its
+  /// checksum. Truncated payloads yield IOError; checksum mismatches
+  /// IOError ("corrupt"); an unexpected id InvalidArgument.
+  Status OpenSection(uint32_t id);
+
+  /// Verifies the just-read section was fully consumed (a guard against
+  /// format drift between Save and Load code paths).
+  Status EndSection();
+
+  /// First error latched by any failed read (OutOfRange on exhausted
+  /// section payloads), or OK.
+  const Status& status() const { return status_; }
+
+  /// Latches an IOError into status(); Load() implementations use this
+  /// when decoded values violate structural invariants (e.g. an impossible
+  /// key shape) even though the bytes themselves were readable.
+  void MarkCorrupt(std::string what) {
+    Fail(Status::IOError("corrupt file: " + std::move(what)));
+  }
+
+  // -- primitives (soft-fail: return 0/empty and latch status on error) --
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32() { return static_cast<int32_t>(ReadU32()); }
+  bool ReadBool() { return ReadU8() != 0; }
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<uint64_t> ReadU64Vector();
+  std::vector<double> ReadDoubleVector();
+  std::vector<float> ReadFloatVector();
+
+  /// Reads a count written by WriteU64 that prefixes `elem_size`-byte
+  /// elements, validating it against the bytes remaining in the section so
+  /// corrupt counts cannot trigger huge allocations.
+  size_t ReadLength(size_t elem_size);
+
+ private:
+  bool TakeBytes(void* out, size_t n);
+  void Fail(Status s);
+
+  std::FILE* file_ = nullptr;
+  std::string section_;  ///< payload of the currently open section
+  size_t cursor_ = 0;
+  Status status_;
+};
+
+}  // namespace d3l::io

@@ -111,6 +111,49 @@ double LshEnsemble::EstimateContainment(const Signature& query, size_t query_set
   return 0;
 }
 
+void LshEnsemble::Save(io::Writer& w) const {
+  w.WriteU64(options_.num_partitions);
+  w.WriteU64(options_.signature_size);
+  w.WriteDoubleVector(options_.threshold_ladder);
+  w.WriteBool(indexed_);
+  w.WriteU64(items_.size());
+  for (const Item& item : items_) {
+    w.WriteU64(item.id);
+    w.WriteU64(item.set_size);
+    w.WriteU64Vector(item.signature);
+  }
+}
+
+LshEnsemble LshEnsemble::Load(io::Reader& r) {
+  LshEnsembleOptions options;
+  options.num_partitions = r.ReadU64();
+  options.signature_size = r.ReadU64();
+  options.threshold_ladder = r.ReadDoubleVector();
+  if (r.status().ok() && (options.threshold_ladder.empty() || options.num_partitions == 0)) {
+    r.MarkCorrupt("LshEnsemble options are degenerate");
+    return LshEnsemble();
+  }
+  LshEnsemble ensemble(options);
+  bool was_indexed = r.ReadBool();
+  size_t n_items = r.ReadLength(3 * sizeof(uint64_t));
+  ensemble.items_.reserve(n_items);
+  for (size_t i = 0; i < n_items && r.status().ok(); ++i) {
+    Item item;
+    item.id = static_cast<ItemId>(r.ReadU64());
+    item.set_size = r.ReadU64();
+    item.signature = r.ReadU64Vector();
+    // A short signature would make the banded rungs read out of bounds
+    // when Index() replays the insertions below.
+    if (r.status().ok() && item.signature.size() != options.signature_size) {
+      r.MarkCorrupt("LshEnsemble signature size disagrees with its options");
+      return LshEnsemble();
+    }
+    ensemble.items_.push_back(std::move(item));
+  }
+  if (r.status().ok() && was_indexed) ensemble.Index();
+  return ensemble;
+}
+
 size_t LshEnsemble::MemoryUsage() const {
   size_t bytes = sizeof(LshEnsemble);
   for (const Item& i : items_) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "io/binary_io.h"
 #include "lsh/lsh_banding.h"
 #include "lsh/minhash.h"
 
@@ -61,6 +62,15 @@ class LshEnsemble {
   size_t size() const { return items_.size(); }
   size_t num_partitions() const { return partitions_.size(); }
   size_t MemoryUsage() const;
+
+  /// Serializes options and the inserted signatures into the writer's
+  /// current section. Partitions are not written: they are a deterministic
+  /// function of the items, so Load() rebuilds them via Index().
+  void Save(io::Writer& w) const;
+
+  /// Deserializes an ensemble written by Save(); check the reader's
+  /// status() before use.
+  static LshEnsemble Load(io::Reader& r);
 
  private:
   struct Item {

@@ -133,6 +133,60 @@ std::vector<LshForest::ItemId> LshForest::QueryAtDepth(const Signature& signatur
   return result;
 }
 
+void LshForest::Save(io::Writer& w) const {
+  w.WriteU64(options_.num_trees);
+  w.WriteU64(options_.hashes_per_tree);
+  w.WriteU64(num_items_);
+  w.WriteU64(trees_.size());
+  for (const Tree& tree : trees_) {
+    w.WriteBool(tree.sorted);
+    w.WriteU64(tree.entries.size());
+    for (const Entry& e : tree.entries) {
+      // Keys are fixed-width (hashes_per_tree values), so no per-entry
+      // length prefix is needed.
+      for (uint64_t k : e.key) w.WriteU64(k);
+      w.WriteU64(e.id);
+    }
+  }
+}
+
+LshForest LshForest::Load(io::Reader& r) {
+  LshForestOptions options;
+  options.num_trees = r.ReadU64();
+  options.hashes_per_tree = r.ReadU64();
+  // An absurd key shape (corruption that survived the checksum cannot
+  // happen, but a format drift could) would overflow the per-entry reads;
+  // bound it before allocating.
+  if (r.status().ok() &&
+      (options.num_trees == 0 || options.hashes_per_tree == 0 ||
+       options.num_trees > 4096 || options.hashes_per_tree > 4096)) {
+    r.MarkCorrupt("implausible LshForest key shape");
+    return LshForest();
+  }
+  LshForest forest(options);
+  forest.num_items_ = r.ReadU64();
+  size_t n_trees = r.ReadLength(sizeof(uint64_t));
+  if (!r.status().ok() || n_trees != options.num_trees) {
+    r.MarkCorrupt("LshForest tree count disagrees with its options");
+    return LshForest();
+  }
+  const size_t entry_bytes = (options.hashes_per_tree + 1) * sizeof(uint64_t);
+  for (size_t t = 0; t < n_trees && r.status().ok(); ++t) {
+    Tree& tree = forest.trees_[t];
+    tree.sorted = r.ReadBool();
+    size_t n_entries = r.ReadLength(entry_bytes);
+    tree.entries.reserve(n_entries);
+    for (size_t i = 0; i < n_entries && r.status().ok(); ++i) {
+      Entry e;
+      e.key.resize(options.hashes_per_tree);
+      for (uint64_t& k : e.key) k = r.ReadU64();
+      e.id = static_cast<ItemId>(r.ReadU64());
+      tree.entries.push_back(std::move(e));
+    }
+  }
+  return forest;
+}
+
 size_t LshForest::MemoryUsage() const {
   size_t bytes = sizeof(LshForest);
   for (const Tree& tree : trees_) {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+#include "io/binary_io.h"
 #include "lsh/minhash.h"
 
 namespace d3l {
@@ -40,6 +42,13 @@ class LshForest {
  public:
   using ItemId = uint32_t;
 
+  /// One stored entry of a tree: the fixed-width key (hashes_per_tree
+  /// values sliced from the inserted signature) plus the item id.
+  struct Entry {
+    std::vector<uint64_t> key;
+    ItemId id;
+  };
+
   explicit LshForest(LshForestOptions options = {});
 
   /// Registers an item; call Index() before querying.
@@ -60,15 +69,30 @@ class LshForest {
 
   size_t size() const { return num_items_; }
 
+  const LshForestOptions& options() const { return options_; }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Read-only view of one tree's stored entries (insertion order before
+  /// Index(), key-sorted after). This is the enumeration surface used by
+  /// Save() and by diagnostics; it exists so serialization does not need
+  /// friend access to the internals.
+  const std::vector<Entry>& tree_entries(size_t tree) const {
+    return trees_[tree].entries;
+  }
+
+  /// Serializes options and all tree entries into the writer's current
+  /// section. The forest should be Index()ed first so a loaded forest is
+  /// immediately queryable.
+  void Save(io::Writer& w) const;
+
+  /// Deserializes a forest written by Save(). On any read error the
+  /// reader's status() is non-OK and the returned forest must be discarded.
+  static LshForest Load(io::Reader& r);
+
   /// Approximate heap footprint in bytes (space-overhead bench).
   size_t MemoryUsage() const;
 
  private:
-  struct Entry {
-    // Fixed-width key: hashes_per_tree values, then the item id.
-    std::vector<uint64_t> key;
-    ItemId id;
-  };
   struct Tree {
     std::vector<Entry> entries;
     bool sorted = false;

@@ -65,4 +65,20 @@ LakeStats DataLake::Stats() const {
   return s;
 }
 
+void DataLake::SaveMetadata(io::Writer& w) const {
+  w.WriteU64(tables_.size());
+  for (const Table& t : tables_) t.SaveMetadata(w);
+}
+
+Status DataLake::LoadMetadata(io::Reader& r) {
+  if (!tables_.empty()) {
+    return Status::InvalidArgument("LoadMetadata requires an empty lake");
+  }
+  size_t n = r.ReadLength(1);
+  for (size_t i = 0; i < n && r.status().ok(); ++i) {
+    D3L_RETURN_NOT_OK(AddTable(Table::LoadMetadata(r)));
+  }
+  return r.status();
+}
+
 }  // namespace d3l

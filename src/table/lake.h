@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/binary_io.h"
 #include "table/csv.h"
 #include "table/table.h"
 
@@ -46,6 +47,14 @@ class DataLake {
 
   /// Computes aggregate statistics over the current contents.
   LakeStats Stats() const;
+
+  /// Writes every table's metadata (schema only, no cells) into the
+  /// writer's current section.
+  void SaveMetadata(io::Writer& w) const;
+
+  /// Appends schema-only tables written by SaveMetadata(). The lake must
+  /// be empty (metadata snapshots describe a whole lake, not a delta).
+  Status LoadMetadata(io::Reader& r);
 
  private:
   std::vector<Table> tables_;

@@ -144,4 +144,21 @@ size_t Table::MemoryUsage() const {
   return bytes;
 }
 
+void Table::SaveMetadata(io::Writer& w) const {
+  w.WriteString(name_);
+  w.WriteU64(num_rows());
+  w.WriteU64(columns_.size());
+  for (const Column& c : columns_) w.WriteString(c.name());
+}
+
+Table Table::LoadMetadata(io::Reader& r) {
+  Table t(r.ReadString());
+  r.ReadU64();  // row count: informational, not representable without cells
+  size_t n_cols = r.ReadLength(1);
+  for (size_t i = 0; i < n_cols && r.status().ok(); ++i) {
+    t.columns_.emplace_back(r.ReadString());
+  }
+  return t;
+}
+
 }  // namespace d3l

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/binary_io.h"
 #include "table/value.h"
 
 namespace d3l {
@@ -98,6 +99,15 @@ class Table {
 
   /// Approximate heap footprint in bytes.
   size_t MemoryUsage() const;
+
+  /// Writes the table's metadata — name, row count, column names — into
+  /// the writer's current section. Cell data is NOT written: snapshot
+  /// serving only needs the schema to label query results.
+  void SaveMetadata(io::Writer& w) const;
+
+  /// Reads metadata written by SaveMetadata() into a schema-only table
+  /// (named columns, zero rows). Check the reader's status() before use.
+  static Table LoadMetadata(io::Reader& r);
 
  private:
   std::string name_;

@@ -138,6 +138,41 @@ TEST_F(LshForestTest, SizeAndMemory) {
   EXPECT_GT(forest.MemoryUsage(), 0u);
 }
 
+TEST_F(LshForestTest, TreeEntriesExposeStoredKeys) {
+  // The serialization accessor: every inserted signature contributes one
+  // entry per tree, whose key is the tree's slice of the signature.
+  LshForest forest;  // default 8 trees * 8 hashes
+  auto sig_a = hasher_.Sign(SetWithSharedPrefix(20, 20, 0));
+  auto sig_b = hasher_.Sign(SetWithSharedPrefix(0, 25, 1));
+  forest.Insert(7, sig_a);
+  forest.Insert(9, sig_b);
+
+  ASSERT_EQ(forest.num_trees(), forest.options().num_trees);
+  const size_t kpt = forest.options().hashes_per_tree;
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const auto& entries = forest.tree_entries(t);
+    ASSERT_EQ(entries.size(), 2u);
+    // Pre-Index(), entries appear in insertion order.
+    EXPECT_EQ(entries[0].id, 7u);
+    EXPECT_EQ(entries[1].id, 9u);
+    for (size_t i = 0; i < kpt; ++i) {
+      EXPECT_EQ(entries[0].key.at(i), sig_a.at(t * kpt + i));
+      EXPECT_EQ(entries[1].key.at(i), sig_b.at(t * kpt + i));
+    }
+  }
+
+  // After Index() the entries are key-sorted but the same multiset.
+  forest.Index();
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const auto& entries = forest.tree_entries(t);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(entries.begin(), entries.end(),
+                               [](const LshForest::Entry& a, const LshForest::Entry& b) {
+                                 return a.key < b.key;
+                               }));
+  }
+}
+
 // Property: recall grows with the similarity of the planted neighbour.
 class ForestRecallTest : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,423 @@
+// Snapshot persistence: binary Writer/Reader primitives, layer-by-layer
+// Save/Load round trips, full-engine snapshot parity (a loaded engine must
+// return byte-identical rankings), and clean Status failures on truncated,
+// corrupt and version-mismatched files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "io/binary_io.h"
+#include "lsh/lsh_ensemble.h"
+#include "lsh/lsh_forest.h"
+#include "table/lake.h"
+#include "tests/test_util.h"
+
+namespace d3l {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kTestMagic[9] = "D3LTEST\n";
+constexpr uint32_t kId = io::SectionId("BODY");
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("d3l_snapshot_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+DataLake MakeFigureLake() {
+  DataLake lake;
+  lake.AddTable(testutil::FigureS1()).CheckOK();
+  lake.AddTable(testutil::FigureS2()).CheckOK();
+  lake.AddTable(testutil::FigureS3()).CheckOK();
+  for (int salt = 0; salt < 3; ++salt) {
+    lake.AddTable(testutil::FillerColors(salt)).CheckOK();
+    lake.AddTable(testutil::FillerInventory(salt)).CheckOK();
+  }
+  return lake;
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST_F(SnapshotTest, WriterReaderPrimitivesRoundTrip) {
+  const std::string path = Path("prims.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+  w.BeginSection(kId);
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI32(-42);
+  w.WriteBool(true);
+  w.WriteDouble(-0.25);
+  w.WriteString("hello, \0world");  // embedded NUL truncates the literal: fine
+  w.WriteString("");
+  w.WriteU64Vector({1, 2, 3});
+  w.WriteDoubleVector({0.5, -1.5});
+  w.WriteFloatVector({2.0f, -8.25f});
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 3).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_EQ(r.ReadDouble(), -0.25);
+  EXPECT_EQ(r.ReadString(), "hello, ");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadU64Vector(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{0.5, -1.5}));
+  EXPECT_EQ(r.ReadFloatVector(), (std::vector<float>{2.0f, -8.25f}));
+  EXPECT_TRUE(r.EndSection().ok());
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST_F(SnapshotTest, ReaderRejectsWrongMagicAndVersion) {
+  const std::string path = Path("magic.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+  w.BeginSection(kId);
+  w.WriteU64(1);
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader wrong_version;
+  Status s = wrong_version.Open(path, kTestMagic, 4);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+
+  constexpr char kOtherMagic[9] = "NOTD3L!\n";
+  io::Reader wrong_magic;
+  EXPECT_TRUE(wrong_magic.Open(path, kOtherMagic, 3).IsInvalidArgument());
+
+  io::Reader missing;
+  EXPECT_TRUE(missing.Open(Path("nope.bin"), kTestMagic, 3).IsNotFound());
+}
+
+TEST_F(SnapshotTest, ReaderDetectsOverreadAndBadLengths) {
+  const std::string path = Path("short.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+  w.BeginSection(kId);
+  w.WriteU32(7);
+  // A length prefix claiming far more elements than the payload holds.
+  w.WriteU64(uint64_t{1} << 60);
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 3).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_TRUE(r.ReadU64Vector().empty());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  // The error latches: later reads keep failing, no crash.
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_FALSE(r.status().ok());
+
+  io::Reader r2;
+  ASSERT_TRUE(r2.Open(path, kTestMagic, 3).ok());
+  ASSERT_TRUE(r2.OpenSection(kId).ok());
+  (void)r2.ReadU32();
+  EXPECT_FALSE(r2.EndSection().ok());  // unread bytes detected
+}
+
+// ----------------------------------------------------- layer round trips
+
+TEST_F(SnapshotTest, LshForestRoundTripPreservesQueries) {
+  MinHasher hasher(64, 99);
+  LshForest forest;
+  std::vector<Signature> sigs;
+  for (uint32_t i = 0; i < 40; ++i) {
+    std::set<std::string> s;
+    for (int j = 0; j < 30; ++j) {
+      s.insert("e" + std::to_string((i * 13 + j * 7) % 200));
+    }
+    sigs.push_back(hasher.Sign(s));
+    forest.Insert(i, sigs.back());
+  }
+  forest.Index();
+
+  const std::string path = Path("forest.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 1).ok());
+  w.BeginSection(kId);
+  forest.Save(w);
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 1).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  LshForest loaded = LshForest::Load(r);
+  ASSERT_TRUE(r.status().ok());
+  ASSERT_TRUE(r.EndSection().ok());
+
+  EXPECT_EQ(loaded.size(), forest.size());
+  EXPECT_EQ(loaded.num_trees(), forest.num_trees());
+  for (const Signature& q : sigs) {
+    EXPECT_EQ(loaded.Query(q, 10), forest.Query(q, 10));
+    EXPECT_EQ(loaded.QueryAtDepth(q, 2), forest.QueryAtDepth(q, 2));
+  }
+}
+
+TEST_F(SnapshotTest, LshEnsembleRoundTripPreservesContainmentQueries) {
+  MinHasher hasher(128, 5);
+  LshEnsembleOptions ensemble_options;
+  ensemble_options.signature_size = 128;  // must match the hasher's k
+  LshEnsemble ensemble(ensemble_options);
+  std::vector<std::pair<Signature, size_t>> queries;
+  for (uint32_t i = 0; i < 30; ++i) {
+    std::set<std::string> s;
+    size_t n = 10 + i * 7;  // skewed cardinalities
+    for (size_t j = 0; j < n; ++j) s.insert("v" + std::to_string(j * (i % 5 + 1)));
+    ensemble.Insert(i, hasher.Sign(s), s.size());
+    if (i % 6 == 0) queries.emplace_back(hasher.Sign(s), s.size());
+  }
+  ensemble.Index();
+
+  const std::string path = Path("ensemble.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 1).ok());
+  w.BeginSection(kId);
+  ensemble.Save(w);
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 1).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  LshEnsemble loaded = LshEnsemble::Load(r);
+  ASSERT_TRUE(r.status().ok());
+  ASSERT_TRUE(r.EndSection().ok());
+
+  EXPECT_EQ(loaded.size(), ensemble.size());
+  EXPECT_EQ(loaded.num_partitions(), ensemble.num_partitions());
+  for (const auto& [sig, size] : queries) {
+    EXPECT_EQ(loaded.QueryContainment(sig, size, 0.6),
+              ensemble.QueryContainment(sig, size, 0.6));
+  }
+}
+
+TEST_F(SnapshotTest, LakeMetadataRoundTrip) {
+  DataLake lake = MakeFigureLake();
+  const std::string path = Path("lake.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 1).ok());
+  w.BeginSection(kId);
+  lake.SaveMetadata(w);
+  ASSERT_TRUE(w.Finish().ok());
+
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 1).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  DataLake loaded;
+  ASSERT_TRUE(loaded.LoadMetadata(r).ok());
+  ASSERT_TRUE(r.EndSection().ok());
+
+  ASSERT_EQ(loaded.size(), lake.size());
+  for (size_t i = 0; i < lake.size(); ++i) {
+    EXPECT_EQ(loaded.table(i).name(), lake.table(i).name());
+    ASSERT_EQ(loaded.table(i).num_columns(), lake.table(i).num_columns());
+    EXPECT_EQ(loaded.table(i).num_rows(), 0u);  // schema only, no cells
+    for (size_t c = 0; c < lake.table(i).num_columns(); ++c) {
+      EXPECT_EQ(loaded.table(i).column(c).name(), lake.table(i).column(c).name());
+    }
+    // Name lookup survives the round trip.
+    EXPECT_EQ(loaded.TableIndex(lake.table(i).name()), static_cast<int>(i));
+  }
+}
+
+// ------------------------------------------------- full-engine snapshot
+
+TEST_F(SnapshotTest, LoadedEngineReturnsIdenticalRankings) {
+  DataLake lake = MakeFigureLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+
+  const std::string path = Path("engine.d3l");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  DataLake lake_metadata;
+  auto loaded_result = core::D3LEngine::LoadSnapshot(path, &lake_metadata);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  auto loaded = std::move(loaded_result).ValueOrDie();
+
+  // Registry and mapping parity.
+  ASSERT_EQ(loaded->indexes().num_attributes(), built.indexes().num_attributes());
+  for (uint32_t ti = 0; ti < lake.size(); ++ti) {
+    EXPECT_EQ(loaded->subject_column(ti), built.subject_column(ti));
+    for (uint32_t c = 0; c < lake.table(ti).num_columns(); ++c) {
+      EXPECT_EQ(loaded->attribute_id(ti, c), built.attribute_id(ti, c));
+    }
+  }
+
+  // Per-evidence lookup parity on every indexed signature.
+  for (uint32_t id = 0; id < built.indexes().num_attributes(); ++id) {
+    const auto& q = built.indexes().signatures(id);
+    for (core::Evidence e :
+         {core::Evidence::kName, core::Evidence::kValue, core::Evidence::kFormat,
+          core::Evidence::kEmbedding}) {
+      EXPECT_EQ(loaded->indexes().Lookup(e, q, 8), built.indexes().Lookup(e, q, 8));
+      EXPECT_EQ(loaded->indexes().LookupThreshold(e, q),
+                built.indexes().LookupThreshold(e, q));
+    }
+    EXPECT_EQ(loaded->indexes().LookupValueJoin(q), built.indexes().LookupValueJoin(q));
+  }
+
+  // End-to-end ranking parity: same tables, bit-identical distances.
+  Table target = testutil::FigureTarget();
+  auto res_built = built.Search(target, 5);
+  auto res_loaded = loaded->Search(target, 5);
+  ASSERT_TRUE(res_built.ok());
+  ASSERT_TRUE(res_loaded.ok());
+  ASSERT_EQ(res_loaded->ranked.size(), res_built->ranked.size());
+  for (size_t i = 0; i < res_built->ranked.size(); ++i) {
+    EXPECT_EQ(res_loaded->ranked[i].table_index, res_built->ranked[i].table_index);
+    EXPECT_EQ(res_loaded->ranked[i].distance, res_built->ranked[i].distance);
+    EXPECT_EQ(res_loaded->ranked[i].evidence_distances,
+              res_built->ranked[i].evidence_distances);
+  }
+  // The Figure-1 golden shape survives: S2/S3 rank above all fillers.
+  ASSERT_GE(res_loaded->ranked.size(), 2u);
+  std::set<uint32_t> top2 = {res_loaded->ranked[0].table_index,
+                             res_loaded->ranked[1].table_index};
+  EXPECT_TRUE(top2.count(1) || top2.count(2));
+}
+
+TEST_F(SnapshotTest, LoadedEngineRefusesReindexAndSavesAgain) {
+  DataLake lake = MakeFigureLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+  const std::string path = Path("engine.d3l");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  DataLake lake_metadata;
+  auto loaded = core::D3LEngine::LoadSnapshot(path, &lake_metadata);
+  ASSERT_TRUE(loaded.ok());
+  // A snapshot-backed engine is already indexed.
+  EXPECT_TRUE((*loaded)->IndexLake(lake).IsInvalidArgument());
+  // Re-saving a loaded engine produces a loadable snapshot (save/load/save
+  // closure) with identical search behaviour.
+  const std::string path2 = Path("engine2.d3l");
+  ASSERT_TRUE((*loaded)->SaveSnapshot(path2).ok());
+  DataLake lake_metadata2;
+  auto reloaded = core::D3LEngine::LoadSnapshot(path2, &lake_metadata2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  Table target = testutil::FigureTarget();
+  auto a = (*loaded)->Search(target, 3);
+  auto b = (*reloaded)->Search(target, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->ranked.size(), b->ranked.size());
+  for (size_t i = 0; i < a->ranked.size(); ++i) {
+    EXPECT_EQ(a->ranked[i].table_index, b->ranked[i].table_index);
+    EXPECT_EQ(a->ranked[i].distance, b->ranked[i].distance);
+  }
+}
+
+TEST_F(SnapshotTest, SaveBeforeIndexFails) {
+  core::D3LEngine engine;
+  EXPECT_TRUE(engine.SaveSnapshot(Path("x.d3l")).IsInvalidArgument());
+}
+
+// ------------------------------------------------------- damaged files
+
+class DamagedSnapshotTest : public SnapshotTest {
+ protected:
+  // Builds a small engine snapshot and returns its path.
+  std::string BuildSnapshot() {
+    lake_ = MakeFigureLake();
+    core::D3LEngine engine;
+    EXPECT_TRUE(engine.IndexLake(lake_).ok());
+    std::string path = Path("victim.d3l");
+    EXPECT_TRUE(engine.SaveSnapshot(path).ok());
+    return path;
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteAll(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  DataLake lake_;
+};
+
+TEST_F(DamagedSnapshotTest, TruncatedFilesFailCleanly) {
+  std::string path = BuildSnapshot();
+  std::string bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 64u);
+  // Truncate at several depths: inside the header, inside a section header,
+  // and mid-payload.
+  for (size_t keep : {size_t{4}, size_t{11}, size_t{20}, bytes.size() / 2,
+                      bytes.size() - 3}) {
+    std::string trunc_path = Path("trunc_" + std::to_string(keep) + ".d3l");
+    WriteAll(trunc_path, bytes.substr(0, keep));
+    DataLake meta;
+    auto result = core::D3LEngine::LoadSnapshot(trunc_path, &meta);
+    EXPECT_FALSE(result.ok()) << "keep=" << keep;
+  }
+}
+
+TEST_F(DamagedSnapshotTest, BitFlipsAreCaughtByChecksums) {
+  std::string path = BuildSnapshot();
+  std::string bytes = ReadAll(path);
+  // Flip one byte at several positions spread across the file (skipping the
+  // 12-byte magic+version header, whose damage surfaces as bad magic or
+  // version instead).
+  for (size_t pos : {size_t{14}, bytes.size() / 4, bytes.size() / 2,
+                     3 * bytes.size() / 4, bytes.size() - 2}) {
+    std::string flip_path = Path("flip_" + std::to_string(pos) + ".d3l");
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
+    WriteAll(flip_path, damaged);
+    DataLake meta;
+    auto result = core::D3LEngine::LoadSnapshot(flip_path, &meta);
+    EXPECT_FALSE(result.ok()) << "pos=" << pos;
+  }
+}
+
+TEST_F(DamagedSnapshotTest, WrongVersionNamesBothVersions) {
+  std::string path = BuildSnapshot();
+  std::string bytes = ReadAll(path);
+  bytes[8] = 99;  // format version lives right after the 8-byte magic
+  WriteAll(path, bytes);
+  DataLake meta;
+  auto result = core::D3LEngine::LoadSnapshot(path, &meta);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("99"), std::string::npos);
+}
+
+TEST_F(DamagedSnapshotTest, ForeignFileIsRejectedAsNotASnapshot) {
+  std::string path = Path("foreign.d3l");
+  WriteAll(path, "Practice,City\nBlackfriars,Salford\n");
+  DataLake meta;
+  auto result = core::D3LEngine::LoadSnapshot(path, &meta);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace d3l
