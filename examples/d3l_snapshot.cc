@@ -1,5 +1,5 @@
 // Snapshot CLI: profile a CSV lake once, then serve discovery queries from
-// the persisted index ("profile once, serve many").
+// the persisted index ("profile once, serve many") — monolithic or sharded.
 //
 //   $ ./build/d3l_snapshot build <csv_dir> <out.d3l>
 //       Loads every *.csv in <csv_dir>, runs Algorithm 1 over the lake and
@@ -10,18 +10,40 @@
 //       Loads the snapshot — no re-profiling of the lake — and prints the
 //       top-k datasets related to the target table (default k = 5).
 //
-// The snapshot is self-contained: `query` never touches the original CSV
-// directory, which is what makes a snapshot the unit of deployment for a
-// serving replica.
+//   $ ./build/d3l_snapshot shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]
+//       Partitions the lake into N shards (default 2; size-balanced by
+//       cell count, or round-robin with --balance=rr), indexes each shard
+//       independently and writes <out_base>.shard<i>.d3l plus
+//       <out_base>.manifest.
+//
+//   $ ./build/d3l_snapshot query --shards <base.manifest> <target.csv> [k] [--threads=T]
+//       Opens every shard replica and serves the query scatter-gather
+//       across a T-thread pool; the ranking is byte-identical to an
+//       unsharded engine over the same lake.
+//
+//   $ ./build/d3l_snapshot info <file>
+//       Prints container metadata (format version, section table with
+//       sizes and checksum state) plus, for engine snapshots, the
+//       table/attribute counts and key options, and for shard manifests,
+//       the per-shard layout — all without loading any index.
+//
+// Snapshots are self-contained: `query` never touches the original CSV
+// directory, which is what makes a snapshot (or a shard set) the unit of
+// deployment for a serving replica.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/query.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
+#include "io/binary_io.h"
+#include "serving/manifest.h"
+#include "serving/shard_builder.h"
+#include "serving/sharded_engine.h"
 #include "table/csv.h"
 #include "table/lake.h"
 
@@ -30,11 +52,15 @@ using namespace d3l;
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s build <csv_dir> <out.d3l>\n"
-               "  %s query <snapshot.d3l> <target.csv> [k]\n",
-               argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s build <csv_dir> <out.d3l>\n"
+      "  %s query <snapshot.d3l> <target.csv> [k]\n"
+      "  %s shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]\n"
+      "  %s query --shards <base.manifest> <target.csv> [k] [--threads=T]\n"
+      "  %s info <snapshot.d3l | base.manifest>\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -68,6 +94,17 @@ int RunBuild(const std::string& csv_dir, const std::string& out_path) {
   return 0;
 }
 
+void PrintRanking(const core::SearchResult& res,
+                  const std::function<std::string(uint32_t)>& name_of) {
+  eval::TablePrinter out({"rank", "dataset", "distance"});
+  int rank = 1;
+  for (const auto& m : res.ranked) {
+    out.AddRow({std::to_string(rank++), name_of(m.table_index),
+                eval::TablePrinter::Num(m.distance)});
+  }
+  out.Print();
+}
+
 int RunQuery(const std::string& snapshot_path, const std::string& target_csv, size_t k) {
   DataLake lake_metadata;
   eval::Timer timer;
@@ -87,34 +124,207 @@ int RunQuery(const std::string& snapshot_path, const std::string& target_csv, si
 
   auto res = engine->Search(*target, k);
   if (!res.ok()) return Fail(res.status());
-
-  eval::TablePrinter out({"rank", "dataset", "distance"});
-  int rank = 1;
-  for (const auto& m : res->ranked) {
-    out.AddRow({std::to_string(rank++), lake_metadata.table(m.table_index).name(),
-                eval::TablePrinter::Num(m.distance)});
-  }
-  out.Print();
+  PrintRanking(*res, [&](uint32_t t) { return lake_metadata.table(t).name(); });
   return 0;
+}
+
+int RunShard(const std::string& csv_dir, const std::string& out_base,
+             size_t num_shards, serving::ShardingOptions::Balance balance) {
+  DataLake lake;
+  Status load = lake.LoadDirectory(csv_dir);
+  if (!load.ok()) return Fail(load);
+  if (lake.size() == 0) {
+    std::fprintf(stderr, "no CSV files found in %s\n", csv_dir.c_str());
+    return 1;
+  }
+  serving::ShardingOptions options;
+  options.num_shards = num_shards;
+  options.balance = balance;
+  auto report = serving::BuildShards(lake, options, out_base);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("sharded %zu tables into %zu shards in %.3fs:\n", lake.size(),
+              report->shard_paths.size(), report->build_seconds);
+  for (size_t s = 0; s < report->shard_paths.size(); ++s) {
+    std::printf("  %s (%zu tables)\n", report->shard_paths[s].c_str(),
+                report->plan[s].size());
+  }
+  std::printf("manifest written to %s\n", report->manifest_path.c_str());
+  return 0;
+}
+
+int RunShardedQuery(const std::string& manifest_path, const std::string& target_csv,
+                    size_t k, size_t threads) {
+  serving::ShardedEngineOptions options;
+  options.num_threads = threads;
+  eval::Timer timer;
+  auto opened = serving::ShardedEngine::Open(manifest_path, options);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<serving::ShardedEngine> engine = std::move(opened).ValueOrDie();
+  std::printf("opened %zu shards in %.3fs: %zu tables, %zu attributes, "
+              "%zu pool threads\n",
+              engine->num_shards(), timer.Seconds(), engine->num_tables(),
+              engine->num_attributes(),
+              threads > 0 ? threads : serving::ThreadPool::DefaultThreads());
+
+  auto target = ReadCsvFile(target_csv);
+  if (!target.ok()) return Fail(target.status());
+  std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
+              target->num_columns());
+
+  auto res = engine->Search(*target, k);
+  if (!res.ok()) return Fail(res.status());
+  PrintRanking(*res, [&](uint32_t t) { return engine->table_name(t); });
+  return 0;
+}
+
+int RunInfo(const std::string& path) {
+  auto inspected = io::InspectFile(path);
+  if (!inspected.ok()) return Fail(inspected.status());
+
+  std::string magic_display;
+  for (char c : inspected->magic) {
+    if (c == '\n') {
+      magic_display += "\\n";
+    } else if (c >= 0x20 && c < 0x7f) {
+      magic_display.push_back(c);
+    } else {
+      magic_display.push_back('?');
+    }
+  }
+  std::printf("%s: magic \"%s\", format v%u, %llu bytes\n", path.c_str(),
+              magic_display.c_str(), inspected->version,
+              static_cast<unsigned long long>(inspected->file_bytes));
+
+  eval::TablePrinter sections({"section", "payload bytes", "checksum"});
+  for (const io::SectionInfo& s : inspected->sections) {
+    sections.AddRow({io::SectionName(s.id), std::to_string(s.payload_bytes),
+                     s.crc_ok ? "ok" : "MISMATCH"});
+  }
+  sections.Print();
+
+  const std::string magic = inspected->magic;
+  if (magic == std::string(core::D3LEngine::kSnapshotMagic, 8)) {
+    auto info = core::D3LEngine::ReadSnapshotInfo(path);
+    if (!info.ok()) return Fail(info.status());
+    std::printf("\nengine snapshot: %zu tables, %zu attributes\n", info->num_tables,
+                info->num_attributes);
+    std::printf("options: minhash=%zu rp_bits=%zu trees=%zux%zu threshold=%.2f "
+                "candidates/attr=%zu\n",
+                info->options.index.minhash_size, info->options.index.rp_bits,
+                info->options.index.forest.num_trees,
+                info->options.index.forest.hashes_per_tree,
+                info->options.index.lsh_threshold,
+                info->options.candidates_per_attribute);
+  } else if (magic == std::string(serving::ShardManifest::kMagic, 8)) {
+    auto manifest = serving::ShardManifest::Load(path);
+    if (!manifest.ok()) return Fail(manifest.status());
+    std::printf("\nshard manifest: %llu tables, %llu attributes, %zu shards (%s)\n",
+                static_cast<unsigned long long>(manifest->total_tables),
+                static_cast<unsigned long long>(manifest->total_attributes),
+                manifest->shards.size(), manifest->balance.c_str());
+    eval::TablePrinter shards({"shard", "file", "tables", "attrs", "bytes"});
+    for (size_t s = 0; s < manifest->shards.size(); ++s) {
+      const serving::ShardManifestEntry& e = manifest->shards[s];
+      shards.AddRow({std::to_string(s), e.file, std::to_string(e.num_tables),
+                     std::to_string(e.num_attributes), std::to_string(e.file_bytes)});
+    }
+    shards.Print();
+  }
+  return 0;
+}
+
+/// Parses trailing [k] / --threads=T / --shards=N / --balance= flags.
+/// Flags outside a subcommand's whitelist are rejected, not ignored — a
+/// silently dropped --threads would look like configured parallelism.
+struct ParsedFlags {
+  size_t k = 5;
+  size_t threads = 0;
+  size_t shards = 2;
+  serving::ShardingOptions::Balance balance =
+      serving::ShardingOptions::Balance::kSizeBalanced;
+  std::vector<std::string> positional;
+  bool ok = true;
+};
+
+ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
+                       bool allow_shard_flags) {
+  ParsedFlags f;
+  const auto reject = [&f](const char* flag, const char* why) {
+    std::fprintf(stderr, "%s flag '%s'\n", why, flag);
+    f.ok = false;
+    return f;
+  };
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--threads=", 10) == 0) {
+      if (!allow_threads) return reject(a, "subcommand does not take");
+      long v = std::atol(a + 10);
+      if (v < 0) return reject(a, "non-negative value required for");
+      f.threads = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      if (!allow_shard_flags) return reject(a, "subcommand does not take");
+      long v = std::atol(a + 9);
+      if (v <= 0) return reject(a, "positive value required for");
+      f.shards = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--balance=", 10) == 0) {
+      if (!allow_shard_flags) return reject(a, "subcommand does not take");
+      if (std::strcmp(a + 10, "rr") == 0) {
+        f.balance = serving::ShardingOptions::Balance::kRoundRobin;
+      } else if (std::strcmp(a + 10, "cells") == 0) {
+        f.balance = serving::ShardingOptions::Balance::kSizeBalanced;
+      } else {
+        return reject(a, "unknown policy in");
+      }
+    } else if (a[0] == '-' && a[1] == '-') {
+      return reject(a, "unrecognized");
+    } else {
+      f.positional.push_back(a);
+    }
+  }
+  return f;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) return Usage(argv[0]);
+  if (argc < 3) return Usage(argv[0]);
+
   if (std::strcmp(argv[1], "build") == 0) {
     if (argc != 4) return Usage(argv[0]);
     return RunBuild(argv[2], argv[3]);
   }
+
   if (std::strcmp(argv[1], "query") == 0) {
-    if (argc != 4 && argc != 5) return Usage(argv[0]);
+    const bool sharded = (argc >= 3 && std::strcmp(argv[2], "--shards") == 0);
+    ParsedFlags f = ParseFlags(argc, argv, sharded ? 3 : 2,
+                               /*allow_threads=*/sharded,
+                               /*allow_shard_flags=*/false);
+    if (!f.ok || f.positional.size() < 2 || f.positional.size() > 3) {
+      return Usage(argv[0]);
+    }
     size_t k = 5;
-    if (argc == 5) {
-      long parsed = std::atol(argv[4]);
+    if (f.positional.size() == 3) {
+      long parsed = std::atol(f.positional[2].c_str());
       if (parsed <= 0) return Usage(argv[0]);
       k = static_cast<size_t>(parsed);
     }
-    return RunQuery(argv[2], argv[3], k);
+    if (sharded) {
+      return RunShardedQuery(f.positional[0], f.positional[1], k, f.threads);
+    }
+    return RunQuery(f.positional[0], f.positional[1], k);
   }
+
+  if (std::strcmp(argv[1], "shard") == 0) {
+    ParsedFlags f = ParseFlags(argc, argv, 2, /*allow_threads=*/false,
+                               /*allow_shard_flags=*/true);
+    if (!f.ok || f.positional.size() != 2) return Usage(argv[0]);
+    return RunShard(f.positional[0], f.positional[1], f.shards, f.balance);
+  }
+
+  if (std::strcmp(argv[1], "info") == 0) {
+    if (argc != 3) return Usage(argv[0]);
+    return RunInfo(argv[2]);
+  }
+
   return Usage(argv[0]);
 }

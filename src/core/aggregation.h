@@ -60,6 +60,8 @@ struct EvidenceWeights {
 
   /// Uniform weights (used by single-evidence ablations).
   static EvidenceWeights Uniform();
+
+  bool operator==(const EvidenceWeights&) const = default;
 };
 
 /// \brief Eq. 1: column-wise weighted average of the pair rows of one

@@ -24,6 +24,8 @@ struct ProfileOptions {
   size_t max_values = 512;
   /// Cap on numeric extent sample size retained for KS computations.
   size_t max_numeric_sample = 512;
+
+  bool operator==(const ProfileOptions&) const = default;
 };
 
 /// \brief The set representations (and numeric sample) of one attribute.

@@ -122,6 +122,50 @@ std::vector<uint32_t> D3LIndexes::Lookup(Evidence e, const AttributeSignatures& 
   return {};
 }
 
+std::vector<size_t> D3LIndexes::LookupDepthCounts(
+    Evidence e, const AttributeSignatures& query) const {
+  switch (e) {
+    case Evidence::kName:
+      return name_forest_.DepthCounts(query.name_sig);
+    case Evidence::kValue:
+      if (!query.has_value) return {};
+      return value_forest_.DepthCounts(query.value_sig);
+    case Evidence::kFormat:
+      return format_forest_.DepthCounts(query.format_sig);
+    case Evidence::kEmbedding: {
+      if (!query.has_embedding) return {};
+      Signature seq = rp_hasher_.SignatureAsHashSequence(query.emb_sig);
+      return emb_forest_.DepthCounts(seq);
+    }
+    case Evidence::kDistribution:
+      return {};
+  }
+  return {};
+}
+
+std::vector<uint32_t> D3LIndexes::LookupAtDepth(Evidence e,
+                                                const AttributeSignatures& query,
+                                                size_t min_depth) const {
+  if (min_depth == 0) return {};
+  switch (e) {
+    case Evidence::kName:
+      return name_forest_.QueryAtDepth(query.name_sig, min_depth);
+    case Evidence::kValue:
+      if (!query.has_value) return {};
+      return value_forest_.QueryAtDepth(query.value_sig, min_depth);
+    case Evidence::kFormat:
+      return format_forest_.QueryAtDepth(query.format_sig, min_depth);
+    case Evidence::kEmbedding: {
+      if (!query.has_embedding) return {};
+      Signature seq = rp_hasher_.SignatureAsHashSequence(query.emb_sig);
+      return emb_forest_.QueryAtDepth(seq, min_depth);
+    }
+    case Evidence::kDistribution:
+      return {};
+  }
+  return {};
+}
+
 std::vector<uint32_t> D3LIndexes::LookupThreshold(
     Evidence e, const AttributeSignatures& query) const {
   switch (e) {

@@ -35,6 +35,8 @@ struct IndexOptions {
   size_t embedding_dim = 64;   ///< WEM dimensionality p
   LshForestOptions forest;     ///< trees * hashes_per_tree <= minhash_size
   uint64_t seed = 0xd31a5eed;
+
+  bool operator==(const IndexOptions&) const = default;
 };
 
 /// \brief The signatures of one attribute under all four hashing schemes.
@@ -79,6 +81,20 @@ class D3LIndexes {
   /// the query (e.g. IV for a numeric target) return empty.
   std::vector<uint32_t> Lookup(Evidence e, const AttributeSignatures& query,
                                size_t m) const;
+
+  /// Distinct-candidate counts per LSH-Forest prefix depth for one evidence
+  /// index (LshForest::DepthCounts). Returns an empty vector when the query
+  /// lacks the evidence. Counts of engines over disjoint attribute sets
+  /// (src/serving shards) add element-wise, which is what makes the Search
+  /// stop depths exactly reproducible under sharding.
+  std::vector<size_t> LookupDepthCounts(Evidence e,
+                                        const AttributeSignatures& query) const;
+
+  /// All candidates of one evidence index matching the query at a prefix
+  /// depth of at least `min_depth` (LshForest::QueryAtDepth). Returns empty
+  /// when the query lacks the evidence or min_depth is 0.
+  std::vector<uint32_t> LookupAtDepth(Evidence e, const AttributeSignatures& query,
+                                      size_t min_depth) const;
 
   /// Threshold membership: ids whose signature collides with the query in
   /// the banded index at tau (the paper's "a' in IN.lookup(a)" relation).

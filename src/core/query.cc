@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <thread>
 
@@ -278,70 +279,131 @@ uint32_t D3LEngine::subject_attribute_id(uint32_t table_index) const {
   return attr_ids_[table_index][static_cast<size_t>(col)];
 }
 
-Result<SearchResult> D3LEngine::Search(const Table& target, size_t k) const {
-  return Search(target, k, options_.enabled);
+namespace {
+// Which evidence indexes candidate retrieval consults for one target
+// column: the enabled forests, plus the Algorithm-2 numeric fallback — the
+// distribution evidence has no index of its own (Section III-C), so a
+// numeric column draws candidates through the guard indexes (IN, IF).
+std::array<bool, kNumEvidence> ConsultedIndexes(
+    const std::array<bool, kNumEvidence>& enabled_mask, bool column_is_numeric) {
+  std::array<bool, kNumEvidence> consulted = enabled_mask;
+  consulted[static_cast<size_t>(Evidence::kDistribution)] = false;
+  if (enabled_mask[static_cast<size_t>(Evidence::kDistribution)] && column_is_numeric) {
+    consulted[static_cast<size_t>(Evidence::kName)] = true;
+    consulted[static_cast<size_t>(Evidence::kFormat)] = true;
+  }
+  return consulted;
+}
+}  // namespace
+
+void CandidateDepthCounts::Add(const CandidateDepthCounts& other) {
+  assert(counts.size() == other.counts.size());
+  for (size_t c = 0; c < counts.size(); ++c) {
+    for (size_t e = 0; e < kNumEvidence; ++e) {
+      assert(counts[c][e].size() == other.counts[c][e].size());
+      for (size_t d = 0; d < counts[c][e].size(); ++d) {
+        counts[c][e][d] += other.counts[c][e][d];
+      }
+    }
+  }
 }
 
-Result<SearchResult> D3LEngine::Search(
-    const Table& target, size_t k,
-    const std::array<bool, kNumEvidence>& enabled_mask) const {
-  if (lake_ == nullptr) return Status::InvalidArgument("IndexLake not called");
-  if (target.num_columns() == 0) {
-    return Status::InvalidArgument("target has no columns");
-  }
-  const size_t per_index_m = std::max(options_.candidates_per_attribute, k);
-
-  SearchResult result;
+QueryTarget D3LEngine::ProfileTarget(const Table& target) const {
+  QueryTarget qt;
   const size_t n_cols = target.num_columns();
-
-  // Profile the target and its subject attribute.
   CachingEmbedder cache(&wem_);
-  result.target_profiles.reserve(n_cols);
-  result.target_sigs.reserve(n_cols);
+  qt.profiles.reserve(n_cols);
+  qt.sigs.reserve(n_cols);
   for (size_t c = 0; c < n_cols; ++c) {
     AttributeProfile p = BuildProfile(target, c, wem_, &cache, options_.profile);
-    result.target_sigs.push_back(indexes_.Sign(p));
-    result.target_profiles.push_back(std::move(p));
+    qt.sigs.push_back(indexes_.Sign(p));
+    qt.profiles.push_back(std::move(p));
   }
-  int target_subject_col = detector_.Detect(target);
-  const AttributeSignatures* target_subject_sigs =
-      target_subject_col >= 0
-          ? &result.target_sigs[static_cast<size_t>(target_subject_col)]
-          : nullptr;
+  qt.subject_col = detector_.Detect(target);
+  return qt;
+}
 
+CandidateDepthCounts D3LEngine::CollectDepthCounts(
+    const QueryTarget& target,
+    const std::array<bool, kNumEvidence>& enabled_mask) const {
+  CandidateDepthCounts out;
+  out.counts.resize(target.sigs.size());
+  for (size_t c = 0; c < target.sigs.size(); ++c) {
+    const std::array<bool, kNumEvidence> consulted =
+        ConsultedIndexes(enabled_mask, target.profiles[c].is_numeric);
+    for (size_t e = 0; e < kNumEvidence; ++e) {
+      if (!consulted[e]) continue;
+      out.counts[c][e] =
+          indexes_.LookupDepthCounts(static_cast<Evidence>(e), target.sigs[c]);
+    }
+  }
+  return out;
+}
+
+CandidateStopDepths D3LEngine::ResolveStopDepths(const CandidateDepthCounts& counts,
+                                                 size_t m) {
+  CandidateStopDepths stops;
+  stops.depths.resize(counts.counts.size());
+  for (size_t c = 0; c < counts.counts.size(); ++c) {
+    for (size_t e = 0; e < kNumEvidence; ++e) {
+      const std::vector<size_t>& v = counts.counts[c][e];
+      stops.depths[c][e] = v.empty() ? 0 : LshForest::StopDepth(v, m);
+    }
+  }
+  return stops;
+}
+
+CandidateLists D3LEngine::CollectCandidates(const QueryTarget& target,
+                                            const CandidateStopDepths& stops,
+                                            size_t m) const {
+  CandidateLists lists;
+  lists.ids.resize(target.sigs.size());
+  for (size_t c = 0; c < target.sigs.size(); ++c) {
+    for (size_t e = 0; e < kNumEvidence; ++e) {
+      std::vector<uint32_t> ids = indexes_.LookupAtDepth(
+          static_cast<Evidence>(e), target.sigs[c], stops.depths[c][e]);
+      // Canonical per-index truncation: the m smallest ids. Keeps the work
+      // per index bounded by m even when one prefix bucket is enormous.
+      std::sort(ids.begin(), ids.end());
+      if (ids.size() > m) ids.resize(m);
+      lists.ids[c][e] = std::move(ids);
+    }
+  }
+  return lists;
+}
+
+std::vector<std::vector<uint32_t>> D3LEngine::UnionCandidates(
+    const CandidateLists& lists) {
+  std::vector<std::vector<uint32_t>> per_column(lists.ids.size());
+  for (size_t c = 0; c < lists.ids.size(); ++c) {
+    std::vector<uint32_t>& candidates = per_column[c];
+    for (size_t e = 0; e < kNumEvidence; ++e) {
+      candidates.insert(candidates.end(), lists.ids[c][e].begin(),
+                        lists.ids[c][e].end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  return per_column;
+}
+
+std::vector<PairDistances> D3LEngine::ScoreCandidates(
+    const QueryTarget& target,
+    const std::vector<std::vector<uint32_t>>& per_column_candidates,
+    const std::array<bool, kNumEvidence>& enabled_mask) const {
   const auto enabled = [&](Evidence e) {
     return enabled_mask[static_cast<size_t>(e)];
   };
+  const AttributeSignatures* target_subject_sigs =
+      target.subject_col >= 0 ? &target.sigs[static_cast<size_t>(target.subject_col)]
+                              : nullptr;
 
-  // Per target attribute: retrieve candidates from each enabled index,
-  // compute full distance vectors and record every observed distance into
-  // the per-attribute R_t distributions (Eq. 2).
-  DistanceDistributions dists(n_cols);
-  // (target_column, attribute_id) -> distance vector
-  std::vector<std::vector<PairDistances>> per_table_rows(lake_->size());
-
-  for (size_t c = 0; c < n_cols; ++c) {
-    const AttributeSignatures& qsigs = result.target_sigs[c];
-    const AttributeProfile& qprof = result.target_profiles[c];
-
-    std::unordered_set<uint32_t> candidates;
-    for (Evidence e : {Evidence::kName, Evidence::kValue, Evidence::kFormat,
-                       Evidence::kEmbedding}) {
-      if (!enabled(e)) continue;
-      for (uint32_t id : indexes_.Lookup(e, qsigs, per_index_m)) {
-        candidates.insert(id);
-      }
-    }
-    // The distribution evidence has no index of its own (Section III-C);
-    // when it is the only enabled evidence, numeric candidates are drawn
-    // through the guard indexes (IN, IF).
-    if (enabled(Evidence::kDistribution) && qprof.is_numeric) {
-      for (Evidence e : {Evidence::kName, Evidence::kFormat}) {
-        for (uint32_t id : indexes_.Lookup(e, qsigs, per_index_m)) {
-          candidates.insert(id);
-        }
-      }
-    }
+  std::vector<PairDistances> rows;
+  for (size_t c = 0; c < target.sigs.size(); ++c) {
+    const AttributeSignatures& qsigs = target.sigs[c];
+    const AttributeProfile& qprof = target.profiles[c];
+    const std::vector<uint32_t>& candidates = per_column_candidates[c];
     if (candidates.empty()) continue;
 
     PrecomputedGuards guards = BuildGuards(indexes_, qsigs, target_subject_sigs);
@@ -361,36 +423,57 @@ Result<SearchResult> D3LEngine::Search(
         row.d[static_cast<size_t>(Evidence::kDistribution)] =
             ComputeDistributionDistanceFast(indexes_, qprof, id, guards, src_subject);
       }
-      for (size_t t = 0; t < kNumEvidence; ++t) {
-        dists.Observe(static_cast<uint32_t>(c), static_cast<Evidence>(t), row.d[t]);
-      }
-      per_table_rows[cand_prof.ref.table].push_back(row);
+      rows.push_back(row);
     }
   }
-  dists.Finalize();
+  return rows;
+}
 
-  // Evidence weights restricted to the enabled mask.
-  EvidenceWeights weights = options_.weights;
-  for (size_t t = 0; t < kNumEvidence; ++t) {
-    if (!enabled_mask[t]) weights.w[t] = 0;
+SearchResult D3LEngine::RankRows(std::vector<PairDistances> rows,
+                                 size_t num_target_columns, size_t num_tables,
+                                 const std::function<uint32_t(uint32_t)>& table_of,
+                                 const EvidenceWeights& weights, size_t k) {
+  // Canonical row order: (target column, attribute id). Rows gathered from
+  // shards arrive interleaved; re-sorting makes the distribution samples,
+  // the per-table aggregation sums and the final ranking independent of
+  // which engine produced which row.
+  std::sort(rows.begin(), rows.end(),
+            [](const PairDistances& a, const PairDistances& b) {
+              if (a.target_column != b.target_column) {
+                return a.target_column < b.target_column;
+              }
+              return a.attribute_id < b.attribute_id;
+            });
+
+  SearchResult result;
+  // Rebuild the per-attribute R_t distributions (Eq. 2) from every
+  // observed distance, then bucket the rows per candidate dataset.
+  DistanceDistributions dists(num_target_columns);
+  std::vector<std::vector<PairDistances>> per_table_rows(num_tables);
+  for (const PairDistances& row : rows) {
+    for (size_t t = 0; t < kNumEvidence; ++t) {
+      dists.Observe(row.target_column, static_cast<Evidence>(t), row.d[t]);
+    }
+    per_table_rows[table_of(row.attribute_id)].push_back(row);
   }
+  dists.Finalize();
 
   // Aggregate per candidate dataset (Eq. 1) and combine (Eq. 3).
   std::vector<TableMatch> matches;
   for (size_t ti = 0; ti < per_table_rows.size(); ++ti) {
-    auto& rows = per_table_rows[ti];
-    if (rows.empty()) continue;
+    auto& table_rows = per_table_rows[ti];
+    if (table_rows.empty()) continue;
     TableMatch m;
     m.table_index = static_cast<uint32_t>(ti);
-    m.evidence_distances = AggregateDataset(rows, dists);
+    m.evidence_distances = AggregateDataset(table_rows, dists);
     m.distance = CombineDistances(m.evidence_distances, weights);
     // Record alignments for coverage/attribute-precision evaluation and for
     // Algorithm 3's "related to the target" condition.
     auto& aligns = result.candidate_alignments[m.table_index];
-    for (const PairDistances& row : rows) {
+    for (const PairDistances& row : table_rows) {
       aligns.emplace_back(row.target_column, row.attribute_id);
     }
-    m.pairs = std::move(rows);
+    m.pairs = std::move(table_rows);
     matches.push_back(std::move(m));
   }
 
@@ -401,6 +484,63 @@ Result<SearchResult> D3LEngine::Search(
   if (matches.size() > k) matches.resize(k);
   result.ranked = std::move(matches);
   return result;
+}
+
+Result<SearchResult> D3LEngine::Search(const Table& target, size_t k) const {
+  return Search(target, k, options_.enabled);
+}
+
+Result<SearchResult> D3LEngine::Search(
+    const Table& target, size_t k,
+    const std::array<bool, kNumEvidence>& enabled_mask) const {
+  if (lake_ == nullptr) return Status::InvalidArgument("IndexLake not called");
+  if (target.num_columns() == 0) {
+    return Status::InvalidArgument("target has no columns");
+  }
+  const size_t per_index_m = std::max(options_.candidates_per_attribute, k);
+
+  QueryTarget qt = ProfileTarget(target);
+  CandidateDepthCounts counts = CollectDepthCounts(qt, enabled_mask);
+  CandidateStopDepths stops = ResolveStopDepths(counts, per_index_m);
+  CandidateLists lists = CollectCandidates(qt, stops, per_index_m);
+  std::vector<PairDistances> rows =
+      ScoreCandidates(qt, UnionCandidates(lists), enabled_mask);
+
+  // Evidence weights restricted to the enabled mask.
+  EvidenceWeights weights = options_.weights;
+  for (size_t t = 0; t < kNumEvidence; ++t) {
+    if (!enabled_mask[t]) weights.w[t] = 0;
+  }
+
+  SearchResult result = RankRows(
+      std::move(rows), target.num_columns(), lake_->size(),
+      [this](uint32_t id) { return indexes_.profile(id).ref.table; }, weights, k);
+  result.target_profiles = std::move(qt.profiles);
+  result.target_sigs = std::move(qt.sigs);
+  return result;
+}
+
+Result<D3LEngine::SnapshotInfo> D3LEngine::ReadSnapshotInfo(const std::string& path) {
+  io::Reader r;
+  D3L_RETURN_NOT_OK(r.Open(path, kSnapshotMagic, kSnapshotVersion));
+
+  SnapshotInfo info;
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionOptions));
+  info.options = LoadOptions(r);
+  D3L_RETURN_NOT_OK(r.status());
+  D3L_RETURN_NOT_OK(r.EndSection());
+
+  // Schema metadata only; the INDX/ENGN sections are never read, which is
+  // the whole point of this entry (cheap inspection of large snapshots).
+  DataLake lake_metadata;
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionLake));
+  D3L_RETURN_NOT_OK(lake_metadata.LoadMetadata(r));
+  D3L_RETURN_NOT_OK(r.EndSection());
+  info.num_tables = lake_metadata.size();
+  for (size_t t = 0; t < lake_metadata.size(); ++t) {
+    info.num_attributes += lake_metadata.table(t).num_columns();
+  }
+  return info;
 }
 
 }  // namespace d3l::core

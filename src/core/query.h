@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,13 +20,18 @@
 
 namespace d3l::core {
 
+// When adding a field here that influences signatures, distances or
+// ranking, mirror it in serving's OptionsEqual (sharded_engine.cc) unless
+// it lives in one of the nested structs, whose operator== covers it.
 struct D3LOptions {
   IndexOptions index;
   ProfileOptions profile;
   SubwordModelOptions wem;
   EvidenceWeights weights = EvidenceWeights::Default();
-  /// Candidates retrieved per target attribute per index (the LSH Forest
-  /// top-m; candidates are then exactly re-ranked from signatures).
+  /// Candidate budget per target attribute per index: each LSH Forest is
+  /// descended to the depth at which this many distinct candidates match,
+  /// and every candidate at that depth is retrieved (then exactly re-ranked
+  /// from signatures). Ties at the stop depth can return slightly more.
   size_t candidates_per_attribute = 64;
   /// Evidence-type mask, for the individual-evidence ablation (Fig. 3):
   /// disabled types are neither looked up nor weighted in Eq. 3.
@@ -65,6 +71,55 @@ struct IndexBuildStats {
   size_t index_bytes = 0;      ///< MemoryUsage of the four indexes
 };
 
+/// \brief A profiled query target: per-column profiles and signatures plus
+/// the detected subject column.
+///
+/// Depends only on the engine options (hashers, profile settings) — never
+/// on the indexed lake — so engines built with identical options, such as
+/// the shard replicas of src/serving, produce identical QueryTargets for
+/// the same table. This is what lets a sharded deployment profile a target
+/// once and reuse it against every shard.
+struct QueryTarget {
+  std::vector<AttributeProfile> profiles;
+  std::vector<AttributeSignatures> sigs;
+  int subject_col = -1;
+};
+
+/// \brief Distinct-candidate counts per LSH-Forest prefix depth for every
+/// (target column, evidence index) pair — the scatter half of candidate
+/// retrieval.
+///
+/// counts[c][e] is LshForest::DepthCounts for target column c against the
+/// evidence-e forest, or empty when that index is not consulted (disabled
+/// evidence, or a query column without the evidence). Because shards index
+/// disjoint attribute sets, counts from shard replicas Add() element-wise
+/// into exactly the whole-lake counts, so the stop depths — and therefore
+/// the candidate sets — of a sharded query match the single engine's.
+struct CandidateDepthCounts {
+  std::vector<std::array<std::vector<size_t>, kNumEvidence>> counts;
+
+  /// Element-wise accumulation of another engine's counts (the shapes must
+  /// match: same columns, same consulted indexes, same forest depths).
+  void Add(const CandidateDepthCounts& other);
+};
+
+/// \brief Resolved candidate-retrieval depth for every (column, evidence)
+/// lookup: candidates are all attributes matching at >= that depth. A depth
+/// of 0 means the index is not consulted for that column.
+struct CandidateStopDepths {
+  std::vector<std::array<size_t, kNumEvidence>> depths;
+};
+
+/// \brief Retrieved candidate ids per (column, evidence): ascending, and
+/// capped at the per-index budget m by id order — a canonical truncation
+/// rule (smallest ids win) that bounds scoring work on degenerate lakes
+/// where one prefix bucket holds far more than m attributes. Because a
+/// shard's local id order is monotone in the global id order, per-shard
+/// lists merge into exactly the whole-lake first-m (src/serving).
+struct CandidateLists {
+  std::vector<std::array<std::vector<uint32_t>, kNumEvidence>> ids;
+};
+
 /// \brief Dataset discovery engine (indexing + querying).
 class D3LEngine {
  public:
@@ -78,15 +133,80 @@ class D3LEngine {
   Status IndexLake(const DataLake& lake);
 
   /// Top-k most related datasets to `target` (Definition 1 relatedness,
-  /// Eq. 1-3 scoring). Per-index candidate retrieval uses
-  /// max(options().candidates_per_attribute, k) so larger answers do more
-  /// lookup work, as in the paper's Experiments 5-6.
+  /// Eq. 1-3 scoring). Per-index candidate retrieval descends each LSH
+  /// Forest to the depth at which max(options().candidates_per_attribute, k)
+  /// distinct candidates exist and scores every candidate at that depth —
+  /// so larger answers do more lookup work, as in the paper's Experiments
+  /// 5-6, and retrieval decomposes exactly across shards (src/serving).
   Result<SearchResult> Search(const Table& target, size_t k) const;
 
   /// Search with an explicit evidence mask (the Fig. 3 single-evidence
   /// ablation); disabled types are neither looked up nor weighted.
   Result<SearchResult> Search(const Table& target, size_t k,
                               const std::array<bool, kNumEvidence>& enabled_mask) const;
+
+  // -- Scatter-gather decomposition of Search --
+  //
+  // Search(target, k) is exactly ProfileTarget -> CollectDepthCounts ->
+  // ResolveStopDepths -> CollectCandidates -> UnionCandidates ->
+  // ScoreCandidates -> RankRows. A sharded deployment
+  // (serving::ShardedEngine) runs the same pipeline with the per-shard
+  // pieces merged at the coordinator: depth counts are summed before
+  // resolving stop depths, per-shard candidate lists (whose local id order
+  // is monotone in the global order) are merged and re-capped at m before
+  // scoring, and scored rows are concatenated (with attribute ids remapped
+  // to the global registry) before ranking — yielding a top-k that is
+  // byte-identical to a single engine over the whole lake.
+
+  /// Profiles a target table (columns must be non-empty). Shard-independent:
+  /// depends only on the engine options.
+  QueryTarget ProfileTarget(const Table& target) const;
+
+  /// Scatter phase A: distinct-candidate counts per forest depth for every
+  /// (column, consulted index) pair. The consulted indexes are the enabled
+  /// evidences plus the Algorithm-2 numeric fallback (a numeric column with
+  /// distribution evidence enabled draws candidates through IN and IF).
+  CandidateDepthCounts CollectDepthCounts(
+      const QueryTarget& target, const std::array<bool, kNumEvidence>& enabled_mask) const;
+
+  /// The stop rule applied to (possibly shard-summed) depth counts:
+  /// the deepest depth with at least m distinct candidates, else 1
+  /// (LshForest::StopDepth); 0 where an index is not consulted.
+  static CandidateStopDepths ResolveStopDepths(const CandidateDepthCounts& counts,
+                                               size_t m);
+
+  /// Scatter phase B: the candidates matching at the stop depths, per
+  /// (column, evidence), ascending and truncated to the m smallest ids.
+  /// (Indexes not consulted carry stop depth 0 and yield empty lists.)
+  CandidateLists CollectCandidates(const QueryTarget& target,
+                                   const CandidateStopDepths& stops, size_t m) const;
+
+  /// Per-column union (sorted, deduplicated) of a CandidateLists — the
+  /// shape ScoreCandidates consumes.
+  static std::vector<std::vector<uint32_t>> UnionCandidates(
+      const CandidateLists& lists);
+
+  /// Scatter phase C: scores the given candidates — one PairDistances row
+  /// per (target column, candidate attribute), in (column, id) order.
+  /// `per_column_candidates[c]` must be sorted and deduplicated. Pure
+  /// per-engine work: a row depends only on the query and that candidate,
+  /// never on other candidates, so shard rows concatenate into exactly the
+  /// single-engine row set.
+  std::vector<PairDistances> ScoreCandidates(
+      const QueryTarget& target,
+      const std::vector<std::vector<uint32_t>>& per_column_candidates,
+      const std::array<bool, kNumEvidence>& enabled_mask) const;
+
+  /// Gather phase: rebuilds the Eq. 2 distance distributions from the rows,
+  /// aggregates per dataset (Eq. 1), combines with the evidence weights
+  /// (Eq. 3) and returns the top-k with candidate alignments filled in.
+  /// `table_of` maps an attribute id to its dataset index in [0, num_tables).
+  /// Deterministic: rows are canonically re-sorted by (column, attribute id)
+  /// first, so any permutation of the same row set ranks identically.
+  static SearchResult RankRows(std::vector<PairDistances> rows,
+                               size_t num_target_columns, size_t num_tables,
+                               const std::function<uint32_t(uint32_t)>& table_of,
+                               const EvidenceWeights& weights, size_t k);
 
   const DataLake* lake() const { return lake_; }
   const D3LIndexes& indexes() const { return indexes_; }
@@ -109,6 +229,17 @@ class D3LEngine {
   /// Magic bytes and current format version of engine snapshot files.
   static constexpr char kSnapshotMagic[9] = "D3LSNAP\n";
   static constexpr uint32_t kSnapshotVersion = 1;
+
+  /// Lightweight snapshot metadata (the `d3l_snapshot info` view).
+  struct SnapshotInfo {
+    D3LOptions options;
+    size_t num_tables = 0;
+    size_t num_attributes = 0;  ///< sum of the schema column counts
+  };
+
+  /// Reads a snapshot's options and lake schema metadata without loading
+  /// the index sections — cheap even for large snapshots.
+  static Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
 
   /// Subject-attribute column of an indexed table (-1 if none).
   int subject_column(uint32_t table_index) const;

@@ -44,6 +44,8 @@ struct SubwordModelOptions {
   /// 2M buckets for web-scale corpora).
   size_t num_buckets = 1 << 16;
   uint64_t seed = 0x5eed0001;
+
+  bool operator==(const SubwordModelOptions&) const = default;
 };
 
 /// \brief fastText-style subword-hash embedding (see file comment).

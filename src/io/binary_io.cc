@@ -38,14 +38,92 @@ Status WriteAll(std::FILE* f, const void* data, size_t len, const char* what) {
 
 }  // namespace
 
-uint32_t Crc32(const void* data, size_t len) {
+void Crc32Accumulator::Update(const void* data, size_t len) {
   const uint32_t* table = Crc32Table();
   const auto* p = static_cast<const unsigned char*>(data);
-  uint32_t c = 0xFFFFFFFFu;
   for (size_t i = 0; i < len; ++i) {
-    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    state_ = table[(state_ ^ p[i]) & 0xff] ^ (state_ >> 8);
   }
-  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  Crc32Accumulator acc;
+  acc.Update(data, len);
+  return acc.Finish();
+}
+
+Result<FileInfo> InspectFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  // Ownership: closed on every return path below.
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  FileInfo info;
+  char magic[8];
+  if (std::fread(magic, 1, 8, f) != 8) {
+    return Status::IOError(path + ": too short for a container header");
+  }
+  info.magic.assign(magic, 8);
+  unsigned char vb[4];
+  if (std::fread(vb, 1, 4, f) != 4) {
+    return Status::IOError(path + ": truncated header");
+  }
+  info.version = static_cast<uint32_t>(vb[0]) | static_cast<uint32_t>(vb[1]) << 8 |
+                 static_cast<uint32_t>(vb[2]) << 16 | static_cast<uint32_t>(vb[3]) << 24;
+  info.file_bytes = 12;
+
+  for (;;) {
+    unsigned char header[12];
+    size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean end of file
+    if (got != sizeof(header)) {
+      return Status::IOError(path + ": truncated section header");
+    }
+    SectionInfo section;
+    section.id = static_cast<uint32_t>(header[0]) | static_cast<uint32_t>(header[1]) << 8 |
+                 static_cast<uint32_t>(header[2]) << 16 |
+                 static_cast<uint32_t>(header[3]) << 24;
+    for (size_t i = 0; i < 8; ++i) {
+      section.payload_bytes |= static_cast<uint64_t>(header[4 + i]) << (8 * i);
+    }
+    // Stream the payload through the CRC in bounded chunks so inspection
+    // never allocates proportionally to section size.
+    Crc32Accumulator acc;
+    uint64_t remaining = section.payload_bytes;
+    unsigned char buf[1 << 16];
+    while (remaining > 0) {
+      size_t want = remaining < sizeof(buf) ? static_cast<size_t>(remaining) : sizeof(buf);
+      if (std::fread(buf, 1, want, f) != want) {
+        return Status::IOError(path + ": section payload cut short");
+      }
+      acc.Update(buf, want);
+      remaining -= want;
+    }
+    const uint32_t crc = acc.Finish();
+    unsigned char cb[4];
+    if (std::fread(cb, 1, 4, f) != 4) {
+      return Status::IOError(path + ": missing section checksum");
+    }
+    uint32_t file_crc = static_cast<uint32_t>(cb[0]) | static_cast<uint32_t>(cb[1]) << 8 |
+                        static_cast<uint32_t>(cb[2]) << 16 |
+                        static_cast<uint32_t>(cb[3]) << 24;
+    section.crc_ok = (file_crc == crc);
+    info.file_bytes += 12 + section.payload_bytes + 4;
+    info.sections.push_back(section);
+  }
+  return info;
+}
+
+std::string SectionName(uint32_t id) {
+  std::string name;
+  for (int shift = 0; shift < 32; shift += 8) {
+    char c = static_cast<char>((id >> shift) & 0xff);
+    name.push_back((c >= 0x20 && c < 0x7f) ? c : '?');
+  }
+  return name;
 }
 
 // ---------------------------------------------------------------- Writer

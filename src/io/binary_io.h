@@ -29,6 +29,44 @@ namespace d3l::io {
 /// \brief CRC-32 (IEEE 802.3 polynomial, as in zlib) of a byte range.
 uint32_t Crc32(const void* data, size_t len);
 
+/// \brief Incremental CRC-32 over a stream of chunks; Finish() of all
+/// chunks equals Crc32() of their concatenation. Lets callers checksum
+/// arbitrarily large files through a bounded buffer.
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, size_t len);
+  uint32_t Finish() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// \brief Raw shape of one section as found on disk.
+struct SectionInfo {
+  uint32_t id = 0;            ///< fourcc
+  uint64_t payload_bytes = 0;
+  bool crc_ok = false;
+};
+
+/// \brief Container-level view of any Writer-produced file: magic, format
+/// version and the section table (no typed decoding).
+struct FileInfo {
+  std::string magic;    ///< the 8 magic bytes as written
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SectionInfo> sections;
+};
+
+/// \brief Walks a snapshot/manifest container without decoding payloads:
+/// reads the header, then each section's id, size and checksum. Works for
+/// ANY magic (the caller dispatches on FileInfo::magic), so `d3l_snapshot
+/// info` can describe engine snapshots and shard manifests alike. Fails on
+/// files too short for a header or with truncated sections.
+Result<FileInfo> InspectFile(const std::string& path);
+
+/// \brief Renders a fourcc section id as printable text (e.g. "OPTS").
+std::string SectionName(uint32_t id);
+
 /// \brief Builds a section id from four characters, e.g. SectionId("OPTS").
 constexpr uint32_t SectionId(const char (&s)[5]) {
   return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |

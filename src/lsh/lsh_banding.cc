@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/hash.h"
@@ -42,8 +44,23 @@ BandedLsh::BandedLsh(BandedLshOptions options) : options_(options) {
   buckets_.resize(bands_);
 }
 
+void BandedLsh::CheckSignatureSize(const Signature& sig) const {
+  // BandHash reads sig[bands * rows - 1]; a short signature (an ensemble
+  // whose options disagree with its hasher) would read out of bounds. Fail
+  // loudly in release builds too, like LshForest::CheckSignatureSize —
+  // Insert/Query are per-item, so the check is cheap.
+  const size_t need = bands_ * rows_;
+  if (sig.size() < need) {
+    std::fprintf(stderr,
+                 "BandedLsh: signature has %zu values but bands * rows = %zu "
+                 "(options signature_size %zu)\n",
+                 sig.size(), need, options_.signature_size);
+    std::abort();
+  }
+}
+
 uint64_t BandedLsh::BandHash(size_t band, const Signature& sig) const {
-  assert(sig.size() >= options_.signature_size);
+  assert(sig.size() >= bands_ * rows_);
   uint64_t h = Mix64(band + 0x51ed2701);
   for (size_t i = 0; i < rows_; ++i) {
     h = HashCombine(h, sig[band * rows_ + i]);
@@ -52,6 +69,7 @@ uint64_t BandedLsh::BandHash(size_t band, const Signature& sig) const {
 }
 
 void BandedLsh::Insert(ItemId id, const Signature& signature) {
+  CheckSignatureSize(signature);
   for (size_t b = 0; b < bands_; ++b) {
     buckets_[b][BandHash(b, signature)].push_back(id);
   }
@@ -59,6 +77,7 @@ void BandedLsh::Insert(ItemId id, const Signature& signature) {
 }
 
 std::vector<BandedLsh::ItemId> BandedLsh::Query(const Signature& signature) const {
+  CheckSignatureSize(signature);
   std::unordered_set<ItemId> seen;
   std::vector<ItemId> out;
   for (size_t b = 0; b < bands_; ++b) {

@@ -52,6 +52,8 @@ class BandedLsh {
 
  private:
   uint64_t BandHash(size_t band, const Signature& sig) const;
+  // Aborts (in all build types) if the signature is too short for BandHash.
+  void CheckSignatureSize(const Signature& sig) const;
 
   BandedLshOptions options_;
   size_t bands_;

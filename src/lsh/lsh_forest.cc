@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace d3l {
@@ -131,6 +132,47 @@ std::vector<LshForest::ItemId> LshForest::QueryAtDepth(const Signature& signatur
     }
   }
   return result;
+}
+
+std::vector<size_t> LshForest::DepthCounts(const Signature& signature) const {
+  CheckSignatureSize(signature);
+  const size_t kpt = options_.hashes_per_tree;
+  // Deepest matching prefix per item across all trees. One pass over the
+  // depth-1 range of every tree (a superset of every deeper range) beats
+  // re-collecting the deeper ranges once per depth.
+  std::unordered_map<ItemId, size_t> deepest;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const Tree& tree = trees_[t];
+    assert(tree.sorted);
+    const std::vector<uint64_t> key = TreeKey(t, signature);
+    auto prefix_less = [](const Entry& e, const std::vector<uint64_t>& k) {
+      return e.key[0] < k[0];
+    };
+    auto less_prefix = [](const std::vector<uint64_t>& k, const Entry& e) {
+      return k[0] < e.key[0];
+    };
+    auto lo =
+        std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
+    auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
+    for (auto it = lo; it != hi; ++it) {
+      size_t lcp = 1;
+      while (lcp < kpt && it->key[lcp] == key[lcp]) ++lcp;
+      size_t& best = deepest[it->id];
+      best = std::max(best, lcp);
+    }
+  }
+  std::vector<size_t> counts(kpt, 0);
+  for (const auto& [id, depth] : deepest) counts[depth - 1]++;
+  // Suffix-sum the depth histogram: counts[d-1] becomes |{items: lcp >= d}|.
+  for (size_t d = kpt - 1; d-- > 0;) counts[d] += counts[d + 1];
+  return counts;
+}
+
+size_t LshForest::StopDepth(const std::vector<size_t>& counts, size_t m) {
+  for (size_t d = counts.size(); d >= 1; --d) {
+    if (counts[d - 1] >= m) return d;
+  }
+  return 1;
 }
 
 void LshForest::Save(io::Writer& w) const {

@@ -23,6 +23,8 @@ namespace d3l {
 struct LshForestOptions {
   size_t num_trees = 8;       ///< l: number of prefix trees
   size_t hashes_per_tree = 8; ///< k_l: key length per tree (in hash values)
+
+  bool operator==(const LshForestOptions&) const = default;
 };
 
 /// \brief Clamps forest options so num_trees * hashes_per_tree fits within a
@@ -66,6 +68,21 @@ class LshForest {
   /// All items sharing a prefix of at least `min_depth` hash values with
   /// the query in at least one tree (threshold-flavoured lookup).
   std::vector<ItemId> QueryAtDepth(const Signature& signature, size_t min_depth) const;
+
+  /// Distinct-match counts per prefix depth: counts[d-1] is the number of
+  /// distinct items sharing a prefix of at least d hash values with the
+  /// query in at least one tree, for d in [1, hashes_per_tree]. Counts are
+  /// monotone nonincreasing in d, and — because every item lives in exactly
+  /// one forest — counts from forests over disjoint item sets (the shards
+  /// of src/serving) add element-wise into the counts of the union forest.
+  std::vector<size_t> DepthCounts(const Signature& signature) const;
+
+  /// The synchronous-descent stop rule of Query() applied to a (possibly
+  /// shard-merged) DepthCounts vector: the deepest depth at which at least
+  /// m distinct candidates exist, or 1 when no depth reaches m. Combined
+  /// with QueryAtDepth, this reproduces Query's candidate set without the
+  /// arbitrary order-dependent truncation to exactly m.
+  static size_t StopDepth(const std::vector<size_t>& counts, size_t m);
 
   size_t size() const { return num_items_; }
 

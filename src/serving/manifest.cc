@@ -1,0 +1,165 @@
+#include "serving/manifest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "io/binary_io.h"
+
+namespace d3l::serving {
+
+namespace {
+constexpr uint32_t kSectionManifest = io::SectionId("MANF");
+}
+
+Status ShardManifest::Validate() const {
+  if (shards.empty()) {
+    return Status::InvalidArgument("manifest lists no shards");
+  }
+  // A partition needs at least total_tables entries across the shard lists,
+  // so a total exceeding their (payload-bounded) sum is already invalid —
+  // and checking first keeps a forged total from driving the coverage
+  // allocation below to an absurd size.
+  uint64_t listed = 0;
+  for (const ShardManifestEntry& e : shards) listed += e.global_tables.size();
+  if (total_tables > listed) {
+    return Status::InvalidArgument(
+        "manifest total of " + std::to_string(total_tables) +
+        " tables exceeds the " + std::to_string(listed) + " listed across shards");
+  }
+  std::vector<bool> covered(total_tables, false);
+  uint64_t attr_total = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardManifestEntry& e = shards[s];
+    if (e.file.empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) + " has no filename");
+    }
+    if (e.num_tables != e.global_tables.size()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          ": table count disagrees with its global table list");
+    }
+    attr_total += e.num_attributes;
+    for (uint32_t g : e.global_tables) {
+      if (g >= total_tables) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       " references table id " + std::to_string(g) +
+                                       " outside the lake");
+      }
+      if (covered[g]) {
+        return Status::InvalidArgument("table id " + std::to_string(g) +
+                                       " assigned to more than one shard");
+      }
+      covered[g] = true;
+    }
+  }
+  for (uint64_t g = 0; g < total_tables; ++g) {
+    if (!covered[g]) {
+      return Status::InvalidArgument("table id " + std::to_string(g) +
+                                     " is missing from every shard");
+    }
+  }
+  if (attr_total != total_attributes) {
+    return Status::InvalidArgument(
+        "per-shard attribute counts disagree with the manifest total");
+  }
+  return Status::OK();
+}
+
+Status ShardManifest::Save(const std::string& path) const {
+  D3L_RETURN_NOT_OK(Validate());
+  io::Writer w;
+  D3L_RETURN_NOT_OK(w.Open(path, kMagic, kVersion));
+  w.BeginSection(kSectionManifest);
+  w.WriteU64(total_tables);
+  w.WriteU64(total_attributes);
+  w.WriteString(balance);
+  w.WriteU64(shards.size());
+  for (const ShardManifestEntry& e : shards) {
+    w.WriteString(e.file);
+    w.WriteU64(e.file_bytes);
+    w.WriteU32(e.file_crc32);
+    w.WriteU32(e.schema_crc32);
+    w.WriteU64(e.num_tables);
+    w.WriteU64(e.num_attributes);
+    w.WriteU64(e.global_tables.size());
+    for (uint32_t g : e.global_tables) w.WriteU32(g);
+  }
+  return w.Finish();
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path) {
+  io::Reader r;
+  D3L_RETURN_NOT_OK(r.Open(path, kMagic, kVersion));
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionManifest));
+  ShardManifest m;
+  m.total_tables = r.ReadU64();
+  m.total_attributes = r.ReadU64();
+  m.balance = r.ReadString();
+  size_t n_shards = r.ReadLength(1);
+  m.shards.reserve(n_shards);
+  for (size_t s = 0; s < n_shards && r.status().ok(); ++s) {
+    ShardManifestEntry e;
+    e.file = r.ReadString();
+    e.file_bytes = r.ReadU64();
+    e.file_crc32 = r.ReadU32();
+    e.schema_crc32 = r.ReadU32();
+    e.num_tables = r.ReadU64();
+    e.num_attributes = r.ReadU64();
+    size_t n_tables = r.ReadLength(sizeof(uint32_t));
+    e.global_tables.reserve(n_tables);
+    for (size_t t = 0; t < n_tables; ++t) e.global_tables.push_back(r.ReadU32());
+    m.shards.push_back(std::move(e));
+  }
+  D3L_RETURN_NOT_OK(r.status());
+  D3L_RETURN_NOT_OK(r.EndSection());
+  D3L_RETURN_NOT_OK(m.Validate());
+  return m;
+}
+
+Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32(const std::string& path) {
+  // Streamed through a bounded buffer: shard snapshots can be huge, and
+  // Open checksums several of them concurrently.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  io::Crc32Accumulator acc;
+  uint64_t size = 0;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    acc.Update(buf, static_cast<size_t>(in.gcount()));
+    size += static_cast<uint64_t>(in.gcount());
+  }
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return std::make_pair(size, acc.Finish());
+}
+
+uint32_t SchemaFingerprint(const DataLake& lake) {
+  io::Crc32Accumulator acc;
+  for (size_t t = 0; t < lake.size(); ++t) {
+    const Table& table = lake.table(t);
+    // Separators keep adjacent names from aliasing ("ab"+"c" vs "a"+"bc").
+    acc.Update(table.name().data(), table.name().size());
+    acc.Update("\n", 1);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const std::string& name = table.column(c).name();
+      acc.Update(name.data(), name.size());
+      acc.Update("\t", 1);
+    }
+  }
+  return acc.Finish();
+}
+
+std::string ManifestPath(const std::string& base) { return base + ".manifest"; }
+
+std::string ShardPath(const std::string& base, size_t shard_index) {
+  return base + ".shard" + std::to_string(shard_index) + ".d3l";
+}
+
+std::string ResolveRelative(const std::string& manifest_path, const std::string& file) {
+  std::filesystem::path p(file);
+  if (p.is_absolute()) return file;
+  return (std::filesystem::path(manifest_path).parent_path() / p).string();
+}
+
+}  // namespace d3l::serving

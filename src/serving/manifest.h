@@ -1,0 +1,78 @@
+// The shard-set manifest: a small versioned file describing how one lake
+// was partitioned into N independent engine snapshots.
+//
+// A sharded deployment is `<base>.manifest` plus `<base>.shard<i>.d3l`
+// files, each a self-contained D3LEngine snapshot over a disjoint subset of
+// the lake's tables. The manifest records, per shard, the snapshot filename
+// (relative to the manifest), its size and whole-file CRC32, and the global
+// table ids the shard serves in local order — everything ShardedEngine
+// needs to remap shard-local results back onto the original lake's table
+// and attribute numbering. The manifest's own payload is protected by the
+// io::Writer section checksum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/lake.h"
+
+namespace d3l::serving {
+
+/// \brief One shard's entry in the manifest.
+struct ShardManifestEntry {
+  std::string file;           ///< snapshot filename, relative to the manifest
+  uint64_t file_bytes = 0;    ///< snapshot size on disk
+  uint32_t file_crc32 = 0;    ///< CRC32 of the whole snapshot file
+  /// SchemaFingerprint of the shard's tables. Binds the entry to the
+  /// CONTENT of its snapshot, so a valid shard file swapped into another
+  /// entry's slot is rejected even when the shards have identical shapes
+  /// and file-level checksum verification is disabled.
+  uint32_t schema_crc32 = 0;
+  uint64_t num_tables = 0;
+  uint64_t num_attributes = 0;
+  /// Global table ids (indexes into the original lake) in shard-local
+  /// order: the shard's local table `i` is `global_tables[i]`.
+  std::vector<uint32_t> global_tables;
+};
+
+/// \brief A versioned description of one sharded lake.
+struct ShardManifest {
+  static constexpr char kMagic[9] = "D3LSHRD\n";
+  static constexpr uint32_t kVersion = 1;
+
+  uint64_t total_tables = 0;
+  uint64_t total_attributes = 0;
+  std::string balance;  ///< planning policy, e.g. "size-balanced" / "round-robin"
+  std::vector<ShardManifestEntry> shards;
+
+  /// Structural invariants: at least one shard, per-shard counts consistent
+  /// with the entry's table list, and the global table ids forming an exact
+  /// partition of [0, total_tables).
+  Status Validate() const;
+
+  /// Writes the manifest (magic, version, one checksummed section).
+  Status Save(const std::string& path) const;
+
+  /// Reads and Validate()s a manifest written by Save().
+  static Result<ShardManifest> Load(const std::string& path);
+};
+
+/// \brief Size and CRC32 of a whole file (shard integrity checks).
+Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32(const std::string& path);
+
+/// \brief CRC32 over a lake's schema (table and column names, in order) —
+/// the identity a ShardManifestEntry pins its snapshot's contents to.
+uint32_t SchemaFingerprint(const DataLake& lake);
+
+/// \brief `<base>.manifest` / `<base>.shard<i>.d3l` naming scheme shared by
+/// the builder, the engine and the CLI.
+std::string ManifestPath(const std::string& base);
+std::string ShardPath(const std::string& base, size_t shard_index);
+
+/// \brief Resolves a manifest-relative filename against the manifest's
+/// directory.
+std::string ResolveRelative(const std::string& manifest_path, const std::string& file);
+
+}  // namespace d3l::serving

@@ -1,0 +1,118 @@
+#include "serving/shard_builder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <numeric>
+
+namespace d3l::serving {
+
+namespace {
+
+const char* BalanceName(ShardingOptions::Balance b) {
+  switch (b) {
+    case ShardingOptions::Balance::kRoundRobin:
+      return "round-robin";
+    case ShardingOptions::Balance::kSizeBalanced:
+      return "size-balanced";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Result<ShardPlan> PlanShards(const DataLake& lake, const ShardingOptions& options) {
+  const size_t n_shards = options.num_shards;
+  const size_t n_tables = lake.size();
+  if (n_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (n_shards > n_tables) {
+    return Status::InvalidArgument("cannot split " + std::to_string(n_tables) +
+                                   " tables into " + std::to_string(n_shards) +
+                                   " shards");
+  }
+
+  ShardPlan plan(n_shards);
+  switch (options.balance) {
+    case ShardingOptions::Balance::kRoundRobin:
+      for (size_t t = 0; t < n_tables; ++t) {
+        plan[t % n_shards].push_back(static_cast<uint32_t>(t));
+      }
+      break;
+    case ShardingOptions::Balance::kSizeBalanced: {
+      // Greedy LPT on cell counts: biggest table first onto the lightest
+      // shard. Ties break on table id / shard index for determinism.
+      std::vector<uint32_t> order(n_tables);
+      std::iota(order.begin(), order.end(), 0);
+      auto cells = [&lake](uint32_t t) {
+        return lake.table(t).num_rows() * lake.table(t).num_columns();
+      };
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (cells(a) != cells(b)) return cells(a) > cells(b);
+        return a < b;
+      });
+      std::vector<size_t> load(n_shards, 0);
+      for (uint32_t t : order) {
+        size_t lightest = 0;
+        for (size_t s = 1; s < n_shards; ++s) {
+          if (load[s] < load[lightest]) lightest = s;
+        }
+        plan[lightest].push_back(t);
+        load[lightest] += cells(t);
+      }
+      // Local order = ascending global id, so a table's attributes keep
+      // their relative order between the shard and the whole-lake registry.
+      for (auto& shard : plan) std::sort(shard.begin(), shard.end());
+      break;
+    }
+  }
+  return plan;
+}
+
+Result<ShardBuildReport> BuildShards(const DataLake& lake,
+                                     const ShardingOptions& options,
+                                     const std::string& out_base) {
+  auto t0 = std::chrono::steady_clock::now();
+  ShardBuildReport report;
+  D3L_ASSIGN_OR_RETURN(report.plan, PlanShards(lake, options));
+
+  ShardManifest manifest;
+  manifest.total_tables = lake.size();
+  manifest.total_attributes = 0;
+  manifest.balance = BalanceName(options.balance);
+
+  const std::string base_name = std::filesystem::path(out_base).filename().string();
+  for (size_t s = 0; s < report.plan.size(); ++s) {
+    DataLake shard_lake;
+    for (uint32_t g : report.plan[s]) {
+      D3L_RETURN_NOT_OK(shard_lake.AddTable(lake.table(g)));
+    }
+
+    core::D3LEngine engine(options.engine);
+    D3L_RETURN_NOT_OK(engine.IndexLake(shard_lake));
+    const std::string shard_path = ShardPath(out_base, s);
+    D3L_RETURN_NOT_OK(engine.SaveSnapshot(shard_path));
+
+    ShardManifestEntry entry;
+    entry.file = ShardPath(base_name, s);  // manifest-relative: just the filename
+    D3L_ASSIGN_OR_RETURN(auto size_crc, FileSizeAndCrc32(shard_path));
+    entry.file_bytes = size_crc.first;
+    entry.file_crc32 = size_crc.second;
+    entry.schema_crc32 = SchemaFingerprint(shard_lake);
+    entry.num_tables = shard_lake.size();
+    entry.num_attributes = engine.indexes().num_attributes();
+    entry.global_tables = report.plan[s];
+    manifest.total_attributes += entry.num_attributes;
+    manifest.shards.push_back(std::move(entry));
+    report.shard_paths.push_back(shard_path);
+  }
+
+  report.manifest_path = ManifestPath(out_base);
+  D3L_RETURN_NOT_OK(manifest.Save(report.manifest_path));
+  report.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,60 @@
+// The shard planner/builder: partitions a DataLake into N disjoint table
+// subsets, indexes each subset with its own D3LEngine and persists the
+// result as N snapshot files plus a manifest (see manifest.h).
+//
+// Every shard engine is built with the SAME options (hashers, seeds,
+// profile settings), which is the precondition for ShardedEngine's exact
+// scatter-gather: identical options make target signatures and pairwise
+// distances shard-independent, so only candidate stop depths and the Eq. 2
+// distributions need global coordination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "serving/manifest.h"
+#include "table/lake.h"
+
+namespace d3l::serving {
+
+struct ShardingOptions {
+  size_t num_shards = 2;
+
+  enum class Balance {
+    kRoundRobin,     ///< table i goes to shard i % N
+    kSizeBalanced,   ///< greedy LPT on cell counts (rows * columns)
+  };
+  Balance balance = Balance::kSizeBalanced;
+
+  /// Options for every shard engine (must be uniform across shards).
+  core::D3LOptions engine;
+};
+
+/// \brief A partition of the lake: plan[s] holds the global table ids of
+/// shard s, in shard-local order (ascending, so local relative order
+/// matches the lake's).
+using ShardPlan = std::vector<std::vector<uint32_t>>;
+
+/// \brief Plans the partition without building anything. Fails when
+/// num_shards is 0 or exceeds the table count.
+Result<ShardPlan> PlanShards(const DataLake& lake, const ShardingOptions& options);
+
+/// \brief What BuildShards produced.
+struct ShardBuildReport {
+  std::string manifest_path;
+  std::vector<std::string> shard_paths;
+  ShardPlan plan;
+  double build_seconds = 0;  ///< total profiling + indexing + writing
+};
+
+/// \brief Plans, indexes and persists a sharded deployment rooted at
+/// `out_base`: writes `<out_base>.shard<i>.d3l` per shard and
+/// `<out_base>.manifest`. Existing files are overwritten.
+Result<ShardBuildReport> BuildShards(const DataLake& lake,
+                                     const ShardingOptions& options,
+                                     const std::string& out_base);
+
+}  // namespace d3l::serving

@@ -1,0 +1,330 @@
+#include "serving/sharded_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace d3l::serving {
+
+namespace {
+
+// Options uniformity across shards: everything that influences signatures,
+// distances or ranking must match. The nested option structs compare via
+// their own (defaulted) operator==, so fields added to them cannot escape
+// this check; num_threads only affects build-time parallelism and is
+// deliberately the one D3LOptions field ignored here.
+bool OptionsEqual(const core::D3LOptions& a, const core::D3LOptions& b) {
+  return a.index == b.index && a.profile == b.profile && a.wem == b.wem &&
+         a.weights == b.weights &&
+         a.candidates_per_attribute == b.candidates_per_attribute &&
+         a.enabled == b.enabled;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardManifest manifest, size_t num_threads)
+    : manifest_(std::move(manifest)),
+      pool_(num_threads > 0 ? num_threads : ThreadPool::DefaultThreads()) {}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& manifest_path, ShardedEngineOptions options) {
+  D3L_ASSIGN_OR_RETURN(ShardManifest manifest, ShardManifest::Load(manifest_path));
+  auto engine = std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(std::move(manifest), options.num_threads));
+  const ShardManifest& m = engine->manifest_;
+  const size_t n_shards = m.shards.size();
+
+  // Load every shard replica, in parallel on the query pool (the banded
+  // indexes are rebuilt from signatures at load time, which is the bulk of
+  // the open cost for big shard sets).
+  engine->shard_lakes_.resize(n_shards);
+  engine->shards_.resize(n_shards);
+  std::vector<Status> load_status(n_shards);
+  engine->pool_.ParallelFor(n_shards, [&](size_t s) {
+    const ShardManifestEntry& entry = m.shards[s];
+    const std::string path = ResolveRelative(manifest_path, entry.file);
+    if (options.verify_checksums) {
+      auto size_crc = FileSizeAndCrc32(path);
+      if (!size_crc.ok()) {
+        load_status[s] = size_crc.status();
+        return;
+      }
+      if (size_crc->first != entry.file_bytes || size_crc->second != entry.file_crc32) {
+        load_status[s] = Status::IOError("shard file " + entry.file +
+                                         " does not match its manifest checksum");
+        return;
+      }
+    }
+    auto lake = std::make_unique<DataLake>();
+    auto loaded = core::D3LEngine::LoadSnapshot(path, lake.get());
+    if (!loaded.ok()) {
+      load_status[s] = loaded.status();
+      return;
+    }
+    engine->shard_lakes_[s] = std::move(lake);
+    engine->shards_[s] = std::move(loaded).ValueOrDie();
+  });
+  for (size_t s = 0; s < n_shards; ++s) {
+    D3L_RETURN_NOT_OK(load_status[s]);
+  }
+
+  // Cross-check shard contents against the manifest and each other.
+  for (size_t s = 0; s < n_shards; ++s) {
+    const ShardManifestEntry& entry = m.shards[s];
+    if (engine->shard_lakes_[s]->size() != entry.num_tables ||
+        engine->shards_[s]->indexes().num_attributes() != entry.num_attributes) {
+      return Status::IOError("shard file " + entry.file +
+                             " disagrees with the manifest table/attribute counts");
+    }
+    // Schema fingerprint catches a valid snapshot sitting in the wrong
+    // entry's slot (same-shaped shards swapped on disk, stale rebuilds)
+    // even when file-level checksum verification is off.
+    if (SchemaFingerprint(*engine->shard_lakes_[s]) != entry.schema_crc32) {
+      return Status::IOError("shard file " + entry.file +
+                             " does not contain the tables the manifest "
+                             "assigns to it");
+    }
+    if (s > 0 &&
+        !OptionsEqual(engine->shards_[s]->options(), engine->shards_[0]->options())) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " was built with different engine options than shard 0; sharded "
+          "serving requires uniform options");
+    }
+  }
+
+  // Global numbering: table names, per-table attribute id bases (attributes
+  // are assigned densely in table order, then column order, exactly as a
+  // single engine's IndexLake would) and the shard-local -> global maps.
+  engine->table_names_.assign(m.total_tables, "");
+  std::vector<size_t> cols_of(m.total_tables, 0);
+  for (size_t s = 0; s < n_shards; ++s) {
+    const DataLake& lake = *engine->shard_lakes_[s];
+    for (size_t lt = 0; lt < lake.size(); ++lt) {
+      const uint32_t g = m.shards[s].global_tables[lt];
+      engine->table_names_[g] = lake.table(lt).name();
+      cols_of[g] = lake.table(lt).num_columns();
+    }
+  }
+  std::vector<uint32_t> base(m.total_tables, 0);
+  uint32_t next_attr = 0;
+  for (size_t g = 0; g < m.total_tables; ++g) {
+    base[g] = next_attr;
+    next_attr += static_cast<uint32_t>(cols_of[g]);
+  }
+  if (next_attr != m.total_attributes) {
+    return Status::IOError(
+        "shard schemas disagree with the manifest attribute total");
+  }
+  engine->attr_table_.resize(next_attr);
+  for (size_t g = 0; g < m.total_tables; ++g) {
+    for (size_t c = 0; c < cols_of[g]; ++c) {
+      engine->attr_table_[base[g] + c] = static_cast<uint32_t>(g);
+    }
+  }
+  engine->attr_global_.resize(n_shards);
+  engine->attr_shard_.resize(next_attr);
+  engine->attr_local_.resize(next_attr);
+  for (size_t s = 0; s < n_shards; ++s) {
+    const DataLake& lake = *engine->shard_lakes_[s];
+    auto& map = engine->attr_global_[s];
+    map.resize(engine->shards_[s]->indexes().num_attributes());
+    for (size_t lt = 0; lt < lake.size(); ++lt) {
+      const uint32_t g = m.shards[s].global_tables[lt];
+      for (size_t c = 0; c < lake.table(lt).num_columns(); ++c) {
+        const uint32_t local = engine->shards_[s]->attribute_id(
+            static_cast<uint32_t>(lt), static_cast<uint32_t>(c));
+        const uint32_t global = base[g] + static_cast<uint32_t>(c);
+        map[local] = global;
+        engine->attr_shard_[global] = static_cast<uint32_t>(s);
+        engine->attr_local_[global] = local;
+      }
+    }
+  }
+  return engine;
+}
+
+Result<core::SearchResult> ShardedEngine::Search(const Table& target,
+                                                 size_t k) const {
+  QueryBatch batch;
+  batch.targets.push_back(&target);
+  batch.k = k;
+  std::vector<Result<core::SearchResult>> results = Execute(batch);
+  return std::move(results[0]);
+}
+
+std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
+    const QueryBatch& batch) const {
+  const size_t n_targets = batch.targets.size();
+  const size_t n_shards = shards_.size();
+  const core::D3LOptions& opts = options();
+  const size_t per_index_m = std::max(opts.candidates_per_attribute, batch.k);
+  const std::array<bool, core::kNumEvidence>& mask = opts.enabled;
+
+  struct TargetState {
+    Status error;
+    size_t dup_of = SIZE_MAX;  ///< earlier slot with the same Table pointer
+    core::QueryTarget qt;
+    core::CandidateStopDepths stops;
+    std::vector<std::vector<core::PairDistances>> shard_rows;
+    core::SearchResult result;
+  };
+  std::vector<TargetState> state(n_targets);
+  std::unordered_map<const Table*, size_t> first_slot;
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (batch.targets[i] == nullptr) {
+      state[i].error = Status::InvalidArgument("batch target is null");
+    } else if (batch.targets[i]->num_columns() == 0) {
+      state[i].error = Status::InvalidArgument("target has no columns");
+    } else {
+      // Profiling reads the table's lazily computed column stats, which are
+      // not synchronized — so a Table that appears in several slots must be
+      // profiled by exactly one task, never concurrently by two.
+      auto [it, inserted] = first_slot.try_emplace(batch.targets[i], i);
+      if (!inserted) state[i].dup_of = it->second;
+    }
+    state[i].shard_rows.resize(n_shards);
+  }
+
+  // Phase 1 — profile every distinct target once (signatures depend only
+  // on the uniform options, so any replica produces the same QueryTarget).
+  pool_.ParallelFor(n_targets, [&](size_t i) {
+    if (!state[i].error.ok() || state[i].dup_of != SIZE_MAX) return;
+    state[i].qt = shards_[0]->ProfileTarget(*batch.targets[i]);
+  });
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (state[i].dup_of != SIZE_MAX && state[i].error.ok()) {
+      state[i].qt = state[state[i].dup_of].qt;
+    }
+  }
+
+  // Phases 2-3 skip duplicate slots entirely: a repeated target reuses the
+  // source slot's stop depths and scored rows, so the N-shard work runs
+  // once per distinct table.
+  const auto is_live = [&state](size_t i) {
+    return state[i].error.ok() && state[i].dup_of == SIZE_MAX;
+  };
+
+  // Phase 2 — scatter: per-(target, shard) candidate depth counts.
+  std::vector<std::vector<core::CandidateDepthCounts>> counts(n_targets);
+  for (auto& per_shard : counts) per_shard.resize(n_shards);
+  pool_.ParallelFor(n_targets * n_shards, [&](size_t idx) {
+    const size_t i = idx / n_shards;
+    const size_t s = idx % n_shards;
+    if (!is_live(i)) return;
+    counts[i][s] = shards_[s]->CollectDepthCounts(state[i].qt, mask);
+  });
+
+  // Coordinator — sum the disjoint-shard counts and resolve the stop
+  // depths every shard will retrieve at (the global synchronous-descent
+  // stop rule, identical to a single engine over the whole lake).
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (!is_live(i)) continue;
+    core::CandidateDepthCounts total = std::move(counts[i][0]);
+    for (size_t s = 1; s < n_shards; ++s) total.Add(counts[i][s]);
+    state[i].stops = core::D3LEngine::ResolveStopDepths(total, per_index_m);
+  }
+
+  // Phase 3 — scatter: per-shard candidate lists at the stop depths, each
+  // remapped onto global ids (a monotone map, so lists stay sorted).
+  std::vector<std::vector<core::CandidateLists>> cand(n_targets);
+  for (auto& per_shard : cand) per_shard.resize(n_shards);
+  pool_.ParallelFor(n_targets * n_shards, [&](size_t idx) {
+    const size_t i = idx / n_shards;
+    const size_t s = idx % n_shards;
+    if (!is_live(i)) return;
+    core::CandidateLists lists =
+        shards_[s]->CollectCandidates(state[i].qt, state[i].stops, per_index_m);
+    for (auto& per_evidence : lists.ids) {
+      for (auto& ids : per_evidence) {
+        for (uint32_t& id : ids) id = attr_global_[s][id];
+      }
+    }
+    cand[i][s] = std::move(lists);
+  });
+
+  // Coordinator — per (column, evidence), merge the sorted per-shard lists
+  // and keep the m globally smallest ids (the same canonical truncation a
+  // single engine applies), then split the per-column unions back into
+  // shard-local candidate vectors for scoring.
+  std::vector<std::vector<std::vector<std::vector<uint32_t>>>> shard_candidates(
+      n_targets);  // [target][shard][column] -> sorted local ids
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (!is_live(i)) continue;
+    const size_t n_cols = state[i].qt.sigs.size();
+    shard_candidates[i].assign(n_shards,
+                               std::vector<std::vector<uint32_t>>(n_cols));
+    for (size_t c = 0; c < n_cols; ++c) {
+      std::vector<uint32_t> selected;  // union over evidences, global ids
+      for (size_t e = 0; e < core::kNumEvidence; ++e) {
+        std::vector<uint32_t> merged;
+        for (size_t s = 0; s < n_shards; ++s) {
+          const std::vector<uint32_t>& ids = cand[i][s].ids[c][e];
+          merged.insert(merged.end(), ids.begin(), ids.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        if (merged.size() > per_index_m) merged.resize(per_index_m);
+        selected.insert(selected.end(), merged.begin(), merged.end());
+      }
+      std::sort(selected.begin(), selected.end());
+      selected.erase(std::unique(selected.begin(), selected.end()),
+                     selected.end());
+      for (uint32_t g : selected) {
+        shard_candidates[i][attr_shard_[g]][c].push_back(attr_local_[g]);
+      }
+    }
+  }
+
+  // Phase 4 — scatter: score each shard's selected candidates and remap
+  // the shard-local attribute ids onto the global registry.
+  pool_.ParallelFor(n_targets * n_shards, [&](size_t idx) {
+    const size_t i = idx / n_shards;
+    const size_t s = idx % n_shards;
+    if (!is_live(i)) return;
+    std::vector<core::PairDistances> rows =
+        shards_[s]->ScoreCandidates(state[i].qt, shard_candidates[i][s], mask);
+    for (core::PairDistances& row : rows) {
+      row.attribute_id = attr_global_[s][row.attribute_id];
+    }
+    state[i].shard_rows[s] = std::move(rows);
+  });
+
+  // Phase 5 — gather: concatenate the shard rows (RankRows canonically
+  // re-sorts them) and rank globally.
+  core::EvidenceWeights weights = opts.weights;
+  for (size_t t = 0; t < core::kNumEvidence; ++t) {
+    if (!mask[t]) weights.w[t] = 0;
+  }
+  pool_.ParallelFor(n_targets, [&](size_t i) {
+    if (!state[i].error.ok()) return;
+    const auto& shard_rows = state[i].dup_of != SIZE_MAX
+                                 ? state[state[i].dup_of].shard_rows
+                                 : state[i].shard_rows;
+    std::vector<core::PairDistances> rows;
+    size_t total_rows = 0;
+    for (const auto& sr : shard_rows) total_rows += sr.size();
+    rows.reserve(total_rows);
+    for (const auto& sr : shard_rows) {
+      rows.insert(rows.end(), sr.begin(), sr.end());
+    }
+    state[i].result = core::D3LEngine::RankRows(
+        std::move(rows), state[i].qt.sigs.size(), num_tables(),
+        [this](uint32_t id) { return attr_table_[id]; }, weights, batch.k);
+    state[i].result.target_profiles = std::move(state[i].qt.profiles);
+    state[i].result.target_sigs = std::move(state[i].qt.sigs);
+  });
+
+  std::vector<Result<core::SearchResult>> out;
+  out.reserve(n_targets);
+  for (size_t i = 0; i < n_targets; ++i) {
+    if (!state[i].error.ok()) {
+      out.emplace_back(std::move(state[i].error));
+    } else {
+      out.emplace_back(std::move(state[i].result));
+    }
+  }
+  return out;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,104 @@
+// Scatter-gather query serving over a sharded lake.
+//
+// A ShardedEngine opens a manifest (see manifest.h), loads every shard's
+// snapshot into its own D3LEngine replica and serves top-k discovery
+// queries by fanning each query phase out across a fixed thread pool:
+//
+//   profile target        (once — signatures are shard-independent)
+//   depth counts          (per shard)        \  summed at the coordinator,
+//   resolve stop depths   (coordinator)       ) exactly reproducing the
+//   collect candidates    (per shard)        /  single-engine stop rule
+//   select first-m ids    (coordinator — the canonical id-order cap)
+//   score candidates      (per shard)
+//   gather + rank         (coordinator)
+//
+// Because shards index disjoint attribute sets, per-shard depth counts add
+// into exactly the whole-lake counts, per-shard candidate lists merge into
+// exactly the whole-lake id-order first-m, and per-candidate rows are pure
+// functions of (query, candidate). After remapping shard-local ids onto the
+// original lake's table/attribute numbering, the merged ranking is
+// byte-identical to a single unsharded engine's — distances, evidence
+// vectors, tie order and all (asserted by tests/serving_test.cc).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "serving/manifest.h"
+#include "serving/thread_pool.h"
+#include "table/lake.h"
+
+namespace d3l::serving {
+
+struct ShardedEngineOptions {
+  /// Worker threads in the query pool (0 = hardware concurrency). The
+  /// calling thread always participates, so 0 workers would still serve.
+  size_t num_threads = 0;
+  /// Verify each shard file's size and CRC32 against the manifest before
+  /// loading (catches torn copies and bit rot at open time).
+  bool verify_checksums = true;
+};
+
+/// \brief A batch of targets served together: M targets fan out into M x N
+/// shard tasks per phase, amortizing pool scheduling and keeping every
+/// worker busy even when single queries are cheap.
+struct QueryBatch {
+  std::vector<const Table*> targets;
+  size_t k = 10;
+};
+
+/// \brief Parallel scatter-gather engine over N shard replicas.
+class ShardedEngine {
+ public:
+  /// Loads every shard named by the manifest (eagerly). Fails with a clean
+  /// Status on a missing shard file, a checksum/size mismatch, shards whose
+  /// contents contradict the manifest, or shards built with diverging
+  /// engine options.
+  static Result<std::unique_ptr<ShardedEngine>> Open(
+      const std::string& manifest_path, ShardedEngineOptions options = {});
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_tables() const { return table_names_.size(); }
+  size_t num_attributes() const { return attr_table_.size(); }
+  const std::string& table_name(uint32_t global_table) const {
+    return table_names_[global_table];
+  }
+  /// The (uniform) options every shard engine was built with.
+  const core::D3LOptions& options() const { return shards_[0]->options(); }
+  const ShardManifest& manifest() const { return manifest_; }
+  const core::D3LEngine& shard(size_t s) const { return *shards_[s]; }
+
+  /// Top-k search over the whole sharded lake. TableMatch::table_index and
+  /// the attribute ids inside pairs/candidate_alignments are GLOBAL (the
+  /// original lake's numbering), so results read exactly like a single
+  /// engine's over the unsharded lake.
+  Result<core::SearchResult> Search(const Table& target, size_t k) const;
+
+  /// Batched execution: results[i] corresponds to batch.targets[i]. A bad
+  /// target (null, or without columns) fails only its own slot.
+  std::vector<Result<core::SearchResult>> Execute(const QueryBatch& batch) const;
+
+ private:
+  ShardedEngine(ShardManifest manifest, size_t num_threads);
+
+  ShardManifest manifest_;
+  /// Schema-only metadata backing each loaded engine (must outlive it).
+  std::vector<std::unique_ptr<DataLake>> shard_lakes_;
+  std::vector<std::unique_ptr<core::D3LEngine>> shards_;
+
+  std::vector<std::string> table_names_;          ///< [global table] -> name
+  std::vector<uint32_t> attr_table_;              ///< [global attr] -> global table
+  /// [shard][local attr] -> global attr. Strictly increasing in the local
+  /// id (shards keep their tables in ascending global order), which is what
+  /// lets per-shard candidate lists merge into the global id-order first-m.
+  std::vector<std::vector<uint32_t>> attr_global_;
+  std::vector<uint32_t> attr_shard_;              ///< [global attr] -> owning shard
+  std::vector<uint32_t> attr_local_;              ///< [global attr] -> local attr id
+
+  mutable ThreadPool pool_;
+};
+
+}  // namespace d3l::serving

@@ -1,0 +1,77 @@
+#include "serving/thread_pool.h"
+
+#include <algorithm>
+
+namespace d3l::serving {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Drain() {
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (fn_ == nullptr || next_ >= n_) return;
+      i = next_++;
+    }
+    (*fn_)(i);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (++completed_ == n_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      wake_cv_.wait(lk, [&] {
+        return stop_ || (fn_ != nullptr && epoch_ != seen_epoch && next_ < n_);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    Drain();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // One batch owns the pool at a time; a second caller queues here.
+  std::lock_guard<std::mutex> batch(batch_mutex_);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    fn_ = &fn;
+    n_ = n;
+    next_ = 0;
+    completed_ = 0;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  Drain();  // the caller works too — correct even with zero workers
+  std::unique_lock<std::mutex> lk(m_);
+  done_cv_.wait(lk, [&] { return completed_ == n_; });
+  fn_ = nullptr;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,66 @@
+// A fixed pool of worker threads with a blocking ParallelFor — the
+// execution substrate of the scatter-gather query engine.
+//
+// The pool is batch-oriented rather than queue-oriented: ParallelFor(n, fn)
+// runs fn(0..n-1) across the workers AND the calling thread, then returns
+// when every iteration has finished. Caller participation means a pool with
+// zero workers degenerates to a plain serial loop (handy in tests and on
+// single-core boxes) and that no batch can deadlock waiting for itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace d3l::serving {
+
+/// \brief Fixed worker pool running one blocking batch at a time.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is valid: ParallelFor runs serially on
+  /// the caller).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), distributing iterations dynamically
+  /// over the workers and the calling thread; blocks until all complete.
+  /// Concurrent ParallelFor calls from different threads serialize (one
+  /// batch owns the pool at a time). `fn` must not itself call ParallelFor
+  /// on the same pool, and must not throw: like the rest of this codebase
+  /// (Status, not exceptions), the pool treats a throwing task as a fatal
+  /// programming error — an unwind would leave the batch armed while `fn`
+  /// dangles. Worker-thread throws hit std::terminate regardless.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+  // Claims and runs iterations of the current batch until none remain.
+  void Drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex batch_mutex_;  ///< serializes whole batches
+
+  std::mutex m_;  ///< guards the per-batch state below
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  size_t next_ = 0;
+  size_t completed_ = 0;
+  uint64_t epoch_ = 0;  ///< bumped per batch so workers never rejoin a done one
+  bool stop_ = false;
+};
+
+}  // namespace d3l::serving

@@ -120,5 +120,22 @@ TEST_P(BandedThresholdTest, CollisionRateTracksSimilarity) {
 INSTANTIATE_TEST_SUITE_P(SharedLevels, BandedThresholdTest,
                          ::testing::Values(25, 40, 56, 60));
 
+TEST(BandedLshDeathTest, ShortSignatureAbortsLoudly) {
+  // An ensemble whose options disagree with its hasher must die with a
+  // diagnostic instead of reading past the signature (mirrors
+  // LshForest::CheckSignatureSize; previously only a debug assert).
+  BandedLshOptions options;
+  options.signature_size = 64;
+  BandedLsh index(options);
+  MinHasher hasher(64, 11);
+  Signature good = hasher.Sign(OverlappingSet(30, 60, 0));
+  index.Insert(0, good);
+
+  MinHasher short_hasher(16, 11);
+  Signature short_sig = short_hasher.Sign(OverlappingSet(30, 60, 1));
+  EXPECT_DEATH(index.Insert(1, short_sig), "BandedLsh: signature has");
+  EXPECT_DEATH((void)index.Query(short_sig), "BandedLsh: signature has");
+}
+
 }  // namespace
 }  // namespace d3l

@@ -212,5 +212,59 @@ TEST_P(ForestRecallTest, HigherOverlapFoundMoreReliably) {
 INSTANTIATE_TEST_SUITE_P(OverlapLevels, ForestRecallTest,
                          ::testing::Values(42, 48, 54, 60));
 
+TEST(ForestDepthCountsTest, CountsMatchQueryAtDepthAndDecomposeAcrossForests) {
+  MinHasher hasher(64, 13);
+  LshForestOptions options;
+  options.num_trees = 4;
+  options.hashes_per_tree = 6;
+  LshForest whole(options);
+  LshForest left(options);
+  LshForest right(options);
+  for (uint32_t i = 0; i < 60; ++i) {
+    Signature sig = hasher.Sign(SetWithSharedPrefix(static_cast<int>(i % 40), 50,
+                                                    static_cast<int>(i / 7)));
+    whole.Insert(i, sig);
+    (i % 2 == 0 ? left : right).Insert(i, sig);
+  }
+  whole.Index();
+  left.Index();
+  right.Index();
+
+  Signature query = hasher.Sign(SetWithSharedPrefix(35, 50, 2));
+  std::vector<size_t> counts = whole.DepthCounts(query);
+  ASSERT_EQ(counts.size(), options.hashes_per_tree);
+  for (size_t d = 1; d <= counts.size(); ++d) {
+    // counts[d-1] is exactly the distinct-match count QueryAtDepth sees.
+    EXPECT_EQ(counts[d - 1], whole.QueryAtDepth(query, d).size()) << "d=" << d;
+    if (d > 1) {
+      EXPECT_LE(counts[d - 1], counts[d - 2]);  // monotone
+    }
+  }
+
+  // Disjoint forests: counts add element-wise into the union's counts —
+  // the property sharded serving relies on.
+  std::vector<size_t> lc = left.DepthCounts(query);
+  std::vector<size_t> rc = right.DepthCounts(query);
+  for (size_t d = 0; d < counts.size(); ++d) {
+    EXPECT_EQ(lc[d] + rc[d], counts[d]) << "d=" << d;
+  }
+
+  // StopDepth reproduces Query's descent rule: everything Query(m) returns
+  // matches at >= StopDepth.
+  for (size_t m : {size_t{1}, size_t{5}, size_t{20}, size_t{1000}}) {
+    size_t stop = LshForest::StopDepth(counts, m);
+    ASSERT_GE(stop, 1u);
+    std::vector<LshForest::ItemId> at_stop = whole.QueryAtDepth(query, stop);
+    std::vector<LshForest::ItemId> queried = whole.Query(query, m);
+    std::set<LshForest::ItemId> at_stop_set(at_stop.begin(), at_stop.end());
+    for (LshForest::ItemId id : queried) {
+      EXPECT_TRUE(at_stop_set.count(id)) << "m=" << m << " id=" << id;
+    }
+    if (stop > 1) {
+      EXPECT_GE(at_stop.size(), m);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace d3l
