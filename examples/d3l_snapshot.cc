@@ -6,9 +6,13 @@
 //       writes the built engine (profiles, signatures, LSH structures,
 //       schema metadata) to <out.d3l>.
 //
-//   $ ./build/d3l_snapshot query <snapshot.d3l> <target.csv> [k]
-//       Loads the snapshot — no re-profiling of the lake — and prints the
-//       top-k datasets related to the target table (default k = 5).
+//   $ ./build/d3l_snapshot query <snapshot.d3l> <target.csv> [k] [--repeat=N] [--cache=C]
+//       Loads the snapshot — no re-profiling of the lake — and serves the
+//       top-k query through the DiscoveryService front-end (default k = 5).
+//       --repeat=N serves the query N times (serve-style repeated-query
+//       mode): with the result cache on (capacity C, default 256; 0
+//       disables) every repeat after the first is a cache hit, and the
+//       per-query stats printed at the end show the hit/miss latencies.
 //
 //   $ ./build/d3l_snapshot shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]
 //       Partitions the lake into N shards (default 2; size-balanced by
@@ -17,9 +21,12 @@
 //       <out_base>.manifest.
 //
 //   $ ./build/d3l_snapshot query --shards <base.manifest> <target.csv> [k] [--threads=T]
+//                                [--repeat=N] [--cache=C]
 //       Opens every shard replica and serves the query scatter-gather
 //       across a T-thread pool; the ranking is byte-identical to an
-//       unsharded engine over the same lake.
+//       unsharded engine over the same lake. --repeat/--cache work as in
+//       the monolithic form — both paths serve through the same
+//       serving::SearchBackend + DiscoveryService API.
 //
 //   $ ./build/d3l_snapshot info <file>
 //       Prints container metadata (format version, section table with
@@ -41,7 +48,9 @@
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 #include "io/binary_io.h"
+#include "serving/discovery_service.h"
 #include "serving/manifest.h"
+#include "serving/search_backend.h"
 #include "serving/shard_builder.h"
 #include "serving/sharded_engine.h"
 #include "table/csv.h"
@@ -56,9 +65,10 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s build <csv_dir> <out.d3l>\n"
-      "  %s query <snapshot.d3l> <target.csv> [k]\n"
+      "  %s query <snapshot.d3l> <target.csv> [k] [--repeat=N] [--cache=C]\n"
       "  %s shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]\n"
       "  %s query --shards <base.manifest> <target.csv> [k] [--threads=T]\n"
+      "       [--repeat=N] [--cache=C]\n"
       "  %s info <snapshot.d3l | base.manifest>\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
@@ -105,27 +115,76 @@ void PrintRanking(const core::SearchResult& res,
   out.Print();
 }
 
-int RunQuery(const std::string& snapshot_path, const std::string& target_csv, size_t k) {
-  DataLake lake_metadata;
+/// Serves `repeat` identical queries through the unified async front-end
+/// (the same code path for monolithic and sharded backends) and prints the
+/// ranking once plus, for repeated serving, the cache hit/miss stats.
+int ServeQueries(const serving::SearchBackend& backend, const Table& target, size_t k,
+                 size_t repeat, size_t cache_capacity) {
+  serving::DiscoveryServiceOptions service_options;
+  service_options.cache_capacity = cache_capacity;
+  // The repeats are strictly sequential, so run them inline on this thread
+  // (no idle worker pool, no queue-time noise in the printed latencies).
+  service_options.inline_execution = true;
+  serving::DiscoveryService service(&backend, service_options);
+
+  double miss_seconds = 0, hit_seconds = 0;
+  size_t misses = 0, hits = 0;
+  bool printed = false;
+  for (size_t r = 0; r < repeat; ++r) {
+    serving::QueryResponse response =
+        service.Query({&target, k, std::nullopt, /*bypass_cache=*/false});
+    if (!response.result.ok()) return Fail(response.result.status());
+    if (response.stats.cache_hit) {
+      ++hits;
+      hit_seconds += response.stats.total_seconds;
+    } else {
+      ++misses;
+      miss_seconds += response.stats.total_seconds;
+    }
+    if (!printed) {
+      PrintRanking(*response.result,
+                   [&](uint32_t t) { return backend.table_name(t); });
+      printed = true;
+    }
+  }
+  if (repeat > 1) {
+    serving::ServiceStats stats = service.Stats();
+    std::printf("\nserved %zu repeats: %zu cache hits / %zu misses "
+                "(capacity %zu)\n",
+                repeat, stats.cache_hits, stats.cache_misses,
+                stats.cache.capacity);
+    if (misses > 0) {
+      std::printf("mean miss latency: %.3f ms\n",
+                  miss_seconds * 1000 / static_cast<double>(misses));
+    }
+    if (hits > 0) {
+      std::printf("mean hit latency:  %.3f ms\n",
+                  hit_seconds * 1000 / static_cast<double>(hits));
+    }
+  }
+  return 0;
+}
+
+int RunQuery(const std::string& snapshot_path, const std::string& target_csv, size_t k,
+             size_t repeat, size_t cache_capacity) {
   eval::Timer timer;
-  auto loaded = core::D3LEngine::LoadSnapshot(snapshot_path, &lake_metadata);
-  if (!loaded.ok()) return Fail(loaded.status());
-  std::unique_ptr<core::D3LEngine> engine = std::move(loaded).ValueOrDie();
+  auto backend = serving::EngineBackend::FromSnapshot(snapshot_path);
+  if (!backend.ok()) return Fail(backend.status());
+  serving::BackendInfo info = (*backend)->Info();
   std::printf("snapshot loaded in %.3fs: %zu tables, %zu attributes "
               "(original profiling cost: %.3fs)\n",
-              timer.Seconds(), lake_metadata.size(),
-              engine->indexes().num_attributes(),
-              engine->build_stats().profile_seconds);
+              timer.Seconds(), info.num_tables, info.num_attributes,
+              (*backend)->engine().build_stats().profile_seconds);
+  std::printf("options fingerprint %016llx, index fingerprint %016llx\n",
+              static_cast<unsigned long long>(info.options_fingerprint),
+              static_cast<unsigned long long>(info.index_fingerprint));
 
   auto target = ReadCsvFile(target_csv);
   if (!target.ok()) return Fail(target.status());
   std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
               target->num_columns());
 
-  auto res = engine->Search(*target, k);
-  if (!res.ok()) return Fail(res.status());
-  PrintRanking(*res, [&](uint32_t t) { return lake_metadata.table(t).name(); });
-  return 0;
+  return ServeQueries(**backend, *target, k, repeat, cache_capacity);
 }
 
 int RunShard(const std::string& csv_dir, const std::string& out_base,
@@ -153,28 +212,29 @@ int RunShard(const std::string& csv_dir, const std::string& out_base,
 }
 
 int RunShardedQuery(const std::string& manifest_path, const std::string& target_csv,
-                    size_t k, size_t threads) {
+                    size_t k, size_t threads, size_t repeat, size_t cache_capacity) {
   serving::ShardedEngineOptions options;
   options.num_threads = threads;
   eval::Timer timer;
   auto opened = serving::ShardedEngine::Open(manifest_path, options);
   if (!opened.ok()) return Fail(opened.status());
   std::unique_ptr<serving::ShardedEngine> engine = std::move(opened).ValueOrDie();
+  serving::BackendInfo info = engine->Info();
   std::printf("opened %zu shards in %.3fs: %zu tables, %zu attributes, "
               "%zu pool threads\n",
-              engine->num_shards(), timer.Seconds(), engine->num_tables(),
-              engine->num_attributes(),
+              info.num_shards, timer.Seconds(), info.num_tables,
+              info.num_attributes,
               threads > 0 ? threads : serving::ThreadPool::DefaultThreads());
+  std::printf("options fingerprint %016llx, index fingerprint %016llx\n",
+              static_cast<unsigned long long>(info.options_fingerprint),
+              static_cast<unsigned long long>(info.index_fingerprint));
 
   auto target = ReadCsvFile(target_csv);
   if (!target.ok()) return Fail(target.status());
   std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
               target->num_columns());
 
-  auto res = engine->Search(*target, k);
-  if (!res.ok()) return Fail(res.status());
-  PrintRanking(*res, [&](uint32_t t) { return engine->table_name(t); });
-  return 0;
+  return ServeQueries(*engine, *target, k, repeat, cache_capacity);
 }
 
 int RunInfo(const std::string& path) {
@@ -215,6 +275,13 @@ int RunInfo(const std::string& path) {
                 info->options.index.forest.hashes_per_tree,
                 info->options.index.lsh_threshold,
                 info->options.candidates_per_attribute);
+    // The canonical options fingerprint: snapshots agree exactly when a
+    // result cache may serve one's entries for the other's queries (the
+    // full cache key also folds the index fingerprint — see
+    // serving/discovery_service.h).
+    std::printf("options fingerprint: %016llx\n",
+                static_cast<unsigned long long>(
+                    core::OptionsFingerprint(info->options)));
   } else if (magic == std::string(serving::ShardManifest::kMagic, 8)) {
     auto manifest = serving::ShardManifest::Load(path);
     if (!manifest.ok()) return Fail(manifest.status());
@@ -229,17 +296,33 @@ int RunInfo(const std::string& path) {
                      std::to_string(e.num_attributes), std::to_string(e.file_bytes)});
     }
     shards.Print();
+    // Shard sets are options-uniform (enforced at Open), so shard 0's
+    // options fingerprint is the deployment's cache-compatibility identity.
+    if (!manifest->shards.empty()) {
+      const std::string shard0 =
+          serving::ResolveRelative(path, manifest->shards[0].file);
+      auto info = core::D3LEngine::ReadSnapshotInfo(shard0);
+      if (info.ok()) {
+        std::printf("options fingerprint: %016llx (from %s)\n",
+                    static_cast<unsigned long long>(
+                        core::OptionsFingerprint(info->options)),
+                    manifest->shards[0].file.c_str());
+      }
+    }
   }
   return 0;
 }
 
-/// Parses trailing [k] / --threads=T / --shards=N / --balance= flags.
-/// Flags outside a subcommand's whitelist are rejected, not ignored — a
-/// silently dropped --threads would look like configured parallelism.
+/// Parses trailing [k] / --threads=T / --repeat=N / --cache=C / --shards=N
+/// / --balance= flags. Flags outside a subcommand's whitelist are rejected,
+/// not ignored — a silently dropped --threads would look like configured
+/// parallelism.
 struct ParsedFlags {
   size_t k = 5;
   size_t threads = 0;
   size_t shards = 2;
+  size_t repeat = 1;
+  size_t cache = 256;
   serving::ShardingOptions::Balance balance =
       serving::ShardingOptions::Balance::kSizeBalanced;
   std::vector<std::string> positional;
@@ -247,7 +330,7 @@ struct ParsedFlags {
 };
 
 ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
-                       bool allow_shard_flags) {
+                       bool allow_shard_flags, bool allow_serve_flags = false) {
   ParsedFlags f;
   const auto reject = [&f](const char* flag, const char* why) {
     std::fprintf(stderr, "%s flag '%s'\n", why, flag);
@@ -261,6 +344,16 @@ ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
       long v = std::atol(a + 10);
       if (v < 0) return reject(a, "non-negative value required for");
       f.threads = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--repeat=", 9) == 0) {
+      if (!allow_serve_flags) return reject(a, "subcommand does not take");
+      long v = std::atol(a + 9);
+      if (v <= 0) return reject(a, "positive value required for");
+      f.repeat = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      if (!allow_serve_flags) return reject(a, "subcommand does not take");
+      long v = std::atol(a + 8);
+      if (v < 0) return reject(a, "non-negative value required for");
+      f.cache = static_cast<size_t>(v);
     } else if (std::strncmp(a, "--shards=", 9) == 0) {
       if (!allow_shard_flags) return reject(a, "subcommand does not take");
       long v = std::atol(a + 9);
@@ -298,7 +391,8 @@ int main(int argc, char** argv) {
     const bool sharded = (argc >= 3 && std::strcmp(argv[2], "--shards") == 0);
     ParsedFlags f = ParseFlags(argc, argv, sharded ? 3 : 2,
                                /*allow_threads=*/sharded,
-                               /*allow_shard_flags=*/false);
+                               /*allow_shard_flags=*/false,
+                               /*allow_serve_flags=*/true);
     if (!f.ok || f.positional.size() < 2 || f.positional.size() > 3) {
       return Usage(argv[0]);
     }
@@ -309,9 +403,10 @@ int main(int argc, char** argv) {
       k = static_cast<size_t>(parsed);
     }
     if (sharded) {
-      return RunShardedQuery(f.positional[0], f.positional[1], k, f.threads);
+      return RunShardedQuery(f.positional[0], f.positional[1], k, f.threads, f.repeat,
+                             f.cache);
     }
-    return RunQuery(f.positional[0], f.positional[1], k);
+    return RunQuery(f.positional[0], f.positional[1], k, f.repeat, f.cache);
   }
 
   if (std::strcmp(argv[1], "shard") == 0) {

@@ -122,20 +122,21 @@ std::vector<uint32_t> D3LIndexes::Lookup(Evidence e, const AttributeSignatures& 
   return {};
 }
 
-std::vector<size_t> D3LIndexes::LookupDepthCounts(
-    Evidence e, const AttributeSignatures& query) const {
+std::vector<size_t> D3LIndexes::LookupDepthCounts(Evidence e,
+                                                  const AttributeSignatures& query,
+                                                  size_t budget) const {
   switch (e) {
     case Evidence::kName:
-      return name_forest_.DepthCounts(query.name_sig);
+      return name_forest_.DepthCounts(query.name_sig, budget);
     case Evidence::kValue:
       if (!query.has_value) return {};
-      return value_forest_.DepthCounts(query.value_sig);
+      return value_forest_.DepthCounts(query.value_sig, budget);
     case Evidence::kFormat:
-      return format_forest_.DepthCounts(query.format_sig);
+      return format_forest_.DepthCounts(query.format_sig, budget);
     case Evidence::kEmbedding: {
       if (!query.has_embedding) return {};
       Signature seq = rp_hasher_.SignatureAsHashSequence(query.emb_sig);
-      return emb_forest_.DepthCounts(seq);
+      return emb_forest_.DepthCounts(seq, budget);
     }
     case Evidence::kDistribution:
       return {};

@@ -86,9 +86,11 @@ class D3LIndexes {
   /// index (LshForest::DepthCounts). Returns an empty vector when the query
   /// lacks the evidence. Counts of engines over disjoint attribute sets
   /// (src/serving shards) add element-wise, which is what makes the Search
-  /// stop depths exactly reproducible under sharding.
-  std::vector<size_t> LookupDepthCounts(Evidence e,
-                                        const AttributeSignatures& query) const;
+  /// stop depths exactly reproducible under sharding. A non-zero `budget`
+  /// enables the forest's early-terminated scan (exact at and below the
+  /// stop depth; see LshForest::DepthCounts).
+  std::vector<size_t> LookupDepthCounts(Evidence e, const AttributeSignatures& query,
+                                        size_t budget = 0) const;
 
   /// All candidates of one evidence index matching the query at a prefix
   /// depth of at least `min_depth` (LshForest::QueryAtDepth). Returns empty

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
+#include "common/hash.h"
 #include "io/binary_io.h"
 
 namespace d3l::core {
@@ -68,6 +71,45 @@ D3LOptions LoadOptions(io::Reader& r) {
   return o;
 }
 }  // namespace
+
+uint64_t OptionsFingerprint(const D3LOptions& options, uint64_t seed) {
+  D3LOptions canonical = options;
+  canonical.num_threads = 0;  // build parallelism never changes results
+  std::string bytes;
+  io::Writer w;
+  w.OpenBuffer(&bytes);
+  w.BeginSection(kSectionOptions);
+  SaveOptions(w, canonical);
+  w.EndSection().CheckOK();
+  w.Finish().CheckOK();
+  return HashBytes(bytes.data(), bytes.size(), seed);
+}
+
+std::string CanonicalTargetBytes(const QueryTarget& target) {
+  // Same invariant SearchTarget/ShardedEngine::Search reject with a Status;
+  // a serializer returning bytes fails loudly instead (all build types —
+  // a malformed target must never produce a plausible cache key).
+  if (target.sigs.size() != target.profiles.size()) {
+    std::fprintf(stderr,
+                 "CanonicalTargetBytes: target has %zu profiles but %zu "
+                 "signature sets\n",
+                 target.profiles.size(), target.sigs.size());
+    std::abort();
+  }
+  std::string bytes;
+  io::Writer w;
+  w.OpenBuffer(&bytes);
+  w.BeginSection(io::SectionId("QTGT"));
+  w.WriteU64(target.profiles.size());
+  for (size_t c = 0; c < target.profiles.size(); ++c) {
+    target.profiles[c].Save(w);
+    target.sigs[c].Save(w);
+  }
+  w.WriteI32(target.subject_col);
+  w.EndSection().CheckOK();
+  w.Finish().CheckOK();
+  return bytes;
+}
 
 D3LEngine::D3LEngine(D3LOptions options)
     : options_([&options] {
@@ -324,8 +366,8 @@ QueryTarget D3LEngine::ProfileTarget(const Table& target) const {
 }
 
 CandidateDepthCounts D3LEngine::CollectDepthCounts(
-    const QueryTarget& target,
-    const std::array<bool, kNumEvidence>& enabled_mask) const {
+    const QueryTarget& target, const std::array<bool, kNumEvidence>& enabled_mask,
+    size_t budget) const {
   CandidateDepthCounts out;
   out.counts.resize(target.sigs.size());
   for (size_t c = 0; c < target.sigs.size(); ++c) {
@@ -334,7 +376,7 @@ CandidateDepthCounts D3LEngine::CollectDepthCounts(
     for (size_t e = 0; e < kNumEvidence; ++e) {
       if (!consulted[e]) continue;
       out.counts[c][e] =
-          indexes_.LookupDepthCounts(static_cast<Evidence>(e), target.sigs[c]);
+          indexes_.LookupDepthCounts(static_cast<Evidence>(e), target.sigs[c], budget);
     }
   }
   return out;
@@ -497,14 +539,23 @@ Result<SearchResult> D3LEngine::Search(
   if (target.num_columns() == 0) {
     return Status::InvalidArgument("target has no columns");
   }
+  return SearchTarget(ProfileTarget(target), k, enabled_mask);
+}
+
+Result<SearchResult> D3LEngine::SearchTarget(
+    QueryTarget target, size_t k,
+    const std::array<bool, kNumEvidence>& enabled_mask) const {
+  if (lake_ == nullptr) return Status::InvalidArgument("IndexLake not called");
+  if (target.sigs.empty() || target.sigs.size() != target.profiles.size()) {
+    return Status::InvalidArgument("target is not a profiled table");
+  }
   const size_t per_index_m = std::max(options_.candidates_per_attribute, k);
 
-  QueryTarget qt = ProfileTarget(target);
-  CandidateDepthCounts counts = CollectDepthCounts(qt, enabled_mask);
+  CandidateDepthCounts counts = CollectDepthCounts(target, enabled_mask, per_index_m);
   CandidateStopDepths stops = ResolveStopDepths(counts, per_index_m);
-  CandidateLists lists = CollectCandidates(qt, stops, per_index_m);
+  CandidateLists lists = CollectCandidates(target, stops, per_index_m);
   std::vector<PairDistances> rows =
-      ScoreCandidates(qt, UnionCandidates(lists), enabled_mask);
+      ScoreCandidates(target, UnionCandidates(lists), enabled_mask);
 
   // Evidence weights restricted to the enabled mask.
   EvidenceWeights weights = options_.weights;
@@ -513,10 +564,10 @@ Result<SearchResult> D3LEngine::Search(
   }
 
   SearchResult result = RankRows(
-      std::move(rows), target.num_columns(), lake_->size(),
+      std::move(rows), target.sigs.size(), lake_->size(),
       [this](uint32_t id) { return indexes_.profile(id).ref.table; }, weights, k);
-  result.target_profiles = std::move(qt.profiles);
-  result.target_sigs = std::move(qt.sigs);
+  result.target_profiles = std::move(target.profiles);
+  result.target_sigs = std::move(target.sigs);
   return result;
 }
 

@@ -20,9 +20,10 @@
 
 namespace d3l::core {
 
-// When adding a field here that influences signatures, distances or
-// ranking, mirror it in serving's OptionsEqual (sharded_engine.cc) unless
-// it lives in one of the nested structs, whose operator== covers it.
+// When adding a field here, also write it in SaveOptions/LoadOptions
+// (query.cc): that serialization is both the snapshot format and the byte
+// stream behind OptionsFingerprint, which serving uses for shard-uniformity
+// checks and result-cache keys — an unserialized field cannot reach either.
 struct D3LOptions {
   IndexOptions index;
   ProfileOptions profile;
@@ -85,6 +86,27 @@ struct QueryTarget {
   int subject_col = -1;
 };
 
+/// \brief Canonical 64-bit fingerprint of everything in `options` that
+/// influences signatures, distances or ranking.
+///
+/// Computed by hashing the options' snapshot serialization (SaveOptions)
+/// with `num_threads` — pure build-time parallelism — zeroed out, so two
+/// engines agree on the fingerprint exactly when they produce identical
+/// rankings for identical indexed data. Serving compares fingerprints to
+/// enforce shard uniformity and mixes them into result-cache keys; pass
+/// different `seed`s to derive independent hashes of the same bytes.
+uint64_t OptionsFingerprint(const D3LOptions& options, uint64_t seed = 0);
+
+/// \brief Canonical byte string of a profiled query target: the serialized
+/// per-column profiles and signatures plus the subject column.
+///
+/// Two targets serialize identically iff they are indistinguishable to
+/// every later query phase — the property that lets a result cache treat
+/// "same bytes" as "same answer". Callers needing several independent
+/// hashes of one target (the serving cache's 128-bit keys) serialize once
+/// and hash the returned string per seed.
+std::string CanonicalTargetBytes(const QueryTarget& target);
+
 /// \brief Distinct-candidate counts per LSH-Forest prefix depth for every
 /// (target column, evidence index) pair — the scatter half of candidate
 /// retrieval.
@@ -145,6 +167,15 @@ class D3LEngine {
   Result<SearchResult> Search(const Table& target, size_t k,
                               const std::array<bool, kNumEvidence>& enabled_mask) const;
 
+  /// Search from an already-profiled target (ProfileTarget output): the
+  /// whole retrieval/scoring/ranking pipeline minus the profiling phase.
+  /// This is the entry the serving layer's SearchBackend interface maps
+  /// onto — a front-end profiles once (possibly caching on the profile
+  /// fingerprint) and then queries any backend built with the same options.
+  /// The target's profiles/signatures are moved into the returned result.
+  Result<SearchResult> SearchTarget(QueryTarget target, size_t k,
+                                    const std::array<bool, kNumEvidence>& enabled_mask) const;
+
   // -- Scatter-gather decomposition of Search --
   //
   // Search(target, k) is exactly ProfileTarget -> CollectDepthCounts ->
@@ -166,8 +197,13 @@ class D3LEngine {
   /// (column, consulted index) pair. The consulted indexes are the enabled
   /// evidences plus the Algorithm-2 numeric fallback (a numeric column with
   /// distribution evidence enabled draws candidates through IN and IF).
+  /// A non-zero `budget` (the per-index m) lets each forest stop scanning
+  /// once it alone has seen that many distinct candidates; counts at depths
+  /// at or below the final stop depth stay exact, so stop depths — and the
+  /// retrieved candidates — are unchanged (LshForest::DepthCounts).
   CandidateDepthCounts CollectDepthCounts(
-      const QueryTarget& target, const std::array<bool, kNumEvidence>& enabled_mask) const;
+      const QueryTarget& target, const std::array<bool, kNumEvidence>& enabled_mask,
+      size_t budget = 0) const;
 
   /// The stop rule applied to (possibly shard-summed) depth counts:
   /// the deepest depth with at least m distinct candidates, else 1

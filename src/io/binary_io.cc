@@ -1,7 +1,9 @@
 #include "io/binary_io.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 namespace d3l::io {
 
@@ -117,6 +119,69 @@ Result<FileInfo> InspectFile(const std::string& path) {
   return info;
 }
 
+Result<std::pair<uint64_t, uint32_t>> FileIdentity(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  // File size up front: payload lengths are untrusted, so every skip below
+  // is validated against the bytes actually remaining (a corrupt length
+  // must yield a clean Status, never a backwards or past-end seek).
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError(path + ": cannot seek");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) return Status::IOError(path + ": cannot seek");
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  std::rewind(f);
+
+  Crc32Accumulator digest;
+  unsigned char header[12];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    return Status::IOError(path + ": too short for a container header");
+  }
+  digest.Update(header, sizeof(header));
+  uint64_t pos = 12;
+
+  for (;;) {
+    size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean end of file
+    if (got != sizeof(header)) {
+      return Status::IOError(path + ": truncated section header");
+    }
+    digest.Update(header, sizeof(header));
+    pos += sizeof(header);
+    uint64_t payload = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      payload |= static_cast<uint64_t>(header[4 + i]) << (8 * i);
+    }
+    if (payload > file_size - pos || file_size - pos - payload < 4) {
+      return Status::IOError(path + ": section payload cut short");
+    }
+    // Skip the payload in bounded forward steps (portable even where long
+    // is 32-bit, and immune to a sign flip from a huge decoded length).
+    for (uint64_t remaining = payload; remaining > 0;) {
+      const long step =
+          static_cast<long>(std::min<uint64_t>(remaining, 1u << 30));
+      if (std::fseek(f, step, SEEK_CUR) != 0) {
+        return Status::IOError(path + ": section payload cut short");
+      }
+      remaining -= static_cast<uint64_t>(step);
+    }
+    pos += payload;
+    unsigned char crc[4];
+    if (std::fread(crc, 1, 4, f) != 4) {
+      return Status::IOError(path + ": missing section checksum");
+    }
+    digest.Update(crc, 4);
+    pos += 4;
+  }
+  return std::make_pair(pos, digest.Finish());
+}
+
 std::string SectionName(uint32_t id) {
   std::string name;
   for (int shift = 0; shift < 32; shift += 8) {
@@ -133,7 +198,9 @@ Writer::~Writer() {
 }
 
 Status Writer::Open(const std::string& path, const char (&magic)[9], uint32_t version) {
-  if (file_ != nullptr) return Status::InvalidArgument("Writer already open");
+  if (file_ != nullptr || buffer_ != nullptr) {
+    return Status::InvalidArgument("Writer already open");
+  }
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     return Status::IOError("cannot create " + path);
@@ -142,6 +209,16 @@ Status Writer::Open(const std::string& path, const char (&magic)[9], uint32_t ve
   std::string header;
   AppendLittleEndian(&header, version, 4);
   return WriteAll(file_, header.data(), header.size(), "version");
+}
+
+void Writer::OpenBuffer(std::string* out) {
+  // Precondition, not a recoverable state: a double open is a programming
+  // error, latched so it surfaces at Finish() like other Writer misuse.
+  if ((file_ != nullptr || buffer_ != nullptr) && status_.ok()) {
+    status_ = Status::Internal("Writer already open");
+    return;
+  }
+  buffer_ = out;
 }
 
 void Writer::BeginSection(uint32_t id) {
@@ -158,15 +235,22 @@ void Writer::BeginSection(uint32_t id) {
 Status Writer::EndSection() {
   if (!status_.ok()) return status_;
   if (!in_section_) return Status::Internal("EndSection without BeginSection");
-  if (file_ == nullptr) return Status::Internal("Writer not open");
+  if (file_ == nullptr && buffer_ == nullptr) return Status::Internal("Writer not open");
   std::string header;
   AppendLittleEndian(&header, section_id_, 4);
   AppendLittleEndian(&header, section_.size(), 8);
-  D3L_RETURN_NOT_OK(WriteAll(file_, header.data(), header.size(), "section header"));
-  D3L_RETURN_NOT_OK(WriteAll(file_, section_.data(), section_.size(), "section payload"));
   std::string crc;
   AppendLittleEndian(&crc, Crc32(section_.data(), section_.size()), 4);
-  D3L_RETURN_NOT_OK(WriteAll(file_, crc.data(), crc.size(), "section checksum"));
+  if (buffer_ != nullptr) {
+    buffer_->append(header);
+    buffer_->append(section_);
+    buffer_->append(crc);
+  } else {
+    D3L_RETURN_NOT_OK(WriteAll(file_, header.data(), header.size(), "section header"));
+    D3L_RETURN_NOT_OK(
+        WriteAll(file_, section_.data(), section_.size(), "section payload"));
+    D3L_RETURN_NOT_OK(WriteAll(file_, crc.data(), crc.size(), "section checksum"));
+  }
   in_section_ = false;
   section_.clear();
   return Status::OK();
@@ -175,6 +259,10 @@ Status Writer::EndSection() {
 Status Writer::Finish() {
   if (in_section_) D3L_RETURN_NOT_OK(EndSection());
   D3L_RETURN_NOT_OK(status_);
+  if (buffer_ != nullptr) {
+    buffer_ = nullptr;
+    return Status::OK();
+  }
   if (file_ == nullptr) return Status::Internal("Writer not open");
   int rc = std::fclose(file_);
   file_ = nullptr;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +65,14 @@ struct FileInfo {
 /// files too short for a header or with truncated sections.
 Result<FileInfo> InspectFile(const std::string& path);
 
+/// \brief Cheap content identity of a container file: (file size, CRC32
+/// over the header and every section's id/size/STORED checksum), gathered
+/// by seeking over the payloads — O(sections) reads regardless of file
+/// size. The stored checksums are folded, not re-verified: callers that
+/// load the file get full verification from the Reader anyway, so this is
+/// an identity (cache invalidation, fingerprints), not an integrity check.
+Result<std::pair<uint64_t, uint32_t>> FileIdentity(const std::string& path);
+
 /// \brief Renders a fourcc section id as printable text (e.g. "OPTS").
 std::string SectionName(uint32_t id);
 
@@ -85,6 +94,15 @@ class Writer {
 
   /// Creates/truncates `path` and writes the magic + format version header.
   Status Open(const std::string& path, const char (&magic)[9], uint32_t version);
+
+  /// Opens the writer over an in-memory buffer instead of a file: sections
+  /// are framed exactly as on disk (id, size, payload, crc32) and appended
+  /// to `*out`, with no magic/version header. This is the canonical-bytes
+  /// sink behind fingerprinting (core::OptionsFingerprint and the serving
+  /// result-cache keys): anything with a Save(Writer&) method can be
+  /// reduced to a deterministic byte string without touching disk. `out`
+  /// must outlive the writer.
+  void OpenBuffer(std::string* out);
 
   /// Starts buffering a new section. A section must be ended before the
   /// next begins.
@@ -118,6 +136,7 @@ class Writer {
 
  private:
   std::FILE* file_ = nullptr;
+  std::string* buffer_ = nullptr;  ///< in-memory sink (OpenBuffer mode)
   std::string section_;  ///< payload of the section being built
   uint32_t section_id_ = 0;
   bool in_section_ = false;

@@ -134,37 +134,120 @@ std::vector<LshForest::ItemId> LshForest::QueryAtDepth(const Signature& signatur
   return result;
 }
 
-std::vector<size_t> LshForest::DepthCounts(const Signature& signature) const {
+std::vector<size_t> LshForest::DepthCounts(const Signature& signature,
+                                           size_t budget) const {
   CheckSignatureSize(signature);
   const size_t kpt = options_.hashes_per_tree;
-  // Deepest matching prefix per item across all trees. One pass over the
-  // depth-1 range of every tree (a superset of every deeper range) beats
-  // re-collecting the deeper ranges once per depth.
-  std::unordered_map<ItemId, size_t> deepest;
+  if (budget == 0) {
+    // Exact histogram: deepest matching prefix per item across all trees.
+    // One pass over the depth-1 range of every tree (a superset of every
+    // deeper range) beats re-collecting the deeper ranges once per depth.
+    std::unordered_map<ItemId, size_t> deepest;
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      const Tree& tree = trees_[t];
+      assert(tree.sorted);
+      const std::vector<uint64_t> key = TreeKey(t, signature);
+      auto prefix_less = [](const Entry& e, const std::vector<uint64_t>& k) {
+        return e.key[0] < k[0];
+      };
+      auto less_prefix = [](const std::vector<uint64_t>& k, const Entry& e) {
+        return k[0] < e.key[0];
+      };
+      auto lo =
+          std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
+      auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
+      for (auto it = lo; it != hi; ++it) {
+        size_t lcp = 1;
+        while (lcp < kpt && it->key[lcp] == key[lcp]) ++lcp;
+        size_t& best = deepest[it->id];
+        best = std::max(best, lcp);
+      }
+    }
+    std::vector<size_t> counts(kpt, 0);
+    for (const auto& [id, depth] : deepest) counts[depth - 1]++;
+    // Suffix-sum the histogram: counts[d-1] becomes |{items: lcp >= d}|.
+    for (size_t d = kpt - 1; d-- > 0;) counts[d] += counts[d + 1];
+    return counts;
+  }
+
+  // Budgeted descent over nested prefix ranges: per tree, the entries
+  // matching the first d key values form a contiguous range that contains
+  // the depth-(d+1) range, so expanding depth by depth visits each entry at
+  // most once — at exactly its prefix depth — and never touches entries
+  // deeper than where the cumulative distinct count saturates the budget.
+  struct TreeRange {
+    const Tree* tree;
+    std::vector<uint64_t> key;
+    size_t lo = 0, hi = 0;  ///< current range (depth d+1 when expanding to d)
+  };
+  std::vector<TreeRange> ranges;
+  ranges.reserve(trees_.size());
   for (size_t t = 0; t < trees_.size(); ++t) {
-    const Tree& tree = trees_[t];
-    assert(tree.sorted);
-    const std::vector<uint64_t> key = TreeKey(t, signature);
-    auto prefix_less = [](const Entry& e, const std::vector<uint64_t>& k) {
-      return e.key[0] < k[0];
+    assert(trees_[t].sorted);
+    TreeRange r{&trees_[t], TreeKey(t, signature), 0, 0};
+    // Seed with the (possibly empty) deepest range's insertion point so the
+    // first expansion below starts from a valid nested position.
+    auto full_less = [kpt](const Entry& e, const std::vector<uint64_t>& k) {
+      for (size_t i = 0; i < kpt; ++i) {
+        if (e.key[i] != k[i]) return e.key[i] < k[i];
+      }
+      return false;
     };
-    auto less_prefix = [](const std::vector<uint64_t>& k, const Entry& e) {
-      return k[0] < e.key[0];
-    };
-    auto lo =
-        std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
-    auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
-    for (auto it = lo; it != hi; ++it) {
-      size_t lcp = 1;
-      while (lcp < kpt && it->key[lcp] == key[lcp]) ++lcp;
-      size_t& best = deepest[it->id];
-      best = std::max(best, lcp);
+    auto lo = std::lower_bound(r.tree->entries.begin(), r.tree->entries.end(), r.key,
+                               full_less);
+    r.lo = r.hi = static_cast<size_t>(lo - r.tree->entries.begin());
+    ranges.push_back(std::move(r));
+  }
+
+  std::unordered_map<ItemId, size_t> deepest;  // exact lcp of every scanned item
+  size_t stopped_above = 0;  // depths < this were never scanned (clamped)
+  for (size_t d = kpt; d >= 1; --d) {
+    for (TreeRange& r : ranges) {
+      const std::vector<Entry>& entries = r.tree->entries;
+      auto prefix_less = [d](const Entry& e, const std::vector<uint64_t>& k) {
+        for (size_t i = 0; i < d; ++i) {
+          if (e.key[i] != k[i]) return e.key[i] < k[i];
+        }
+        return false;
+      };
+      auto less_prefix = [d](const std::vector<uint64_t>& k, const Entry& e) {
+        for (size_t i = 0; i < d; ++i) {
+          if (k[i] != e.key[i]) return k[i] < e.key[i];
+        }
+        return false;
+      };
+      const size_t lo = static_cast<size_t>(
+          std::lower_bound(entries.begin(), entries.begin() + r.lo, r.key, prefix_less) -
+          entries.begin());
+      const size_t hi = static_cast<size_t>(
+          std::upper_bound(entries.begin() + r.hi, entries.end(), r.key, less_prefix) -
+          entries.begin());
+      // Entries in [lo, r.lo) and [r.hi, hi) match d values but not d+1:
+      // their lcp with the query is exactly d.
+      for (size_t i = lo; i < r.lo; ++i) {
+        size_t& best = deepest[entries[i].id];
+        best = std::max(best, d);
+      }
+      for (size_t i = r.hi; i < hi; ++i) {
+        size_t& best = deepest[entries[i].id];
+        best = std::max(best, d);
+      }
+      r.lo = lo;
+      r.hi = hi;
+    }
+    if (deepest.size() >= budget) {
+      stopped_above = d - 1;  // depths 1..d-1 not scanned
+      break;
     }
   }
+
   std::vector<size_t> counts(kpt, 0);
   for (const auto& [id, depth] : deepest) counts[depth - 1]++;
-  // Suffix-sum the depth histogram: counts[d-1] becomes |{items: lcp >= d}|.
   for (size_t d = kpt - 1; d-- > 0;) counts[d] += counts[d + 1];
+  // Clamp the unscanned shallow depths to the saturation count. True counts
+  // there are >= this value, which is itself >= budget, so neither the
+  // local stop rule nor a shard-summed one can be diverted by the clamp.
+  for (size_t d = 0; d < stopped_above; ++d) counts[d] = counts[stopped_above];
   return counts;
 }
 

@@ -75,7 +75,18 @@ class LshForest {
   /// monotone nonincreasing in d, and — because every item lives in exactly
   /// one forest — counts from forests over disjoint item sets (the shards
   /// of src/serving) add element-wise into the counts of the union forest.
-  std::vector<size_t> DepthCounts(const Signature& signature) const;
+  ///
+  /// A non-zero `budget` (the m of the StopDepth rule) enables early
+  /// termination: the forest descends its nested prefix ranges from the
+  /// deepest depth and stops scanning once the cumulative distinct-match
+  /// count reaches the budget. Counts at the saturating depth and deeper
+  /// are exact; shallower entries are clamped to the count at saturation
+  /// (>= budget). Because the stop rule picks the DEEPEST depth with at
+  /// least m matches, the clamp can never change StopDepth — locally or
+  /// after shard summing: any shard that clamped below depth d certifies
+  /// the summed count at d already reaches m, so no shallower depth is
+  /// ever consulted. With budget == 0 the full exact histogram is scanned.
+  std::vector<size_t> DepthCounts(const Signature& signature, size_t budget = 0) const;
 
   /// The synchronous-descent stop rule of Query() applied to a (possibly
   /// shard-merged) DepthCounts vector: the deepest depth at which at least

@@ -1,0 +1,186 @@
+#include "serving/discovery_service.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "io/binary_io.h"
+
+namespace d3l::serving {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Seeds for the two independent halves of the 128-bit cache key.
+constexpr uint64_t kKeySeedLo = 0x8f1ef1a6d3a5c3b1ULL;
+constexpr uint64_t kKeySeedHi = 0x2b7e151628aed2a6ULL;
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(const SearchBackend* backend,
+                                   DiscoveryServiceOptions options)
+    : backend_(backend),
+      options_(options),
+      info_(backend->Info()),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.inline_execution
+                ? 0
+                : (options.num_threads > 0 ? options.num_threads
+                                           : ThreadPool::DefaultThreads())) {}
+
+DiscoveryService::~DiscoveryService() { Shutdown(); }
+
+void DiscoveryService::Shutdown() {
+  std::unique_lock<std::mutex> lk(mu_);
+  accepting_ = false;
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+CacheKey DiscoveryService::KeyFor(
+    const core::QueryTarget& target, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  // Canonical query bytes: backend identity, options, serialized target,
+  // k, mask. The target serializes once; the two key halves hash the same
+  // bytes under independent seeds.
+  uint64_t mask_bits = 0;
+  for (size_t e = 0; e < core::kNumEvidence; ++e) {
+    if (enabled_mask[e]) mask_bits |= uint64_t{1} << e;
+  }
+  const std::string target_bytes = core::CanonicalTargetBytes(target);
+  CacheKey key;
+  key.lo = HashCombine(
+      HashCombine(info_.index_fingerprint, info_.options_fingerprint),
+      HashCombine(HashBytes(target_bytes.data(), target_bytes.size(), kKeySeedLo),
+                  HashCombine(k, mask_bits)));
+  key.hi = HashCombine(
+      HashCombine(info_.options_fingerprint, info_.index_fingerprint),
+      HashCombine(HashBytes(target_bytes.data(), target_bytes.size(), kKeySeedHi),
+                  HashCombine(mask_bits, k)));
+  return key;
+}
+
+std::future<QueryResponse> DiscoveryService::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  const auto submitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++submitted_;
+    if (!accepting_) {
+      ++rejected_;  // keeps submitted == completed + rejected + in-flight
+      QueryResponse response;
+      response.result = Status::InvalidArgument("service is shut down");
+      promise->set_value(std::move(response));
+      return future;
+    }
+    ++in_flight_;
+  }
+  pool_.Post([this, request = std::move(request), submitted,
+              promise = std::move(promise)] {
+    Execute(request, submitted, promise);
+  });
+  return future;
+}
+
+std::vector<std::future<QueryResponse>> DiscoveryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+QueryResponse DiscoveryService::Query(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+void DiscoveryService::Execute(const QueryRequest& request,
+                               std::chrono::steady_clock::time_point submitted,
+                               std::shared_ptr<std::promise<QueryResponse>> promise) {
+  QueryResponse response;
+  response.stats.queue_seconds = SecondsSince(submitted);
+
+  const std::array<bool, core::kNumEvidence> mask =
+      request.enabled.value_or(backend_->options().enabled);
+
+  bool hit = false;
+  bool searched = false;  ///< the query reached the backend's Search
+  double profile_seconds = 0;
+  double search_seconds = 0;
+  if (request.target == nullptr) {
+    response.result = Status::InvalidArgument("query target is null");
+  } else {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<core::QueryTarget> profiled = backend_->Profile(*request.target);
+    profile_seconds = response.stats.profile_seconds = SecondsSince(t0);
+    if (!profiled.ok()) {
+      response.result = profiled.status();
+    } else {
+      const bool use_cache = !request.bypass_cache && cache_.capacity() > 0;
+      CacheKey key;
+      core::SearchResult cached;
+      if (use_cache) {
+        key = KeyFor(*profiled, request.k, mask);
+        hit = cache_.Lookup(key, &cached);
+      }
+      if (hit) {
+        response.result = std::move(cached);
+        response.stats.cache_hit = true;
+      } else {
+        searched = true;
+        t0 = std::chrono::steady_clock::now();
+        response.result =
+            backend_->Search(std::move(*profiled), request.k, mask);
+        search_seconds = response.stats.search_seconds = SecondsSince(t0);
+        if (use_cache && response.result.ok()) {
+          cache_.Insert(key, *response.result);  // deep copy into the cache
+        }
+      }
+    }
+  }
+  response.stats.total_seconds = SecondsSince(submitted);
+
+  // Book the counters BEFORE fulfilling the future: a caller that wakes
+  // from future.get() must already see this query in Stats().
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++completed_;
+    if (!response.result.ok()) ++failed_;
+    if (hit) {
+      ++cache_hits_;
+    } else if (searched) {
+      ++cache_misses_;  // failed-before-retrieval queries count only in failed_
+    }
+    profile_seconds_ += profile_seconds;
+    search_seconds_ += search_seconds;
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+  // Safe after in_flight_ hits zero: the promise is owned by this task, and
+  // pool destruction joins the worker running it before the service dies.
+  promise->set_value(std::move(response));
+}
+
+ServiceStats DiscoveryService::Stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.failed = failed_;
+    stats.cache_hits = cache_hits_;
+    stats.cache_misses = cache_misses_;
+    stats.profile_seconds = profile_seconds_;
+    stats.search_seconds = search_seconds_;
+  }
+  stats.cache = cache_.GetStats();
+  return stats;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,166 @@
+// The asynchronous query front-end over any SearchBackend.
+//
+// DiscoveryService turns a backend (single engine or sharded) into a
+// concurrent service: Submit(QueryRequest) enqueues the query on the
+// service's ThreadPool and returns a std::future<QueryResponse>
+// immediately; SubmitBatch amortizes that for request vectors. Each query
+// runs
+//
+//   profile target  ->  cache lookup  ->  [hit: copy cached result]
+//                                         [miss: backend Search + insert]
+//
+// with per-phase wall-clock stats recorded into the response.
+//
+// Result-cache keying. The 128-bit key is two seeded hashes of a canonical
+// byte string: the backend's index fingerprint (snapshot/manifest
+// checksums), its options fingerprint, the serialized target profiles +
+// signatures (core::CanonicalTargetBytes), k, and the evidence mask. Two
+// submissions collide exactly when nothing downstream of profiling could
+// distinguish them — the same table text against the same index under the
+// same options — so a hit may copy the stored result instead of
+// re-retrieving, byte for byte. Opening a different snapshot (or a
+// re-built one) changes the index fingerprint and thereby every key:
+// invalidation across restarts rides on the checksums src/io already
+// maintains, with no explicit flush protocol.
+//
+// Shutdown is graceful: the destructor (or Shutdown()) stops accepting new
+// queries, then blocks until every in-flight and queued query has fulfilled
+// its future — no future returned by Submit is ever broken.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+#include "serving/result_cache.h"
+#include "serving/search_backend.h"
+#include "serving/thread_pool.h"
+
+namespace d3l::serving {
+
+struct DiscoveryServiceOptions {
+  /// Worker threads executing queries (0 = hardware concurrency). With
+  /// explicit 0 via `inline_execution`, see below.
+  size_t num_threads = 0;
+  /// Results cached across queries (0 disables caching entirely).
+  size_t cache_capacity = 256;
+  /// Lock shards inside the result cache (clamped to the capacity).
+  size_t cache_shards = 8;
+  /// When true the service runs every query inline on the Submit caller
+  /// (no worker threads): deterministic single-threaded execution for
+  /// tests and benchmarks; futures are ready when Submit returns.
+  bool inline_execution = false;
+};
+
+/// \brief One discovery query: target table, k, optional evidence mask.
+struct QueryRequest {
+  const Table* target = nullptr;
+  size_t k = 10;
+  /// Evidence mask; defaults to the backend options' enabled set.
+  std::optional<std::array<bool, core::kNumEvidence>> enabled;
+  /// Skip cache lookup AND insertion for this query (always recompute).
+  bool bypass_cache = false;
+};
+
+/// \brief Per-query execution metrics.
+struct QueryStats {
+  bool cache_hit = false;
+  double queue_seconds = 0;    ///< Submit() to execution start
+  double profile_seconds = 0;  ///< ProfileTarget
+  double search_seconds = 0;   ///< backend retrieval+ranking (0 on a hit)
+  double total_seconds = 0;    ///< Submit() to response ready
+};
+
+/// \brief The outcome a Submit future resolves to.
+struct QueryResponse {
+  Result<core::SearchResult> result;
+  QueryStats stats;
+
+  QueryResponse() : result(Status::Internal("query not executed")) {}
+};
+
+/// \brief Aggregate service counters (all queries since construction).
+/// Invariant: submitted == completed + rejected + in-flight work.
+struct ServiceStats {
+  size_t submitted = 0;
+  size_t completed = 0;
+  size_t rejected = 0;     ///< refused at Submit (service shut down)
+  size_t failed = 0;       ///< completed with a non-OK result
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;  ///< executed queries that went to the backend
+  ResultCache::Stats cache;
+  double profile_seconds = 0;  ///< summed across queries
+  double search_seconds = 0;
+};
+
+/// \brief Async top-k discovery serving with a result cache.
+class DiscoveryService {
+ public:
+  /// The backend must outlive the service.
+  explicit DiscoveryService(const SearchBackend* backend,
+                            DiscoveryServiceOptions options = {});
+
+  /// Blocks until every accepted query has completed (idempotent; also run
+  /// by the destructor). Queries submitted after Shutdown fail fast with
+  /// an InvalidArgument response — their futures still resolve.
+  ~DiscoveryService();
+  void Shutdown();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Enqueues one query; the future resolves to its response. Never
+  /// blocks on query execution (inline_execution mode aside).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Enqueues a vector of queries; futures[i] corresponds to requests[i].
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  /// Convenience: Submit + wait.
+  QueryResponse Query(const QueryRequest& request);
+
+  const SearchBackend& backend() const { return *backend_; }
+  ServiceStats Stats() const;
+
+  /// The cache key Submit would use for a profiled target — exposed so
+  /// tests and diagnostics can reason about hit/miss behavior directly.
+  CacheKey KeyFor(const core::QueryTarget& target, size_t k,
+                  const std::array<bool, core::kNumEvidence>& enabled_mask) const;
+
+ private:
+  void Execute(const QueryRequest& request,
+               std::chrono::steady_clock::time_point submitted,
+               std::shared_ptr<std::promise<QueryResponse>> promise);
+
+  const SearchBackend* backend_;
+  DiscoveryServiceOptions options_;
+  BackendInfo info_;  ///< captured once; fingerprints feed every cache key
+  ResultCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool accepting_ = true;
+  size_t in_flight_ = 0;
+
+  // Aggregate counters (guarded by mu_; doubles make atomics awkward).
+  size_t submitted_ = 0;
+  size_t completed_ = 0;
+  size_t rejected_ = 0;
+  size_t failed_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+  double profile_seconds_ = 0;
+  double search_seconds_ = 0;
+};
+
+}  // namespace d3l::serving

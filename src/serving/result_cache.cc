@@ -1,0 +1,90 @@
+#include "serving/result_cache.h"
+
+#include <algorithm>
+
+namespace d3l::serving {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity),
+      shards_(std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, capacity)))) {
+  // Distribute the capacity as evenly as possible; the first
+  // `capacity % shards` shards take the remainder.
+  const size_t base = capacity_ / shards_.size();
+  size_t remainder = capacity_ % shards_.size();
+  for (Shard& shard : shards_) {
+    shard.capacity = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+  }
+}
+
+bool ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
+  if (capacity_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const core::SearchResult> result;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return false;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    result = it->second->second;
+  }
+  // Deep copy outside the lock: concurrent hits on this shard only
+  // serialize on the pointer grab above, not on copying whole results.
+  // (The shared_ptr keeps the entry's bytes alive even if it is evicted
+  // or refreshed between unlock and copy.)
+  *out = *result;
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key, core::SearchResult result) {
+  if (capacity_ == 0) return;
+  auto entry = std::make_shared<const core::SearchResult>(std::move(result));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  ++shard.insertions;  // refreshes count too: one per Insert call
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: identical key means identical bytes, but overwrite anyway so
+    // a refresh behaves like an insert (and bump recency).
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  // The constructor clamps the shard count so every shard's slice is >= 1;
+  // evicting from the tail therefore always leaves room for the insert.
+  while (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.capacity = capacity_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,108 @@
+// A sharded LRU cache of SearchResults, keyed by 128-bit query
+// fingerprints — the "repeated queries skip retrieval entirely" layer of
+// DiscoveryService.
+//
+// Keys are two independent 64-bit hashes of the same canonical byte string
+// (backend identity + options fingerprint + serialized target profiles and
+// signatures + k + evidence mask; see discovery_service.h), making an
+// accidental collision between distinct queries vanishingly unlikely
+// (~2^-128 per pair) while keeping the stored entries small. The cache is
+// split into independently locked shards selected by key bits, so
+// concurrent Submit() storms contend only when they hash to the same
+// shard. Each shard runs exact LRU over its own capacity slice.
+//
+// Hits return deep copies: a cached SearchResult is byte-identical to the
+// result a fresh retrieval would produce (asserted by tests/service_test.cc)
+// and the cache never hands out references into mutable internal state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+
+namespace d3l::serving {
+
+/// \brief 128-bit cache key: two independent hashes of the canonical query
+/// byte string.
+struct CacheKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// \brief Sharded LRU map from CacheKey to SearchResult.
+class ResultCache {
+ public:
+  /// Point-in-time counters (monotone except `entries`).
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+    size_t entries = 0;   ///< currently cached results
+    size_t capacity = 0;  ///< total across shards
+  };
+
+  /// A cache holding at most `capacity` results across `num_shards`
+  /// independently locked shards (each gets an equal slice, at least 1).
+  /// `capacity` 0 disables caching: Lookup always misses, Insert is a
+  /// no-op. `num_shards` is clamped to [1, capacity] so no shard sits
+  /// permanently empty.
+  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+
+  /// On hit, deep-copies the cached result into `*out`, marks the entry
+  /// most-recently-used and returns true. On miss returns false.
+  bool Lookup(const CacheKey& key, core::SearchResult* out);
+
+  /// Inserts (or refreshes) a result, evicting the shard's least recently
+  /// used entry when its slice is full.
+  void Insert(const CacheKey& key, core::SearchResult result);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  Stats GetStats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const CacheKey& k) const {
+      // lo alone is already a high-quality 64-bit hash of the query bytes.
+      return static_cast<size_t>(k.lo);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used at the front. The map owns iterators into it.
+    /// Results are held by shared_ptr so a hit can take a reference under
+    /// the lock and deep-copy OUTSIDE it — the copy of a large result must
+    /// not serialize every other hit on this shard.
+    std::list<std::pair<CacheKey, std::shared_ptr<const core::SearchResult>>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, KeyHash> index;
+    size_t capacity = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    // hi selects the shard, lo buckets within it: the two dimensions use
+    // independent hash bits.
+    return shards_[key.hi % shards_.size()];
+  }
+
+  size_t capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace d3l::serving

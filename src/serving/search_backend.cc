@@ -1,0 +1,75 @@
+#include "serving/search_backend.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "serving/manifest.h"
+
+namespace d3l::serving {
+
+Result<core::SearchResult> SearchBackend::Search(const Table& target,
+                                                 size_t k) const {
+  D3L_ASSIGN_OR_RETURN(core::QueryTarget qt, Profile(target));
+  return Search(std::move(qt), k, options().enabled);
+}
+
+EngineBackend::EngineBackend(const core::D3LEngine* engine, const DataLake* lake,
+                             uint64_t index_fingerprint)
+    : engine_(engine), lake_(lake), index_fingerprint_(index_fingerprint) {
+  if (index_fingerprint_ == 0) {
+    // Schema-derived identity for in-process engines: distinguishes lakes
+    // by their table/column names and size. Content-level identity (bit
+    // rot, re-generated data under identical schemas) is only guaranteed
+    // by the checksum-derived fingerprints of FromSnapshot / manifests.
+    index_fingerprint_ = HashCombine(
+        HashCombine(SchemaFingerprint(*lake), engine_->indexes().num_attributes()),
+        core::OptionsFingerprint(engine_->options()));
+  }
+}
+
+Result<std::unique_ptr<EngineBackend>> EngineBackend::FromSnapshot(
+    const std::string& path) {
+  auto backend = std::unique_ptr<EngineBackend>(new EngineBackend());
+  // Identity from the container's section table (size + stored section
+  // CRCs, payloads seeked over): O(sections) I/O, while LoadSnapshot below
+  // fully verifies the payload checksums it reads.
+  D3L_ASSIGN_OR_RETURN(auto size_crc, io::FileIdentity(path));
+  backend->owned_lake_ = std::make_unique<DataLake>();
+  auto loaded = core::D3LEngine::LoadSnapshot(path, backend->owned_lake_.get());
+  if (!loaded.ok()) return loaded.status();
+  backend->owned_engine_ = std::move(loaded).ValueOrDie();
+  backend->engine_ = backend->owned_engine_.get();
+  backend->lake_ = backend->owned_lake_.get();
+  backend->index_fingerprint_ = HashCombine(size_crc.first, size_crc.second);
+  return backend;
+}
+
+Result<core::QueryTarget> EngineBackend::Profile(const Table& target) const {
+  if (target.num_columns() == 0) {
+    return Status::InvalidArgument("target has no columns");
+  }
+  return engine_->ProfileTarget(target);
+}
+
+Result<core::SearchResult> EngineBackend::Search(
+    core::QueryTarget target, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  return engine_->SearchTarget(std::move(target), k, enabled_mask);
+}
+
+BackendInfo EngineBackend::Info() const {
+  BackendInfo info;
+  info.kind = "engine";
+  info.num_tables = lake_->size();
+  info.num_attributes = engine_->indexes().num_attributes();
+  info.num_shards = 1;
+  info.options_fingerprint = core::OptionsFingerprint(engine_->options());
+  info.index_fingerprint = index_fingerprint_;
+  return info;
+}
+
+std::string EngineBackend::table_name(uint32_t table_index) const {
+  return lake_->table(table_index).name();
+}
+
+}  // namespace d3l::serving

@@ -5,23 +5,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/hash.h"
+
 namespace d3l::serving {
-
-namespace {
-
-// Options uniformity across shards: everything that influences signatures,
-// distances or ranking must match. The nested option structs compare via
-// their own (defaulted) operator==, so fields added to them cannot escape
-// this check; num_threads only affects build-time parallelism and is
-// deliberately the one D3LOptions field ignored here.
-bool OptionsEqual(const core::D3LOptions& a, const core::D3LOptions& b) {
-  return a.index == b.index && a.profile == b.profile && a.wem == b.wem &&
-         a.weights == b.weights &&
-         a.candidates_per_attribute == b.candidates_per_attribute &&
-         a.enabled == b.enabled;
-}
-
-}  // namespace
 
 ShardedEngine::ShardedEngine(ShardManifest manifest, size_t num_threads)
     : manifest_(std::move(manifest)),
@@ -34,6 +20,18 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
       new ShardedEngine(std::move(manifest), options.num_threads));
   const ShardManifest& m = engine->manifest_;
   const size_t n_shards = m.shards.size();
+
+  // The backend's index identity: every shard file's size/CRC32 and schema
+  // fingerprint, folded in manifest order. Any rebuilt, swapped or
+  // re-partitioned shard set digests differently, which is what ties
+  // result-cache invalidation to the manifest checksums.
+  engine->index_fingerprint_ = HashCombine(m.total_tables, m.total_attributes);
+  for (const ShardManifestEntry& entry : m.shards) {
+    engine->index_fingerprint_ = HashCombine(
+        engine->index_fingerprint_,
+        HashCombine(HashCombine(entry.file_bytes, entry.file_crc32),
+                    entry.schema_crc32));
+  }
 
   // Load every shard replica, in parallel on the query pool (the banded
   // indexes are rebuilt from signatures at load time, which is the bulk of
@@ -70,6 +68,8 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   }
 
   // Cross-check shard contents against the manifest and each other.
+  const uint64_t shard0_options_fp =
+      core::OptionsFingerprint(engine->shards_[0]->options());
   for (size_t s = 0; s < n_shards; ++s) {
     const ShardManifestEntry& entry = m.shards[s];
     if (engine->shard_lakes_[s]->size() != entry.num_tables ||
@@ -85,8 +85,12 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
                              " does not contain the tables the manifest "
                              "assigns to it");
     }
-    if (s > 0 &&
-        !OptionsEqual(engine->shards_[s]->options(), engine->shards_[0]->options())) {
+    // Options uniformity across shards: everything that influences
+    // signatures, distances or ranking must match. The canonical options
+    // fingerprint covers exactly that set (num_threads — build-time
+    // parallelism only — is excluded by construction).
+    if (s > 0 && core::OptionsFingerprint(engine->shards_[s]->options()) !=
+                     shard0_options_fp) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) +
           " was built with different engine options than shard 0; sharded "
@@ -145,75 +149,102 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   return engine;
 }
 
-Result<core::SearchResult> ShardedEngine::Search(const Table& target,
-                                                 size_t k) const {
-  QueryBatch batch;
-  batch.targets.push_back(&target);
-  batch.k = k;
-  std::vector<Result<core::SearchResult>> results = Execute(batch);
+Result<core::QueryTarget> ShardedEngine::Profile(const Table& target) const {
+  if (target.num_columns() == 0) {
+    return Status::InvalidArgument("target has no columns");
+  }
+  return shards_[0]->ProfileTarget(target);
+}
+
+BackendInfo ShardedEngine::Info() const {
+  BackendInfo info;
+  info.kind = "sharded";
+  info.num_tables = num_tables();
+  info.num_attributes = num_attributes();
+  info.num_shards = num_shards();
+  info.options_fingerprint = core::OptionsFingerprint(options());
+  info.index_fingerprint = index_fingerprint_;
+  return info;
+}
+
+Result<core::SearchResult> ShardedEngine::Search(
+    core::QueryTarget target, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  if (target.sigs.empty() || target.sigs.size() != target.profiles.size()) {
+    return Status::InvalidArgument("target is not a profiled table");
+  }
+  std::vector<ProfiledSlot> slots(1);
+  slots[0].qt = std::move(target);
+  std::vector<Result<core::SearchResult>> results =
+      ExecuteProfiled(std::move(slots), k, enabled_mask);
   return std::move(results[0]);
 }
 
 std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
     const QueryBatch& batch) const {
   const size_t n_targets = batch.targets.size();
-  const size_t n_shards = shards_.size();
-  const core::D3LOptions& opts = options();
-  const size_t per_index_m = std::max(opts.candidates_per_attribute, batch.k);
-  const std::array<bool, core::kNumEvidence>& mask = opts.enabled;
-
-  struct TargetState {
-    Status error;
-    size_t dup_of = SIZE_MAX;  ///< earlier slot with the same Table pointer
-    core::QueryTarget qt;
-    core::CandidateStopDepths stops;
-    std::vector<std::vector<core::PairDistances>> shard_rows;
-    core::SearchResult result;
-  };
-  std::vector<TargetState> state(n_targets);
+  std::vector<ProfiledSlot> slots(n_targets);
   std::unordered_map<const Table*, size_t> first_slot;
   for (size_t i = 0; i < n_targets; ++i) {
     if (batch.targets[i] == nullptr) {
-      state[i].error = Status::InvalidArgument("batch target is null");
+      slots[i].error = Status::InvalidArgument("batch target is null");
     } else if (batch.targets[i]->num_columns() == 0) {
-      state[i].error = Status::InvalidArgument("target has no columns");
+      slots[i].error = Status::InvalidArgument("target has no columns");
     } else {
-      // Profiling reads the table's lazily computed column stats, which are
-      // not synchronized — so a Table that appears in several slots must be
-      // profiled by exactly one task, never concurrently by two.
+      // A Table repeated across slots is profiled (and scattered) once;
+      // the later slots reuse the first slot's work.
       auto [it, inserted] = first_slot.try_emplace(batch.targets[i], i);
-      if (!inserted) state[i].dup_of = it->second;
+      if (!inserted) slots[i].dup_of = it->second;
     }
-    state[i].shard_rows.resize(n_shards);
   }
 
   // Phase 1 — profile every distinct target once (signatures depend only
   // on the uniform options, so any replica produces the same QueryTarget).
   pool_.ParallelFor(n_targets, [&](size_t i) {
-    if (!state[i].error.ok() || state[i].dup_of != SIZE_MAX) return;
-    state[i].qt = shards_[0]->ProfileTarget(*batch.targets[i]);
+    if (!slots[i].error.ok() || slots[i].dup_of != SIZE_MAX) return;
+    slots[i].qt = shards_[0]->ProfileTarget(*batch.targets[i]);
   });
+
+  return ExecuteProfiled(std::move(slots), batch.k, options().enabled);
+}
+
+std::vector<Result<core::SearchResult>> ShardedEngine::ExecuteProfiled(
+    std::vector<ProfiledSlot> slots, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  const size_t n_targets = slots.size();
+  const size_t n_shards = shards_.size();
+  const core::D3LOptions& opts = options();
+  const size_t per_index_m = std::max(opts.candidates_per_attribute, k);
+
+  struct TargetState {
+    core::CandidateStopDepths stops;
+    std::vector<std::vector<core::PairDistances>> shard_rows;
+    core::SearchResult result;
+  };
+  std::vector<TargetState> state(n_targets);
   for (size_t i = 0; i < n_targets; ++i) {
-    if (state[i].dup_of != SIZE_MAX && state[i].error.ok()) {
-      state[i].qt = state[state[i].dup_of].qt;
+    if (slots[i].dup_of != SIZE_MAX && slots[i].error.ok()) {
+      slots[i].qt = slots[slots[i].dup_of].qt;
     }
+    state[i].shard_rows.resize(n_shards);
   }
 
-  // Phases 2-3 skip duplicate slots entirely: a repeated target reuses the
+  // Phases 2-4 skip duplicate slots entirely: a repeated target reuses the
   // source slot's stop depths and scored rows, so the N-shard work runs
   // once per distinct table.
-  const auto is_live = [&state](size_t i) {
-    return state[i].error.ok() && state[i].dup_of == SIZE_MAX;
+  const auto is_live = [&slots](size_t i) {
+    return slots[i].error.ok() && slots[i].dup_of == SIZE_MAX;
   };
 
-  // Phase 2 — scatter: per-(target, shard) candidate depth counts.
+  // Phase 2 — scatter: per-(target, shard) candidate depth counts, each
+  // forest scan early-terminating once that shard alone saturates m.
   std::vector<std::vector<core::CandidateDepthCounts>> counts(n_targets);
   for (auto& per_shard : counts) per_shard.resize(n_shards);
   pool_.ParallelFor(n_targets * n_shards, [&](size_t idx) {
     const size_t i = idx / n_shards;
     const size_t s = idx % n_shards;
     if (!is_live(i)) return;
-    counts[i][s] = shards_[s]->CollectDepthCounts(state[i].qt, mask);
+    counts[i][s] = shards_[s]->CollectDepthCounts(slots[i].qt, enabled_mask, per_index_m);
   });
 
   // Coordinator — sum the disjoint-shard counts and resolve the stop
@@ -235,7 +266,7 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
     const size_t s = idx % n_shards;
     if (!is_live(i)) return;
     core::CandidateLists lists =
-        shards_[s]->CollectCandidates(state[i].qt, state[i].stops, per_index_m);
+        shards_[s]->CollectCandidates(slots[i].qt, state[i].stops, per_index_m);
     for (auto& per_evidence : lists.ids) {
       for (auto& ids : per_evidence) {
         for (uint32_t& id : ids) id = attr_global_[s][id];
@@ -252,7 +283,7 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
       n_targets);  // [target][shard][column] -> sorted local ids
   for (size_t i = 0; i < n_targets; ++i) {
     if (!is_live(i)) continue;
-    const size_t n_cols = state[i].qt.sigs.size();
+    const size_t n_cols = slots[i].qt.sigs.size();
     shard_candidates[i].assign(n_shards,
                                std::vector<std::vector<uint32_t>>(n_cols));
     for (size_t c = 0; c < n_cols; ++c) {
@@ -283,7 +314,7 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
     const size_t s = idx % n_shards;
     if (!is_live(i)) return;
     std::vector<core::PairDistances> rows =
-        shards_[s]->ScoreCandidates(state[i].qt, shard_candidates[i][s], mask);
+        shards_[s]->ScoreCandidates(slots[i].qt, shard_candidates[i][s], enabled_mask);
     for (core::PairDistances& row : rows) {
       row.attribute_id = attr_global_[s][row.attribute_id];
     }
@@ -294,12 +325,12 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
   // re-sorts them) and rank globally.
   core::EvidenceWeights weights = opts.weights;
   for (size_t t = 0; t < core::kNumEvidence; ++t) {
-    if (!mask[t]) weights.w[t] = 0;
+    if (!enabled_mask[t]) weights.w[t] = 0;
   }
   pool_.ParallelFor(n_targets, [&](size_t i) {
-    if (!state[i].error.ok()) return;
-    const auto& shard_rows = state[i].dup_of != SIZE_MAX
-                                 ? state[state[i].dup_of].shard_rows
+    if (!slots[i].error.ok()) return;
+    const auto& shard_rows = slots[i].dup_of != SIZE_MAX
+                                 ? state[slots[i].dup_of].shard_rows
                                  : state[i].shard_rows;
     std::vector<core::PairDistances> rows;
     size_t total_rows = 0;
@@ -309,17 +340,17 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
       rows.insert(rows.end(), sr.begin(), sr.end());
     }
     state[i].result = core::D3LEngine::RankRows(
-        std::move(rows), state[i].qt.sigs.size(), num_tables(),
-        [this](uint32_t id) { return attr_table_[id]; }, weights, batch.k);
-    state[i].result.target_profiles = std::move(state[i].qt.profiles);
-    state[i].result.target_sigs = std::move(state[i].qt.sigs);
+        std::move(rows), slots[i].qt.sigs.size(), num_tables(),
+        [this](uint32_t id) { return attr_table_[id]; }, weights, k);
+    state[i].result.target_profiles = std::move(slots[i].qt.profiles);
+    state[i].result.target_sigs = std::move(slots[i].qt.sigs);
   });
 
   std::vector<Result<core::SearchResult>> out;
   out.reserve(n_targets);
   for (size_t i = 0; i < n_targets; ++i) {
-    if (!state[i].error.ok()) {
-      out.emplace_back(std::move(state[i].error));
+    if (!slots[i].error.ok()) {
+      out.emplace_back(std::move(slots[i].error));
     } else {
       out.emplace_back(std::move(state[i].result));
     }

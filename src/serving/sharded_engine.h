@@ -19,6 +19,11 @@
 // original lake's table/attribute numbering, the merged ranking is
 // byte-identical to a single unsharded engine's — distances, evidence
 // vectors, tie order and all (asserted by tests/serving_test.cc).
+//
+// ShardedEngine implements serving::SearchBackend, so front-ends
+// (DiscoveryService, the CLI) address it and a single-engine deployment
+// through one API: Profile(table) -> QueryTarget, then
+// Search(target, k, mask) -> SearchResult.
 #pragma once
 
 #include <memory>
@@ -28,6 +33,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "serving/manifest.h"
+#include "serving/search_backend.h"
 #include "serving/thread_pool.h"
 #include "table/lake.h"
 
@@ -50,39 +56,72 @@ struct QueryBatch {
   size_t k = 10;
 };
 
-/// \brief Parallel scatter-gather engine over N shard replicas.
-class ShardedEngine {
+/// \brief Parallel scatter-gather SearchBackend over N shard replicas.
+class ShardedEngine : public SearchBackend {
  public:
   /// Loads every shard named by the manifest (eagerly). Fails with a clean
   /// Status on a missing shard file, a checksum/size mismatch, shards whose
   /// contents contradict the manifest, or shards built with diverging
-  /// engine options.
+  /// engine options (compared by core::OptionsFingerprint).
   static Result<std::unique_ptr<ShardedEngine>> Open(
       const std::string& manifest_path, ShardedEngineOptions options = {});
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_tables() const { return table_names_.size(); }
   size_t num_attributes() const { return attr_table_.size(); }
-  const std::string& table_name(uint32_t global_table) const {
-    return table_names_[global_table];
-  }
-  /// The (uniform) options every shard engine was built with.
-  const core::D3LOptions& options() const { return shards_[0]->options(); }
   const ShardManifest& manifest() const { return manifest_; }
   const core::D3LEngine& shard(size_t s) const { return *shards_[s]; }
 
-  /// Top-k search over the whole sharded lake. TableMatch::table_index and
-  /// the attribute ids inside pairs/candidate_alignments are GLOBAL (the
-  /// original lake's numbering), so results read exactly like a single
-  /// engine's over the unsharded lake.
-  Result<core::SearchResult> Search(const Table& target, size_t k) const;
+  // -- SearchBackend --
+  using SearchBackend::Search;  // the Profile+Search convenience overload
+
+  /// Profiles a target once for all shards (signatures depend only on the
+  /// uniform engine options, so any replica produces the same QueryTarget).
+  Result<core::QueryTarget> Profile(const Table& target) const override;
+
+  /// Top-k search from a profiled target over the whole sharded lake.
+  /// TableMatch::table_index and the attribute ids inside
+  /// pairs/candidate_alignments are GLOBAL (the original lake's numbering),
+  /// so results read exactly like a single engine's over the unsharded lake.
+  Result<core::SearchResult> Search(
+      core::QueryTarget target, size_t k,
+      const std::array<bool, core::kNumEvidence>& enabled_mask) const override;
+
+  /// The (uniform) options every shard engine was built with.
+  const core::D3LOptions& options() const override { return shards_[0]->options(); }
+
+  /// Backend identity: the index fingerprint folds every manifest entry's
+  /// file and schema checksums, so rebuilding or swapping any shard file
+  /// yields a different identity (and invalidates cached results).
+  BackendInfo Info() const override;
+
+  std::string table_name(uint32_t table_index) const override {
+    return table_names_[table_index];
+  }
 
   /// Batched execution: results[i] corresponds to batch.targets[i]. A bad
-  /// target (null, or without columns) fails only its own slot.
+  /// target (null, or without columns) fails only its own slot. Targets
+  /// are profiled in parallel and duplicates (same Table pointer) are
+  /// profiled/scattered once.
   std::vector<Result<core::SearchResult>> Execute(const QueryBatch& batch) const;
 
  private:
   ShardedEngine(ShardManifest manifest, size_t num_threads);
+
+  /// One batch slot after the profiling phase: failed, a duplicate of an
+  /// earlier slot, or a profiled target ready for the scatter phases.
+  struct ProfiledSlot {
+    Status error;
+    size_t dup_of = SIZE_MAX;  ///< earlier slot with the same profiled table
+    core::QueryTarget qt;
+  };
+
+  /// Phases 2-5 (scatter depth counts, resolve, scatter candidates, score,
+  /// gather/rank) for already-profiled slots — the shared engine behind
+  /// both Search(QueryTarget) and Execute(QueryBatch).
+  std::vector<Result<core::SearchResult>> ExecuteProfiled(
+      std::vector<ProfiledSlot> slots, size_t k,
+      const std::array<bool, core::kNumEvidence>& enabled_mask) const;
 
   ShardManifest manifest_;
   /// Schema-only metadata backing each loaded engine (must outlive it).
@@ -97,6 +136,7 @@ class ShardedEngine {
   std::vector<std::vector<uint32_t>> attr_global_;
   std::vector<uint32_t> attr_shard_;              ///< [global attr] -> owning shard
   std::vector<uint32_t> attr_local_;              ///< [global attr] -> local attr id
+  uint64_t index_fingerprint_ = 0;                ///< manifest checksum digest
 
   mutable ThreadPool pool_;
 };

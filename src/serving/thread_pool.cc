@@ -1,6 +1,7 @@
 #include "serving/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace d3l::serving {
 
@@ -18,6 +19,10 @@ ThreadPool::~ThreadPool() {
   }
   wake_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // Workers exit as soon as they observe stop_, possibly leaving queued
+  // tasks behind; run them inline so no posted task (and no future backed
+  // by one) is ever abandoned.
+  DrainTasks();
 }
 
 size_t ThreadPool::DefaultThreads() {
@@ -40,18 +45,33 @@ void ThreadPool::Drain() {
   }
 }
 
+void ThreadPool::DrainTasks() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(m_);
       wake_cv_.wait(lk, [&] {
-        return stop_ || (fn_ != nullptr && epoch_ != seen_epoch && next_ < n_);
+        return stop_ || !tasks_.empty() ||
+               (fn_ != nullptr && epoch_ != seen_epoch && next_ < n_);
       });
       if (stop_) return;
       seen_epoch = epoch_;
     }
-    Drain();
+    Drain();       // batches first: they are a blocked caller's inner loop
+    DrainTasks();  // then any queued service work
   }
 }
 
@@ -72,6 +92,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lk(m_);
   done_cv_.wait(lk, [&] { return completed_ == n_; });
   fn_ = nullptr;
+}
+
+void ThreadPool::Post(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();  // no one would ever pick it up; run inline
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake_cv_.notify_one();
 }
 
 }  // namespace d3l::serving

@@ -1,16 +1,25 @@
-// A fixed pool of worker threads with a blocking ParallelFor — the
-// execution substrate of the scatter-gather query engine.
+// A fixed pool of worker threads with two scheduling modes — the execution
+// substrate of the scatter-gather query engine and the async query service.
 //
-// The pool is batch-oriented rather than queue-oriented: ParallelFor(n, fn)
-// runs fn(0..n-1) across the workers AND the calling thread, then returns
-// when every iteration has finished. Caller participation means a pool with
-// zero workers degenerates to a plain serial loop (handy in tests and on
-// single-core boxes) and that no batch can deadlock waiting for itself.
+// Batch mode: ParallelFor(n, fn) runs fn(0..n-1) across the workers AND the
+// calling thread, then returns when every iteration has finished. Caller
+// participation means a pool with zero workers degenerates to a plain
+// serial loop (handy in tests and on single-core boxes) and that no batch
+// can deadlock waiting for itself.
+//
+// Task mode: Post(fn) enqueues an independent unit of work and returns
+// immediately; a worker picks it up as soon as it is free. This is what
+// DiscoveryService builds its query futures on. The two modes share the
+// workers: queued tasks run between batches (batches take priority, as
+// they are the latency-critical inner phases of a query). Posted tasks are
+// never dropped — destruction runs any stragglers inline after the workers
+// exit, so a future backed by a posted task is always satisfied.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -18,11 +27,11 @@
 
 namespace d3l::serving {
 
-/// \brief Fixed worker pool running one blocking batch at a time.
+/// \brief Fixed worker pool: blocking batches plus fire-and-forget tasks.
 class ThreadPool {
  public:
   /// Spawns `num_workers` threads (0 is valid: ParallelFor runs serially on
-  /// the caller).
+  /// the caller, and Post runs tasks inline).
   explicit ThreadPool(size_t num_workers);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -40,6 +49,12 @@ class ThreadPool {
   /// dangles. Worker-thread throws hit std::terminate regardless.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues `fn` to run on a worker thread and returns immediately. With
+  /// zero workers the task runs inline on the calling thread before Post
+  /// returns (synchronous degradation, same guarantee: the task WILL run).
+  /// Tasks must not throw, and must not call ParallelFor on this pool.
+  void Post(std::function<void()> fn);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t DefaultThreads();
 
@@ -47,12 +62,14 @@ class ThreadPool {
   void WorkerLoop();
   // Claims and runs iterations of the current batch until none remain.
   void Drain();
+  // Pops and runs queued tasks until the queue is empty.
+  void DrainTasks();
 
   std::vector<std::thread> workers_;
 
   std::mutex batch_mutex_;  ///< serializes whole batches
 
-  std::mutex m_;  ///< guards the per-batch state below
+  std::mutex m_;  ///< guards the per-batch state and the task queue below
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   const std::function<void(size_t)>* fn_ = nullptr;
@@ -60,6 +77,7 @@ class ThreadPool {
   size_t next_ = 0;
   size_t completed_ = 0;
   uint64_t epoch_ = 0;  ///< bumped per batch so workers never rejoin a done one
+  std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
 };
 

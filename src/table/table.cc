@@ -7,6 +7,9 @@
 namespace d3l {
 
 void Column::ComputeStats() const {
+  // Serializes the one-time computation; late arrivals see dirty_ == false
+  // after taking the lock and read the stats with a happens-before edge.
+  std::lock_guard<std::mutex> lk(stats_mu_);
   if (!dirty_) return;
   size_t nulls = 0;
   size_t numeric = 0;

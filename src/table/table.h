@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -16,6 +18,23 @@ class Column {
  public:
   Column() = default;
   explicit Column(std::string name) : name_(std::move(name)) {}
+
+  // The stats mutex is per-instance state, not data: copies/moves transfer
+  // the cells and cached stats only, taking the source's stats lock so a
+  // copy racing a concurrent const reader (whose accessor may lazily
+  // compute stats) never observes half-written stats. Mutation (Append)
+  // must still be externally serialized against copies, as for the std
+  // containers inside.
+  Column(const Column& other) { CopyFieldsFrom(other); }
+  Column& operator=(const Column& other) {
+    if (this != &other) CopyFieldsFrom(other);
+    return *this;
+  }
+  Column(Column&& other) noexcept { MoveFieldsFrom(std::move(other)); }
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) MoveFieldsFrom(std::move(other));
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -31,7 +50,10 @@ class Column {
   void Reserve(size_t n) { cells_.reserve(n); }
 
   /// Inferred coarse type: numeric iff >= 75% of non-null cells parse as
-  /// numbers (and there is at least one non-null cell). Cached.
+  /// numbers (and there is at least one non-null cell). Cached; the lazy
+  /// computation is synchronized, so concurrent readers (e.g. several
+  /// service queries profiling the same target table) are safe. Mutation
+  /// (Append) must still be externally serialized against reads.
   ColumnType type() const;
 
   /// Number of NULL cells (see IsNullCell).
@@ -51,11 +73,32 @@ class Column {
 
  private:
   void ComputeStats() const;
+  void CopyFieldsFrom(const Column& other) {
+    name_ = other.name_;
+    cells_ = other.cells_;
+    std::lock_guard<std::mutex> lk(other.stats_mu_);
+    dirty_ = other.dirty_;
+    type_ = other.type_;
+    null_count_ = other.null_count_;
+    distinct_count_ = other.distinct_count_;
+  }
+  void MoveFieldsFrom(Column&& other) noexcept {
+    name_ = std::move(other.name_);
+    cells_ = std::move(other.cells_);
+    std::lock_guard<std::mutex> lk(other.stats_mu_);
+    dirty_ = other.dirty_;
+    type_ = other.type_;
+    null_count_ = other.null_count_;
+    distinct_count_ = other.distinct_count_;
+  }
 
   std::string name_;
   std::vector<std::string> cells_;
 
-  // Lazily computed statistics.
+  // Lazily computed statistics. The first accessor call computes them under
+  // stats_mu_; every read happens after that critical section, so stats are
+  // data-race-free for any number of concurrent readers.
+  mutable std::mutex stats_mu_;
   mutable bool dirty_ = true;
   mutable ColumnType type_ = ColumnType::kString;
   mutable size_t null_count_ = 0;

@@ -266,5 +266,46 @@ TEST(ForestDepthCountsTest, CountsMatchQueryAtDepthAndDecomposeAcrossForests) {
   }
 }
 
+TEST(ForestDepthCountsTest, BudgetedScanMatchesFullScan) {
+  MinHasher hasher(64, 13);
+  LshForestOptions options;
+  options.num_trees = 4;
+  options.hashes_per_tree = 6;
+  LshForest forest(options);
+  for (uint32_t i = 0; i < 80; ++i) {
+    forest.Insert(i, hasher.Sign(SetWithSharedPrefix(static_cast<int>(i % 40), 50,
+                                                     static_cast<int>(i / 5))));
+  }
+  forest.Index();
+
+  for (int q = 0; q < 6; ++q) {
+    Signature query = hasher.Sign(SetWithSharedPrefix(30 + q, 50, q));
+    const std::vector<size_t> full = forest.DepthCounts(query);
+
+    // A budget the forest never reaches leaves nothing to cut off: the
+    // early-terminated scan must return identical counts at every depth.
+    EXPECT_EQ(forest.DepthCounts(query, forest.size() + 1), full) << "q=" << q;
+
+    // Saturating budgets: counts stay exact at the stop depth and deeper,
+    // clamped entries stay >= the budget, and — the property retrieval
+    // rides on — the resolved stop depth is identical to the full scan's.
+    for (size_t m : {size_t{1}, size_t{2}, size_t{5}, size_t{16}, size_t{64}}) {
+      const std::vector<size_t> budgeted = forest.DepthCounts(query, m);
+      ASSERT_EQ(budgeted.size(), full.size()) << "q=" << q << " m=" << m;
+      const size_t stop = LshForest::StopDepth(full, m);
+      EXPECT_EQ(LshForest::StopDepth(budgeted, m), stop) << "q=" << q << " m=" << m;
+      for (size_t d = stop; d <= full.size(); ++d) {
+        EXPECT_EQ(budgeted[d - 1], full[d - 1]) << "q=" << q << " m=" << m << " d=" << d;
+      }
+      for (size_t d = 1; d < stop; ++d) {
+        EXPECT_LE(budgeted[d - 1], full[d - 1]) << "clamped entries underestimate";
+        if (full[stop - 1] >= m) {
+          EXPECT_GE(budgeted[d - 1], m) << "clamp may never dip below the budget";
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace d3l
