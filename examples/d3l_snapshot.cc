@@ -28,11 +28,24 @@
 //       the monolithic form — both paths serve through the same
 //       serving::SearchBackend + DiscoveryService API.
 //
-//   $ ./build/d3l_snapshot info <file>
+//   $ ./build/d3l_snapshot update <csv_dir> <out_base>
+//       Incrementally rebuilds the sharded deployment at <out_base> to
+//       match the (changed) CSV directory: diffs the lake against the
+//       manifest's recorded source identities and re-profiles ONLY the
+//       shards whose tables were added, removed or edited — the others'
+//       snapshots are reused byte-for-byte, and added tables are placed
+//       by the deployment's recorded balance policy. The updated
+//       deployment answers queries exactly like a from-scratch `shard`
+//       over the new lake at the same placement.
+//
+//   $ ./build/d3l_snapshot info <file> [csv_dir]
 //       Prints container metadata (format version, section table with
 //       sizes and checksum state) plus, for engine snapshots, the
 //       table/attribute counts and key options, and for shard manifests,
-//       the per-shard layout — all without loading any index.
+//       the per-shard layout — all without loading any index. With a CSV
+//       directory, each shard is additionally checked for staleness
+//       against the current files (by recorded size/CRC32 only — nothing
+//       is parsed or profiled).
 //
 // Snapshots are self-contained: `query` never touches the original CSV
 // directory, which is what makes a snapshot (or a shard set) the unit of
@@ -69,8 +82,9 @@ int Usage(const char* argv0) {
       "  %s shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]\n"
       "  %s query --shards <base.manifest> <target.csv> [k] [--threads=T]\n"
       "       [--repeat=N] [--cache=C]\n"
-      "  %s info <snapshot.d3l | base.manifest>\n",
-      argv0, argv0, argv0, argv0, argv0);
+      "  %s update <csv_dir> <out_base>\n"
+      "  %s info <snapshot.d3l | base.manifest> [csv_dir]\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -211,6 +225,38 @@ int RunShard(const std::string& csv_dir, const std::string& out_base,
   return 0;
 }
 
+int RunUpdate(const std::string& csv_dir, const std::string& out_base) {
+  DataLake lake;
+  Status load = lake.LoadDirectory(csv_dir);
+  if (!load.ok()) return Fail(load);
+  if (lake.size() == 0) {
+    std::fprintf(stderr, "no CSV files found in %s\n", csv_dir.c_str());
+    return 1;
+  }
+  // Shard count and balance policy come from the deployed manifest, not
+  // flags: an update never repartitions.
+  auto report = serving::UpdateShards(lake, serving::ShardingOptions{}, out_base);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("updated %zu-shard deployment in %.3fs: %zu rebuilt, %zu reused\n",
+              report->shard_paths.size(), report->build_seconds,
+              report->rebuilt_shards.size(), report->shards_reused);
+  const auto print_list = [](const char* what, const std::vector<std::string>& files) {
+    if (files.empty()) return;
+    std::printf("%s (%zu):", what, files.size());
+    for (const std::string& f : files) std::printf(" %s", f.c_str());
+    std::printf("\n");
+  };
+  print_list("added", report->added);
+  print_list("removed", report->removed);
+  print_list("changed", report->changed);
+  for (size_t s : report->rebuilt_shards) {
+    std::printf("  rebuilt %s (%zu tables)\n", report->shard_paths[s].c_str(),
+                report->plan[s].size());
+  }
+  std::printf("manifest rewritten at %s\n", report->manifest_path.c_str());
+  return 0;
+}
+
 int RunShardedQuery(const std::string& manifest_path, const std::string& target_csv,
                     size_t k, size_t threads, size_t repeat, size_t cache_capacity) {
   serving::ShardedEngineOptions options;
@@ -237,7 +283,7 @@ int RunShardedQuery(const std::string& manifest_path, const std::string& target_
   return ServeQueries(*engine, *target, k, repeat, cache_capacity);
 }
 
-int RunInfo(const std::string& path) {
+int RunInfo(const std::string& path, const std::string& csv_dir) {
   auto inspected = io::InspectFile(path);
   if (!inspected.ok()) return Fail(inspected.status());
 
@@ -285,15 +331,41 @@ int RunInfo(const std::string& path) {
   } else if (magic == std::string(serving::ShardManifest::kMagic, 8)) {
     auto manifest = serving::ShardManifest::Load(path);
     if (!manifest.ok()) return Fail(manifest.status());
-    std::printf("\nshard manifest: %llu tables, %llu attributes, %zu shards (%s)\n",
+    std::printf("\nshard manifest (v%u): %llu tables, %llu attributes, %zu shards (%s)\n",
+                manifest->version,
                 static_cast<unsigned long long>(manifest->total_tables),
                 static_cast<unsigned long long>(manifest->total_attributes),
                 manifest->shards.size(), manifest->balance.c_str());
-    eval::TablePrinter shards({"shard", "file", "tables", "attrs", "bytes"});
+    // Per-shard staleness against the CSV directory (v2 manifests record
+    // every table's source size/CRC32; nothing is parsed or profiled).
+    std::vector<serving::ShardFreshness> freshness;
+    if (!csv_dir.empty()) {
+      auto checked = serving::CheckFreshness(*manifest, csv_dir);
+      if (!checked.ok()) return Fail(checked.status());
+      freshness = std::move(checked->shards);
+      if (!checked->new_files.empty()) {
+        std::printf("%zu new csv file(s) not in any shard (first: %s)\n",
+                    checked->new_files.size(), checked->new_files[0].c_str());
+      }
+    }
+    eval::TablePrinter shards(
+        freshness.empty()
+            ? std::vector<std::string>{"shard", "file", "tables", "attrs", "bytes"}
+            : std::vector<std::string>{"shard", "file", "tables", "attrs", "bytes",
+                                       "status"});
     for (size_t s = 0; s < manifest->shards.size(); ++s) {
       const serving::ShardManifestEntry& e = manifest->shards[s];
-      shards.AddRow({std::to_string(s), e.file, std::to_string(e.num_tables),
-                     std::to_string(e.num_attributes), std::to_string(e.file_bytes)});
+      std::vector<std::string> row{std::to_string(s), e.file,
+                                   std::to_string(e.num_tables),
+                                   std::to_string(e.num_attributes),
+                                   std::to_string(e.file_bytes)};
+      if (!freshness.empty()) {
+        const serving::ShardFreshness& f = freshness[s];
+        row.push_back(f.fresh() ? "fresh"
+                                : "stale (" + std::to_string(f.changed) + " changed, " +
+                                      std::to_string(f.missing) + " missing)");
+      }
+      shards.AddRow(std::move(row));
     }
     shards.Print();
     // Shard sets are options-uniform (enforced at Open), so shard 0's
@@ -416,9 +488,19 @@ int main(int argc, char** argv) {
     return RunShard(f.positional[0], f.positional[1], f.shards, f.balance);
   }
 
+  if (std::strcmp(argv[1], "update") == 0) {
+    // --shards= and --balance= are rejected here on purpose: an update
+    // keeps the deployed shard count and balance policy (repartitioning
+    // or a policy change is a full `shard` build).
+    ParsedFlags f = ParseFlags(argc, argv, 2, /*allow_threads=*/false,
+                               /*allow_shard_flags=*/false);
+    if (!f.ok || f.positional.size() != 2) return Usage(argv[0]);
+    return RunUpdate(f.positional[0], f.positional[1]);
+  }
+
   if (std::strcmp(argv[1], "info") == 0) {
-    if (argc != 3) return Usage(argv[0]);
-    return RunInfo(argv[2]);
+    if (argc != 3 && argc != 4) return Usage(argv[0]);
+    return RunInfo(argv[2], argc == 4 ? argv[3] : "");
   }
 
   return Usage(argv[0]);

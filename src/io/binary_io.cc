@@ -1,8 +1,12 @@
 #include "io/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 namespace d3l::io {
@@ -194,16 +198,25 @@ std::string SectionName(uint32_t id) {
 // ---------------------------------------------------------------- Writer
 
 Writer::~Writer() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Abandoned write (error path, or the caller never reached Finish):
+    // drop the temp file so the target keeps its previous contents and no
+    // half-written ".tmp" litters the directory.
+    std::fclose(file_);
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
 }
 
 Status Writer::Open(const std::string& path, const char (&magic)[9], uint32_t version) {
   if (file_ != nullptr || buffer_ != nullptr) {
     return Status::InvalidArgument("Writer already open");
   }
-  file_ = std::fopen(path.c_str(), "wb");
+  final_path_ = path;
+  tmp_path_ = path + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
-    return Status::IOError("cannot create " + path);
+    return Status::IOError("cannot create " + tmp_path_);
   }
   D3L_RETURN_NOT_OK(WriteAll(file_, magic, 8, "magic"));
   std::string header;
@@ -264,9 +277,35 @@ Status Writer::Finish() {
     return Status::OK();
   }
   if (file_ == nullptr) return Status::Internal("Writer not open");
+  // The temp file's data must be durable BEFORE the rename is: journaling
+  // filesystems may commit the rename ahead of the data blocks, and a
+  // power cut in that window would publish a truncated file over the
+  // previously good one — exactly what this protocol exists to prevent.
+  const bool synced = std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
   int rc = std::fclose(file_);
   file_ = nullptr;
-  if (rc != 0) return Status::IOError("close failed");
+  if (!synced || rc != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    return Status::IOError("cannot sync/close " + tmp_path_);
+  }
+  // Atomic publish: the complete temp file replaces the target in one
+  // rename, so a concurrent or post-crash reader sees either the old file
+  // or the new one — never a truncated in-between.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, final_path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path_, ec);
+    return Status::IOError("cannot rename " + tmp_path_ + " to " + final_path_);
+  }
+  // Make the rename itself durable: the directory entry lives in the
+  // parent directory's data.
+  const std::string dir = std::filesystem::path(final_path_).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: some filesystems refuse directory fsync
+    ::close(dir_fd);
+  }
   return Status::OK();
 }
 
@@ -302,6 +341,12 @@ Reader::~Reader() {
 }
 
 Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t version) {
+  uint32_t found = 0;
+  return Open(path, magic, version, version, &found);
+}
+
+Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
+                    uint32_t max_version, uint32_t* version_out) {
   if (file_ != nullptr) return Status::InvalidArgument("Reader already open");
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
@@ -319,11 +364,16 @@ Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t ve
   uint32_t got_version = static_cast<uint32_t>(vb[0]) | static_cast<uint32_t>(vb[1]) << 8 |
                          static_cast<uint32_t>(vb[2]) << 16 |
                          static_cast<uint32_t>(vb[3]) << 24;
-  if (got_version != version) {
+  if (got_version < min_version || got_version > max_version) {
+    const std::string want =
+        min_version == max_version
+            ? "v" + std::to_string(min_version)
+            : "v" + std::to_string(min_version) + "..v" + std::to_string(max_version);
     return Status::InvalidArgument("format version mismatch: file has v" +
-                                   std::to_string(got_version) + ", reader expects v" +
-                                   std::to_string(version));
+                                   std::to_string(got_version) + ", reader expects " +
+                                   want);
   }
+  *version_out = got_version;
   return Status::OK();
 }
 

@@ -85,6 +85,12 @@ constexpr uint32_t SectionId(const char (&s)[5]) {
 }
 
 /// \brief Streams sections of little-endian primitives to a file.
+///
+/// Writes are crash-safe: Open() streams into `path + ".tmp"` and Finish()
+/// renames it over `path` (atomic on POSIX), so a crash or error mid-write
+/// leaves any previous file at `path` untouched and readers never observe a
+/// half-written snapshot or manifest. An abandoned Writer (destroyed
+/// without a successful Finish) removes its temp file.
 class Writer {
  public:
   Writer() = default;
@@ -92,7 +98,9 @@ class Writer {
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
 
-  /// Creates/truncates `path` and writes the magic + format version header.
+  /// Starts an atomic write of `path`: creates/truncates `path + ".tmp"`
+  /// and writes the magic + format version header. The target file is only
+  /// replaced by Finish().
   Status Open(const std::string& path, const char (&magic)[9], uint32_t version);
 
   /// Opens the writer over an in-memory buffer instead of a file: sections
@@ -111,8 +119,9 @@ class Writer {
   /// Flushes the buffered section: header, payload, checksum.
   Status EndSection();
 
-  /// Ends any open section and closes the file. Must be called to obtain
-  /// the final write status (close errors surface here).
+  /// Ends any open section, closes the temp file and renames it over the
+  /// target path. Must be called to obtain the final write status (close
+  /// and rename errors surface here); without it the target is untouched.
   Status Finish();
 
   // -- primitives (append to the current section buffer) --
@@ -137,6 +146,8 @@ class Writer {
  private:
   std::FILE* file_ = nullptr;
   std::string* buffer_ = nullptr;  ///< in-memory sink (OpenBuffer mode)
+  std::string final_path_;         ///< rename destination (file mode)
+  std::string tmp_path_;           ///< the file actually being written
   std::string section_;  ///< payload of the section being built
   uint32_t section_id_ = 0;
   bool in_section_ = false;
@@ -155,6 +166,13 @@ class Reader {
   /// mismatch yields InvalidArgument ("not a … file"); a version mismatch
   /// names both versions so callers can report upgrade paths.
   Status Open(const std::string& path, const char (&magic)[9], uint32_t version);
+
+  /// Version-range form for formats with backward-compatible readers: the
+  /// file's version must lie in [min_version, max_version]; the version
+  /// actually found is stored into `*version_out` so the caller can branch
+  /// its field decoding on it.
+  Status Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
+              uint32_t max_version, uint32_t* version_out);
 
   /// Loads the next section, which must have id `id`, and verifies its
   /// checksum. Truncated payloads yield IOError; checksum mismatches

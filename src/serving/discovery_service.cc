@@ -26,7 +26,7 @@ DiscoveryService::DiscoveryService(const SearchBackend* backend,
     : backend_(backend),
       options_(options),
       info_(backend->Info()),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_(options.cache_capacity, options.cache_shards, options.cache_max_bytes),
       pool_(options.inline_execution
                 ? 0
                 : (options.num_threads > 0 ? options.num_threads
@@ -110,6 +110,7 @@ void DiscoveryService::Execute(const QueryRequest& request,
       request.enabled.value_or(backend_->options().enabled);
 
   bool hit = false;
+  bool negative = false;
   bool searched = false;  ///< the query reached the backend's Search
   double profile_seconds = 0;
   double search_seconds = 0;
@@ -125,13 +126,28 @@ void DiscoveryService::Execute(const QueryRequest& request,
       const bool use_cache = !request.bypass_cache && cache_.capacity() > 0;
       CacheKey key;
       core::SearchResult cached;
+      CacheLookup looked = CacheLookup::kMiss;
       if (use_cache) {
         key = KeyFor(*profiled, request.k, mask);
-        hit = cache_.Lookup(key, &cached);
+        looked = cache_.Lookup(key, &cached);
       }
-      if (hit) {
+      if (looked == CacheLookup::kHit) {
+        hit = true;
         response.result = std::move(cached);
         response.stats.cache_hit = true;
+      } else if (looked == CacheLookup::kNegative) {
+        // The backend is known to retrieve nothing for this key:
+        // reconstruct the empty result from the target we just profiled —
+        // byte-identical to what SearchTarget would return, since an empty
+        // retrieval only moves the profiles/signatures into the result.
+        hit = true;
+        negative = true;
+        core::SearchResult empty;
+        empty.target_profiles = std::move(profiled->profiles);
+        empty.target_sigs = std::move(profiled->sigs);
+        response.result = std::move(empty);
+        response.stats.cache_hit = true;
+        response.stats.negative_hit = true;
       } else {
         searched = true;
         t0 = std::chrono::steady_clock::now();
@@ -139,7 +155,12 @@ void DiscoveryService::Execute(const QueryRequest& request,
             backend_->Search(std::move(*profiled), request.k, mask);
         search_seconds = response.stats.search_seconds = SecondsSince(t0);
         if (use_cache && response.result.ok()) {
-          cache_.Insert(key, *response.result);  // deep copy into the cache
+          if (response.result->ranked.empty() &&
+              response.result->candidate_alignments.empty()) {
+            cache_.InsertNegative(key);  // remember the emptiness, not the bytes
+          } else {
+            cache_.Insert(key, *response.result);  // deep copy into the cache
+          }
         }
       }
     }
@@ -154,6 +175,7 @@ void DiscoveryService::Execute(const QueryRequest& request,
     if (!response.result.ok()) ++failed_;
     if (hit) {
       ++cache_hits_;
+      if (negative) ++negative_hits_;
     } else if (searched) {
       ++cache_misses_;  // failed-before-retrieval queries count only in failed_
     }
@@ -175,6 +197,7 @@ ServiceStats DiscoveryService::Stats() const {
     stats.rejected = rejected_;
     stats.failed = failed_;
     stats.cache_hits = cache_hits_;
+    stats.negative_hits = negative_hits_;
     stats.cache_misses = cache_misses_;
     stats.profile_seconds = profile_seconds_;
     stats.search_seconds = search_seconds_;

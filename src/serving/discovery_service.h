@@ -9,7 +9,10 @@
 //   profile target  ->  cache lookup  ->  [hit: copy cached result]
 //                                         [miss: backend Search + insert]
 //
-// with per-phase wall-clock stats recorded into the response.
+// with per-phase wall-clock stats recorded into the response. Queries that
+// retrieve nothing are cached too — as lightweight negative entries whose
+// hits reconstruct the empty result from the freshly profiled target — so
+// a hot target with no candidates stops re-running retrieval.
 //
 // Result-cache keying. The 128-bit key is two seeded hashes of a canonical
 // byte string: the backend's index fingerprint (snapshot/manifest
@@ -54,6 +57,10 @@ struct DiscoveryServiceOptions {
   size_t cache_capacity = 256;
   /// Lock shards inside the result cache (clamped to the capacity).
   size_t cache_shards = 8;
+  /// Byte budget over the cached results' approximate deep sizes (0 =
+  /// entry-count bound only). Bounded by default: a handful of huge
+  /// SearchResults must not grow the cache past what was provisioned.
+  size_t cache_max_bytes = 256ull << 20;
   /// When true the service runs every query inline on the Submit caller
   /// (no worker threads): deterministic single-threaded execution for
   /// tests and benchmarks; futures are ready when Submit returns.
@@ -73,6 +80,10 @@ struct QueryRequest {
 /// \brief Per-query execution metrics.
 struct QueryStats {
   bool cache_hit = false;
+  /// The hit was a negative entry: the backend was known to retrieve no
+  /// candidates for this key, and the empty result was reconstructed from
+  /// the freshly profiled target (byte-identical to recomputation).
+  bool negative_hit = false;
   double queue_seconds = 0;    ///< Submit() to execution start
   double profile_seconds = 0;  ///< ProfileTarget
   double search_seconds = 0;   ///< backend retrieval+ranking (0 on a hit)
@@ -94,8 +105,9 @@ struct ServiceStats {
   size_t completed = 0;
   size_t rejected = 0;     ///< refused at Submit (service shut down)
   size_t failed = 0;       ///< completed with a non-OK result
-  size_t cache_hits = 0;
-  size_t cache_misses = 0;  ///< executed queries that went to the backend
+  size_t cache_hits = 0;     ///< includes negative hits
+  size_t negative_hits = 0;  ///< empty-result queries answered by the cache
+  size_t cache_misses = 0;   ///< executed queries that went to the backend
   ResultCache::Stats cache;
   double profile_seconds = 0;  ///< summed across queries
   double search_seconds = 0;
@@ -158,6 +170,7 @@ class DiscoveryService {
   size_t rejected_ = 0;
   size_t failed_ = 0;
   size_t cache_hits_ = 0;
+  size_t negative_hits_ = 0;
   size_t cache_misses_ = 0;
   double profile_seconds_ = 0;
   double search_seconds_ = 0;

@@ -1,16 +1,40 @@
 #include "serving/manifest.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "io/binary_io.h"
+#include "table/csv.h"
 
 namespace d3l::serving {
 
 namespace {
 constexpr uint32_t kSectionManifest = io::SectionId("MANF");
+
+/// A manifest-relative shard filename must stay inside the manifest's
+/// directory: no absolute paths, no ".." components. Everything the
+/// builder writes is a bare filename, so anything fancier is a hand-edited
+/// (or hostile) manifest.
+bool EscapesManifestDirectory(const std::string& file) {
+  const std::filesystem::path p(file);
+  if (p.is_absolute()) return true;
+  for (const auto& component : p) {
+    if (component == "..") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ShardManifest::has_source_identity() const {
+  for (const ShardManifestEntry& e : shards) {
+    if (e.sources.size() != e.global_tables.size()) return false;
+  }
+  return !shards.empty();
 }
 
 Status ShardManifest::Validate() const {
@@ -35,10 +59,38 @@ Status ShardManifest::Validate() const {
     if (e.file.empty()) {
       return Status::InvalidArgument("shard " + std::to_string(s) + " has no filename");
     }
+    if (EscapesManifestDirectory(e.file)) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " filename '" + e.file +
+          "' escapes the manifest directory (absolute or '..' path)");
+    }
     if (e.num_tables != e.global_tables.size()) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) +
           ": table count disagrees with its global table list");
+    }
+    // Source identities are optional (absent in loaded v1 manifests) but
+    // when present must name every table.
+    if (!e.sources.empty()) {
+      if (e.sources.size() != e.global_tables.size()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            ": source list disagrees with its table count");
+      }
+      for (const TableSource& src : e.sources) {
+        if (src.file.empty()) {
+          return Status::InvalidArgument("shard " + std::to_string(s) +
+                                         " records a source with no filename");
+        }
+        // Same hardening as shard filenames: CheckFreshness joins these
+        // against a caller-supplied directory, so a hostile manifest must
+        // not turn it into a probe of arbitrary paths.
+        if (EscapesManifestDirectory(src.file)) {
+          return Status::InvalidArgument(
+              "shard " + std::to_string(s) + " source filename '" + src.file +
+              "' escapes the lake directory (absolute or '..' path)");
+        }
+      }
     }
     attr_total += e.num_attributes;
     for (uint32_t g : e.global_tables) {
@@ -85,15 +137,23 @@ Status ShardManifest::Save(const std::string& path) const {
     w.WriteU64(e.num_attributes);
     w.WriteU64(e.global_tables.size());
     for (uint32_t g : e.global_tables) w.WriteU32(g);
+    // v2: per-table source identities. A count of 0 is legal (a re-saved
+    // v1 manifest keeps loading; it just stays non-updatable).
+    w.WriteU64(e.sources.size());
+    for (const TableSource& src : e.sources) {
+      w.WriteString(src.file);
+      w.WriteU64(src.bytes);
+      w.WriteU32(src.crc32);
+    }
   }
   return w.Finish();
 }
 
 Result<ShardManifest> ShardManifest::Load(const std::string& path) {
   io::Reader r;
-  D3L_RETURN_NOT_OK(r.Open(path, kMagic, kVersion));
-  D3L_RETURN_NOT_OK(r.OpenSection(kSectionManifest));
   ShardManifest m;
+  D3L_RETURN_NOT_OK(r.Open(path, kMagic, kMinReadVersion, kVersion, &m.version));
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionManifest));
   m.total_tables = r.ReadU64();
   m.total_attributes = r.ReadU64();
   m.balance = r.ReadString();
@@ -110,6 +170,17 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
     size_t n_tables = r.ReadLength(sizeof(uint32_t));
     e.global_tables.reserve(n_tables);
     for (size_t t = 0; t < n_tables; ++t) e.global_tables.push_back(r.ReadU32());
+    if (m.version >= 2) {
+      size_t n_sources = r.ReadLength(1);
+      e.sources.reserve(n_sources);
+      for (size_t t = 0; t < n_sources && r.status().ok(); ++t) {
+        TableSource src;
+        src.file = r.ReadString();
+        src.bytes = r.ReadU64();
+        src.crc32 = r.ReadU32();
+        e.sources.push_back(std::move(src));
+      }
+    }
     m.shards.push_back(std::move(e));
   }
   D3L_RETURN_NOT_OK(r.status());
@@ -148,6 +219,56 @@ uint32_t SchemaFingerprint(const DataLake& lake) {
     }
   }
   return acc.Finish();
+}
+
+TableSource SourceOf(const Table& table) {
+  if (table.source().valid()) return table.source();
+  // In-memory tables (tests, generators) get a content-derived identity:
+  // the canonical CSV serialization is deterministic, so two builds of the
+  // same table agree and any cell/schema change is visible in the CRC.
+  const std::string csv = WriteCsvString(table);
+  return TableSource{table.name() + ".csv", csv.size(),
+                     io::Crc32(csv.data(), csv.size())};
+}
+
+Result<ManifestFreshness> CheckFreshness(const ShardManifest& manifest,
+                                         const std::string& csv_dir) {
+  if (!manifest.has_source_identity()) {
+    return Status::InvalidArgument(
+        "manifest records no table sources (v1 format?); staleness requires "
+        "a v2 manifest built by this version");
+  }
+  namespace fs = std::filesystem;
+  ManifestFreshness out;
+  out.shards.reserve(manifest.shards.size());
+  std::set<std::string> known;
+  for (const ShardManifestEntry& e : manifest.shards) {
+    ShardFreshness f;
+    f.tables = e.sources.size();
+    for (const TableSource& src : e.sources) {
+      known.insert(src.file);
+      auto size_crc = FileSizeAndCrc32((fs::path(csv_dir) / src.file).string());
+      if (!size_crc.ok()) {
+        ++f.missing;
+      } else if (size_crc->first != src.bytes || size_crc->second != src.crc32) {
+        ++f.changed;
+      }
+    }
+    out.shards.push_back(f);
+  }
+  std::error_code ec;
+  if (!fs::is_directory(csv_dir, ec)) {
+    return Status::IOError("'" + csv_dir + "' is not a directory");
+  }
+  for (const auto& entry : fs::directory_iterator(csv_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv" &&
+        known.count(entry.path().filename().string()) == 0) {
+      out.new_files.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return Status::IOError("error listing '" + csv_dir + "': " + ec.message());
+  std::sort(out.new_files.begin(), out.new_files.end());
+  return out;
 }
 
 std::string ManifestPath(const std::string& base) { return base + ".manifest"; }

@@ -9,6 +9,14 @@
 // needs to remap shard-local results back onto the original lake's table
 // and attribute numbering. The manifest's own payload is protected by the
 // io::Writer section checksum.
+//
+// Format v2 additionally records, per table, the identity of the SOURCE
+// file the table was profiled from (filename + size + CRC32 captured at
+// build time). That is what makes a sharded deployment incrementally
+// rebuildable: UpdateShards (shard_builder.h) diffs the current lake
+// against these identities and re-profiles only the shards whose table
+// sets actually changed. v1 manifests still load and serve; they just
+// cannot be updated incrementally (no recorded sources).
 #pragma once
 
 #include <cstdint>
@@ -35,27 +43,45 @@ struct ShardManifestEntry {
   /// Global table ids (indexes into the original lake) in shard-local
   /// order: the shard's local table `i` is `global_tables[i]`.
   std::vector<uint32_t> global_tables;
+  /// v2: source-file identity of each table, parallel to `global_tables`
+  /// (shard-local order). Empty when loaded from a v1 manifest.
+  std::vector<TableSource> sources;
 };
 
 /// \brief A versioned description of one sharded lake.
 struct ShardManifest {
   static constexpr char kMagic[9] = "D3LSHRD\n";
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;          ///< written by Save()
+  static constexpr uint32_t kMinReadVersion = 1;   ///< oldest Load() accepts
+
+  /// The format version this manifest was loaded with (kVersion for
+  /// freshly built ones). Save() always writes the current version.
+  uint32_t version = kVersion;
 
   uint64_t total_tables = 0;
   uint64_t total_attributes = 0;
   std::string balance;  ///< planning policy, e.g. "size-balanced" / "round-robin"
   std::vector<ShardManifestEntry> shards;
 
+  /// True when every shard entry carries per-table source identities —
+  /// the precondition for incremental updates (always true for manifests
+  /// written by this version's builder, false for loaded v1 files).
+  bool has_source_identity() const;
+
   /// Structural invariants: at least one shard, per-shard counts consistent
-  /// with the entry's table list, and the global table ids forming an exact
-  /// partition of [0, total_tables).
+  /// with the entry's table list, the global table ids forming an exact
+  /// partition of [0, total_tables), and shard filenames that stay inside
+  /// the manifest's directory (absolute paths and ".." components are
+  /// rejected — a hand-edited or hostile manifest must not be able to make
+  /// ResolveRelative escape it).
   Status Validate() const;
 
-  /// Writes the manifest (magic, version, one checksummed section).
+  /// Writes the manifest (magic, version, one checksummed section)
+  /// atomically via io::Writer's temp-file + rename protocol.
   Status Save(const std::string& path) const;
 
-  /// Reads and Validate()s a manifest written by Save().
+  /// Reads and Validate()s a manifest written by Save() — the current
+  /// version or any still-readable older one (v1: no source identities).
   static Result<ShardManifest> Load(const std::string& path);
 };
 
@@ -66,13 +92,43 @@ Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32(const std::string& path);
 /// the identity a ShardManifestEntry pins its snapshot's contents to.
 uint32_t SchemaFingerprint(const DataLake& lake);
 
+/// \brief The source identity a shard builder records for `table`: the
+/// table's own load-time source when present (CSV-loaded lakes), else a
+/// content-based stand-in derived from the table's canonical CSV
+/// serialization — deterministic, so regenerated in-memory lakes diff
+/// cleanly too.
+TableSource SourceOf(const Table& table);
+
+/// \brief Per-shard staleness of a v2 manifest against a CSV directory,
+/// judged purely by recorded source identities (sizes + checksums; no CSV
+/// is parsed or profiled).
+struct ShardFreshness {
+  size_t tables = 0;   ///< tables the shard serves
+  size_t changed = 0;  ///< source files present but with different bytes/crc
+  size_t missing = 0;  ///< source files no longer in the directory
+  bool fresh() const { return changed == 0 && missing == 0; }
+};
+
+struct ManifestFreshness {
+  std::vector<ShardFreshness> shards;
+  /// *.csv files in the directory that no shard's sources mention (they
+  /// would be added by an UpdateShards over the reloaded lake).
+  std::vector<std::string> new_files;
+};
+
+/// \brief Checks every recorded source against `csv_dir`. Fails on a
+/// manifest without source identities (v1).
+Result<ManifestFreshness> CheckFreshness(const ShardManifest& manifest,
+                                         const std::string& csv_dir);
+
 /// \brief `<base>.manifest` / `<base>.shard<i>.d3l` naming scheme shared by
 /// the builder, the engine and the CLI.
 std::string ManifestPath(const std::string& base);
 std::string ShardPath(const std::string& base, size_t shard_index);
 
 /// \brief Resolves a manifest-relative filename against the manifest's
-/// directory.
+/// directory. Callers must only pass filenames from a Validate()d manifest
+/// (Validate rejects absolute and parent-escaping entries).
 std::string ResolveRelative(const std::string& manifest_path, const std::string& file);
 
 }  // namespace d3l::serving

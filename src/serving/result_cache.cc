@@ -4,21 +4,63 @@
 
 namespace d3l::serving {
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards)
+namespace {
+/// Accounting size of a negative entry: the Entry bookkeeping plus the
+/// hash-map node around it. Small but non-zero, so a flood of negative
+/// inserts still respects the byte budget.
+constexpr size_t kNegativeEntryBytes = 96;
+
+/// Per-node overhead of an unordered_map / list entry (two pointers, hash,
+/// allocator rounding) — a deliberate estimate, not an ABI promise.
+constexpr size_t kNodeOverhead = 48;
+}  // namespace
+
+size_t ApproxResultBytes(const core::SearchResult& result) {
+  size_t bytes = sizeof(core::SearchResult);
+  for (const core::TableMatch& m : result.ranked) {
+    bytes += sizeof(core::TableMatch) + m.pairs.size() * sizeof(core::PairDistances);
+  }
+  for (const auto& [table, aligns] : result.candidate_alignments) {
+    (void)table;
+    bytes += kNodeOverhead + aligns.size() * sizeof(std::pair<uint32_t, uint32_t>);
+  }
+  for (const core::AttributeProfile& p : result.target_profiles) {
+    bytes += p.MemoryUsage();
+  }
+  for (const core::AttributeSignatures& s : result.target_sigs) {
+    bytes += sizeof(core::AttributeSignatures);
+    bytes += (s.name_sig.size() + s.value_sig.size() + s.format_sig.size() +
+              s.emb_sig.words.size()) *
+             sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes)
     : capacity_(capacity),
+      max_bytes_(max_bytes),
       shards_(std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, capacity)))) {
-  // Distribute the capacity as evenly as possible; the first
+  // Distribute the budgets as evenly as possible; the first
   // `capacity % shards` shards take the remainder.
   const size_t base = capacity_ / shards_.size();
   size_t remainder = capacity_ % shards_.size();
+  const size_t byte_base = max_bytes_ / shards_.size();
+  size_t byte_remainder = max_bytes_ % shards_.size();
   for (Shard& shard : shards_) {
     shard.capacity = base + (remainder > 0 ? 1 : 0);
     if (remainder > 0) --remainder;
+    if (max_bytes_ > 0) {
+      shard.byte_budget = byte_base + (byte_remainder > 0 ? 1 : 0);
+      if (byte_remainder > 0) --byte_remainder;
+      // A rounding-starved shard must still admit entries (the >= 1-entry
+      // guarantee works in entries, not bytes).
+      shard.byte_budget = std::max<size_t>(1, shard.byte_budget);
+    }
   }
 }
 
-bool ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
-  if (capacity_ == 0) return false;
+CacheLookup ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
+  if (capacity_ == 0) return CacheLookup::kMiss;
   Shard& shard = ShardFor(key);
   std::shared_ptr<const core::SearchResult> result;
   {
@@ -26,43 +68,74 @@ bool ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
-      return false;
+      return CacheLookup::kMiss;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (it->second->result == nullptr) {
+      ++shard.negative_hits;
+      return CacheLookup::kNegative;
     }
     ++shard.hits;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    result = it->second->second;
+    result = it->second->result;
   }
   // Deep copy outside the lock: concurrent hits on this shard only
   // serialize on the pointer grab above, not on copying whole results.
   // (The shared_ptr keeps the entry's bytes alive even if it is evicted
   // or refreshed between unlock and copy.)
   *out = *result;
-  return true;
+  return CacheLookup::kHit;
 }
 
 void ResultCache::Insert(const CacheKey& key, core::SearchResult result) {
   if (capacity_ == 0) return;
-  auto entry = std::make_shared<const core::SearchResult>(std::move(result));
+  const size_t bytes = ApproxResultBytes(result);
+  InsertEntry(key, std::make_shared<const core::SearchResult>(std::move(result)), bytes);
+}
+
+void ResultCache::InsertNegative(const CacheKey& key) {
+  if (capacity_ == 0) return;
+  InsertEntry(key, nullptr, kNegativeEntryBytes);
+}
+
+void ResultCache::InsertEntry(const CacheKey& key,
+                              std::shared_ptr<const core::SearchResult> result,
+                              size_t bytes) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lk(shard.mu);
   ++shard.insertions;  // refreshes count too: one per Insert call
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    // Refresh: identical key means identical bytes, but overwrite anyway so
-    // a refresh behaves like an insert (and bump recency).
-    it->second->second = std::move(entry);
+    // Refresh: identical key means identical outcome, but overwrite anyway
+    // so a refresh behaves like an insert (and bump recency). The entry
+    // kind can flip (a once-negative key re-inserted positively after a
+    // k/mask-collision-free recompute never happens in practice, but the
+    // accounting must stay consistent regardless).
+    shard.bytes_used -= it->second->bytes;
+    if (it->second->result == nullptr) --shard.negative_entries;
+    it->second->result = std::move(result);
+    it->second->bytes = bytes;
+    shard.bytes_used += bytes;
+    if (it->second->result == nullptr) ++shard.negative_entries;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  } else {
+    if (result == nullptr) ++shard.negative_entries;
+    shard.lru.push_front(Entry{key, std::move(result), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes_used += bytes;
   }
-  // The constructor clamps the shard count so every shard's slice is >= 1;
-  // evicting from the tail therefore always leaves room for the insert.
-  while (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(shard.lru.back().first);
+  // Trim to both budgets, never evicting the entry just admitted: a single
+  // result larger than the whole byte slice still caches (and serves
+  // repeats) as its shard's only entry.
+  while (shard.lru.size() > 1 &&
+         (shard.lru.size() > shard.capacity ||
+          (shard.byte_budget > 0 && shard.bytes_used > shard.byte_budget))) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes_used -= victim.bytes;
+    if (victim.result == nullptr) --shard.negative_entries;
+    shard.index.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(key, std::move(entry));
-  shard.index.emplace(key, shard.lru.begin());
 }
 
 void ResultCache::Clear() {
@@ -70,19 +143,25 @@ void ResultCache::Clear() {
     std::lock_guard<std::mutex> lk(shard.mu);
     shard.lru.clear();
     shard.index.clear();
+    shard.bytes_used = 0;
+    shard.negative_entries = 0;
   }
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
   stats.capacity = capacity_;
+  stats.max_bytes = max_bytes_;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
+    stats.negative_hits += shard.negative_hits;
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
     stats.entries += shard.lru.size();
+    stats.negative_entries += shard.negative_entries;
+    stats.bytes += shard.bytes_used;
   }
   return stats;
 }

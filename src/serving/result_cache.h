@@ -11,6 +11,18 @@
 // concurrent Submit() storms contend only when they hash to the same
 // shard. Each shard runs exact LRU over its own capacity slice.
 //
+// Eviction is bounded two ways: an entry-count capacity and an optional
+// byte budget over the (approximate) deep size of the cached results —
+// a few huge SearchResults can no longer blow past the memory the
+// operator provisioned. Each shard always retains at least the entry it
+// just admitted, so a single oversized result still serves repeats.
+//
+// Targets that retrieve nothing are remembered too: a negative entry
+// records "this key produced an empty ranking" without storing the heavy
+// profile payload, and the front-end reconstructs the empty result from
+// the target it just profiled. Negative entries live in the same LRU and
+// are invalidated by the same index-fingerprint keying as positive ones.
+//
 // Hits return deep copies: a cached SearchResult is byte-identical to the
 // result a fresh retrieval would produce (asserted by tests/service_test.cc)
 // and the cache never hands out references into mutable internal state.
@@ -38,38 +50,63 @@ struct CacheKey {
   bool operator==(const CacheKey&) const = default;
 };
 
+/// \brief Approximate deep size of a SearchResult (ranked matches, pair
+/// rows, candidate alignments, target profiles and signatures) — the unit
+/// the cache's byte budget is accounted in.
+size_t ApproxResultBytes(const core::SearchResult& result);
+
+/// \brief What a cache probe found.
+enum class CacheLookup {
+  kMiss,      ///< nothing cached for this key
+  kHit,       ///< a full result was copied out
+  kNegative,  ///< the key is known to produce an empty ranking
+};
+
 /// \brief Sharded LRU map from CacheKey to SearchResult.
 class ResultCache {
  public:
-  /// Point-in-time counters (monotone except `entries`).
+  /// Point-in-time counters (monotone except `entries`/`bytes`).
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
+    size_t negative_hits = 0;  ///< probes answered by a negative entry
     size_t insertions = 0;
     size_t evictions = 0;
-    size_t entries = 0;   ///< currently cached results
-    size_t capacity = 0;  ///< total across shards
+    size_t entries = 0;           ///< currently cached results (both kinds)
+    size_t negative_entries = 0;  ///< subset of `entries` that are negative
+    size_t capacity = 0;          ///< entry budget across shards
+    size_t bytes = 0;             ///< accounted bytes currently cached
+    size_t max_bytes = 0;         ///< byte budget (0 = unbounded)
   };
 
   /// A cache holding at most `capacity` results across `num_shards`
   /// independently locked shards (each gets an equal slice, at least 1).
+  /// `max_bytes`, when non-zero, additionally bounds the summed
+  /// ApproxResultBytes of the cached entries (also sliced per shard).
   /// `capacity` 0 disables caching: Lookup always misses, Insert is a
   /// no-op. `num_shards` is clamped to [1, capacity] so no shard sits
   /// permanently empty.
-  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+  explicit ResultCache(size_t capacity, size_t num_shards = 8, size_t max_bytes = 0);
 
-  /// On hit, deep-copies the cached result into `*out`, marks the entry
-  /// most-recently-used and returns true. On miss returns false.
-  bool Lookup(const CacheKey& key, core::SearchResult* out);
+  /// On a hit, deep-copies the cached result into `*out` and marks the
+  /// entry most-recently-used. A negative hit touches recency but leaves
+  /// `*out` alone — the caller reconstructs the empty result itself.
+  CacheLookup Lookup(const CacheKey& key, core::SearchResult* out);
 
   /// Inserts (or refreshes) a result, evicting the shard's least recently
-  /// used entry when its slice is full.
+  /// used entries while its slice exceeds the entry or byte budget (the
+  /// newly admitted entry itself is never evicted).
   void Insert(const CacheKey& key, core::SearchResult result);
+
+  /// Records that `key` produces an empty ranking (no candidates). Stored
+  /// in the same LRU as full results, at a fixed small accounting size.
+  void InsertNegative(const CacheKey& key);
 
   /// Drops every entry (counters are kept).
   void Clear();
 
   size_t capacity() const { return capacity_; }
+  size_t max_bytes() const { return max_bytes_; }
   Stats GetStats() const;
 
  private:
@@ -80,20 +117,34 @@ class ResultCache {
     }
   };
 
+  /// One cached outcome: a full result, or a negative marker (null).
+  struct Entry {
+    CacheKey key;
+    /// Held by shared_ptr so a hit can take a reference under the lock and
+    /// deep-copy OUTSIDE it — the copy of a large result must not
+    /// serialize every other hit on this shard. Null for negative entries.
+    std::shared_ptr<const core::SearchResult> result;
+    size_t bytes = 0;  ///< accounted size at insertion time
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Most-recently-used at the front. The map owns iterators into it.
-    /// Results are held by shared_ptr so a hit can take a reference under
-    /// the lock and deep-copy OUTSIDE it — the copy of a large result must
-    /// not serialize every other hit on this shard.
-    std::list<std::pair<CacheKey, std::shared_ptr<const core::SearchResult>>> lru;
-    std::unordered_map<CacheKey, decltype(lru)::iterator, KeyHash> index;
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
     size_t capacity = 0;
+    size_t byte_budget = 0;  ///< 0 = unbounded
+    size_t bytes_used = 0;
+    size_t negative_entries = 0;
     size_t hits = 0;
     size_t misses = 0;
+    size_t negative_hits = 0;
     size_t insertions = 0;
     size_t evictions = 0;
   };
+
+  void InsertEntry(const CacheKey& key,
+                   std::shared_ptr<const core::SearchResult> result, size_t bytes);
 
   Shard& ShardFor(const CacheKey& key) {
     // hi selects the shard, lo buckets within it: the two dimensions use
@@ -102,6 +153,7 @@ class ResultCache {
   }
 
   size_t capacity_ = 0;
+  size_t max_bytes_ = 0;
   std::vector<Shard> shards_;
 };
 

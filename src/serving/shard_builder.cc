@@ -4,6 +4,8 @@
 #include <chrono>
 #include <filesystem>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
 namespace d3l::serving {
 
@@ -17,6 +19,85 @@ const char* BalanceName(ShardingOptions::Balance b) {
       return "size-balanced";
   }
   return "unknown";
+}
+
+/// Inverse of BalanceName, for updates that must honor the policy the
+/// deployment was built with rather than the caller's default.
+Result<ShardingOptions::Balance> BalanceFromName(const std::string& name) {
+  if (name == "round-robin") return ShardingOptions::Balance::kRoundRobin;
+  if (name == "size-balanced") return ShardingOptions::Balance::kSizeBalanced;
+  return Status::InvalidArgument("manifest records unknown balance policy '" + name +
+                                 "'; run a full shard build");
+}
+
+/// The fingerprint the shard engines will actually carry: the D3LEngine
+/// constructor folds index.embedding_dim into the embedding-model options,
+/// so the raw caller-supplied options must be canonicalized the same way
+/// before comparing against a deployed snapshot's.
+uint64_t EngineOptionsFingerprint(const core::D3LOptions& options) {
+  core::D3LOptions canonical = options;
+  canonical.wem.dim = canonical.index.embedding_dim;
+  return core::OptionsFingerprint(canonical);
+}
+
+/// An explicit plan must be exactly what PlanShards would guarantee: a
+/// partition of [0, lake.size()) into non-empty ascending shard lists.
+Status ValidatePlan(const DataLake& lake, const ShardPlan& plan) {
+  if (plan.empty()) return Status::InvalidArgument("plan has no shards");
+  std::vector<bool> covered(lake.size(), false);
+  for (size_t s = 0; s < plan.size(); ++s) {
+    if (plan[s].empty()) {
+      return Status::InvalidArgument("plan shard " + std::to_string(s) + " is empty");
+    }
+    uint32_t prev = 0;
+    for (size_t i = 0; i < plan[s].size(); ++i) {
+      const uint32_t g = plan[s][i];
+      if (g >= lake.size() || covered[g] || (i > 0 && g <= prev)) {
+        return Status::InvalidArgument(
+            "plan is not an ascending exact partition of the lake");
+      }
+      covered[g] = true;
+      prev = g;
+    }
+  }
+  for (size_t g = 0; g < lake.size(); ++g) {
+    if (!covered[g]) {
+      return Status::InvalidArgument("plan misses table id " + std::to_string(g));
+    }
+  }
+  return Status::OK();
+}
+
+/// Profiles + indexes one shard's tables and persists its snapshot
+/// (atomically, via io::Writer's temp + rename), returning the filled
+/// manifest entry.
+Result<ShardManifestEntry> BuildOneShard(const DataLake& lake,
+                                         const std::vector<uint32_t>& tables,
+                                         const core::D3LOptions& engine_options,
+                                         const std::string& out_base, size_t s) {
+  DataLake shard_lake;
+  for (uint32_t g : tables) {
+    D3L_RETURN_NOT_OK(shard_lake.AddTable(lake.table(g)));
+  }
+
+  core::D3LEngine engine(engine_options);
+  D3L_RETURN_NOT_OK(engine.IndexLake(shard_lake));
+  const std::string shard_path = ShardPath(out_base, s);
+  D3L_RETURN_NOT_OK(engine.SaveSnapshot(shard_path));
+
+  const std::string base_name = std::filesystem::path(out_base).filename().string();
+  ShardManifestEntry entry;
+  entry.file = ShardPath(base_name, s);  // manifest-relative: just the filename
+  D3L_ASSIGN_OR_RETURN(auto size_crc, FileSizeAndCrc32(shard_path));
+  entry.file_bytes = size_crc.first;
+  entry.file_crc32 = size_crc.second;
+  entry.schema_crc32 = SchemaFingerprint(shard_lake);
+  entry.num_tables = shard_lake.size();
+  entry.num_attributes = engine.indexes().num_attributes();
+  entry.global_tables = tables;
+  entry.sources.reserve(tables.size());
+  for (uint32_t g : tables) entry.sources.push_back(SourceOf(lake.table(g)));
+  return entry;
 }
 
 }  // namespace
@@ -72,43 +153,224 @@ Result<ShardPlan> PlanShards(const DataLake& lake, const ShardingOptions& option
 
 Result<ShardBuildReport> BuildShards(const DataLake& lake,
                                      const ShardingOptions& options,
-                                     const std::string& out_base) {
+                                     const std::string& out_base,
+                                     const ShardPlan* plan) {
   auto t0 = std::chrono::steady_clock::now();
   ShardBuildReport report;
-  D3L_ASSIGN_OR_RETURN(report.plan, PlanShards(lake, options));
+  if (plan != nullptr) {
+    D3L_RETURN_NOT_OK(ValidatePlan(lake, *plan));
+    report.plan = *plan;
+  } else {
+    D3L_ASSIGN_OR_RETURN(report.plan, PlanShards(lake, options));
+  }
 
   ShardManifest manifest;
   manifest.total_tables = lake.size();
   manifest.total_attributes = 0;
   manifest.balance = BalanceName(options.balance);
 
-  const std::string base_name = std::filesystem::path(out_base).filename().string();
   for (size_t s = 0; s < report.plan.size(); ++s) {
-    DataLake shard_lake;
-    for (uint32_t g : report.plan[s]) {
-      D3L_RETURN_NOT_OK(shard_lake.AddTable(lake.table(g)));
-    }
-
-    core::D3LEngine engine(options.engine);
-    D3L_RETURN_NOT_OK(engine.IndexLake(shard_lake));
-    const std::string shard_path = ShardPath(out_base, s);
-    D3L_RETURN_NOT_OK(engine.SaveSnapshot(shard_path));
-
-    ShardManifestEntry entry;
-    entry.file = ShardPath(base_name, s);  // manifest-relative: just the filename
-    D3L_ASSIGN_OR_RETURN(auto size_crc, FileSizeAndCrc32(shard_path));
-    entry.file_bytes = size_crc.first;
-    entry.file_crc32 = size_crc.second;
-    entry.schema_crc32 = SchemaFingerprint(shard_lake);
-    entry.num_tables = shard_lake.size();
-    entry.num_attributes = engine.indexes().num_attributes();
-    entry.global_tables = report.plan[s];
+    D3L_ASSIGN_OR_RETURN(ShardManifestEntry entry,
+                         BuildOneShard(lake, report.plan[s], options.engine, out_base, s));
     manifest.total_attributes += entry.num_attributes;
     manifest.shards.push_back(std::move(entry));
-    report.shard_paths.push_back(shard_path);
+    report.shard_paths.push_back(ShardPath(out_base, s));
   }
 
   report.manifest_path = ManifestPath(out_base);
+  D3L_RETURN_NOT_OK(manifest.Save(report.manifest_path));
+  report.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+Result<ShardUpdateReport> UpdateShards(const DataLake& lake,
+                                       const ShardingOptions& options,
+                                       const std::string& out_base) {
+  auto t0 = std::chrono::steady_clock::now();
+  ShardUpdateReport report;
+  report.manifest_path = ManifestPath(out_base);
+  D3L_ASSIGN_OR_RETURN(ShardManifest old, ShardManifest::Load(report.manifest_path));
+  if (!old.has_source_identity()) {
+    return Status::InvalidArgument(
+        "manifest records no table sources (built by an older version); "
+        "incremental update needs a full shard build first");
+  }
+  const size_t n_shards = old.shards.size();
+  // The deployment's configuration wins over the caller's: an update keeps
+  // the recorded balance policy (like the shard count) so repeated updates
+  // cannot silently drift a round-robin deployment into a size-balanced
+  // one. Changing policy is a full BuildShards.
+  D3L_ASSIGN_OR_RETURN(const ShardingOptions::Balance balance,
+                       BalanceFromName(old.balance));
+
+  // Index the deployed sources: file -> (owning shard, identity at build).
+  std::unordered_map<std::string, std::pair<size_t, const TableSource*>> deployed;
+  for (size_t s = 0; s < n_shards; ++s) {
+    for (const TableSource& src : old.shards[s].sources) {
+      if (!deployed.emplace(src.file, std::make_pair(s, &src)).second) {
+        return Status::IOError("manifest lists source '" + src.file +
+                               "' in more than one table");
+      }
+    }
+  }
+
+  // Current lake identities. Diffing is keyed on the source file, so two
+  // tables sharing one are indistinguishable — refuse up front.
+  std::vector<TableSource> current(lake.size());
+  std::unordered_map<std::string, uint32_t> current_by_file;
+  for (size_t g = 0; g < lake.size(); ++g) {
+    current[g] = SourceOf(lake.table(g));
+    if (!current_by_file.emplace(current[g].file, static_cast<uint32_t>(g)).second) {
+      return Status::InvalidArgument("two lake tables share source file '" +
+                                     current[g].file + "'");
+    }
+  }
+
+  // Diff: keep unchanged/changed tables on their deployed shard; collect
+  // additions for policy placement; removals only dirty their old shard.
+  std::vector<int> shard_of(lake.size(), -1);
+  std::vector<bool> dirty(n_shards, false);
+  std::vector<uint32_t> added_ids;
+  for (size_t g = 0; g < lake.size(); ++g) {
+    auto it = deployed.find(current[g].file);
+    if (it == deployed.end()) {
+      report.added.push_back(current[g].file);
+      added_ids.push_back(static_cast<uint32_t>(g));
+      continue;
+    }
+    shard_of[g] = static_cast<int>(it->second.first);
+    if (it->second.second->bytes != current[g].bytes ||
+        it->second.second->crc32 != current[g].crc32) {
+      report.changed.push_back(current[g].file);
+      dirty[it->second.first] = true;
+    }
+  }
+  for (const auto& [file, where] : deployed) {
+    if (current_by_file.count(file) == 0) {
+      report.removed.push_back(file);
+      dirty[where.first] = true;
+    }
+  }
+  std::sort(report.added.begin(), report.added.end());
+  std::sort(report.removed.begin(), report.removed.end());
+  std::sort(report.changed.begin(), report.changed.end());
+
+  // Place added tables by the configured policy over the kept placement.
+  auto cells = [&lake](uint32_t t) {
+    return lake.table(t).num_rows() * lake.table(t).num_columns();
+  };
+  if (balance == ShardingOptions::Balance::kSizeBalanced) {
+    // Greedy LPT over the kept shard loads, mirroring PlanShards.
+    std::vector<size_t> load(n_shards, 0);
+    for (size_t g = 0; g < lake.size(); ++g) {
+      if (shard_of[g] >= 0) load[shard_of[g]] += cells(static_cast<uint32_t>(g));
+    }
+    std::vector<uint32_t> order = added_ids;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (cells(a) != cells(b)) return cells(a) > cells(b);
+      return a < b;
+    });
+    for (uint32_t g : order) {
+      size_t lightest = 0;
+      for (size_t s = 1; s < n_shards; ++s) {
+        if (load[s] < load[lightest]) lightest = s;
+      }
+      shard_of[g] = static_cast<int>(lightest);
+      load[lightest] += cells(g);
+      dirty[lightest] = true;
+    }
+  } else {
+    // Round-robin spirit without renumbering history: each new table goes
+    // to the shard currently serving the fewest tables.
+    std::vector<size_t> count(n_shards, 0);
+    for (size_t g = 0; g < lake.size(); ++g) {
+      if (shard_of[g] >= 0) ++count[shard_of[g]];
+    }
+    for (uint32_t g : added_ids) {
+      size_t fewest = 0;
+      for (size_t s = 1; s < n_shards; ++s) {
+        if (count[s] < count[fewest]) fewest = s;
+      }
+      shard_of[g] = static_cast<int>(fewest);
+      ++count[fewest];
+      dirty[fewest] = true;
+    }
+  }
+
+  report.plan.assign(n_shards, {});
+  for (size_t g = 0; g < lake.size(); ++g) {
+    report.plan[shard_of[g]].push_back(static_cast<uint32_t>(g));
+  }
+  for (size_t s = 0; s < n_shards; ++s) {
+    if (report.plan[s].empty()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " would serve no tables after this update; run a full shard build");
+    }
+  }
+
+  // A reused snapshot's table order must still match the manifest's: local
+  // ids are assigned in ascending-global order, so if the kept tables'
+  // relative order shifted (an in-memory lake reordered, say), the old
+  // snapshot's local numbering no longer lines up — rebuild that shard.
+  for (size_t s = 0; s < n_shards; ++s) {
+    if (dirty[s]) continue;
+    const std::vector<TableSource>& recorded = old.shards[s].sources;
+    if (recorded.size() != report.plan[s].size()) {
+      dirty[s] = true;
+      continue;
+    }
+    for (size_t i = 0; i < recorded.size(); ++i) {
+      if (recorded[i].file != current[report.plan[s][i]].file) {
+        dirty[s] = true;
+        break;
+      }
+    }
+  }
+
+  // Reusing a snapshot is only sound when the caller's engine options
+  // match the deployed ones — otherwise rebuilt and reused shards would
+  // sign and rank differently and Open would (rightly) refuse the mix.
+  const bool any_reused =
+      std::any_of(dirty.begin(), dirty.end(), [](bool d) { return !d; });
+  if (any_reused) {
+    const size_t first_clean =
+        std::find(dirty.begin(), dirty.end(), false) - dirty.begin();
+    const std::string path =
+        ResolveRelative(report.manifest_path, old.shards[first_clean].file);
+    D3L_ASSIGN_OR_RETURN(core::D3LEngine::SnapshotInfo info,
+                         core::D3LEngine::ReadSnapshotInfo(path));
+    if (core::OptionsFingerprint(info.options) !=
+        EngineOptionsFingerprint(options.engine)) {
+      return Status::InvalidArgument(
+          "engine options differ from the deployed shards'; an options "
+          "change requires a full shard build");
+    }
+  }
+
+  // Rebuild the dirty shards (shard files land first, manifest last, every
+  // write temp+rename — a crash in between leaves a manifest whose
+  // checksums reject the half-updated shard set instead of serving it).
+  ShardManifest manifest;
+  manifest.total_tables = lake.size();
+  manifest.total_attributes = 0;
+  manifest.balance = old.balance;
+  manifest.shards.resize(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    if (dirty[s]) {
+      D3L_ASSIGN_OR_RETURN(
+          manifest.shards[s],
+          BuildOneShard(lake, report.plan[s], options.engine, out_base, s));
+      report.rebuilt_shards.push_back(s);
+    } else {
+      manifest.shards[s] = old.shards[s];
+      manifest.shards[s].global_tables = report.plan[s];  // renumbered lake
+      ++report.shards_reused;
+    }
+    manifest.total_attributes += manifest.shards[s].num_attributes;
+    report.shard_paths.push_back(ShardPath(out_base, s));
+  }
   D3L_RETURN_NOT_OK(manifest.Save(report.manifest_path));
   report.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

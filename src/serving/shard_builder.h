@@ -7,6 +7,13 @@
 // scatter-gather: identical options make target signatures and pairwise
 // distances shard-independent, so only candidate stop depths and the Eq. 2
 // distributions need global coordination.
+//
+// Deployments built here are incrementally rebuildable: the v2 manifest
+// records every table's source identity, and UpdateShards() diffs a
+// current lake against it to re-profile only the shards whose tables were
+// added, removed or content-changed — with the guarantee that the updated
+// deployment answers Search byte-identically to a from-scratch BuildShards
+// over the new lake at the same placement.
 #pragma once
 
 #include <cstdint>
@@ -52,9 +59,53 @@ struct ShardBuildReport {
 
 /// \brief Plans, indexes and persists a sharded deployment rooted at
 /// `out_base`: writes `<out_base>.shard<i>.d3l` per shard and
-/// `<out_base>.manifest`. Existing files are overwritten.
+/// `<out_base>.manifest`. Existing files are replaced atomically (each
+/// write goes to a temp file renamed into place on success).
+///
+/// A non-null `plan` overrides the planner — the partition is used as
+/// given after validation (exact cover of the lake, every shard non-empty
+/// and ascending). This is how a caller reproduces a known placement, e.g.
+/// to verify an incremental update against a from-scratch build.
 Result<ShardBuildReport> BuildShards(const DataLake& lake,
                                      const ShardingOptions& options,
-                                     const std::string& out_base);
+                                     const std::string& out_base,
+                                     const ShardPlan* plan = nullptr);
+
+/// \brief What UpdateShards changed, per the diff of the lake against the
+/// previous manifest.
+struct ShardUpdateReport {
+  std::string manifest_path;
+  std::vector<std::string> shard_paths;  ///< every shard, new layout
+  ShardPlan plan;                        ///< the updated placement
+  std::vector<size_t> rebuilt_shards;    ///< shard indices re-profiled
+  size_t shards_reused = 0;              ///< snapshots kept as-is
+  std::vector<std::string> added;        ///< source files new to the lake
+  std::vector<std::string> removed;      ///< source files no longer present
+  std::vector<std::string> changed;      ///< source files with new bytes/crc
+  double build_seconds = 0;              ///< re-profiling + writing only
+};
+
+/// \brief Incrementally rebuilds the deployment at `out_base` to serve
+/// `lake`: diffs the lake's table sources against the existing (v2)
+/// manifest, keeps the placement of unchanged tables, assigns added tables
+/// by the deployment's recorded balance policy, re-profiles ONLY the
+/// affected shards and rewrites the manifest (shard files first, manifest
+/// last; every write atomic — an interrupted update cannot serve, and is
+/// repaired by rerunning).
+///
+/// The deployed configuration wins over the caller's: the shard count and
+/// balance policy stay the manifest's (`options.num_shards` and
+/// `options.balance` are ignored), and `options.engine` must
+/// fingerprint-match the deployed shards' options — a drift would make
+/// reused and rebuilt shards rank differently, so it fails loudly instead.
+/// Fails when a shard would end up empty or the manifest lacks source
+/// identities (v1): both need a full BuildShards.
+///
+/// Equivalence guarantee: the updated deployment's Search results are
+/// byte-identical to a from-scratch BuildShards over `lake` with the
+/// reported plan (asserted by tests/incremental_test.cc).
+Result<ShardUpdateReport> UpdateShards(const DataLake& lake,
+                                       const ShardingOptions& options,
+                                       const std::string& out_base);
 
 }  // namespace d3l::serving

@@ -22,15 +22,23 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   const size_t n_shards = m.shards.size();
 
   // The backend's index identity: every shard file's size/CRC32 and schema
-  // fingerprint, folded in manifest order. Any rebuilt, swapped or
-  // re-partitioned shard set digests differently, which is what ties
-  // result-cache invalidation to the manifest checksums.
+  // fingerprint — plus, for v2 manifests, every table's recorded source
+  // identity — folded in manifest order. Any rebuilt, swapped or
+  // re-partitioned shard set digests differently (an incremental
+  // UpdateShards rewrites the dirty shards' checksums and sources), which
+  // is what ties result-cache invalidation to the manifest checksums.
   engine->index_fingerprint_ = HashCombine(m.total_tables, m.total_attributes);
   for (const ShardManifestEntry& entry : m.shards) {
     engine->index_fingerprint_ = HashCombine(
         engine->index_fingerprint_,
         HashCombine(HashCombine(entry.file_bytes, entry.file_crc32),
                     entry.schema_crc32));
+    for (const TableSource& src : entry.sources) {
+      engine->index_fingerprint_ = HashCombine(
+          engine->index_fingerprint_,
+          HashCombine(HashBytes(src.file.data(), src.file.size(), src.bytes),
+                      src.crc32));
+    }
   }
 
   // Load every shard replica, in parallel on the query pool (the banded

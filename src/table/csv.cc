@@ -97,9 +97,13 @@ void AppendField(std::string* out, const std::string& field, char delim) {
   *out += '"';
 }
 
-std::string FileStem(const std::string& path) {
+std::string FileName(const std::string& path) {
   size_t slash = path.find_last_of("/\\");
-  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  return (slash == std::string::npos) ? path : path.substr(slash + 1);
+}
+
+std::string FileStem(const std::string& path) {
+  std::string base = FileName(path);
   size_t dot = base.find_last_of('.');
   return (dot == std::string::npos) ? base : base.substr(0, dot);
 }
@@ -146,7 +150,14 @@ Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
-  return ReadCsvString(ss.str(), FileStem(path), options);
+  const std::string text = ss.str();
+  D3L_ASSIGN_OR_RETURN(Table table, ReadCsvString(text, FileStem(path), options));
+  // Capture the raw file's identity at load time: this is what lets
+  // incremental shard rebuilds (serving::UpdateShards) detect a changed
+  // CSV by size/checksum without re-profiling it.
+  table.set_source(
+      {FileName(path), static_cast<uint64_t>(text.size()), io::Crc32(text.data(), text.size())});
+  return table;
 }
 
 std::string WriteCsvString(const Table& table, const CsvOptions& options) {

@@ -91,6 +91,7 @@ Status Table::AddColumn(std::string name) {
                                  name_ + "'");
   }
   columns_.emplace_back(std::move(name));
+  source_ = {};  // the table no longer matches its load-time source bytes
   return Status::OK();
 }
 
@@ -103,6 +104,7 @@ Status Table::AddRow(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {
     columns_[i].Append(cells[i]);
   }
+  source_ = {};  // the table no longer matches its load-time source bytes
   return Status::OK();
 }
 

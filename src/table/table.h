@@ -105,6 +105,20 @@ class Column {
   mutable size_t distinct_count_ = 0;
 };
 
+/// \brief Identity of the file a table was loaded from, captured at load
+/// time (io::FileIdentity-style size + CRC32 of the raw bytes). Incremental
+/// shard rebuilds diff these against the sources a manifest recorded at
+/// build time to find added/removed/content-changed tables without
+/// re-profiling anything.
+struct TableSource {
+  std::string file;    ///< source filename without directory, e.g. "gp.csv"
+  uint64_t bytes = 0;  ///< raw file size at load time
+  uint32_t crc32 = 0;  ///< CRC32 of the raw file bytes
+
+  bool valid() const { return !file.empty(); }
+  bool operator==(const TableSource&) const = default;
+};
+
 /// \brief A named table: a list of columns of equal length.
 class Table {
  public:
@@ -113,6 +127,15 @@ class Table {
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Source-file identity (set by ReadCsvFile; invalid for in-memory
+  /// tables, for which builders derive a content-based stand-in).
+  /// Mutating the table (AddColumn/AddRow) clears it: the identity
+  /// certifies the load-time bytes, and a diverged copy must diff as
+  /// changed, not as its pristine source. Callers editing cells through
+  /// the mutable column() accessor must clear or reset it themselves.
+  const TableSource& source() const { return source_; }
+  void set_source(TableSource source) { source_ = std::move(source); }
 
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
@@ -154,6 +177,7 @@ class Table {
 
  private:
   std::string name_;
+  TableSource source_;
   std::vector<Column> columns_;
 };
 

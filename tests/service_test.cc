@@ -135,13 +135,13 @@ TEST(ResultCacheTest, LruEvictionUnderTinyCapacity) {
   cache.Insert(key(2), ResultWithMarker(2));
 
   core::SearchResult out;
-  ASSERT_TRUE(cache.Lookup(key(1), &out));  // bumps 1 to most-recent
+  ASSERT_EQ(cache.Lookup(key(1), &out), serving::CacheLookup::kHit);  // bumps 1 to most-recent
   EXPECT_EQ(out.ranked[0].table_index, 1u);
 
   cache.Insert(key(3), ResultWithMarker(3));  // evicts 2 (LRU), not 1
-  EXPECT_TRUE(cache.Lookup(key(1), &out));
-  EXPECT_FALSE(cache.Lookup(key(2), &out));
-  EXPECT_TRUE(cache.Lookup(key(3), &out));
+  EXPECT_EQ(cache.Lookup(key(1), &out), serving::CacheLookup::kHit);
+  EXPECT_EQ(cache.Lookup(key(2), &out), serving::CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup(key(3), &out), serving::CacheLookup::kHit);
 
   serving::ResultCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.entries, 2u);
@@ -153,7 +153,7 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   serving::ResultCache cache(0);
   cache.Insert({1, 1}, ResultWithMarker(1));
   core::SearchResult out;
-  EXPECT_FALSE(cache.Lookup({1, 1}, &out));
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kMiss);
   EXPECT_EQ(cache.GetStats().entries, 0u);
 }
 
@@ -162,10 +162,81 @@ TEST(ResultCacheTest, KeysDifferingOnlyInHiDoNotCollide) {
   cache.Insert({42, 1}, ResultWithMarker(1));
   cache.Insert({42, 2}, ResultWithMarker(2));
   core::SearchResult out;
-  ASSERT_TRUE(cache.Lookup({42, 1}, &out));
+  ASSERT_EQ(cache.Lookup({42, 1}, &out), serving::CacheLookup::kHit);
   EXPECT_EQ(out.ranked[0].table_index, 1u);
-  ASSERT_TRUE(cache.Lookup({42, 2}, &out));
+  ASSERT_EQ(cache.Lookup({42, 2}, &out), serving::CacheLookup::kHit);
   EXPECT_EQ(out.ranked[0].table_index, 2u);
+}
+
+core::SearchResult PaddedResult(uint32_t marker, size_t pairs) {
+  core::SearchResult r;
+  core::TableMatch m;
+  m.table_index = marker;
+  m.distance = 0.25;
+  m.evidence_distances.fill(1.0);
+  m.pairs.resize(pairs);
+  r.ranked.push_back(std::move(m));
+  return r;
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsBeforeEntryCapacity) {
+  const size_t one = serving::ApproxResultBytes(PaddedResult(0, 100));
+  // Entry capacity would allow 16 results; the byte budget only two.
+  serving::ResultCache cache(/*capacity=*/16, /*num_shards=*/1,
+                             /*max_bytes=*/2 * one + one / 2);
+  cache.Insert({1, 1}, PaddedResult(1, 100));
+  cache.Insert({2, 2}, PaddedResult(2, 100));
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+  cache.Insert({3, 3}, PaddedResult(3, 100));  // pushes bytes past the budget
+
+  serving::ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+  core::SearchResult out;
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kMiss);  // LRU victim
+  EXPECT_EQ(cache.Lookup({2, 2}, &out), serving::CacheLookup::kHit);
+  EXPECT_EQ(cache.Lookup({3, 3}, &out), serving::CacheLookup::kHit);
+}
+
+TEST(ResultCacheTest, OversizedResultStillCachesAsOnlyEntry) {
+  const size_t one = serving::ApproxResultBytes(PaddedResult(0, 400));
+  serving::ResultCache cache(/*capacity=*/8, /*num_shards=*/1, /*max_bytes=*/one / 2);
+  cache.Insert({1, 1}, PaddedResult(1, 400));
+  // Larger than the whole byte slice, but the just-admitted entry is never
+  // evicted: repeats of the one huge query still hit.
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+  core::SearchResult out;
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kHit);
+  EXPECT_EQ(out.ranked[0].table_index, 1u);
+
+  cache.Insert({2, 2}, PaddedResult(2, 400));  // displaces the first
+  serving::ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kMiss);
+  EXPECT_EQ(cache.Lookup({2, 2}, &out), serving::CacheLookup::kHit);
+}
+
+TEST(ResultCacheTest, NegativeEntriesRoundTripInTheSameLru) {
+  serving::ResultCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.InsertNegative({1, 1});
+  core::SearchResult out;
+  out.ranked.push_back(core::TableMatch{});  // must be left untouched by a negative hit
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kNegative);
+  EXPECT_EQ(out.ranked.size(), 1u);
+
+  serving::ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Negative entries are ordinary LRU citizens: newer inserts evict them.
+  cache.Insert({2, 2}, PaddedResult(2, 1));
+  cache.Insert({3, 3}, PaddedResult(3, 1));
+  EXPECT_EQ(cache.Lookup({1, 1}, &out), serving::CacheLookup::kMiss);
+  EXPECT_EQ(cache.GetStats().negative_entries, 0u);
 }
 
 // ---------------------------------------------------------- thread pool Post
@@ -352,6 +423,55 @@ TEST_F(ServiceTest, BypassCacheNeverHitsNorInserts) {
   serving::QueryResponse second = service.Query({&target_, 5, std::nullopt, true});
   EXPECT_FALSE(second.stats.cache_hit);
   EXPECT_EQ(service.Stats().cache.entries, 0u);
+}
+
+TEST_F(ServiceTest, EmptyRetrievalsHitTheNegativeCache) {
+  serving::EngineBackend backend(&engine_, &lake_);
+  serving::DiscoveryServiceOptions options;
+  options.inline_execution = true;
+  serving::DiscoveryService service(&backend, options);
+
+  // An all-false evidence mask consults no index: the retrieval is
+  // guaranteed empty, the canonical zero-candidate query.
+  std::array<bool, core::kNumEvidence> none{};
+  serving::QueryRequest request{&target_, 5, none, false};
+
+  serving::QueryResponse first = service.Query(request);
+  ASSERT_TRUE(first.result.ok());
+  EXPECT_TRUE(first.result->ranked.empty());
+  EXPECT_TRUE(first.result->candidate_alignments.empty());
+  EXPECT_FALSE(first.stats.cache_hit);
+
+  serving::QueryResponse second = service.Query(request);
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_TRUE(second.stats.cache_hit);
+  EXPECT_TRUE(second.stats.negative_hit);
+  EXPECT_TRUE(second.result->ranked.empty());
+  EXPECT_TRUE(second.result->candidate_alignments.empty());
+
+  // The reconstructed empty result is byte-identical to the recomputed
+  // one: profiles and signatures serialize to the same canonical bytes.
+  const auto canonical = [](const core::SearchResult& r) {
+    core::QueryTarget qt;
+    qt.profiles = r.target_profiles;
+    qt.sigs = r.target_sigs;
+    return core::CanonicalTargetBytes(qt);
+  };
+  EXPECT_EQ(canonical(*first.result), canonical(*second.result));
+
+  serving::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.cache.negative_entries, 1u);
+  // Negative entries store a marker, not the (heavy) result payload.
+  EXPECT_LT(stats.cache.bytes, serving::ApproxResultBytes(*first.result));
+
+  // A real query through the same service still caches positively.
+  serving::QueryResponse full = service.Query({&target_, 5, std::nullopt, false});
+  ASSERT_TRUE(full.result.ok());
+  EXPECT_FALSE(full.result->ranked.empty());
+  EXPECT_EQ(service.Stats().cache.negative_entries, 1u);
+  EXPECT_EQ(service.Stats().cache.entries, 2u);
 }
 
 TEST_F(ServiceTest, NullAndEmptyTargetsFailOnlyTheirFuture) {

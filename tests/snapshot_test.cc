@@ -112,6 +112,66 @@ TEST_F(SnapshotTest, ReaderRejectsWrongMagicAndVersion) {
   EXPECT_TRUE(missing.Open(Path("nope.bin"), kTestMagic, 3).IsNotFound());
 }
 
+// --------------------------------------------------------- atomic writes
+
+TEST_F(SnapshotTest, FinishPublishesAtomicallyAndLeavesNoTempFile) {
+  const std::string path = Path("atomic.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+  // Until Finish, only the temp file exists: a crash here would leave the
+  // target untouched.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".tmp"));
+  w.BeginSection(kId);
+  w.WriteU64(7);
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(SnapshotTest, AbandonedWriterLeavesPreviousFileIntact) {
+  const std::string path = Path("durable.bin");
+  {
+    io::Writer w;
+    ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+    w.BeginSection(kId);
+    w.WriteU64(42);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  {
+    // A writer that dies mid-write (simulating a crash or error bail-out)
+    // must neither clobber the published file nor leave its temp behind.
+    io::Writer w;
+    ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+    w.BeginSection(kId);
+    w.WriteU64(999);
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  io::Reader r;
+  ASSERT_TRUE(r.Open(path, kTestMagic, 3).ok());
+  ASSERT_TRUE(r.OpenSection(kId).ok());
+  EXPECT_EQ(r.ReadU64(), 42u);  // the old contents survived
+}
+
+TEST_F(SnapshotTest, ReaderAcceptsVersionRange) {
+  const std::string path = Path("versioned.bin");
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, kTestMagic, 3).ok());
+  w.BeginSection(kId);
+  w.WriteU64(1);
+  ASSERT_TRUE(w.Finish().ok());
+
+  uint32_t found = 0;
+  io::Reader in_range;
+  ASSERT_TRUE(in_range.Open(path, kTestMagic, 2, 4, &found).ok());
+  EXPECT_EQ(found, 3u);
+
+  io::Reader below;
+  Status s = below.Open(path, kTestMagic, 4, 6, &found);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("v4..v6"), std::string::npos);
+}
+
 TEST_F(SnapshotTest, ReaderDetectsOverreadAndBadLengths) {
   const std::string path = Path("short.bin");
   io::Writer w;
