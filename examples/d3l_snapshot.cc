@@ -38,6 +38,20 @@
 //       deployment answers queries exactly like a from-scratch `shard`
 //       over the new lake at the same placement.
 //
+//   $ ./build/d3l_snapshot serve <csv_dir> <out_base> [k] [--threads=T] [--cache=C]
+//                                [--shards=N] [--balance=cells|rr]
+//                                [--watch] [--interval=MS]
+//       Long-running server over a sharded deployment (built from
+//       <csv_dir> on first run). Reads commands from stdin, one per line:
+//       a CSV path serves that file as a top-k query, `reload` runs an
+//       incremental rebuild + RCU generation swap (in-flight queries keep
+//       the old index; see serving/hot_reload.h), `stats` prints the
+//       service and reload counters, `quit` exits. With --watch a
+//       background poller (every MS milliseconds, default 500) reloads
+//       automatically whenever the CSV directory's recorded checksums go
+//       stale — edits to the lake show up in query results without a
+//       restart.
+//
 //   $ ./build/d3l_snapshot info <file> [csv_dir]
 //       Prints container metadata (format version, section table with
 //       sizes and checksum state) plus, for engine snapshots, the
@@ -53,6 +67,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +77,7 @@
 #include "eval/table_printer.h"
 #include "io/binary_io.h"
 #include "serving/discovery_service.h"
+#include "serving/hot_reload.h"
 #include "serving/manifest.h"
 #include "serving/search_backend.h"
 #include "serving/shard_builder.h"
@@ -83,8 +99,10 @@ int Usage(const char* argv0) {
       "  %s query --shards <base.manifest> <target.csv> [k] [--threads=T]\n"
       "       [--repeat=N] [--cache=C]\n"
       "  %s update <csv_dir> <out_base>\n"
+      "  %s serve <csv_dir> <out_base> [k] [--threads=T] [--cache=C]\n"
+      "       [--shards=N] [--balance=cells|rr] [--watch] [--interval=MS]\n"
       "  %s info <snapshot.d3l | base.manifest> [csv_dir]\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -283,6 +301,104 @@ int RunShardedQuery(const std::string& manifest_path, const std::string& target_
   return ServeQueries(*engine, *target, k, repeat, cache_capacity);
 }
 
+int RunServe(const std::string& csv_dir, const std::string& out_base, size_t k,
+             size_t threads, size_t cache_capacity, size_t num_shards,
+             serving::ShardingOptions::Balance balance, bool watch,
+             size_t interval_ms) {
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = num_shards;  // first build only; updates
+  options.sharding.balance = balance;        // keep the deployed config
+  options.engine.num_threads = threads;
+  options.service.cache_capacity = cache_capacity;
+  // The stdin loop is strictly sequential; inline execution keeps the
+  // printed latencies free of queue-time noise. Reloads still swap from
+  // the watcher thread, which is exactly what the generation snapshot in
+  // DiscoveryService::Execute makes safe.
+  options.service.inline_execution = true;
+  options.watch_interval_ms = interval_ms;
+
+  eval::Timer timer;
+  auto opened = serving::HotReloader::Open(csv_dir, out_base, options);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<serving::HotReloader> server = std::move(opened).ValueOrDie();
+  serving::BackendInfo info = server->service().Info();
+  std::printf("serving %zu shards (%zu tables, %zu attributes) in %.3fs, "
+              "index fingerprint %016llx\n",
+              info.num_shards, info.num_tables, info.num_attributes,
+              timer.Seconds(),
+              static_cast<unsigned long long>(info.index_fingerprint));
+  if (watch) {
+    server->StartWatching();
+    std::printf("watching %s every %zums\n", csv_dir.c_str(), interval_ms);
+  }
+  std::printf("commands: <target.csv> | reload | stats | quit\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Trim surrounding whitespace so piped heredocs behave.
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    line = line.substr(b, line.find_last_not_of(" \t\r") - b + 1);
+    if (line == "quit" || line == "exit") break;
+    if (line == "reload") {
+      auto report = server->Reload();
+      if (!report.ok()) {
+        // An error keeps the old generation serving; report and carry on.
+        std::fprintf(stderr, "reload failed: %s\n",
+                     report.status().ToString().c_str());
+        continue;
+      }
+      if (report->swapped) {
+        std::printf("reloaded in %.3fs: %zu shards rebuilt, %zu replicas "
+                    "reused, now serving %016llx\n",
+                    report->seconds, report->shards_rebuilt,
+                    report->replicas_reused,
+                    static_cast<unsigned long long>(report->index_fingerprint));
+      } else {
+        std::printf("reload: deployment already current (%016llx)\n",
+                    static_cast<unsigned long long>(report->index_fingerprint));
+      }
+      continue;
+    }
+    if (line == "stats") {
+      serving::ServiceStats service_stats = server->service().Stats();
+      serving::ReloadStats reload_stats = server->Stats();
+      std::printf("queries: %zu completed, %zu failed, %zu cache hits / %zu "
+                  "misses\n",
+                  service_stats.completed, service_stats.failed,
+                  service_stats.cache_hits, service_stats.cache_misses);
+      std::printf("reloads: %zu swapped, %zu no-op, %zu failed, %zu watch "
+                  "polls, serving %016llx\n",
+                  reload_stats.reloads, reload_stats.noop_reloads,
+                  reload_stats.failed_reloads, reload_stats.watch_polls,
+                  static_cast<unsigned long long>(reload_stats.index_fingerprint));
+      continue;
+    }
+    auto target = ReadCsvFile(line);
+    if (!target.ok()) {
+      std::fprintf(stderr, "error: %s\n", target.status().ToString().c_str());
+      continue;
+    }
+    serving::QueryResponse response =
+        server->service().Query({&*target, k, std::nullopt, false});
+    if (!response.result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s: top %zu in %.3fms (generation %016llx%s)\n",
+                target->name().c_str(), k, response.stats.total_seconds * 1000,
+                static_cast<unsigned long long>(response.stats.index_fingerprint),
+                response.stats.cache_hit ? ", cache hit" : "");
+    // Names resolve against one pinned generation (a watcher-thread swap
+    // between Query and here must not read two different numberings).
+    const std::shared_ptr<const serving::ShardedEngine> gen = server->engine();
+    PrintRanking(*response.result,
+                 [&gen](uint32_t t) { return gen->table_name(t); });
+  }
+  return 0;
+}
+
 int RunInfo(const std::string& path, const std::string& csv_dir) {
   auto inspected = io::InspectFile(path);
   if (!inspected.ok()) return Fail(inspected.status());
@@ -361,9 +477,21 @@ int RunInfo(const std::string& path, const std::string& csv_dir) {
                                    std::to_string(e.file_bytes)};
       if (!freshness.empty()) {
         const serving::ShardFreshness& f = freshness[s];
-        row.push_back(f.fresh() ? "fresh"
-                                : "stale (" + std::to_string(f.changed) + " changed, " +
-                                      std::to_string(f.missing) + " missing)");
+        std::string status;
+        if (f.fresh()) {
+          status = "fresh";
+        } else {
+          // Unreadable sources are reported apart from missing ones: the
+          // checksums could not be re-verified, which is not the same
+          // claim as "the file was deleted" — and never "fresh".
+          status = "stale (" + std::to_string(f.changed) + " changed, " +
+                   std::to_string(f.missing) + " missing";
+          if (f.unreadable > 0) {
+            status += ", " + std::to_string(f.unreadable) + " unreadable";
+          }
+          status += ")";
+        }
+        row.push_back(std::move(status));
       }
       shards.AddRow(std::move(row));
     }
@@ -397,12 +525,15 @@ struct ParsedFlags {
   size_t cache = 256;
   serving::ShardingOptions::Balance balance =
       serving::ShardingOptions::Balance::kSizeBalanced;
+  bool watch = false;
+  size_t interval = 500;
   std::vector<std::string> positional;
   bool ok = true;
 };
 
 ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
-                       bool allow_shard_flags, bool allow_serve_flags = false) {
+                       bool allow_shard_flags, bool allow_serve_flags = false,
+                       bool allow_watch_flags = false) {
   ParsedFlags f;
   const auto reject = [&f](const char* flag, const char* why) {
     std::fprintf(stderr, "%s flag '%s'\n", why, flag);
@@ -440,6 +571,14 @@ ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
       } else {
         return reject(a, "unknown policy in");
       }
+    } else if (std::strcmp(a, "--watch") == 0) {
+      if (!allow_watch_flags) return reject(a, "subcommand does not take");
+      f.watch = true;
+    } else if (std::strncmp(a, "--interval=", 11) == 0) {
+      if (!allow_watch_flags) return reject(a, "subcommand does not take");
+      long v = std::atol(a + 11);
+      if (v <= 0) return reject(a, "positive value required for");
+      f.interval = static_cast<size_t>(v);
     } else if (a[0] == '-' && a[1] == '-') {
       return reject(a, "unrecognized");
     } else {
@@ -496,6 +635,24 @@ int main(int argc, char** argv) {
                                /*allow_shard_flags=*/false);
     if (!f.ok || f.positional.size() != 2) return Usage(argv[0]);
     return RunUpdate(f.positional[0], f.positional[1]);
+  }
+
+  if (std::strcmp(argv[1], "serve") == 0) {
+    ParsedFlags f = ParseFlags(argc, argv, 2, /*allow_threads=*/true,
+                               /*allow_shard_flags=*/true,
+                               /*allow_serve_flags=*/true,
+                               /*allow_watch_flags=*/true);
+    if (!f.ok || f.positional.size() < 2 || f.positional.size() > 3) {
+      return Usage(argv[0]);
+    }
+    size_t k = 5;
+    if (f.positional.size() == 3) {
+      long parsed = std::atol(f.positional[2].c_str());
+      if (parsed <= 0) return Usage(argv[0]);
+      k = static_cast<size_t>(parsed);
+    }
+    return RunServe(f.positional[0], f.positional[1], k, f.threads, f.cache,
+                    f.shards, f.balance, f.watch, f.interval);
   }
 
   if (std::strcmp(argv[1], "info") == 0) {

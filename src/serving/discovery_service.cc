@@ -19,18 +19,34 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 constexpr uint64_t kKeySeedLo = 0x8f1ef1a6d3a5c3b1ULL;
 constexpr uint64_t kKeySeedHi = 0x2b7e151628aed2a6ULL;
 
+// A non-owning shared_ptr: the aliasing constructor with an empty owner
+// yields a pointer whose destruction is a no-op, so the raw-pointer
+// constructor keeps its "caller guarantees lifetime" contract while the
+// rest of the service uniformly handles shared_ptr generations.
+std::shared_ptr<const SearchBackend> Unowned(const SearchBackend* backend) {
+  return std::shared_ptr<const SearchBackend>(std::shared_ptr<const void>(),
+                                              backend);
+}
+
 }  // namespace
 
 DiscoveryService::DiscoveryService(const SearchBackend* backend,
                                    DiscoveryServiceOptions options)
-    : backend_(backend),
-      options_(options),
-      info_(backend->Info()),
+    : DiscoveryService(Unowned(backend), options) {}
+
+DiscoveryService::DiscoveryService(std::shared_ptr<const SearchBackend> backend,
+                                   DiscoveryServiceOptions options)
+    : options_(options),
       cache_(options.cache_capacity, options.cache_shards, options.cache_max_bytes),
       pool_(options.inline_execution
                 ? 0
                 : (options.num_threads > 0 ? options.num_threads
-                                           : ThreadPool::DefaultThreads())) {}
+                                           : ThreadPool::DefaultThreads())) {
+  auto gen = std::make_shared<Generation>();
+  gen->info = backend->Info();
+  gen->backend = std::move(backend);
+  generation_ = std::move(gen);
+}
 
 DiscoveryService::~DiscoveryService() { Shutdown(); }
 
@@ -40,9 +56,32 @@ void DiscoveryService::Shutdown() {
   idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
-CacheKey DiscoveryService::KeyFor(
-    const core::QueryTarget& target, size_t k,
-    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+void DiscoveryService::SwapBackend(std::shared_ptr<const SearchBackend> backend) {
+  auto gen = std::make_shared<Generation>();
+  gen->info = backend->Info();
+  gen->backend = std::move(backend);
+  std::lock_guard<std::mutex> lk(gen_mu_);
+  generation_ = std::move(gen);
+}
+
+std::shared_ptr<const DiscoveryService::Generation>
+DiscoveryService::CurrentGeneration() const {
+  // A plain mutex (not std::atomic<shared_ptr>) keeps the copy wait-free
+  // enough: the critical section is one refcount increment, and the swap
+  // path is rare. Copying the shared_ptr is the RCU read-side "lock".
+  std::lock_guard<std::mutex> lk(gen_mu_);
+  return generation_;
+}
+
+std::shared_ptr<const SearchBackend> DiscoveryService::backend() const {
+  return CurrentGeneration()->backend;
+}
+
+BackendInfo DiscoveryService::Info() const { return CurrentGeneration()->info; }
+
+CacheKey DiscoveryService::KeyForGeneration(
+    const BackendInfo& info, const core::QueryTarget& target, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) {
   // Canonical query bytes: backend identity, options, serialized target,
   // k, mask. The target serializes once; the two key halves hash the same
   // bytes under independent seeds.
@@ -53,14 +92,20 @@ CacheKey DiscoveryService::KeyFor(
   const std::string target_bytes = core::CanonicalTargetBytes(target);
   CacheKey key;
   key.lo = HashCombine(
-      HashCombine(info_.index_fingerprint, info_.options_fingerprint),
+      HashCombine(info.index_fingerprint, info.options_fingerprint),
       HashCombine(HashBytes(target_bytes.data(), target_bytes.size(), kKeySeedLo),
                   HashCombine(k, mask_bits)));
   key.hi = HashCombine(
-      HashCombine(info_.options_fingerprint, info_.index_fingerprint),
+      HashCombine(info.options_fingerprint, info.index_fingerprint),
       HashCombine(HashBytes(target_bytes.data(), target_bytes.size(), kKeySeedHi),
                   HashCombine(mask_bits, k)));
   return key;
+}
+
+CacheKey DiscoveryService::KeyFor(
+    const core::QueryTarget& target, size_t k,
+    const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  return KeyForGeneration(CurrentGeneration()->info, target, k, enabled_mask);
 }
 
 std::future<QueryResponse> DiscoveryService::Submit(QueryRequest request) {
@@ -100,70 +145,96 @@ QueryResponse DiscoveryService::Query(const QueryRequest& request) {
   return Submit(request).get();
 }
 
+void DiscoveryService::RunQuery(const Generation& gen,
+                                const QueryRequest& request,
+                                QueryResponse& response, bool& hit,
+                                bool& negative, bool& searched) {
+  const SearchBackend& backend = *gen.backend;
+  const std::array<bool, core::kNumEvidence> mask =
+      request.enabled.value_or(backend.options().enabled);
+
+  if (request.target == nullptr) {
+    response.result = Status::InvalidArgument("query target is null");
+    return;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<core::QueryTarget> profiled = backend.Profile(*request.target);
+  response.stats.profile_seconds = SecondsSince(t0);
+  if (!profiled.ok()) {
+    response.result = profiled.status();
+    return;
+  }
+  const bool use_cache = !request.bypass_cache && cache_.capacity() > 0;
+  CacheKey key;
+  core::SearchResult cached;
+  CacheLookup looked = CacheLookup::kMiss;
+  if (use_cache) {
+    // Keyed with the fingerprints of THIS query's generation snapshot: a
+    // query racing a swap both looks up and inserts under the generation
+    // whose backend actually answers it, so a swap can never alias an old
+    // result onto a new-generation key (the stale-hit window this keying
+    // closes).
+    key = KeyForGeneration(gen.info, *profiled, request.k, mask);
+    looked = cache_.Lookup(key, &cached);
+  }
+  if (looked == CacheLookup::kHit) {
+    hit = true;
+    response.result = std::move(cached);
+    response.stats.cache_hit = true;
+  } else if (looked == CacheLookup::kNegative) {
+    // The backend is known to retrieve nothing for this key:
+    // reconstruct the empty result from the target we just profiled —
+    // byte-identical to what SearchTarget would return, since an empty
+    // retrieval only moves the profiles/signatures into the result.
+    hit = true;
+    negative = true;
+    core::SearchResult empty;
+    empty.target_profiles = std::move(profiled->profiles);
+    empty.target_sigs = std::move(profiled->sigs);
+    response.result = std::move(empty);
+    response.stats.cache_hit = true;
+    response.stats.negative_hit = true;
+  } else {
+    searched = true;
+    t0 = std::chrono::steady_clock::now();
+    response.result = backend.Search(std::move(*profiled), request.k, mask);
+    response.stats.search_seconds = SecondsSince(t0);
+    if (use_cache && response.result.ok()) {
+      if (response.result->ranked.empty() &&
+          response.result->candidate_alignments.empty()) {
+        cache_.InsertNegative(key);  // remember the emptiness, not the bytes
+      } else {
+        cache_.Insert(key, *response.result);  // deep copy into the cache
+      }
+    }
+  }
+}
+
 void DiscoveryService::Execute(const QueryRequest& request,
                                std::chrono::steady_clock::time_point submitted,
                                std::shared_ptr<std::promise<QueryResponse>> promise) {
   QueryResponse response;
   response.stats.queue_seconds = SecondsSince(submitted);
 
-  const std::array<bool, core::kNumEvidence> mask =
-      request.enabled.value_or(backend_->options().enabled);
+  // ONE generation snapshot per query: every phase below — profile, cache
+  // key, search, insert — sees this backend and this fingerprint, however
+  // many SwapBackend calls land while we run. The shared_ptr copy also
+  // keeps the old backend alive until the query drains.
+  const std::shared_ptr<const Generation> gen = CurrentGeneration();
+  response.stats.index_fingerprint = gen->info.index_fingerprint;
 
   bool hit = false;
   bool negative = false;
   bool searched = false;  ///< the query reached the backend's Search
-  double profile_seconds = 0;
-  double search_seconds = 0;
-  if (request.target == nullptr) {
-    response.result = Status::InvalidArgument("query target is null");
-  } else {
-    auto t0 = std::chrono::steady_clock::now();
-    Result<core::QueryTarget> profiled = backend_->Profile(*request.target);
-    profile_seconds = response.stats.profile_seconds = SecondsSince(t0);
-    if (!profiled.ok()) {
-      response.result = profiled.status();
-    } else {
-      const bool use_cache = !request.bypass_cache && cache_.capacity() > 0;
-      CacheKey key;
-      core::SearchResult cached;
-      CacheLookup looked = CacheLookup::kMiss;
-      if (use_cache) {
-        key = KeyFor(*profiled, request.k, mask);
-        looked = cache_.Lookup(key, &cached);
-      }
-      if (looked == CacheLookup::kHit) {
-        hit = true;
-        response.result = std::move(cached);
-        response.stats.cache_hit = true;
-      } else if (looked == CacheLookup::kNegative) {
-        // The backend is known to retrieve nothing for this key:
-        // reconstruct the empty result from the target we just profiled —
-        // byte-identical to what SearchTarget would return, since an empty
-        // retrieval only moves the profiles/signatures into the result.
-        hit = true;
-        negative = true;
-        core::SearchResult empty;
-        empty.target_profiles = std::move(profiled->profiles);
-        empty.target_sigs = std::move(profiled->sigs);
-        response.result = std::move(empty);
-        response.stats.cache_hit = true;
-        response.stats.negative_hit = true;
-      } else {
-        searched = true;
-        t0 = std::chrono::steady_clock::now();
-        response.result =
-            backend_->Search(std::move(*profiled), request.k, mask);
-        search_seconds = response.stats.search_seconds = SecondsSince(t0);
-        if (use_cache && response.result.ok()) {
-          if (response.result->ranked.empty() &&
-              response.result->candidate_alignments.empty()) {
-            cache_.InsertNegative(key);  // remember the emptiness, not the bytes
-          } else {
-            cache_.Insert(key, *response.result);  // deep copy into the cache
-          }
-        }
-      }
-    }
+  try {
+    RunQuery(*gen, request, response, hit, negative, searched);
+  } catch (const std::exception& e) {
+    // The codebase speaks Status, not exceptions — but a throw must not
+    // escape into the pool (it would strand every queued future). Convert
+    // it so THIS caller gets a failed response and everyone else proceeds.
+    response.result = Status::Internal(std::string("query threw: ") + e.what());
+  } catch (...) {
+    response.result = Status::Internal("query threw a non-std exception");
   }
   response.stats.total_seconds = SecondsSince(submitted);
 
@@ -179,8 +250,8 @@ void DiscoveryService::Execute(const QueryRequest& request,
     } else if (searched) {
       ++cache_misses_;  // failed-before-retrieval queries count only in failed_
     }
-    profile_seconds_ += profile_seconds;
-    search_seconds_ += search_seconds;
+    profile_seconds_ += response.stats.profile_seconds;
+    search_seconds_ += response.stats.search_seconds;
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
   // Safe after in_flight_ hits zero: the promise is owned by this task, and

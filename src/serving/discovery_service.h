@@ -29,6 +29,16 @@
 // Shutdown is graceful: the destructor (or Shutdown()) stops accepting new
 // queries, then blocks until every in-flight and queued query has fulfilled
 // its future — no future returned by Submit is ever broken.
+//
+// Hot reload. The backend is held as one immutable Generation (backend
+// pointer + its BackendInfo) published through a shared_ptr; SwapBackend
+// installs a replacement without pausing service. Each query captures
+// exactly one generation snapshot when it starts executing and threads it
+// through profile, cache keying, search, and cache insertion — so a query
+// racing a swap runs entirely against the old generation and caches its
+// result under the OLD index fingerprint, never under a key the new
+// generation would read. In-flight queries keep the old backend alive via
+// the snapshot's reference; it is destroyed when the last of them drains.
 #pragma once
 
 #include <array>
@@ -88,6 +98,9 @@ struct QueryStats {
   double profile_seconds = 0;  ///< ProfileTarget
   double search_seconds = 0;   ///< backend retrieval+ranking (0 on a hit)
   double total_seconds = 0;    ///< Submit() to response ready
+  /// Index fingerprint of the generation this query executed against —
+  /// lets callers attribute a response to a reload generation.
+  uint64_t index_fingerprint = 0;
 };
 
 /// \brief The outcome a Submit future resolves to.
@@ -116,8 +129,14 @@ struct ServiceStats {
 /// \brief Async top-k discovery serving with a result cache.
 class DiscoveryService {
  public:
-  /// The backend must outlive the service.
+  /// Non-owning: the backend must outlive the service (and any SwapBackend
+  /// that replaces it must happen-before its destruction).
   explicit DiscoveryService(const SearchBackend* backend,
+                            DiscoveryServiceOptions options = {});
+
+  /// Owning: the service keeps the backend alive as long as any in-flight
+  /// query references its generation. This is the hot-reload constructor.
+  explicit DiscoveryService(std::shared_ptr<const SearchBackend> backend,
                             DiscoveryServiceOptions options = {});
 
   /// Blocks until every accepted query has completed (idempotent; also run
@@ -140,24 +159,52 @@ class DiscoveryService {
   /// Convenience: Submit + wait.
   QueryResponse Query(const QueryRequest& request);
 
-  const SearchBackend& backend() const { return *backend_; }
+  /// Atomically publishes a new backend generation. Returns immediately:
+  /// queries already executing finish against the generation they captured
+  /// (which stays alive through their snapshot reference); queries that
+  /// start executing afterwards see the new one. The ResultCache needs no
+  /// flush — the new generation's index fingerprint changes every key, so
+  /// old entries can never hit and age out by LRU.
+  void SwapBackend(std::shared_ptr<const SearchBackend> backend);
+
+  /// The currently published backend (a new Submit would run against it).
+  std::shared_ptr<const SearchBackend> backend() const;
+  /// The currently published generation's BackendInfo.
+  BackendInfo Info() const;
   ServiceStats Stats() const;
 
-  /// The cache key Submit would use for a profiled target — exposed so
-  /// tests and diagnostics can reason about hit/miss behavior directly.
+  /// The cache key Submit would use for a profiled target against the
+  /// CURRENT generation — exposed so tests and diagnostics can reason
+  /// about hit/miss behavior directly.
   CacheKey KeyFor(const core::QueryTarget& target, size_t k,
                   const std::array<bool, core::kNumEvidence>& enabled_mask) const;
 
  private:
+  /// One published backend: pointer + the BackendInfo captured at publish
+  /// time. Immutable after construction; shared by every query that
+  /// snapshots it.
+  struct Generation {
+    std::shared_ptr<const SearchBackend> backend;
+    BackendInfo info;
+  };
+
+  std::shared_ptr<const Generation> CurrentGeneration() const;
+  static CacheKey KeyForGeneration(
+      const BackendInfo& info, const core::QueryTarget& target, size_t k,
+      const std::array<bool, core::kNumEvidence>& enabled_mask);
   void Execute(const QueryRequest& request,
                std::chrono::steady_clock::time_point submitted,
                std::shared_ptr<std::promise<QueryResponse>> promise);
+  void RunQuery(const Generation& gen, const QueryRequest& request,
+                QueryResponse& response, bool& hit, bool& negative,
+                bool& searched);
 
-  const SearchBackend* backend_;
   DiscoveryServiceOptions options_;
-  BackendInfo info_;  ///< captured once; fingerprints feed every cache key
   ResultCache cache_;
   ThreadPool pool_;
+
+  mutable std::mutex gen_mu_;  ///< guards only the generation_ pointer swap
+  std::shared_ptr<const Generation> generation_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

@@ -1,0 +1,178 @@
+#include "serving/hot_reload.h"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+namespace d3l::serving {
+
+namespace fs = std::filesystem;
+
+HotReloader::HotReloader(std::string csv_dir, std::string out_base,
+                         HotReloaderOptions options)
+    : csv_dir_(std::move(csv_dir)),
+      out_base_(std::move(out_base)),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<HotReloader>> HotReloader::Open(
+    std::string csv_dir, std::string out_base, HotReloaderOptions options) {
+  auto reloader = std::unique_ptr<HotReloader>(
+      new HotReloader(std::move(csv_dir), std::move(out_base), std::move(options)));
+
+  const std::string manifest_path = ManifestPath(reloader->out_base_);
+  std::error_code ec;
+  if (!fs::exists(manifest_path, ec)) {
+    if (!reloader->options_.build_if_missing) {
+      return Status::NotFound("no deployment at " + manifest_path +
+                              " (build_if_missing is off)");
+    }
+    DataLake lake;
+    D3L_RETURN_NOT_OK(lake.LoadDirectory(reloader->csv_dir_));
+    D3L_RETURN_NOT_OK(BuildShards(lake, reloader->options_.sharding,
+                                  reloader->out_base_)
+                          .status());
+  }
+
+  D3L_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedEngine> engine,
+      ShardedEngine::Open(manifest_path, reloader->options_.engine));
+  reloader->current_ = std::shared_ptr<const ShardedEngine>(std::move(engine));
+  reloader->service_ = std::make_unique<DiscoveryService>(
+      reloader->current_, reloader->options_.service);
+  return reloader;
+}
+
+HotReloader::~HotReloader() {
+  StopWatching();
+  // service_ (declared last) shuts down next, draining in-flight queries;
+  // each holds its generation alive through its snapshot reference.
+}
+
+std::shared_ptr<const ShardedEngine> HotReloader::engine() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_;
+}
+
+Result<ReloadReport> HotReloader::Reload() {
+  // One rebuild at a time. Queries never take this lock — during the
+  // whole body they keep executing against the generation the service
+  // currently publishes.
+  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto seconds_since = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  auto fail = [this](Status status) -> Result<ReloadReport> {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++failed_reloads_;
+    }
+    return status;
+  };
+
+  DataLake lake;
+  Status loaded = lake.LoadDirectory(csv_dir_);
+  if (!loaded.ok()) return fail(std::move(loaded));
+
+  auto update = UpdateShards(lake, options_.sharding, out_base_);
+  if (!update.ok()) return fail(update.status());
+
+  ReloadReport report;
+  if (update->rebuilt_shards.empty() && update->added.empty() &&
+      update->removed.empty() && update->changed.empty()) {
+    // The directory already matches the deployment (poll raced a reload,
+    // or an edit was reverted): nothing was rebuilt, so the serving
+    // generation is already exact — skip the open+swap entirely.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++noop_reloads_;
+    report.index_fingerprint = current_->Info().index_fingerprint;
+    report.replicas_reused = current_->num_shards();
+    report.seconds = seconds_since();
+    return report;
+  }
+
+  // Open the updated deployment, sharing every unchanged replica with the
+  // generation still serving. On failure the old generation keeps serving
+  // untouched.
+  std::shared_ptr<const ShardedEngine> previous = engine();
+  auto opened =
+      ShardedEngine::Open(ManifestPath(out_base_), options_.engine, previous.get());
+  if (!opened.ok()) return fail(opened.status());
+  std::shared_ptr<const ShardedEngine> next(std::move(opened).ValueOrDie());
+
+  // Publish: new queries run against `next` from here on; in-flight ones
+  // finish on whatever generation they snapshotted.
+  service_->SwapBackend(next);
+  report.swapped = true;
+  report.index_fingerprint = next->Info().index_fingerprint;
+  report.shards_rebuilt = update->rebuilt_shards.size();
+  report.replicas_reused = next->reused_replicas();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    current_ = std::move(next);
+    ++reloads_;
+  }
+  report.seconds = seconds_since();
+  return report;
+}
+
+void HotReloader::StartWatching() {
+  std::lock_guard<std::mutex> lk(watch_mu_);
+  if (watcher_.joinable()) return;
+  watch_stop_ = false;
+  watcher_ = std::thread([this] { WatchLoop(); });
+}
+
+void HotReloader::StopWatching() {
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    if (!watcher_.joinable()) return;
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  watcher_.join();
+}
+
+void HotReloader::WatchLoop() {
+  const auto interval = std::chrono::milliseconds(options_.watch_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(watch_mu_);
+      watch_cv_.wait_for(lk, interval, [this] { return watch_stop_; });
+      if (watch_stop_) return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++watch_polls_;
+    }
+    // Staleness is judged by the recorded source identities alone — a
+    // checksum pass over the CSVs, no parsing. Only a detected diff pays
+    // for a reload.
+    std::shared_ptr<const ShardedEngine> gen = engine();
+    auto freshness = CheckFreshness(gen->manifest(), csv_dir_);
+    if (!freshness.ok()) continue;  // transient (e.g. directory mid-rewrite)
+    bool stale = !freshness->new_files.empty();
+    for (const ShardFreshness& shard : freshness->shards) {
+      stale = stale || !shard.fresh();
+    }
+    if (!stale) continue;
+    // Failures are counted (failed_reloads) and retried on the next poll;
+    // the old generation keeps serving throughout.
+    Result<ReloadReport> ignored = Reload();
+    (void)ignored;
+  }
+}
+
+ReloadStats HotReloader::Stats() const {
+  ReloadStats stats;
+  std::lock_guard<std::mutex> lk(mu_);
+  stats.reloads = reloads_;
+  stats.noop_reloads = noop_reloads_;
+  stats.failed_reloads = failed_reloads_;
+  stats.watch_polls = watch_polls_;
+  stats.index_fingerprint = current_->Info().index_fingerprint;
+  return stats;
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,154 @@
+// Hot reload: keeps a sharded deployment serving while the lake changes.
+//
+// A HotReloader owns the full serving stack for one CSV directory — the
+// on-disk deployment (<out_base>.manifest + shards), the current
+// ShardedEngine generation, and a DiscoveryService front-end — and adds
+// the one operation a long-running server needs: Reload(), which brings
+// the deployment up to date with the directory WITHOUT pausing queries.
+//
+// A reload is three steps, each leaving the serving path untouched until
+// the last:
+//
+//   1. UpdateShards: diff the reloaded lake against the manifest and
+//      rebuild only the shards whose tables were added/removed/changed
+//      (all writes atomic; see shard_builder.h). Queries keep running
+//      against the OLD in-memory generation the whole time — the rebuild
+//      touches disk, not the engine.
+//   2. ShardedEngine::Open with the old generation as `reuse`: unchanged
+//      shards share the already-loaded replicas, so only the rebuilt
+//      shards are read back and re-indexed.
+//   3. DiscoveryService::SwapBackend: RCU-style publication. In-flight
+//      queries hold their generation snapshot and finish on the old
+//      engine (kept alive by their shared_ptr references); new queries
+//      see the new one. The new generation's index fingerprint differs,
+//      so every result-cache key changes — stale entries can never hit
+//      and simply age out.
+//
+// A failed reload (unreadable CSVs, a failed shard rebuild, a torn shard
+// file) leaves the old generation serving and returns the error; the
+// deployment on disk is likewise intact (UpdateShards commits shard files
+// before the manifest, each atomically).
+//
+// Watch mode runs Reload() from a background thread whenever the recorded
+// source identities go stale against the directory (CheckFreshness — a
+// cheap checksum pass, no CSV parsing). Polling, not inotify: portable,
+// and reload cost is bounded by the real diff anyway.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serving/discovery_service.h"
+#include "serving/shard_builder.h"
+#include "serving/sharded_engine.h"
+
+namespace d3l::serving {
+
+struct HotReloaderOptions {
+  /// Shard count / balance / engine options. The shard count and balance
+  /// only matter when Open builds the deployment from scratch; afterwards
+  /// the deployed configuration wins (UpdateShards semantics). The engine
+  /// options must always match the deployment.
+  ShardingOptions sharding;
+  /// Passed through to every ShardedEngine generation.
+  ShardedEngineOptions engine;
+  /// Passed through to the DiscoveryService front-end.
+  DiscoveryServiceOptions service;
+  /// Build <out_base> from the CSV directory when no manifest exists yet
+  /// (otherwise Open fails on a missing deployment).
+  bool build_if_missing = true;
+  /// Watch-mode poll interval.
+  size_t watch_interval_ms = 500;
+};
+
+/// \brief What one Reload() did.
+struct ReloadReport {
+  /// False when the directory matched the deployment and nothing was
+  /// rebuilt or swapped (the common case for a poll-driven reload race).
+  bool swapped = false;
+  uint64_t index_fingerprint = 0;  ///< generation now serving
+  size_t shards_rebuilt = 0;
+  size_t replicas_reused = 0;  ///< in-memory replicas shared from the old generation
+  double seconds = 0;          ///< lake load + rebuild + open + swap
+};
+
+/// \brief Aggregate reload counters (all since Open).
+struct ReloadStats {
+  size_t reloads = 0;         ///< Reload() calls that swapped a generation
+  size_t noop_reloads = 0;    ///< Reload() calls that found nothing to do
+  size_t failed_reloads = 0;  ///< Reload() calls that returned an error
+  size_t watch_polls = 0;     ///< freshness checks run by the watcher
+  uint64_t index_fingerprint = 0;  ///< generation currently serving
+};
+
+/// \brief A self-reloading sharded discovery server over one CSV directory.
+class HotReloader {
+ public:
+  /// Opens (or, with build_if_missing, builds) the deployment at
+  /// `out_base` from `csv_dir` and starts serving. The watcher does NOT
+  /// start automatically — call StartWatching(), or drive Reload()
+  /// explicitly.
+  static Result<std::unique_ptr<HotReloader>> Open(std::string csv_dir,
+                                                   std::string out_base,
+                                                   HotReloaderOptions options = {});
+
+  /// Stops the watcher, then drains the service (DiscoveryService
+  /// shutdown semantics: every accepted future still resolves).
+  ~HotReloader();
+  HotReloader(const HotReloader&) = delete;
+  HotReloader& operator=(const HotReloader&) = delete;
+
+  /// Brings the deployment and the serving generation up to date with the
+  /// CSV directory. Thread-safe (concurrent calls serialize); queries are
+  /// never blocked — they either run on the old generation or, after the
+  /// swap, on the new one. On error the old generation keeps serving.
+  Result<ReloadReport> Reload();
+
+  /// Starts / stops the background freshness poller (idempotent).
+  void StartWatching();
+  void StopWatching();
+
+  /// The query front-end. Submit from any thread.
+  DiscoveryService& service() { return *service_; }
+  /// The currently serving generation.
+  std::shared_ptr<const ShardedEngine> engine() const;
+
+  ReloadStats Stats() const;
+
+ private:
+  HotReloader(std::string csv_dir, std::string out_base, HotReloaderOptions options);
+  void WatchLoop();
+
+  const std::string csv_dir_;
+  const std::string out_base_;
+  const HotReloaderOptions options_;
+
+  /// Serializes Reload() bodies: one rebuild at a time, never blocking
+  /// queries (which only touch current_ / the service's generation).
+  std::mutex reload_mu_;
+
+  mutable std::mutex mu_;  ///< guards current_ and the counters
+  std::shared_ptr<const ShardedEngine> current_;
+  size_t reloads_ = 0;
+  size_t noop_reloads_ = 0;
+  size_t failed_reloads_ = 0;
+  size_t watch_polls_ = 0;
+
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;
+  std::thread watcher_;
+
+  /// Declared last: destroyed first, draining in-flight queries while the
+  /// generations they reference are still reachable (each query holds its
+  /// own shared_ptr anyway; the order just keeps teardown obviously safe).
+  std::unique_ptr<DiscoveryService> service_;
+};
+
+}  // namespace d3l::serving

@@ -190,10 +190,20 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
 }
 
 Result<std::pair<uint64_t, uint32_t>> FileSizeAndCrc32(const std::string& path) {
+  // ifstream happily "opens" a directory on POSIX and then fails every
+  // read with only failbit set, which the loop below reads as a clean
+  // empty file — reject non-files up front instead of checksumming one.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    if (std::filesystem::exists(path, ec)) {
+      return Status::IOError("'" + path + "' is not a regular file");
+    }
+    return Status::NotFound("cannot open " + path);
+  }
   // Streamed through a bounded buffer: shard snapshots can be huge, and
   // Open checksums several of them concurrently.
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
+  if (!in) return Status::IOError("cannot read " + path);
   io::Crc32Accumulator acc;
   uint64_t size = 0;
   char buf[1 << 16];
@@ -247,9 +257,18 @@ Result<ManifestFreshness> CheckFreshness(const ShardManifest& manifest,
     f.tables = e.sources.size();
     for (const TableSource& src : e.sources) {
       known.insert(src.file);
-      auto size_crc = FileSizeAndCrc32((fs::path(csv_dir) / src.file).string());
+      const std::string path = (fs::path(csv_dir) / src.file).string();
+      auto size_crc = FileSizeAndCrc32(path);
       if (!size_crc.ok()) {
-        ++f.missing;
+        // Missing means deleted; anything else (permissions, the path now
+        // a directory, an I/O error mid-read) means we could not verify
+        // the checksums — a distinct state, and never "fresh".
+        std::error_code ec;
+        if (fs::exists(path, ec)) {
+          ++f.unreadable;
+        } else {
+          ++f.missing;
+        }
       } else if (size_crc->first != src.bytes || size_crc->second != src.crc32) {
         ++f.changed;
       }
@@ -275,6 +294,10 @@ std::string ManifestPath(const std::string& base) { return base + ".manifest"; }
 
 std::string ShardPath(const std::string& base, size_t shard_index) {
   return base + ".shard" + std::to_string(shard_index) + ".d3l";
+}
+
+std::string StagedShardPath(const std::string& base, size_t shard_index) {
+  return ShardPath(base, shard_index) + ".staged";
 }
 
 std::string ResolveRelative(const std::string& manifest_path, const std::string& file) {

@@ -106,7 +106,14 @@ struct ShardFreshness {
   size_t tables = 0;   ///< tables the shard serves
   size_t changed = 0;  ///< source files present but with different bytes/crc
   size_t missing = 0;  ///< source files no longer in the directory
-  bool fresh() const { return changed == 0 && missing == 0; }
+  /// Source paths that exist but cannot be read (permissions, or replaced
+  /// by a non-file such as a directory). Counted separately from `missing`
+  /// because the right reaction differs — a missing source means the table
+  /// was deleted; an unreadable one usually means the directory is broken.
+  /// Either way the shard must NOT be reported fresh: "fresh" is a claim
+  /// that the recorded checksums were re-verified, which they were not.
+  size_t unreadable = 0;
+  bool fresh() const { return changed == 0 && missing == 0 && unreadable == 0; }
 };
 
 struct ManifestFreshness {
@@ -125,6 +132,13 @@ Result<ManifestFreshness> CheckFreshness(const ShardManifest& manifest,
 /// the builder, the engine and the CLI.
 std::string ManifestPath(const std::string& base);
 std::string ShardPath(const std::string& base, size_t shard_index);
+
+/// \brief Where UpdateShards builds a replacement shard before committing:
+/// `<shard path>.staged`. Staged files are renamed onto the final paths
+/// only after EVERY rebuilt shard has been written successfully, so a
+/// failed update leaves the deployed files (and the manifest that
+/// checksums them) untouched and still serveable.
+std::string StagedShardPath(const std::string& base, size_t shard_index);
 
 /// \brief Resolves a manifest-relative filename against the manifest's
 /// directory. Callers must only pass filenames from a Validate()d manifest

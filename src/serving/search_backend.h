@@ -91,9 +91,11 @@ class EngineBackend : public SearchBackend {
  public:
   /// Wraps a built engine. `index_fingerprint` pins the cache identity of
   /// the indexed data; pass 0 to derive one from the lake's schema
-  /// fingerprint and attribute count (sufficient for in-process engines,
-  /// which cannot be hot-swapped under a running service; snapshot-served
-  /// deployments should prefer FromSnapshot's checksum-derived identity).
+  /// fingerprint and attribute count. Two backends swapped through a
+  /// running service (DiscoveryService::SwapBackend) must not share a
+  /// fingerprint unless their results are byte-identical — snapshot-served
+  /// deployments should prefer FromSnapshot's checksum-derived identity,
+  /// which guarantees that.
   EngineBackend(const core::D3LEngine* engine, const DataLake* lake,
                 uint64_t index_fingerprint = 0);
 

@@ -68,13 +68,18 @@ Status ValidatePlan(const DataLake& lake, const ShardPlan& plan) {
   return Status::OK();
 }
 
-/// Profiles + indexes one shard's tables and persists its snapshot
-/// (atomically, via io::Writer's temp + rename), returning the filled
-/// manifest entry.
+/// Profiles + indexes one shard's tables and persists its snapshot to
+/// `write_path` (atomically, via io::Writer's temp + rename), returning
+/// the filled manifest entry. `write_path` need not be the shard's final
+/// path: UpdateShards builds replacements at a staged path and renames
+/// them into place only once every rebuild has succeeded, so the entry's
+/// recorded filename is always the FINAL name while the checksums are
+/// taken from the bytes actually written.
 Result<ShardManifestEntry> BuildOneShard(const DataLake& lake,
                                          const std::vector<uint32_t>& tables,
                                          const core::D3LOptions& engine_options,
-                                         const std::string& out_base, size_t s) {
+                                         const std::string& out_base, size_t s,
+                                         const std::string& write_path) {
   DataLake shard_lake;
   for (uint32_t g : tables) {
     D3L_RETURN_NOT_OK(shard_lake.AddTable(lake.table(g)));
@@ -82,13 +87,12 @@ Result<ShardManifestEntry> BuildOneShard(const DataLake& lake,
 
   core::D3LEngine engine(engine_options);
   D3L_RETURN_NOT_OK(engine.IndexLake(shard_lake));
-  const std::string shard_path = ShardPath(out_base, s);
-  D3L_RETURN_NOT_OK(engine.SaveSnapshot(shard_path));
+  D3L_RETURN_NOT_OK(engine.SaveSnapshot(write_path));
 
   const std::string base_name = std::filesystem::path(out_base).filename().string();
   ShardManifestEntry entry;
   entry.file = ShardPath(base_name, s);  // manifest-relative: just the filename
-  D3L_ASSIGN_OR_RETURN(auto size_crc, FileSizeAndCrc32(shard_path));
+  D3L_ASSIGN_OR_RETURN(auto size_crc, FileSizeAndCrc32(write_path));
   entry.file_bytes = size_crc.first;
   entry.file_crc32 = size_crc.second;
   entry.schema_crc32 = SchemaFingerprint(shard_lake);
@@ -170,8 +174,10 @@ Result<ShardBuildReport> BuildShards(const DataLake& lake,
   manifest.balance = BalanceName(options.balance);
 
   for (size_t s = 0; s < report.plan.size(); ++s) {
-    D3L_ASSIGN_OR_RETURN(ShardManifestEntry entry,
-                         BuildOneShard(lake, report.plan[s], options.engine, out_base, s));
+    D3L_ASSIGN_OR_RETURN(
+        ShardManifestEntry entry,
+        BuildOneShard(lake, report.plan[s], options.engine, out_base, s,
+                      ShardPath(out_base, s)));
     manifest.total_attributes += entry.num_attributes;
     manifest.shards.push_back(std::move(entry));
     report.shard_paths.push_back(ShardPath(out_base, s));
@@ -349,19 +355,36 @@ Result<ShardUpdateReport> UpdateShards(const DataLake& lake,
     }
   }
 
-  // Rebuild the dirty shards (shard files land first, manifest last, every
-  // write temp+rename — a crash in between leaves a manifest whose
-  // checksums reject the half-updated shard set instead of serving it).
+  // Rebuild the dirty shards at STAGED paths first: the deployed files
+  // and the manifest that checksums them stay untouched until every
+  // replacement exists, so a failed rebuild (disk full, a poisoned table)
+  // aborts with the old deployment fully serveable. Only then are the
+  // staged files renamed onto the final paths and the manifest saved last
+  // — a crash in the narrow rename window leaves a manifest whose
+  // checksums reject the half-updated shard set instead of serving it,
+  // repaired by rerunning.
   ShardManifest manifest;
   manifest.total_tables = lake.size();
   manifest.total_attributes = 0;
   manifest.balance = old.balance;
   manifest.shards.resize(n_shards);
+  std::vector<std::string> staged;  // staged files awaiting commit
+  staged.reserve(n_shards);
+  auto discard_staged = [&staged] {
+    std::error_code ec;
+    for (const std::string& path : staged) std::filesystem::remove(path, ec);
+  };
   for (size_t s = 0; s < n_shards; ++s) {
     if (dirty[s]) {
-      D3L_ASSIGN_OR_RETURN(
-          manifest.shards[s],
-          BuildOneShard(lake, report.plan[s], options.engine, out_base, s));
+      const std::string staged_path = StagedShardPath(out_base, s);
+      auto entry = BuildOneShard(lake, report.plan[s], options.engine,
+                                 out_base, s, staged_path);
+      if (!entry.ok()) {
+        discard_staged();
+        return entry.status();
+      }
+      staged.push_back(staged_path);
+      manifest.shards[s] = std::move(entry).ValueOrDie();
       report.rebuilt_shards.push_back(s);
     } else {
       manifest.shards[s] = old.shards[s];
@@ -371,7 +394,22 @@ Result<ShardUpdateReport> UpdateShards(const DataLake& lake,
     manifest.total_attributes += manifest.shards[s].num_attributes;
     report.shard_paths.push_back(ShardPath(out_base, s));
   }
-  D3L_RETURN_NOT_OK(manifest.Save(report.manifest_path));
+  // Commit: every replacement exists, so rename them into place (same
+  // directory, so each rename is atomic) and write the manifest last.
+  for (size_t i = 0; i < report.rebuilt_shards.size(); ++i) {
+    const size_t s = report.rebuilt_shards[i];
+    std::error_code ec;
+    std::filesystem::rename(StagedShardPath(out_base, s), ShardPath(out_base, s), ec);
+    if (ec) {
+      discard_staged();
+      return Status::IOError("cannot commit rebuilt shard " + std::to_string(s) +
+                             ": " + ec.message());
+    }
+  }
+  {
+    Status saved = manifest.Save(report.manifest_path);
+    if (!saved.ok()) return saved;
+  }
   report.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;

@@ -89,9 +89,13 @@ struct ShardUpdateReport {
 /// `lake`: diffs the lake's table sources against the existing (v2)
 /// manifest, keeps the placement of unchanged tables, assigns added tables
 /// by the deployment's recorded balance policy, re-profiles ONLY the
-/// affected shards and rewrites the manifest (shard files first, manifest
-/// last; every write atomic — an interrupted update cannot serve, and is
-/// repaired by rerunning).
+/// affected shards and rewrites the manifest. Rebuilt shards are written
+/// to staged paths (StagedShardPath) and committed — renamed onto the
+/// final paths, then the manifest saved last — only after every rebuild
+/// succeeded, so a mid-update failure returns the error with the OLD
+/// deployment intact and still serveable; a crash inside the narrow
+/// commit window leaves a manifest whose checksums reject the mixed shard
+/// set, repaired by rerunning.
 ///
 /// The deployed configuration wins over the caller's: the shard count and
 /// balance policy stay the manifest's (`options.num_shards` and

@@ -14,7 +14,8 @@ ShardedEngine::ShardedEngine(ShardManifest manifest, size_t num_threads)
       pool_(num_threads > 0 ? num_threads : ThreadPool::DefaultThreads()) {}
 
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
-    const std::string& manifest_path, ShardedEngineOptions options) {
+    const std::string& manifest_path, ShardedEngineOptions options,
+    const ShardedEngine* reuse) {
   D3L_ASSIGN_OR_RETURN(ShardManifest manifest, ShardManifest::Load(manifest_path));
   auto engine = std::unique_ptr<ShardedEngine>(
       new ShardedEngine(std::move(manifest), options.num_threads));
@@ -41,6 +42,28 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     }
   }
 
+  // Match unchanged shards against the previous generation by content
+  // identity (file bytes + CRC32 + schema fingerprint): the checksums
+  // pin the exact snapshot bytes, so a matching replica already holds the
+  // byte-identical index and can be shared instead of reloaded. This is
+  // what makes a hot reload after an incremental UpdateShards cost only
+  // the rebuilt shards.
+  const size_t n_prev = reuse == nullptr ? 0 : reuse->shards_.size();
+  std::vector<size_t> reuse_from(n_shards, SIZE_MAX);
+  for (size_t s = 0; s < n_shards && n_prev > 0; ++s) {
+    const ShardManifestEntry& entry = m.shards[s];
+    for (size_t j = 0; j < n_prev; ++j) {
+      const ShardManifestEntry& prev = reuse->manifest_.shards[j];
+      if (prev.file_bytes == entry.file_bytes &&
+          prev.file_crc32 == entry.file_crc32 &&
+          prev.schema_crc32 == entry.schema_crc32) {
+        reuse_from[s] = j;
+        ++engine->reused_replicas_;
+        break;
+      }
+    }
+  }
+
   // Load every shard replica, in parallel on the query pool (the banded
   // indexes are rebuilt from signatures at load time, which is the bulk of
   // the open cost for big shard sets).
@@ -48,6 +71,13 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   engine->shards_.resize(n_shards);
   std::vector<Status> load_status(n_shards);
   engine->pool_.ParallelFor(n_shards, [&](size_t s) {
+    if (reuse_from[s] != SIZE_MAX) {
+      // The previous generation verified these bytes when it loaded them;
+      // sharing the replica skips both the disk read and the checksum pass.
+      engine->shard_lakes_[s] = reuse->shard_lakes_[reuse_from[s]];
+      engine->shards_[s] = reuse->shards_[reuse_from[s]];
+      return;
+    }
     const ShardManifestEntry& entry = m.shards[s];
     const std::string path = ResolveRelative(manifest_path, entry.file);
     if (options.verify_checksums) {

@@ -63,10 +63,21 @@ class ShardedEngine : public SearchBackend {
   /// Status on a missing shard file, a checksum/size mismatch, shards whose
   /// contents contradict the manifest, or shards built with diverging
   /// engine options (compared by core::OptionsFingerprint).
+  ///
+  /// `reuse` (optional) is the previous generation of the same deployment:
+  /// shards whose manifest identity (file bytes, file CRC32, schema
+  /// fingerprint) is unchanged share the previous engine's already-loaded
+  /// replica instead of re-reading and re-indexing the snapshot, so a
+  /// reload after an incremental UpdateShards pays only for the rebuilt
+  /// shards. Shared replicas are read-only and reference-counted — the old
+  /// generation may be destroyed first, in-flight queries included.
   static Result<std::unique_ptr<ShardedEngine>> Open(
-      const std::string& manifest_path, ShardedEngineOptions options = {});
+      const std::string& manifest_path, ShardedEngineOptions options = {},
+      const ShardedEngine* reuse = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
+  /// Shards adopted from the `reuse` engine rather than loaded from disk.
+  size_t reused_replicas() const { return reused_replicas_; }
   size_t num_tables() const { return table_names_.size(); }
   size_t num_attributes() const { return attr_table_.size(); }
   const ShardManifest& manifest() const { return manifest_; }
@@ -125,8 +136,12 @@ class ShardedEngine : public SearchBackend {
 
   ShardManifest manifest_;
   /// Schema-only metadata backing each loaded engine (must outlive it).
-  std::vector<std::unique_ptr<DataLake>> shard_lakes_;
-  std::vector<std::unique_ptr<core::D3LEngine>> shards_;
+  /// shared_ptr (not unique_ptr) so an unchanged replica can be shared by
+  /// consecutive reload generations; const because replicas are immutable
+  /// once loaded — that immutability is what makes sharing race-free.
+  std::vector<std::shared_ptr<const DataLake>> shard_lakes_;
+  std::vector<std::shared_ptr<const core::D3LEngine>> shards_;
+  size_t reused_replicas_ = 0;
 
   std::vector<std::string> table_names_;          ///< [global table] -> name
   std::vector<uint32_t> attr_table_;              ///< [global attr] -> global table

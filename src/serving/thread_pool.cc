@@ -54,7 +54,18 @@ void ThreadPool::DrainTasks() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    RunContained(task);
+  }
+}
+
+void ThreadPool::RunContained(const std::function<void()>& task) {
+  try {
     task();
+  } catch (...) {
+    // A throw here would std::terminate the worker (and with it the whole
+    // process), silently abandoning every queued task. Contain it instead;
+    // the task's own promise (if any) is the task's responsibility.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -96,7 +107,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::Post(std::function<void()> fn) {
   if (workers_.empty()) {
-    fn();  // no one would ever pick it up; run inline
+    RunContained(fn);  // no one would ever pick it up; run inline
     return;
   }
   {

@@ -14,8 +14,18 @@
 // they are the latency-critical inner phases of a query). Posted tasks are
 // never dropped — destruction runs any stragglers inline after the workers
 // exit, so a future backed by a posted task is always satisfied.
+//
+// Posted tasks are also exception-contained: a throw escaping a posted
+// task is caught at the task boundary (counted in task_exceptions()) and
+// the worker keeps draining the queue. Before this guard, one throwing
+// task took the whole process down via std::terminate with every queued
+// promise unresolved. Throwing tasks are still a bug — the catch exists so
+// one bad query cannot break every other in-flight caller's future; tasks
+// that own a promise should catch their own exceptions and fail it with a
+// meaningful Status (DiscoveryService does).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -52,8 +62,13 @@ class ThreadPool {
   /// Enqueues `fn` to run on a worker thread and returns immediately. With
   /// zero workers the task runs inline on the calling thread before Post
   /// returns (synchronous degradation, same guarantee: the task WILL run).
-  /// Tasks must not throw, and must not call ParallelFor on this pool.
+  /// Tasks must not call ParallelFor on this pool. An exception escaping
+  /// the task is swallowed at the task boundary (see the header comment):
+  /// the worker survives and later queued tasks still run.
   void Post(std::function<void()> fn);
+
+  /// Exceptions caught escaping posted tasks since construction.
+  size_t task_exceptions() const { return task_exceptions_.load(); }
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t DefaultThreads();
@@ -64,6 +79,8 @@ class ThreadPool {
   void Drain();
   // Pops and runs queued tasks until the queue is empty.
   void DrainTasks();
+  // Runs one task, containing any exception it throws.
+  void RunContained(const std::function<void()>& task);
 
   std::vector<std::thread> workers_;
 
@@ -79,6 +96,7 @@ class ThreadPool {
   uint64_t epoch_ = 0;  ///< bumped per batch so workers never rejoin a done one
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
+  std::atomic<size_t> task_exceptions_{0};
 };
 
 }  // namespace d3l::serving

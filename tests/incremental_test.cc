@@ -436,6 +436,90 @@ TEST_F(IncrementalTest, UpdateRefusesOptionsDriftAndEmptyShards) {
   EXPECT_TRUE(emptied.status().IsInvalidArgument());
 }
 
+TEST_F(IncrementalTest, FailedMidUpdateLeavesOldDeploymentServeable) {
+  WriteLakeCsvs();
+  serving::ShardingOptions options;
+  options.num_shards = 3;
+  {
+    DataLake lake = LoadLake();
+    ASSERT_TRUE(serving::BuildShards(lake, options, Base("dep")).ok());
+  }
+  auto before = serving::ShardedEngine::Open(serving::ManifestPath(Base("dep")));
+  ASSERT_TRUE(before.ok());
+  const uint64_t fp_before = (*before)->Info().index_fingerprint;
+  const Table target = testutil::FigureTarget();
+  auto expected = (*before)->Search(target, 5);
+  ASSERT_TRUE(expected.ok());
+
+  // Dirty one shard, then sabotage every staged write path: a non-empty
+  // directory squatting on StagedShardPath makes the atomic temp->staged
+  // rename fail, so the rebuild aborts before anything is committed.
+  Table s2 = testutil::FigureS2();
+  ASSERT_TRUE(s2.AddRow({"Doomed Practice", "Nowhere", "XX1 1XX", "1"}).ok());
+  WriteCsv(s2);
+  for (size_t s = 0; s < 3; ++s) {
+    const fs::path block = serving::StagedShardPath(Base("dep"), s);
+    fs::create_directories(block / "occupied");
+  }
+
+  DataLake lake = LoadLake();
+  auto update = serving::UpdateShards(lake, options, Base("dep"));
+  ASSERT_FALSE(update.ok());
+
+  // The old manifest still loads with its fingerprint intact, and the old
+  // deployment opens and answers byte-identically to before the attempt.
+  auto manifest = serving::ShardManifest::Load(serving::ManifestPath(Base("dep")));
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  auto after = serving::ShardedEngine::Open(serving::ManifestPath(Base("dep")));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ((*after)->Info().index_fingerprint, fp_before);
+  auto served = (*after)->Search(target, 5);
+  ASSERT_TRUE(served.ok());
+  ExpectIdenticalResults(*expected, *served, "after failed update");
+
+  // Unblock the staged paths: the rerun succeeds and converges on the
+  // equivalence guarantee.
+  for (size_t s = 0; s < 3; ++s) {
+    fs::remove_all(serving::StagedShardPath(Base("dep"), s));
+  }
+  auto retry = serving::UpdateShards(lake, options, Base("dep"));
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ExpectEquivalentToFreshBuild(lake, options, Base("dep"), retry->plan, "retry");
+}
+
+TEST_F(IncrementalTest, CheckFreshnessClassifiesUnreadableSources) {
+  WriteLakeCsvs();
+  serving::ShardingOptions options;
+  options.num_shards = 3;
+  DataLake lake = LoadLake();
+  ASSERT_TRUE(serving::BuildShards(lake, options, Base("dep")).ok());
+  auto manifest = serving::ShardManifest::Load(serving::ManifestPath(Base("dep")));
+  ASSERT_TRUE(manifest.ok());
+
+  // Replace a recorded source with a same-named directory: the path
+  // exists but its checksums cannot be verified — that is "unreadable",
+  // not "missing" (deleted) and never silently "fresh".
+  fs::remove(csv_dir_ / "filler_colors_0.csv");
+  fs::create_directories(csv_dir_ / "filler_colors_0.csv");
+
+  auto view = serving::CheckFreshness(*manifest, csv_dir_.string());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  size_t unreadable = 0, missing = 0, changed = 0, stale_shards = 0;
+  for (const serving::ShardFreshness& f : view->shards) {
+    unreadable += f.unreadable;
+    missing += f.missing;
+    changed += f.changed;
+    if (!f.fresh()) ++stale_shards;
+  }
+  EXPECT_EQ(unreadable, 1u);
+  EXPECT_EQ(missing, 0u);
+  EXPECT_EQ(changed, 0u);
+  EXPECT_EQ(stale_shards, 1u);
+  // The squatting directory is not a regular .csv file, so it must not
+  // surface as a new lake member either.
+  EXPECT_TRUE(view->new_files.empty());
+}
+
 TEST_F(IncrementalTest, CheckFreshnessReportsPerShardStaleness) {
   WriteLakeCsvs();
   serving::ShardingOptions options;

@@ -1,0 +1,419 @@
+// Hot reload under live traffic (serving::HotReloader): Reload() must
+// swap generations without pausing queries, in-flight queries must finish
+// on the generation they captured (never a mix), a failed reload must
+// leave the old generation serving, and post-quiesce results must be
+// byte-identical to a freshly built engine over the final lake. The
+// centerpiece is the stress test: 8 client threads hammering Submit
+// across three back-to-back Reload() swaps with CSV mutations between,
+// attributing every response to its generation via
+// QueryStats::index_fingerprint.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+#include "serving/discovery_service.h"
+#include "serving/hot_reload.h"
+#include "serving/manifest.h"
+#include "serving/shard_builder.h"
+#include "serving/sharded_engine.h"
+#include "table/csv.h"
+#include "table/lake.h"
+#include "tests/test_util.h"
+
+namespace d3l {
+namespace {
+
+namespace fs = std::filesystem;
+
+void ExpectIdenticalResults(const core::SearchResult& expected,
+                            const core::SearchResult& actual,
+                            const std::string& context) {
+  ASSERT_EQ(actual.ranked.size(), expected.ranked.size()) << context;
+  for (size_t i = 0; i < expected.ranked.size(); ++i) {
+    const core::TableMatch& e = expected.ranked[i];
+    const core::TableMatch& a = actual.ranked[i];
+    EXPECT_EQ(a.table_index, e.table_index) << context << " rank " << i;
+    // Bitwise equality: a generation must reproduce its reference build's
+    // floating-point work exactly.
+    EXPECT_EQ(a.distance, e.distance) << context << " rank " << i;
+    EXPECT_EQ(a.evidence_distances, e.evidence_distances) << context << " rank " << i;
+    ASSERT_EQ(a.pairs.size(), e.pairs.size()) << context << " rank " << i;
+    for (size_t p = 0; p < e.pairs.size(); ++p) {
+      EXPECT_EQ(a.pairs[p].target_column, e.pairs[p].target_column) << context;
+      EXPECT_EQ(a.pairs[p].attribute_id, e.pairs[p].attribute_id) << context;
+      EXPECT_EQ(a.pairs[p].d, e.pairs[p].d) << context;
+    }
+  }
+  ASSERT_EQ(actual.candidate_alignments.size(), expected.candidate_alignments.size())
+      << context;
+  for (const auto& [table, aligns] : expected.candidate_alignments) {
+    auto it = actual.candidate_alignments.find(table);
+    ASSERT_NE(it, actual.candidate_alignments.end()) << context;
+    EXPECT_EQ(it->second, aligns) << context;
+  }
+}
+
+class ReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("d3l_reload_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    csv_dir_ = dir_ / "lake";
+    fs::create_directories(csv_dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Base(const std::string& name) const { return (dir_ / name).string(); }
+
+  /// Figure-1 tables plus fillers: enough distinct tables for 3 shards
+  /// with room to add/remove without emptying any shard.
+  void WriteLakeCsvs() {
+    WriteCsv(testutil::FigureS1());
+    WriteCsv(testutil::FigureS2());
+    WriteCsv(testutil::FigureS3());
+    for (int salt = 0; salt < 2; ++salt) {
+      WriteCsv(testutil::FillerColors(salt));
+      WriteCsv(testutil::FillerInventory(salt));
+      WriteCsv(testutil::FillerWeather(salt));
+    }
+  }
+
+  void WriteCsv(const Table& t) {
+    WriteCsvFile(t, (csv_dir_ / (t.name() + ".csv")).string()).CheckOK();
+  }
+
+  DataLake LoadLake() const {
+    DataLake lake;
+    lake.LoadDirectory(csv_dir_.string()).CheckOK();
+    return lake;
+  }
+
+  /// One round of lake mutation: edit S2 in place (row count salted by
+  /// the round so every round's bytes differ) and add a new filler table.
+  /// Round 2 additionally removes a table.
+  void MutateLake(int round) {
+    Table s2 = testutil::FigureS2();
+    for (int i = 0; i <= round; ++i) {
+      s2.AddRow({"Round " + std::to_string(round) + " Practice " + std::to_string(i),
+                 "Reload City", "RL" + std::to_string(round) + " 1AA",
+                 std::to_string(100 * round + i)})
+          .CheckOK();
+    }
+    WriteCsv(s2);
+    WriteCsv(testutil::FillerColors(20 + round));
+    if (round == 2) fs::remove(csv_dir_ / "filler_weather_1.csv");
+  }
+
+  fs::path dir_;
+  fs::path csv_dir_;
+};
+
+TEST_F(ReloadTest, ReloadSwapsGenerationAndInvalidatesCache) {
+  WriteLakeCsvs();
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = 3;
+  options.service.inline_execution = true;
+  auto opened = serving::HotReloader::Open(csv_dir_.string(), Base("dep"), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::HotReloader& server = **opened;
+  const uint64_t fp_before = server.service().Info().index_fingerprint;
+
+  const Table target = testutil::FigureTarget();
+  serving::QueryRequest request;
+  request.target = &target;
+  request.k = 5;
+  serving::QueryResponse miss = server.service().Query(request);
+  ASSERT_TRUE(miss.result.ok()) << miss.result.status().ToString();
+  EXPECT_FALSE(miss.stats.cache_hit);
+  EXPECT_EQ(miss.stats.index_fingerprint, fp_before);
+  serving::QueryResponse hit = server.service().Query(request);
+  ASSERT_TRUE(hit.result.ok());
+  EXPECT_TRUE(hit.stats.cache_hit);
+
+  MutateLake(1);
+  auto report = server.Reload();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->swapped);
+  EXPECT_GE(report->shards_rebuilt, 1u);
+  // Untouched shards share the old generation's in-memory replicas.
+  EXPECT_GE(report->replicas_reused, 1u);
+  EXPECT_NE(report->index_fingerprint, fp_before);
+  EXPECT_EQ(server.service().Info().index_fingerprint, report->index_fingerprint);
+
+  // Identical request against the new generation: the fingerprint folded
+  // into the cache key changed, so the entry cached above can never hit.
+  serving::QueryResponse after = server.service().Query(request);
+  ASSERT_TRUE(after.result.ok()) << after.result.status().ToString();
+  EXPECT_FALSE(after.stats.cache_hit);
+  EXPECT_EQ(after.stats.index_fingerprint, report->index_fingerprint);
+
+  // The new generation answers byte-identically to a freshly built
+  // single engine over the mutated lake.
+  DataLake lake = LoadLake();
+  core::D3LEngine fresh;
+  fresh.IndexLake(lake).CheckOK();
+  auto direct = fresh.Search(target, 5);
+  ASSERT_TRUE(direct.ok());
+  ExpectIdenticalResults(*direct, *after.result, "post-reload vs fresh engine");
+
+  serving::ReloadStats stats = server.Stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.failed_reloads, 0u);
+  EXPECT_EQ(stats.index_fingerprint, report->index_fingerprint);
+}
+
+TEST_F(ReloadTest, NoOpReloadKeepsFingerprintAndCachedEntries) {
+  WriteLakeCsvs();
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = 2;
+  options.service.inline_execution = true;
+  auto opened = serving::HotReloader::Open(csv_dir_.string(), Base("dep"), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::HotReloader& server = **opened;
+  const uint64_t fp = server.service().Info().index_fingerprint;
+
+  const Table target = testutil::FigureTarget();
+  serving::QueryRequest request;
+  request.target = &target;
+  request.k = 5;
+  ASSERT_TRUE(server.service().Query(request).result.ok());
+
+  auto report = server.Reload();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->swapped);
+  EXPECT_EQ(report->index_fingerprint, fp);
+  EXPECT_EQ(server.service().Info().index_fingerprint, fp);
+  EXPECT_EQ(server.Stats().noop_reloads, 1u);
+  EXPECT_EQ(server.Stats().reloads, 0u);
+
+  // Nothing was swapped, so the entry cached before the no-op still hits.
+  serving::QueryResponse hit = server.service().Query(request);
+  ASSERT_TRUE(hit.result.ok());
+  EXPECT_TRUE(hit.stats.cache_hit);
+}
+
+TEST_F(ReloadTest, FailedReloadKeepsOldGenerationServing) {
+  WriteLakeCsvs();
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = 3;
+  options.service.inline_execution = true;
+  auto opened = serving::HotReloader::Open(csv_dir_.string(), Base("dep"), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::HotReloader& server = **opened;
+  const uint64_t fp = server.service().Info().index_fingerprint;
+
+  const Table target = testutil::FigureTarget();
+  serving::QueryRequest request;
+  request.target = &target;
+  request.k = 5;
+  serving::QueryResponse before = server.service().Query(request);
+  ASSERT_TRUE(before.result.ok());
+
+  // Shrink the lake to a single table: 3 planned shards can no longer all
+  // be non-empty, so UpdateShards refuses and the reload fails.
+  for (const auto& entry : fs::directory_iterator(csv_dir_)) {
+    if (entry.path().filename() != "s1_gp_practices.csv") fs::remove(entry.path());
+  }
+  auto report = server.Reload();
+  ASSERT_FALSE(report.ok());
+
+  // The old generation keeps serving the same bytes, and the deployment
+  // on disk is still intact and openable.
+  EXPECT_EQ(server.Stats().failed_reloads, 1u);
+  EXPECT_EQ(server.service().Info().index_fingerprint, fp);
+  serving::QueryResponse after = server.service().Query(request);
+  ASSERT_TRUE(after.result.ok());
+  EXPECT_EQ(after.stats.index_fingerprint, fp);
+  ExpectIdenticalResults(*before.result, *after.result, "after failed reload");
+  EXPECT_TRUE(serving::ShardedEngine::Open(serving::ManifestPath(Base("dep"))).ok());
+}
+
+// The tentpole stress: 8 client threads hammer Submit while the main
+// thread runs three back-to-back Reload() swaps with lake mutations
+// between. Every future must resolve, every response must byte-match the
+// generation its fingerprint names (no mixing), and post-quiesce results
+// must byte-match a freshly built engine over the final lake. Run under
+// ASan/TSan in CI.
+TEST_F(ReloadTest, EightClientThreadsAcrossThreeBackToBackReloads) {
+  WriteLakeCsvs();
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = 3;
+  options.service.num_threads = 4;
+  auto opened = serving::HotReloader::Open(csv_dir_.string(), Base("dep"), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::HotReloader& server = **opened;
+
+  const Table targets[2] = {testutil::FigureTarget(), testutil::FillerInventory(5)};
+
+  // Every generation ever published, pinned by its fingerprint. The
+  // shared_ptrs keep swapped-out generations alive for the verification
+  // pass, exactly as an in-flight query's snapshot would.
+  std::map<uint64_t, std::shared_ptr<const serving::ShardedEngine>> generations;
+  generations[server.service().Info().index_fingerprint] = server.engine();
+
+  struct Attributed {
+    uint64_t fingerprint;
+    size_t target_index;
+    core::SearchResult result;
+  };
+  constexpr size_t kClients = 8;
+  std::vector<std::vector<Attributed>> per_thread(kClients);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> submitted{0};
+  std::atomic<size_t> resolved{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (size_t t = 0; t < 2; ++t) {
+          serving::QueryRequest request;
+          request.target = &targets[t];
+          request.k = 5;
+          submitted.fetch_add(1, std::memory_order_relaxed);
+          serving::QueryResponse response = server.service().Submit(request).get();
+          resolved.fetch_add(1, std::memory_order_relaxed);
+          if (!response.result.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          per_thread[c].push_back({response.stats.index_fingerprint, t,
+                                   *std::move(response.result)});
+        }
+      }
+    });
+  }
+
+  // Three back-to-back reload swaps under live traffic. Only EXPECTs
+  // here: a fatal assertion would return with the clients still running.
+  std::string reload_error;
+  for (int round = 1; round <= 3 && reload_error.empty(); ++round) {
+    MutateLake(round);
+    auto report = server.Reload();
+    if (!report.ok()) {
+      reload_error = report.status().ToString();
+      break;
+    }
+    EXPECT_TRUE(report->swapped) << "round " << round;
+    EXPECT_GE(report->replicas_reused, 1u) << "round " << round;
+    EXPECT_EQ(generations.count(report->index_fingerprint), 0u)
+        << "round " << round << " reused a fingerprint";
+    generations[report->index_fingerprint] = server.engine();
+  }
+  stop.store(true);
+  for (std::thread& th : clients) th.join();
+  ASSERT_TRUE(reload_error.empty()) << reload_error;
+
+  // Every submitted future resolved, none failed.
+  EXPECT_EQ(resolved.load(), submitted.load());
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(server.Stats().reloads, 3u);
+  EXPECT_EQ(server.Stats().failed_reloads, 0u);
+  ASSERT_EQ(generations.size(), 4u);
+
+  // Attribute each response to the generation its fingerprint names and
+  // demand byte-identity with that generation's own Search — a response
+  // mixing shards from two generations cannot match either reference.
+  std::map<std::pair<uint64_t, size_t>, core::SearchResult> expected;
+  for (const auto& [fp, engine] : generations) {
+    for (size_t t = 0; t < 2; ++t) {
+      auto reference = engine->Search(targets[t], 5);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      expected.emplace(std::make_pair(fp, t), *std::move(reference));
+    }
+  }
+  size_t checked = 0;
+  std::map<uint64_t, size_t> per_generation;
+  for (const auto& responses : per_thread) {
+    for (const Attributed& r : responses) {
+      auto it = expected.find({r.fingerprint, r.target_index});
+      ASSERT_NE(it, expected.end())
+          << "response attributed to unknown generation " << r.fingerprint;
+      ExpectIdenticalResults(it->second, r.result,
+                             "generation " + std::to_string(r.fingerprint) +
+                                 " target " + std::to_string(r.target_index));
+      ++per_generation[r.fingerprint];
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, resolved.load());
+  // The reloads were slow enough (full shard rebuilds) that more than one
+  // generation must have answered live traffic.
+  EXPECT_GE(per_generation.size(), 2u);
+
+  // Post-quiesce: the surviving generation answers byte-identically to a
+  // from-scratch engine over the final lake state.
+  DataLake final_lake = LoadLake();
+  core::D3LEngine fresh;
+  fresh.IndexLake(final_lake).CheckOK();
+  for (size_t t = 0; t < 2; ++t) {
+    auto direct = fresh.Search(targets[t], 5);
+    ASSERT_TRUE(direct.ok());
+    serving::QueryRequest request;
+    request.target = &targets[t];
+    request.k = 5;
+    request.bypass_cache = true;
+    serving::QueryResponse response = server.service().Query(request);
+    ASSERT_TRUE(response.result.ok()) << response.result.status().ToString();
+    ExpectIdenticalResults(*direct, *response.result,
+                           "post-quiesce target " + std::to_string(t));
+  }
+}
+
+TEST_F(ReloadTest, WatcherPicksUpDirectoryChanges) {
+  WriteLakeCsvs();
+  serving::HotReloaderOptions options;
+  options.sharding.num_shards = 2;
+  options.service.inline_execution = true;
+  options.watch_interval_ms = 25;
+  auto opened = serving::HotReloader::Open(csv_dir_.string(), Base("dep"), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::HotReloader& server = **opened;
+  const uint64_t fp_before = server.service().Info().index_fingerprint;
+
+  server.StartWatching();
+  WriteCsv(testutil::FillerColors(31));
+  // The poller checksums the directory every 25ms and reloads on the
+  // first stale check; allow generous slack for sanitizer builds.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.service().Info().index_fingerprint == fp_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.StopWatching();
+
+  serving::ReloadStats stats = server.Stats();
+  EXPECT_NE(server.service().Info().index_fingerprint, fp_before)
+      << "watcher never picked up the new CSV";
+  EXPECT_GE(stats.watch_polls, 1u);
+  EXPECT_GE(stats.reloads, 1u);
+
+  // The watched-in generation serves the grown lake exactly.
+  DataLake lake = LoadLake();
+  core::D3LEngine fresh;
+  fresh.IndexLake(lake).CheckOK();
+  const Table target = testutil::FigureTarget();
+  auto direct = fresh.Search(target, 5);
+  ASSERT_TRUE(direct.ok());
+  serving::QueryRequest request;
+  request.target = &target;
+  request.k = 5;
+  serving::QueryResponse response = server.service().Query(request);
+  ASSERT_TRUE(response.result.ok());
+  ExpectIdenticalResults(*direct, *response.result, "watched reload");
+}
+
+}  // namespace
+}  // namespace d3l

@@ -8,7 +8,9 @@
 #include <atomic>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -267,6 +269,40 @@ TEST(ThreadPoolPostTest, TasksAndBatchesCoexist) {
   for (size_t i = 0; i < batch_hits.size(); ++i) {
     EXPECT_EQ(batch_hits[i].load(), 5) << "i=" << i;
   }
+}
+
+// Regression: a throw escaping a posted task used to reach the worker's
+// stack frame and std::terminate the whole process, with every queued task
+// (and any promise it owned) silently dropped. The pool must contain the
+// throw at the task boundary and keep draining.
+TEST(ThreadPoolPostTest, ThrowingTaskKeepsWorkersDrainingTheQueue) {
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{4}}) {
+    std::atomic<int> hits{0};
+    {
+      serving::ThreadPool pool(workers);
+      for (int i = 0; i < 32; ++i) {
+        pool.Post([&hits, i] {
+          if (i % 4 == 0) throw std::runtime_error("poisoned task");
+          hits.fetch_add(1);
+        });
+      }
+      // Destruction drains: the 24 well-behaved tasks must all have run
+      // despite 8 throwers interleaved among them.
+    }
+    EXPECT_EQ(hits.load(), 24) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPoolPostTest, TaskExceptionsAreCounted) {
+  // Zero workers runs tasks inline, so the counter is settled by the time
+  // Post returns — no drain race in the assertions.
+  serving::ThreadPool pool(0);
+  pool.Post([] { throw std::runtime_error("boom"); });
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+  pool.Post([] {});
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+  pool.Post([] { throw 42; });  // non-std exceptions are contained too
+  EXPECT_EQ(pool.task_exceptions(), 2u);
 }
 
 // --------------------------------------------------------- backends + service
@@ -587,6 +623,104 @@ TEST_F(ServiceTest, ShardedBackendThroughServiceMatchesSingleEngine) {
   ExpectIdenticalResults(*direct, *hit.result, "sharded service hit");
 
   fs::remove_all(dir);
+}
+
+// A backend whose Search throws instead of returning a Status — the worst
+// kind of guest code. The service must convert the throw into a failed
+// response for THAT caller and stay fully alive for everyone else.
+class ThrowingBackend : public serving::SearchBackend {
+ public:
+  ThrowingBackend(const core::D3LEngine* engine, const DataLake* lake)
+      : inner_(engine, lake) {}
+
+  Result<core::QueryTarget> Profile(const Table& target) const override {
+    return inner_.Profile(target);
+  }
+  Result<core::SearchResult> Search(
+      core::QueryTarget, size_t,
+      const std::array<bool, core::kNumEvidence>&) const override {
+    throw std::runtime_error("backend blew up mid-search");
+  }
+  const core::D3LOptions& options() const override { return inner_.options(); }
+  serving::BackendInfo Info() const override { return inner_.Info(); }
+  std::string table_name(uint32_t t) const override { return inner_.table_name(t); }
+
+ private:
+  serving::EngineBackend inner_;
+};
+
+TEST_F(ServiceTest, ThrowingBackendFailsOnlyItsOwnQueries) {
+  ThrowingBackend backend(&engine_, &lake_);
+  serving::DiscoveryServiceOptions options;
+  options.num_threads = 2;
+  serving::DiscoveryService service(&backend, options);
+
+  // Every future must resolve — before the Execute guard, the first throw
+  // took down the process and stranded the rest.
+  std::vector<std::future<serving::QueryResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.Submit({&target_, 5, std::nullopt, false}));
+  }
+  for (auto& f : futures) {
+    serving::QueryResponse response = f.get();
+    EXPECT_FALSE(response.result.ok());
+    EXPECT_TRUE(response.result.status().IsInternal())
+        << response.result.status().ToString();
+  }
+  serving::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 8u);
+}
+
+TEST_F(ServiceTest, SwapBackendServesEachGenerationExactly) {
+  // Generation A: the fixture engine. Generation B: a bigger lake indexed
+  // separately — different results AND a different index fingerprint.
+  auto backend_a = std::make_shared<serving::EngineBackend>(&engine_, &lake_);
+  DataLake bigger = MakeLake();
+  bigger.AddTable(testutil::FillerColors(7)).CheckOK();
+  core::D3LEngine engine_b;
+  engine_b.IndexLake(bigger).CheckOK();
+  auto backend_b = std::make_shared<serving::EngineBackend>(&engine_b, &bigger);
+  ASSERT_NE(backend_a->Info().index_fingerprint, backend_b->Info().index_fingerprint);
+
+  serving::DiscoveryServiceOptions options;
+  options.inline_execution = true;
+  serving::DiscoveryService service(backend_a, options);
+
+  auto direct_a = engine_.Search(target_, 5);
+  auto direct_b = engine_b.Search(target_, 5);
+  ASSERT_TRUE(direct_a.ok());
+  ASSERT_TRUE(direct_b.ok());
+
+  const serving::QueryRequest request{&target_, 5, std::nullopt, false};
+  serving::QueryResponse first = service.Query(request);
+  ASSERT_TRUE(first.result.ok());
+  EXPECT_EQ(first.stats.index_fingerprint, backend_a->Info().index_fingerprint);
+  ExpectIdenticalResults(*direct_a, *first.result, "generation A miss");
+
+  service.SwapBackend(backend_b);
+  EXPECT_EQ(service.Info().index_fingerprint, backend_b->Info().index_fingerprint);
+
+  // The fingerprint flip must re-key the same request: no hit against A's
+  // cached entry, and the answer is B's, byte for byte.
+  serving::QueryResponse second = service.Query(request);
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_FALSE(second.stats.cache_hit);
+  EXPECT_EQ(second.stats.index_fingerprint, backend_b->Info().index_fingerprint);
+  ExpectIdenticalResults(*direct_b, *second.result, "generation B miss");
+  serving::QueryResponse third = service.Query(request);
+  ASSERT_TRUE(third.result.ok());
+  EXPECT_TRUE(third.stats.cache_hit);
+  ExpectIdenticalResults(*direct_b, *third.result, "generation B hit");
+
+  // Swapping BACK finds A's entry still keyed under A's fingerprint — the
+  // generations' cache populations never mix in either direction.
+  service.SwapBackend(backend_a);
+  serving::QueryResponse fourth = service.Query(request);
+  ASSERT_TRUE(fourth.result.ok());
+  EXPECT_TRUE(fourth.stats.cache_hit);
+  EXPECT_EQ(fourth.stats.index_fingerprint, backend_a->Info().index_fingerprint);
+  ExpectIdenticalResults(*direct_a, *fourth.result, "generation A hit after swap back");
 }
 
 TEST_F(ServiceTest, EvidenceMaskRequestMatchesMaskedSearch) {
