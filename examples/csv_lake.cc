@@ -8,7 +8,9 @@
 //
 // With --snapshot=PATH the example demonstrates profile-once/query-many:
 // the first run indexes the lake and saves the engine to PATH; subsequent
-// runs load the snapshot instead of re-profiling.
+// runs open the snapshot through serving::OpenBackend ("snapshot:PATH", the
+// same factory that opens shard manifests and remote deployments) instead
+// of re-profiling.
 //
 // Queries go through the unified serving API: the engine is wrapped in a
 // serving::EngineBackend and served by a DiscoveryService (async submit +
@@ -21,10 +23,12 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/query.h"
 #include "eval/table_printer.h"
+#include "serving/backend_ref.h"
 #include "serving/discovery_service.h"
 #include "serving/search_backend.h"
 #include "table/csv.h"
@@ -110,18 +114,20 @@ int main(int argc, char** argv) {
   // query many); otherwise the freshly built engine is persisted for the
   // next run.
   std::unique_ptr<core::D3LEngine> engine;
-  DataLake lake_metadata;  // backs a snapshot-loaded engine; must outlive it
-  // Result table indexes refer to the lake the engine was built over; for
-  // a snapshot-loaded engine that is the snapshot's metadata lake, which
-  // may disagree with the directory's current contents.
-  const DataLake* serving_lake = &lake;
+  std::unique_ptr<serving::SearchBackend> opened_backend;  // snapshot-loaded
+  std::optional<serving::EngineBackend> inline_backend;    // freshly built
+  const serving::SearchBackend* backend = nullptr;
   if (!snapshot_path.empty() && fs::exists(snapshot_path)) {
-    auto loaded = core::D3LEngine::LoadSnapshot(snapshot_path, &lake_metadata);
+    // The single factory every front-end uses: "snapshot:<path>" opens a
+    // self-contained EngineBackend (no re-profiling; result table indexes
+    // resolve against the snapshot's recorded metadata, which may disagree
+    // with the directory's current contents).
+    auto loaded = serving::OpenBackend("snapshot:" + snapshot_path);
     loaded.status().CheckOK();
-    engine = std::move(loaded).ValueOrDie();
-    serving_lake = &lake_metadata;
+    opened_backend = std::move(loaded).ValueOrDie();
+    backend = opened_backend.get();
     printf("served from snapshot %s (skipped re-profiling %zu attributes)\n\n",
-           snapshot_path.c_str(), engine->indexes().num_attributes());
+           snapshot_path.c_str(), backend->Info().num_attributes);
   } else {
     engine = std::make_unique<core::D3LEngine>();
     engine->IndexLake(lake).CheckOK();
@@ -129,6 +135,8 @@ int main(int argc, char** argv) {
       engine->SaveSnapshot(snapshot_path).CheckOK();
       printf("snapshot saved to %s\n\n", snapshot_path.c_str());
     }
+    inline_backend.emplace(engine.get(), &lake);
+    backend = &*inline_backend;
   }
   Table target = own_dir ? MakeTable("my_hospitals", {"Hospital Name", "Town"},
                                      {{"Salford Royal", "Salford"},
@@ -137,12 +145,12 @@ int main(int argc, char** argv) {
   printf("query target: %s\n\n", target.name().c_str());
 
   // Serve through the unified API: backend + service with a result cache.
-  // The same lines would serve a ShardedEngine instead. The repeats below
-  // are strictly sequential, so skip the worker pool and run inline.
-  serving::EngineBackend backend(engine.get(), serving_lake);
+  // The same lines would serve a sharded or remote backend instead. The
+  // repeats below are strictly sequential, so skip the worker pool and run
+  // inline.
   serving::DiscoveryServiceOptions service_options;
   service_options.inline_execution = true;
-  serving::DiscoveryService service(&backend, service_options);
+  serving::DiscoveryService service(backend, service_options);
 
   // A lake table used as target trivially retrieves itself; ask for one
   // extra result and drop the self-match below.
@@ -156,9 +164,9 @@ int main(int argc, char** argv) {
   eval::TablePrinter out({"rank", "dataset", "distance"});
   int r = 1;
   for (const auto& m : response.result->ranked) {
-    if (serving_lake->table(m.table_index).name() == target.name()) continue;
+    if (backend->table_name(m.table_index) == target.name()) continue;
     if (r > 3) break;
-    out.AddRow({std::to_string(r++), serving_lake->table(m.table_index).name(),
+    out.AddRow({std::to_string(r++), backend->table_name(m.table_index),
                 eval::TablePrinter::Num(m.distance)});
   }
   out.Print();

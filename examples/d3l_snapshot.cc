@@ -6,27 +6,30 @@
 //       writes the built engine (profiles, signatures, LSH structures,
 //       schema metadata) to <out.d3l>.
 //
-//   $ ./build/d3l_snapshot query <snapshot.d3l> <target.csv> [k] [--repeat=N] [--cache=C]
-//       Loads the snapshot — no re-profiling of the lake — and serves the
-//       top-k query through the DiscoveryService front-end (default k = 5).
-//       --repeat=N serves the query N times (serve-style repeated-query
-//       mode): with the result cache on (capacity C, default 256; 0
-//       disables) every repeat after the first is a cache hit, and the
-//       per-query stats printed at the end show the hit/miss latencies.
+//   $ ./build/d3l_snapshot query <backend> <target.csv> [k] [--threads=T]
+//                                [--repeat=N] [--cache=C] [--plain]
+//       Opens ANY backend reference through serving::OpenBackend and serves
+//       the top-k query through the DiscoveryService front-end (default
+//       k = 5): a snapshot file or snapshot:<path> loads the monolithic
+//       engine (no re-profiling of the lake); a manifest file or
+//       manifest:<path> opens every shard replica and serves the query
+//       scatter-gather across a T-thread pool; tcp:host:port[,host:port...]
+//       connects to running shard_server processes and scatter-gathers
+//       remotely. All three paths produce byte-identical rankings over the
+//       same lake. `query --shards <base.manifest>` and `query --remote
+//       <host:port[,...]>` are spelling shortcuts for the manifest:/tcp:
+//       prefixes. --repeat=N serves the query N times (serve-style
+//       repeated-query mode): with the result cache on (capacity C, default
+//       256; 0 disables) every repeat after the first is a cache hit, and
+//       the per-query stats printed at the end show the hit/miss latencies.
+//       --plain prints only the ranking (rank, dataset, full-precision
+//       distance) — the byte-comparable form the remote smoke test diffs.
 //
 //   $ ./build/d3l_snapshot shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]
 //       Partitions the lake into N shards (default 2; size-balanced by
 //       cell count, or round-robin with --balance=rr), indexes each shard
 //       independently and writes <out_base>.shard<i>.d3l plus
 //       <out_base>.manifest.
-//
-//   $ ./build/d3l_snapshot query --shards <base.manifest> <target.csv> [k] [--threads=T]
-//                                [--repeat=N] [--cache=C]
-//       Opens every shard replica and serves the query scatter-gather
-//       across a T-thread pool; the ranking is byte-identical to an
-//       unsharded engine over the same lake. --repeat/--cache work as in
-//       the monolithic form — both paths serve through the same
-//       serving::SearchBackend + DiscoveryService API.
 //
 //   $ ./build/d3l_snapshot update <csv_dir> <out_base>
 //       Incrementally rebuilds the sharded deployment at <out_base> to
@@ -76,6 +79,7 @@
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 #include "io/binary_io.h"
+#include "serving/backend_ref.h"
 #include "serving/discovery_service.h"
 #include "serving/hot_reload.h"
 #include "serving/manifest.h"
@@ -94,15 +98,18 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s build <csv_dir> <out.d3l>\n"
-      "  %s query <snapshot.d3l> <target.csv> [k] [--repeat=N] [--cache=C]\n"
+      "  %s query <backend> <target.csv> [k] [--threads=T] [--repeat=N]\n"
+      "       [--cache=C] [--plain]\n"
+      "       <backend>: snapshot.d3l | base.manifest | snapshot:<path> |\n"
+      "                  manifest:<path> | tcp:host:port[,host:port...]\n"
+      "       (query --shards <base.manifest> and query --remote\n"
+      "        <host:port[,...]> are shortcuts for the last two)\n"
       "  %s shard <csv_dir> <out_base> [--shards=N] [--balance=cells|rr]\n"
-      "  %s query --shards <base.manifest> <target.csv> [k] [--threads=T]\n"
-      "       [--repeat=N] [--cache=C]\n"
       "  %s update <csv_dir> <out_base>\n"
       "  %s serve <csv_dir> <out_base> [k] [--threads=T] [--cache=C]\n"
       "       [--shards=N] [--balance=cells|rr] [--watch] [--interval=MS]\n"
       "  %s info <snapshot.d3l | base.manifest> [csv_dir]\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -197,25 +204,50 @@ int ServeQueries(const serving::SearchBackend& backend, const Table& target, siz
   return 0;
 }
 
-int RunQuery(const std::string& snapshot_path, const std::string& target_csv, size_t k,
-             size_t repeat, size_t cache_capacity) {
+/// Serves `query` over ANY backend ref — an engine snapshot, a shard
+/// manifest (local scatter-gather) or tcp: shard-server endpoints (remote
+/// scatter-gather) — through the single serving::OpenBackend factory; the
+/// serving path after open is identical for all three. --plain prints the
+/// ranking alone (rank, dataset, full-precision distance), the
+/// byte-comparable form examples/remote_smoke.sh diffs between a local and
+/// a remote deployment of the same manifest.
+int RunBackendQuery(const std::string& spec, const std::string& target_csv,
+                    size_t k, size_t threads, size_t repeat,
+                    size_t cache_capacity, bool plain) {
+  serving::OpenBackendOptions open_options;
+  open_options.sharded.num_threads = threads;
+  open_options.remote.num_threads = threads;
   eval::Timer timer;
-  auto backend = serving::EngineBackend::FromSnapshot(snapshot_path);
+  auto backend = serving::OpenBackend(spec, open_options);
   if (!backend.ok()) return Fail(backend.status());
   serving::BackendInfo info = (*backend)->Info();
-  std::printf("snapshot loaded in %.3fs: %zu tables, %zu attributes "
-              "(original profiling cost: %.3fs)\n",
-              timer.Seconds(), info.num_tables, info.num_attributes,
-              (*backend)->engine().build_stats().profile_seconds);
-  std::printf("options fingerprint %016llx, index fingerprint %016llx\n",
-              static_cast<unsigned long long>(info.options_fingerprint),
-              static_cast<unsigned long long>(info.index_fingerprint));
+  if (!plain) {
+    std::printf("opened %s backend in %.3fs: %zu tables, %zu attributes, "
+                "%zu shard%s\n",
+                serving::BackendKindName(info.kind), timer.Seconds(),
+                info.num_tables, info.num_attributes, info.num_shards,
+                info.num_shards == 1 ? "" : "s");
+    std::printf("options fingerprint %016llx, index fingerprint %016llx\n",
+                static_cast<unsigned long long>(info.options_fingerprint),
+                static_cast<unsigned long long>(info.index_fingerprint));
+  }
 
   auto target = ReadCsvFile(target_csv);
   if (!target.ok()) return Fail(target.status());
+
+  if (plain) {
+    auto result = (*backend)->Search(*target, k);
+    if (!result.ok()) return Fail(result.status());
+    int rank = 1;
+    for (const auto& m : result->ranked) {
+      std::printf("%d\t%s\t%.17g\n", rank++,
+                  (*backend)->table_name(m.table_index).c_str(), m.distance);
+    }
+    return 0;
+  }
+
   std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
               target->num_columns());
-
   return ServeQueries(**backend, *target, k, repeat, cache_capacity);
 }
 
@@ -273,32 +305,6 @@ int RunUpdate(const std::string& csv_dir, const std::string& out_base) {
   }
   std::printf("manifest rewritten at %s\n", report->manifest_path.c_str());
   return 0;
-}
-
-int RunShardedQuery(const std::string& manifest_path, const std::string& target_csv,
-                    size_t k, size_t threads, size_t repeat, size_t cache_capacity) {
-  serving::ShardedEngineOptions options;
-  options.num_threads = threads;
-  eval::Timer timer;
-  auto opened = serving::ShardedEngine::Open(manifest_path, options);
-  if (!opened.ok()) return Fail(opened.status());
-  std::unique_ptr<serving::ShardedEngine> engine = std::move(opened).ValueOrDie();
-  serving::BackendInfo info = engine->Info();
-  std::printf("opened %zu shards in %.3fs: %zu tables, %zu attributes, "
-              "%zu pool threads\n",
-              info.num_shards, timer.Seconds(), info.num_tables,
-              info.num_attributes,
-              threads > 0 ? threads : serving::ThreadPool::DefaultThreads());
-  std::printf("options fingerprint %016llx, index fingerprint %016llx\n",
-              static_cast<unsigned long long>(info.options_fingerprint),
-              static_cast<unsigned long long>(info.index_fingerprint));
-
-  auto target = ReadCsvFile(target_csv);
-  if (!target.ok()) return Fail(target.status());
-  std::printf("query target: %s (%zu columns)\n\n", target->name().c_str(),
-              target->num_columns());
-
-  return ServeQueries(*engine, *target, k, repeat, cache_capacity);
 }
 
 int RunServe(const std::string& csv_dir, const std::string& out_base, size_t k,
@@ -526,6 +532,7 @@ struct ParsedFlags {
   serving::ShardingOptions::Balance balance =
       serving::ShardingOptions::Balance::kSizeBalanced;
   bool watch = false;
+  bool plain = false;
   size_t interval = 500;
   std::vector<std::string> positional;
   bool ok = true;
@@ -571,6 +578,9 @@ ParsedFlags ParseFlags(int argc, char** argv, int first, bool allow_threads,
       } else {
         return reject(a, "unknown policy in");
       }
+    } else if (std::strcmp(a, "--plain") == 0) {
+      if (!allow_serve_flags) return reject(a, "subcommand does not take");
+      f.plain = true;
     } else if (std::strcmp(a, "--watch") == 0) {
       if (!allow_watch_flags) return reject(a, "subcommand does not take");
       f.watch = true;
@@ -599,9 +609,13 @@ int main(int argc, char** argv) {
   }
 
   if (std::strcmp(argv[1], "query") == 0) {
+    // --shards / --remote are spelling shortcuts for the explicit
+    // manifest: / tcp: backend-ref prefixes; a bare first positional also
+    // works (snapshot vs manifest resolved by file magic).
     const bool sharded = (argc >= 3 && std::strcmp(argv[2], "--shards") == 0);
-    ParsedFlags f = ParseFlags(argc, argv, sharded ? 3 : 2,
-                               /*allow_threads=*/sharded,
+    const bool remote = (argc >= 3 && std::strcmp(argv[2], "--remote") == 0);
+    ParsedFlags f = ParseFlags(argc, argv, (sharded || remote) ? 3 : 2,
+                               /*allow_threads=*/true,
                                /*allow_shard_flags=*/false,
                                /*allow_serve_flags=*/true);
     if (!f.ok || f.positional.size() < 2 || f.positional.size() > 3) {
@@ -613,11 +627,11 @@ int main(int argc, char** argv) {
       if (parsed <= 0) return Usage(argv[0]);
       k = static_cast<size_t>(parsed);
     }
-    if (sharded) {
-      return RunShardedQuery(f.positional[0], f.positional[1], k, f.threads, f.repeat,
-                             f.cache);
-    }
-    return RunQuery(f.positional[0], f.positional[1], k, f.repeat, f.cache);
+    std::string spec = f.positional[0];
+    if (sharded) spec = "manifest:" + spec;
+    if (remote) spec = "tcp:" + spec;
+    return RunBackendQuery(spec, f.positional[1], k, f.threads, f.repeat,
+                           f.cache, f.plain);
   }
 
   if (std::strcmp(argv[1], "shard") == 0) {

@@ -1,0 +1,171 @@
+// Shard-serving daemon: one process serving part (or all) of a sharded
+// deployment over the D3L RPC protocol.
+//
+//   $ ./build/shard_server <base.manifest> [--port=P] [--host=H]
+//                          [--serve-shards=i,j,...] [--threads=T]
+//                          [--workers=W] [--port-file=PATH] [--timeout=SEC]
+//
+// Loads the manifest's shards — all of them, or the --serve-shards subset
+// that makes this process one member of a multi-server deployment — behind
+// a serving::ShardedEngine and answers the wire-format protocol (src/rpc)
+// on a TCP socket: INFO, PROF, SRCH (full servers), the DCNT/SCOR
+// scatter-gather phases, and RELD, which re-opens the manifest in place
+// (reusing unchanged replicas, exactly like the local hot-reload path) and
+// swaps generations without dropping in-flight queries.
+//
+// --port=0 (the default) takes a kernel-assigned port; --port-file=PATH
+// writes the bound "host port" line so scripts (examples/remote_smoke.sh,
+// the CI remote-serving smoke test) can find an ephemeral server. The
+// process serves until stdin reports `quit` or EOF, so orchestration is a
+// pipe away — no signal handling required.
+//
+// A typical two-server deployment over a 2-shard build:
+//
+//   $ ./build/d3l_snapshot shard lake_csvs out --shards=2
+//   $ ./build/shard_server out.manifest --serve-shards=0 --port=7001 &
+//   $ ./build/shard_server out.manifest --serve-shards=1 --port=7002 &
+//   $ ./build/d3l_snapshot query --remote 127.0.0.1:7001,127.0.0.1:7002 \
+//         target.csv 5
+//
+// The remote answer is byte-identical to `query --shards out.manifest` —
+// the exactness contract serving::RemoteBackend documents and
+// tests/remote_test.cc enforces.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/server.h"
+#include "serving/sharded_engine.h"
+
+using namespace d3l;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <base.manifest> [--port=P] [--host=H]\n"
+               "       [--serve-shards=i,j,...] [--threads=T] [--workers=W]\n"
+               "       [--port-file=PATH] [--timeout=SEC]\n",
+               argv0);
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+bool ParseShardList(const char* list, std::vector<size_t>* out) {
+  size_t value = 0;
+  bool in_number = false;
+  for (const char* p = list;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<size_t>(*p - '0');
+      in_number = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!in_number) return false;
+      out->push_back(value);
+      value = 0;
+      in_number = false;
+      if (*p == '\0') return true;
+    } else {
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string manifest_path = argv[1];
+
+  rpc::RpcServerOptions server_options;
+  serving::ShardedEngineOptions engine_options;
+  std::string port_file;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--port=", 7) == 0) {
+      const long v = std::atol(a + 7);
+      if (v < 0 || v > 65535) return Usage(argv[0]);
+      server_options.port = static_cast<uint16_t>(v);
+    } else if (std::strncmp(a, "--host=", 7) == 0) {
+      server_options.host = a + 7;
+    } else if (std::strncmp(a, "--serve-shards=", 15) == 0) {
+      if (!ParseShardList(a + 15, &engine_options.serve_shards)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      const long v = std::atol(a + 10);
+      if (v < 0) return Usage(argv[0]);
+      engine_options.num_threads = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      const long v = std::atol(a + 10);
+      if (v <= 0) return Usage(argv[0]);
+      server_options.num_workers = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--port-file=", 12) == 0) {
+      port_file = a + 12;
+    } else if (std::strncmp(a, "--timeout=", 10) == 0) {
+      const double v = std::atof(a + 10);
+      if (v <= 0) return Usage(argv[0]);
+      server_options.io_timeout_seconds = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto opened = serving::ShardedEngine::Open(manifest_path, engine_options);
+  if (!opened.ok()) return Fail(opened.status());
+  std::shared_ptr<const serving::ShardedEngine> engine =
+      std::move(*opened);
+
+  // RELD re-opens the manifest in place, handing the current generation in
+  // for replica reuse — an incremental update pays only for rebuilt shards.
+  rpc::RpcServer::ReloadFn reload =
+      [manifest_path, engine_options](const serving::ShardedEngine* current)
+      -> Result<std::shared_ptr<const serving::ShardedEngine>> {
+    D3L_ASSIGN_OR_RETURN(
+        std::unique_ptr<serving::ShardedEngine> next,
+        serving::ShardedEngine::Open(manifest_path, engine_options, current));
+    return std::shared_ptr<const serving::ShardedEngine>(std::move(next));
+  };
+
+  auto started =
+      rpc::RpcServer::Start(engine, server_options, std::move(reload));
+  if (!started.ok()) return Fail(started.status());
+  std::unique_ptr<rpc::RpcServer> server = std::move(*started);
+
+  const serving::BackendInfo info = engine->Info();
+  std::printf("serving %zu of %zu shards (%zu tables, %zu attributes) on "
+              "%s:%u, index fingerprint %016llx\n",
+              engine->served_shards().size(), info.num_shards,
+              engine->ServedTables().size(), info.num_attributes,
+              server->host().c_str(), server->port(),
+              static_cast<unsigned long long>(info.index_fingerprint));
+  std::fflush(stdout);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s %u\n", server->host().c_str(), server->port());
+    std::fclose(f);
+  }
+
+  // Serve until stdin says quit (or closes): orchestration by pipe, the
+  // same convention d3l_snapshot's serve loop uses.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+  }
+  server->Stop();
+  std::printf("served %llu requests\n",
+              static_cast<unsigned long long>(server->requests_served()));
+  return 0;
+}

@@ -21,8 +21,17 @@ const char* StatusCodeToString(StatusCode code) {
       return "Out of range";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromWire(uint32_t code) {
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(code);
 }
 
 std::string Status::ToString() const {

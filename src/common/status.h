@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -12,18 +13,32 @@
 namespace d3l {
 
 /// \brief Machine-readable category of a Status.
+///
+/// The numeric values are STABLE: they are carried verbatim over the RPC
+/// wire protocol (src/rpc) between builds of different versions, so an
+/// existing code must never be renumbered. New codes append at the end.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kIOError,
-  kNotFound,
-  kAlreadyExists,
-  kOutOfRange,
-  kInternal,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+  /// A dependency (e.g. a remote shard server) could not be reached after
+  /// bounded retries. Transient by definition: the same call may succeed
+  /// once the dependency returns.
+  kUnavailable = 7,
 };
 
 /// \brief Returns a short human-readable name for a StatusCode.
 const char* StatusCodeToString(StatusCode code);
+
+/// \brief Decodes a wire-carried numeric code back into a StatusCode.
+/// Unknown values (a newer peer's codes) map to kInternal rather than
+/// failing: the peer reported SOME error, and mislabeling it is worse than
+/// generalizing it.
+StatusCode StatusCodeFromWire(uint32_t code);
 
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
@@ -66,6 +81,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -80,6 +98,7 @@ class Status {
   bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Renders e.g. "Invalid argument: bad q value".
   std::string ToString() const;

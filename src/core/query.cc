@@ -22,6 +22,7 @@ constexpr uint32_t kSectionOptions = io::SectionId("OPTS");
 constexpr uint32_t kSectionLake = io::SectionId("LAKE");
 constexpr uint32_t kSectionIndexes = io::SectionId("INDX");
 constexpr uint32_t kSectionEngine = io::SectionId("ENGN");
+}  // namespace
 
 void SaveOptions(io::Writer& w, const D3LOptions& o) {
   w.WriteU64(o.index.minhash_size);
@@ -70,7 +71,116 @@ D3LOptions LoadOptions(io::Reader& r) {
   o.num_threads = r.ReadU64();
   return o;
 }
-}  // namespace
+
+void SaveQueryTarget(io::Writer& w, const QueryTarget& target) {
+  w.WriteU64(target.profiles.size());
+  for (size_t c = 0; c < target.profiles.size(); ++c) {
+    target.profiles[c].Save(w);
+    target.sigs[c].Save(w);
+  }
+  w.WriteI32(target.subject_col);
+}
+
+QueryTarget LoadQueryTarget(io::Reader& r) {
+  QueryTarget target;
+  const size_t n = r.ReadLength(1);
+  target.profiles.reserve(n);
+  target.sigs.reserve(n);
+  for (size_t c = 0; c < n && r.status().ok(); ++c) {
+    target.profiles.push_back(AttributeProfile::Load(r));
+    target.sigs.push_back(AttributeSignatures::Load(r));
+  }
+  target.subject_col = r.ReadI32();
+  if (r.status().ok() &&
+      (target.subject_col < -1 ||
+       target.subject_col >= static_cast<int>(target.profiles.size()))) {
+    r.MarkCorrupt("query target subject column out of range");
+  }
+  return target;
+}
+
+void SaveSearchResult(io::Writer& w, const SearchResult& result) {
+  w.WriteU64(result.ranked.size());
+  for (const TableMatch& m : result.ranked) {
+    w.WriteU32(m.table_index);
+    w.WriteDouble(m.distance);
+    for (double d : m.evidence_distances) w.WriteDouble(d);
+    w.WriteU64(m.pairs.size());
+    for (const PairDistances& p : m.pairs) {
+      w.WriteU32(p.target_column);
+      w.WriteU32(p.attribute_id);
+      for (double d : p.d) w.WriteDouble(d);
+    }
+  }
+  // The alignments live in an unordered_map; serialize in ascending table
+  // order so byte-identical results produce byte-identical serializations.
+  std::vector<uint32_t> tables;
+  tables.reserve(result.candidate_alignments.size());
+  for (const auto& [table, aligns] : result.candidate_alignments) {
+    tables.push_back(table);
+  }
+  std::sort(tables.begin(), tables.end());
+  w.WriteU64(tables.size());
+  for (uint32_t table : tables) {
+    const auto& aligns = result.candidate_alignments.at(table);
+    w.WriteU32(table);
+    w.WriteU64(aligns.size());
+    for (const auto& [col, attr] : aligns) {
+      w.WriteU32(col);
+      w.WriteU32(attr);
+    }
+  }
+  w.WriteU64(result.target_profiles.size());
+  for (const AttributeProfile& p : result.target_profiles) p.Save(w);
+  w.WriteU64(result.target_sigs.size());
+  for (const AttributeSignatures& s : result.target_sigs) s.Save(w);
+}
+
+SearchResult LoadSearchResult(io::Reader& r) {
+  SearchResult result;
+  const size_t n_ranked = r.ReadLength(1);
+  result.ranked.reserve(n_ranked);
+  for (size_t i = 0; i < n_ranked && r.status().ok(); ++i) {
+    TableMatch m;
+    m.table_index = r.ReadU32();
+    m.distance = r.ReadDouble();
+    for (double& d : m.evidence_distances) d = r.ReadDouble();
+    const size_t n_pairs = r.ReadLength(1);
+    m.pairs.reserve(n_pairs);
+    for (size_t p = 0; p < n_pairs && r.status().ok(); ++p) {
+      PairDistances pd;
+      pd.target_column = r.ReadU32();
+      pd.attribute_id = r.ReadU32();
+      for (double& d : pd.d) d = r.ReadDouble();
+      m.pairs.push_back(pd);
+    }
+    result.ranked.push_back(std::move(m));
+  }
+  const size_t n_tables = r.ReadLength(1);
+  for (size_t i = 0; i < n_tables && r.status().ok(); ++i) {
+    const uint32_t table = r.ReadU32();
+    const size_t n_aligns = r.ReadLength(sizeof(uint32_t) * 2);
+    std::vector<std::pair<uint32_t, uint32_t>> aligns;
+    aligns.reserve(n_aligns);
+    for (size_t a = 0; a < n_aligns && r.status().ok(); ++a) {
+      const uint32_t col = r.ReadU32();
+      const uint32_t attr = r.ReadU32();
+      aligns.emplace_back(col, attr);
+    }
+    result.candidate_alignments.emplace(table, std::move(aligns));
+  }
+  const size_t n_profiles = r.ReadLength(1);
+  result.target_profiles.reserve(n_profiles);
+  for (size_t i = 0; i < n_profiles && r.status().ok(); ++i) {
+    result.target_profiles.push_back(AttributeProfile::Load(r));
+  }
+  const size_t n_sigs = r.ReadLength(1);
+  result.target_sigs.reserve(n_sigs);
+  for (size_t i = 0; i < n_sigs && r.status().ok(); ++i) {
+    result.target_sigs.push_back(AttributeSignatures::Load(r));
+  }
+  return result;
+}
 
 uint64_t OptionsFingerprint(const D3LOptions& options, uint64_t seed) {
   D3LOptions canonical = options;
@@ -100,12 +210,7 @@ std::string CanonicalTargetBytes(const QueryTarget& target) {
   io::Writer w;
   w.OpenBuffer(&bytes);
   w.BeginSection(io::SectionId("QTGT"));
-  w.WriteU64(target.profiles.size());
-  for (size_t c = 0; c < target.profiles.size(); ++c) {
-    target.profiles[c].Save(w);
-    target.sigs[c].Save(w);
-  }
-  w.WriteI32(target.subject_col);
+  SaveQueryTarget(w, target);
   w.EndSection().CheckOK();
   w.Finish().CheckOK();
   return bytes;

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/aggregation.h"
+#include "io/binary_io.h"
 #include "core/attribute_profile.h"
 #include "core/distance.h"
 #include "core/indexes.h"
@@ -96,6 +97,35 @@ struct QueryTarget {
 /// enforce shard uniformity and mixes them into result-cache keys; pass
 /// different `seed`s to derive independent hashes of the same bytes.
 uint64_t OptionsFingerprint(const D3LOptions& options, uint64_t seed = 0);
+
+/// \brief Writes every D3LOptions field into the writer's current section —
+/// the single serialization behind engine snapshots, OptionsFingerprint and
+/// the RPC wire protocol (a field absent here reaches none of them; see the
+/// comment on D3LOptions).
+void SaveOptions(io::Writer& w, const D3LOptions& options);
+
+/// \brief Reads options written by SaveOptions; check the reader's status()
+/// before use.
+D3LOptions LoadOptions(io::Reader& r);
+
+/// \brief Writes a profiled target (per-column profiles + signatures +
+/// subject column) into the writer's current section. Exactly the bytes
+/// CanonicalTargetBytes fingerprints, so a target shipped over the wire and
+/// one profiled locally with the same options produce identical cache keys.
+void SaveQueryTarget(io::Writer& w, const QueryTarget& target);
+
+/// \brief Reads a target written by SaveQueryTarget; check the reader's
+/// status() before use.
+QueryTarget LoadQueryTarget(io::Reader& r);
+
+/// \brief Writes a SearchResult — ranking, candidate alignments (in sorted
+/// table order, so equal results serialize to equal bytes), and the target
+/// profiles/signatures — into the writer's current section.
+void SaveSearchResult(io::Writer& w, const SearchResult& result);
+
+/// \brief Reads a result written by SaveSearchResult; check the reader's
+/// status() before use.
+SearchResult LoadSearchResult(io::Reader& r);
 
 /// \brief Canonical byte string of a profiled query target: the serialized
 /// per-column profiles and signatures plus the subject column.

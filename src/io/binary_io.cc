@@ -345,9 +345,21 @@ Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t ve
   return Open(path, magic, version, version, &found);
 }
 
+Status Reader::OpenBuffer(std::string data) {
+  if (file_ != nullptr || buffer_mode_) {
+    return Status::InvalidArgument("Reader already open");
+  }
+  buffer_mode_ = true;
+  input_ = std::move(data);
+  input_cursor_ = 0;
+  return Status::OK();
+}
+
 Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
                     uint32_t max_version, uint32_t* version_out) {
-  if (file_ != nullptr) return Status::InvalidArgument("Reader already open");
+  if (file_ != nullptr || buffer_mode_) {
+    return Status::InvalidArgument("Reader already open");
+  }
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     return Status::NotFound("cannot open " + path);
@@ -377,11 +389,21 @@ Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t mi
   return Status::OK();
 }
 
+bool Reader::ReadFrame(void* out, size_t n) {
+  if (buffer_mode_) {
+    if (input_cursor_ + n > input_.size()) return false;
+    std::memcpy(out, input_.data() + input_cursor_, n);
+    input_cursor_ += n;
+    return true;
+  }
+  return std::fread(out, 1, n, file_) == n;
+}
+
 Status Reader::OpenSection(uint32_t id) {
   D3L_RETURN_NOT_OK(status_);
-  if (file_ == nullptr) return Status::Internal("Reader not open");
+  if (file_ == nullptr && !buffer_mode_) return Status::Internal("Reader not open");
   unsigned char header[12];
-  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+  if (!ReadFrame(header, sizeof(header))) {
     return Status::IOError("truncated file: missing section header");
   }
   uint32_t got_id = static_cast<uint32_t>(header[0]) |
@@ -400,13 +422,19 @@ Status Reader::OpenSection(uint32_t id) {
     return Status::InvalidArgument(std::string("expected section '") + want +
                                    "', found '" + got + "'");
   }
+  // In buffer mode the remaining input bounds the payload, so a corrupt
+  // length is rejected BEFORE the resize below can allocate for it (network
+  // frames are untrusted input; see src/rpc).
+  if (buffer_mode_ && size > input_.size() - input_cursor_) {
+    return Status::IOError("truncated file: section payload cut short");
+  }
   section_.resize(size);
   cursor_ = 0;
-  if (size > 0 && std::fread(section_.data(), 1, size, file_) != size) {
+  if (size > 0 && !ReadFrame(section_.data(), size)) {
     return Status::IOError("truncated file: section payload cut short");
   }
   unsigned char cb[4];
-  if (std::fread(cb, 1, 4, file_) != 4) {
+  if (!ReadFrame(cb, 4)) {
     return Status::IOError("truncated file: missing section checksum");
   }
   uint32_t got_crc = static_cast<uint32_t>(cb[0]) | static_cast<uint32_t>(cb[1]) << 8 |

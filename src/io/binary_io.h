@@ -174,6 +174,14 @@ class Reader {
   Status Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
               uint32_t max_version, uint32_t* version_out);
 
+  /// Opens the reader over in-memory bytes produced by Writer::OpenBuffer
+  /// (framed sections, no magic/version header — the mirror of the writer's
+  /// buffer mode). OpenSection and the typed reads then work exactly as in
+  /// file mode, including checksum verification and the length-prefix
+  /// guards, which is what lets the RPC layer parse network frames with
+  /// the same hardened decoding path snapshots use.
+  Status OpenBuffer(std::string data);
+
   /// Loads the next section, which must have id `id`, and verifies its
   /// checksum. Truncated payloads yield IOError; checksum mismatches
   /// IOError ("corrupt"); an unexpected id InvalidArgument.
@@ -214,8 +222,14 @@ class Reader {
  private:
   bool TakeBytes(void* out, size_t n);
   void Fail(Status s);
+  /// Reads `n` bytes of the framing stream (file or in-memory buffer) into
+  /// `out`; false at end of stream or on a short read.
+  bool ReadFrame(void* out, size_t n);
 
   std::FILE* file_ = nullptr;
+  std::string input_;       ///< framing bytes (OpenBuffer mode)
+  size_t input_cursor_ = 0;
+  bool buffer_mode_ = false;
   std::string section_;  ///< payload of the currently open section
   size_t cursor_ = 0;
   Status status_;

@@ -1,0 +1,149 @@
+#include "rpc/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace d3l::rpc {
+
+RpcClient::RpcClient(std::string host, uint16_t port, RpcClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+RpcClient::~RpcClient() { CloseConnection(); }
+
+void RpcClient::CloseConnection() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RpcClient::EnsureConnected(Deadline deadline) {
+  if (fd_ >= 0) return Status::OK();
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  const int gai = getaddrinfo(host_.c_str(), std::to_string(port_).c_str(),
+                              &hints, &addrs);
+  if (gai != 0) {
+    return Status::IOError("cannot resolve " + endpoint() + ": " +
+                           gai_strerror(gai));
+  }
+
+  Status last = Status::IOError("no addresses for " + endpoint());
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK,
+                          ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IOError(std::string("socket failed: ") + std::strerror(errno));
+      continue;
+    }
+    // Non-blocking connect + poll: a dead host fails at OUR deadline, not
+    // the kernel's (minutes-long) SYN retry budget.
+    const Deadline connect_deadline =
+        std::min(deadline, After(options_.connect_timeout_seconds));
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    if (errno != EINPROGRESS) {
+      last = Status::IOError(std::string("connect failed: ") + std::strerror(errno));
+      close(fd);
+      continue;
+    }
+    bool connected = false;
+    for (;;) {
+      if (std::chrono::steady_clock::now() >= connect_deadline) {
+        last = Status::IOError("connect to " + endpoint() + " timed out");
+        break;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int rc = poll(&pfd, 1, 100);
+      if (rc < 0 && errno != EINTR) {
+        last = Status::IOError(std::string("poll failed: ") + std::strerror(errno));
+        break;
+      }
+      if (rc <= 0) continue;
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+        last = Status::IOError("connect to " + endpoint() + " failed: " +
+                               std::strerror(err != 0 ? err : errno));
+        break;
+      }
+      connected = true;
+      break;
+    }
+    if (!connected) {
+      close(fd);
+      continue;
+    }
+    fd_ = fd;
+    break;
+  }
+  freeaddrinfo(addrs);
+  if (fd_ < 0) return last;
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Result<Frame> RpcClient::Call(uint32_t method, const std::string& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status last = Status::OK();
+  double backoff = options_.initial_backoff_seconds;
+  const size_t attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2;
+    }
+    const Deadline deadline = After(options_.request_timeout_seconds);
+    Status st = EnsureConnected(deadline);
+    if (st.ok()) st = SendFrame(fd_, frame, deadline);
+    if (st.ok()) {
+      Result<Frame> response = RecvFrame(fd_, deadline);
+      if (response.ok()) {
+        if (response->method == method || response->method == kMethodError) {
+          return response;
+        }
+        // A response for a different method means the stream lost framing
+        // sync — treat like any torn frame: reconnect and retry.
+        st = Status::IOError("response method " +
+                             io::SectionName(response->method) +
+                             " does not match request " + io::SectionName(method));
+      } else {
+        st = response.status();
+      }
+    }
+    // Anything that reached here is a transport/framing failure: the
+    // connection state is unknown, so drop it and retry fresh.
+    last = std::move(st);
+    CloseConnection();
+  }
+  return Status::Unavailable("shard server " + endpoint() + " unreachable after " +
+                             std::to_string(attempts) + " attempt" +
+                             (attempts == 1 ? "" : "s") + ": " + last.message());
+}
+
+Result<std::unique_ptr<io::Reader>> RpcClient::CallChecked(
+    uint32_t method, const std::string& frame) {
+  D3L_ASSIGN_OR_RETURN(Frame response, Call(method, frame));
+  return OpenResponse(method, std::move(response));
+}
+
+}  // namespace d3l::rpc

@@ -1,0 +1,80 @@
+// Blocking RPC client for the wire.h protocol: one TCP connection per
+// server, reconnected lazily, with per-request deadlines and bounded
+// transport retries.
+//
+// Error discipline — the part RemoteBackend's degradation contract rests
+// on:
+//
+//   * TRANSPORT failures (connect refused/timed out, send/recv errors,
+//     torn or unparseable response frames) are retried up to max_attempts
+//     times with doubling backoff, reconnecting each time; exhaustion
+//     yields Status::Unavailable naming the endpoint and the last error.
+//     Every protocol method is a pure function of its request (RELD
+//     included — reloading an already-current deployment is a no-op), so
+//     a retry after a maybe-half-processed request is safe.
+//   * APPLICATION errors (the wire status inside a well-formed response)
+//     are returned as-is, never retried: the server answered; asking again
+//     would give the same answer.
+//
+// Calls serialize on an internal mutex (one in-flight request per
+// connection); concurrent fan-out uses one RpcClient per server, which is
+// exactly how RemoteBackend holds them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "rpc/wire.h"
+
+namespace d3l::rpc {
+
+struct RpcClientOptions {
+  double connect_timeout_seconds = 5.0;
+  /// Deadline for one attempt's full round trip (send + server + receive).
+  double request_timeout_seconds = 30.0;
+  /// Total tries per Call on transport failure (1 = no retries).
+  size_t max_attempts = 3;
+  /// Sleep before the first retry; doubles per subsequent retry.
+  double initial_backoff_seconds = 0.05;
+};
+
+/// \brief One server endpoint, one lazily-(re)connected TCP session.
+class RpcClient {
+ public:
+  RpcClient(std::string host, uint16_t port, RpcClientOptions options = {});
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  std::string endpoint() const { return host_ + ":" + std::to_string(port_); }
+
+  /// One request/response round trip. `frame` is a BuildFrame()-serialized
+  /// request whose method is `method`; the result is the response frame.
+  /// Transport failures exhaust the retry budget and come back as
+  /// Status::Unavailable; a well-formed response is returned whatever wire
+  /// status it carries (decode it with OpenResponse).
+  Result<Frame> Call(uint32_t method, const std::string& frame);
+
+  /// Call + OpenResponse in one step: the reader is positioned after an OK
+  /// wire status, ready for the method's response body.
+  Result<std::unique_ptr<io::Reader>> CallChecked(uint32_t method,
+                                                  const std::string& frame);
+
+ private:
+  Status EnsureConnected(Deadline deadline);
+  void CloseConnection();
+
+  const std::string host_;
+  const uint16_t port_;
+  const RpcClientOptions options_;
+
+  std::mutex mu_;  ///< serializes Call: one in-flight request per connection
+  int fd_ = -1;
+};
+
+}  // namespace d3l::rpc

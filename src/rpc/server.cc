@@ -1,0 +1,301 @@
+#include "rpc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace d3l::rpc {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Start(
+    std::shared_ptr<const serving::ShardedEngine> engine, RpcServerOptions options,
+    ReloadFn reload) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("RpcServer needs an engine");
+  }
+  const size_t workers = options.num_workers > 0 ? options.num_workers : 1;
+  auto server =
+      std::unique_ptr<RpcServer>(new RpcServer(std::move(options), workers));
+  server->engine_ = std::move(engine);
+  server->reload_ = std::move(reload);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->options_.port);
+  if (inet_pton(AF_INET, server->options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   server->options_.host + "'");
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  server->listen_fd_ = fd;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::IOError("cannot bind " + server->options_.host + ":" +
+                           std::to_string(server->options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (listen(fd, 64) < 0) {
+    return Status::IOError(std::string("listen failed: ") + std::strerror(errno));
+  }
+  // Read back the bound port (the kernel's pick under port 0).
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) < 0) {
+    return Status::IOError(std::string("getsockname failed: ") +
+                           std::strerror(errno));
+  }
+  server->port_ = ntohs(addr.sin_port);
+  D3L_RETURN_NOT_OK(SetNonBlocking(fd));
+
+  server->accept_thread_ = std::thread([srv = server.get()] { srv->AcceptLoop(); });
+  return server;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Closing the listen fd makes the accept poll fail fast; shutting down
+  // the active connections unblocks any worker waiting in recv/send so the
+  // pool can drain (the fds themselves are closed by their handlers).
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conns_) shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+std::shared_ptr<const serving::ShardedEngine> RpcServer::engine() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_;
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, 250);
+    if (stopping_.load()) break;
+    if (rc <= 0) continue;
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    if (!SetNonBlocking(conn).ok()) {
+      close(conn);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(conn);
+    }
+    pool_.Post([this, conn] {
+      ServeConnection(conn);
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.erase(conn);
+      }
+      close(conn);
+    });
+  }
+}
+
+void RpcServer::ServeConnection(int fd) {
+  while (!stopping_.load()) {
+    // Idle wait for the next request, off the I/O deadline so persistent
+    // connections may sit quietly between queries.
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, 250);
+    if (stopping_.load()) return;
+    if (rc < 0 && errno != EINTR) return;
+    if (rc <= 0) continue;
+
+    bool clean_eof = false;
+    const Deadline deadline = After(options_.io_timeout_seconds);
+    Result<Frame> frame = RecvFrame(fd, deadline, &clean_eof);
+    if (!frame.ok()) {
+      if (clean_eof) return;  // client finished its session
+      // The stream is broken or hostile (bad magic/version, oversized
+      // prefix, truncation): report why — best effort, the peer may be
+      // gone — and drop the connection, since framing sync is lost.
+      const std::string response =
+          BuildFrame(kMethodError,
+                     [&](io::Writer& w) { SaveWireStatus(w, frame.status()); });
+      SendFrame(fd, response, After(options_.io_timeout_seconds));
+      requests_served_.fetch_add(1);
+      return;
+    }
+
+    const std::string response = HandleRequest(std::move(frame).ValueOrDie());
+    requests_served_.fetch_add(1);
+    if (!SendFrame(fd, response, After(options_.io_timeout_seconds)).ok()) {
+      return;
+    }
+  }
+}
+
+std::string RpcServer::HandleRequest(Frame request) {
+  const uint32_t method = request.method;
+  const std::shared_ptr<const serving::ShardedEngine> engine = this->engine();
+
+  // One respond() shape for every arm: echo the method, lead with the wire
+  // status, append the body only on success.
+  const auto respond = [method](const Status& status,
+                                const std::function<void(io::Writer&)>& body =
+                                    nullptr) {
+    return BuildFrame(method, [&](io::Writer& w) {
+      SaveWireStatus(w, status);
+      if (status.ok() && body) body(w);
+    });
+  };
+
+  io::Reader r;
+  {
+    const Status opened = OpenFrame(r, std::move(request));
+    if (!opened.ok()) return respond(opened);
+  }
+  // Decoded request fields must be fully read and intact before any engine
+  // work: a short or corrupt payload answers with the reader's status.
+  const auto decoded = [&r]() -> Status {
+    D3L_RETURN_NOT_OK(r.status());
+    return r.EndSection();
+  };
+
+  switch (method) {
+    case kMethodInfo: {
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      ServerInfo info;
+      info.backend = engine->Info();
+      info.serves_all = engine->serves_all();
+      for (size_t s : engine->served_shards()) info.served_shards.push_back(s);
+      info.served_tables = engine->ServedTables();
+      info.options = engine->options();
+      return respond(Status::OK(), [&](io::Writer& w) { SaveServerInfo(w, info); });
+    }
+    case kMethodProfile: {
+      Table target = LoadTable(r);
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      auto profiled = engine->Profile(target);
+      if (!profiled.ok()) return respond(profiled.status());
+      return respond(Status::OK(), [&](io::Writer& w) {
+        core::SaveQueryTarget(w, *profiled);
+      });
+    }
+    case kMethodSearch: {
+      core::QueryTarget target = core::LoadQueryTarget(r);
+      const size_t k = static_cast<size_t>(r.ReadU64());
+      const std::array<bool, core::kNumEvidence> mask = LoadMask(r);
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      auto result = engine->Search(std::move(target), k, mask);
+      if (!result.ok()) return respond(result.status());
+      return respond(Status::OK(), [&](io::Writer& w) {
+        core::SaveSearchResult(w, *result);
+      });
+    }
+    case kMethodDepthCounts: {
+      core::QueryTarget target = core::LoadQueryTarget(r);
+      const std::array<bool, core::kNumEvidence> mask = LoadMask(r);
+      const size_t m = static_cast<size_t>(r.ReadU64());
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      auto counts = engine->CollectDepthCounts(target, mask, m);
+      if (!counts.ok()) return respond(counts.status());
+      return respond(Status::OK(), [&](io::Writer& w) {
+        SaveDepthCounts(w, *counts);
+      });
+    }
+    case kMethodScoreAtStops: {
+      core::QueryTarget target = core::LoadQueryTarget(r);
+      core::CandidateStopDepths stops = LoadStopDepths(r);
+      const size_t m = static_cast<size_t>(r.ReadU64());
+      const std::array<bool, core::kNumEvidence> mask = LoadMask(r);
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      auto score = engine->ScoreAtStops(target, stops, m, mask);
+      if (!score.ok()) return respond(score.status());
+      return respond(Status::OK(), [&](io::Writer& w) {
+        SaveCandidateLists(w, score->lists);
+        SaveRows(w, score->rows);
+      });
+    }
+    case kMethodReload: {
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      if (!reload_) {
+        return respond(Status::InvalidArgument(
+            "this server was started without a reload hook"));
+      }
+      std::lock_guard<std::mutex> reload_lock(reload_mu_);
+      auto next = reload_(this->engine().get());
+      if (!next.ok()) return respond(next.status());
+      {
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        engine_ = *next;
+      }
+      const std::shared_ptr<const serving::ShardedEngine> reloaded = *next;
+      ServerInfo info;
+      info.backend = reloaded->Info();
+      info.serves_all = reloaded->serves_all();
+      for (size_t s : reloaded->served_shards()) info.served_shards.push_back(s);
+      info.served_tables = reloaded->ServedTables();
+      info.options = reloaded->options();
+      return respond(Status::OK(), [&](io::Writer& w) { SaveServerInfo(w, info); });
+    }
+    default:
+      return respond(Status::InvalidArgument("unknown RPC method " +
+                                             io::SectionName(method)));
+  }
+}
+
+}  // namespace d3l::rpc

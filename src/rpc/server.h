@@ -1,0 +1,118 @@
+// The shard-serving RPC daemon core: a TCP accept loop + worker pool that
+// answers the wire.h protocol over one ShardedEngine (full or subset).
+//
+// Lifecycle: Start() binds/listens (port 0 = kernel-assigned, read back via
+// port()), spawns the accept thread and returns; Stop() (or destruction)
+// closes the listen socket, shuts down every active connection and joins.
+// Connections are served to completion by serving::ThreadPool workers, one
+// connection at a time per worker, with each request's reads/writes under a
+// per-message I/O deadline — a stalled or malicious peer times out with a
+// clean Status instead of wedging a worker.
+//
+// Hot reload: the served engine is a swappable generation
+// (shared_ptr<const ShardedEngine>, the hot_reload.h pattern). A RELD
+// request invokes the reload hook the server was started with; in-flight
+// requests keep their generation snapshot, so reload never races a query.
+//
+// Robustness contract (enforced by tests/rpc_test.cc): any byte stream —
+// truncated frames, flipped bits, wrong versions, oversized length
+// prefixes, mid-stream disconnects — yields a clean error response and/or
+// a closed connection, never a crash; the next connection serves normally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "rpc/wire.h"
+#include "serving/sharded_engine.h"
+#include "serving/thread_pool.h"
+
+namespace d3l::rpc {
+
+struct RpcServerOptions {
+  /// Address to bind. The default only accepts local connections; a real
+  /// deployment passes an interface address explicitly.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral one (see port()).
+  uint16_t port = 0;
+  /// Connection-handler workers (floored at 1: with zero workers,
+  /// ThreadPool::Post would run handlers inline on the accept thread and
+  /// one connection would block all accepting).
+  size_t num_workers = 4;
+  /// Per-message I/O deadline on accepted connections: sending a response
+  /// or reading the remainder of a started request must finish within this
+  /// window. Waiting for the NEXT request on an idle connection does not
+  /// count against it.
+  double io_timeout_seconds = 30.0;
+};
+
+/// \brief TCP server speaking the wire.h protocol for one shard deployment.
+class RpcServer {
+ public:
+  /// Produces the next engine generation on a RELD request; receives the
+  /// current generation (e.g. for ShardedEngine::Open's replica reuse).
+  using ReloadFn = std::function<Result<std::shared_ptr<const serving::ShardedEngine>>(
+      const serving::ShardedEngine* current)>;
+
+  /// Binds, listens and starts accepting. `engine` must be non-null; a
+  /// null `reload` makes RELD requests fail with InvalidArgument.
+  static Result<std::unique_ptr<RpcServer>> Start(
+      std::shared_ptr<const serving::ShardedEngine> engine,
+      RpcServerOptions options = {}, ReloadFn reload = nullptr);
+
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, unblocks and closes every active connection, joins
+  /// the accept thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The engine generation currently serving (tests; swaps on RELD).
+  std::shared_ptr<const serving::ShardedEngine> engine() const;
+
+  /// Requests answered since Start (any method, including error replies).
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  RpcServer(RpcServerOptions options, size_t num_workers)
+      : options_(std::move(options)), pool_(num_workers) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Builds the response frame for one decoded request (never fails — all
+  /// errors become wire-status responses).
+  std::string HandleRequest(Frame request);
+
+  RpcServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<const serving::ShardedEngine> engine_;
+  ReloadFn reload_;
+  /// Serializes RELD handling (the hook may be expensive; overlapping
+  /// reloads would race their swaps in an arbitrary order).
+  std::mutex reload_mu_;
+
+  std::mutex conns_mu_;
+  std::unordered_set<int> conns_;  ///< active connection fds (for Stop)
+
+  serving::ThreadPool pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace d3l::rpc

@@ -1,0 +1,389 @@
+#include "rpc/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace d3l::rpc {
+
+namespace {
+
+/// Remaining milliseconds until `deadline`, clamped for poll(): at least 1
+/// (0 would busy-spin as a pure readiness probe) and at most ~5s per wait
+/// so enormous deadlines cannot overflow poll's int timeout.
+int PollTimeoutMs(Deadline deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+  if (ms > 5000) return 5000;
+  return static_cast<int>(ms) + 1;
+}
+
+Status WaitFor(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError(std::string("timed out ") + what);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll failed ") + what + ": " +
+                             std::strerror(errno));
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
+uint32_t DecodeU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t DecodeU64(const unsigned char* p) {
+  return static_cast<uint64_t>(DecodeU32(p)) |
+         static_cast<uint64_t>(DecodeU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+Status OpenFrame(io::Reader& r, Frame frame) {
+  const uint32_t method = frame.method;
+  D3L_RETURN_NOT_OK(r.OpenBuffer(std::move(frame.section)));
+  return r.OpenSection(method);
+}
+
+Status SendAll(int fd, const void* data, size_t len, Deadline deadline) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      D3L_RETURN_NOT_OK(WaitFor(fd, POLLOUT, deadline, "sending"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send failed: ") +
+                           (n < 0 ? std::strerror(errno) : "connection closed"));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t len, Deadline deadline) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-message");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      D3L_RETURN_NOT_OK(WaitFor(fd, POLLIN, deadline, "receiving"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SendFrame(int fd, const std::string& frame, Deadline deadline) {
+  return SendAll(fd, frame.data(), frame.size(), deadline);
+}
+
+Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+
+  // Frame header, with the first byte read separately so a peer that
+  // simply closed (no byte at all) is distinguishable from one truncated
+  // mid-header.
+  unsigned char header[kFrameHeaderBytes];
+  {
+    ssize_t n;
+    for (;;) {
+      n = recv(fd, header, 1, 0);
+      if (n >= 0) break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        D3L_RETURN_NOT_OK(WaitFor(fd, POLLIN, deadline, "receiving"));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (clean_eof != nullptr) *clean_eof = true;
+      return Status::IOError("connection closed");
+    }
+  }
+  D3L_RETURN_NOT_OK(RecvAll(fd, header + 1, sizeof(header) - 1, deadline));
+  if (std::memcmp(header, kMagic, 8) != 0) {
+    return Status::InvalidArgument("not a D3L RPC stream (bad magic)");
+  }
+  const uint32_t version = DecodeU32(header + 8);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported RPC protocol version " + std::to_string(version) +
+        " (this build speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+
+  // Section header: method fourcc + payload size. The size is validated
+  // against the hard cap BEFORE the payload buffer is allocated.
+  unsigned char section_header[kSectionHeaderBytes];
+  D3L_RETURN_NOT_OK(RecvAll(fd, section_header, sizeof(section_header), deadline));
+  const uint64_t payload_bytes = DecodeU64(section_header + 4);
+  if (payload_bytes > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "RPC message claims a " + std::to_string(payload_bytes) +
+        " byte payload, above the " + std::to_string(kMaxPayloadBytes) +
+        " byte limit");
+  }
+
+  Frame frame;
+  frame.method = DecodeU32(section_header);
+  frame.section.resize(kSectionHeaderBytes + payload_bytes + 4);  // + crc32
+  std::memcpy(frame.section.data(), section_header, kSectionHeaderBytes);
+  D3L_RETURN_NOT_OK(RecvAll(fd, frame.section.data() + kSectionHeaderBytes,
+                            payload_bytes + 4, deadline));
+  return frame;
+}
+
+void SaveWireStatus(io::Writer& w, const Status& s) {
+  w.WriteU32(static_cast<uint32_t>(s.code()));
+  w.WriteString(s.message());
+}
+
+Status LoadWireStatus(io::Reader& r) {
+  const StatusCode code = StatusCodeFromWire(r.ReadU32());
+  std::string message = r.ReadString();
+  if (!r.status().ok()) return r.status();
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::move(message));
+}
+
+Result<std::unique_ptr<io::Reader>> OpenResponse(uint32_t method, Frame frame) {
+  // kMethodError means the server could not parse the request well enough
+  // to echo its method; the payload still carries the status explaining why.
+  if (frame.method != method && frame.method != kMethodError) {
+    return Status::IOError("RPC response method " + io::SectionName(frame.method) +
+                           " does not match the request's " +
+                           io::SectionName(method));
+  }
+  auto r = std::make_unique<io::Reader>();
+  D3L_RETURN_NOT_OK(OpenFrame(*r, std::move(frame)));
+  Status app = LoadWireStatus(*r);
+  D3L_RETURN_NOT_OK(app);
+  return r;
+}
+
+void SaveMask(io::Writer& w, const std::array<bool, core::kNumEvidence>& mask) {
+  for (bool b : mask) w.WriteBool(b);
+}
+
+std::array<bool, core::kNumEvidence> LoadMask(io::Reader& r) {
+  std::array<bool, core::kNumEvidence> mask{};
+  for (size_t e = 0; e < core::kNumEvidence; ++e) mask[e] = r.ReadBool();
+  return mask;
+}
+
+void SaveTable(io::Writer& w, const Table& table) {
+  w.WriteString(table.name());
+  w.WriteU64(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    w.WriteString(col.name());
+    w.WriteStringRange(col.cells());
+  }
+}
+
+Table LoadTable(io::Reader& r) {
+  Table table(r.ReadString());
+  const size_t n_cols = r.ReadLength(1);
+  // Decode into temporaries first: Table::AddColumn refuses once any cell
+  // exists, so the schema must be complete before the cells go in.
+  std::vector<std::string> names(n_cols);
+  std::vector<std::vector<std::string>> cells(n_cols);
+  for (size_t c = 0; c < n_cols && r.status().ok(); ++c) {
+    names[c] = r.ReadString();
+    const size_t n_cells = r.ReadLength(1);
+    cells[c].reserve(n_cells);
+    for (size_t i = 0; i < n_cells && r.status().ok(); ++i) {
+      cells[c].push_back(r.ReadString());
+    }
+    if (c > 0 && cells[c].size() != cells[0].size()) {
+      r.MarkCorrupt("table columns have unequal lengths");
+      return table;
+    }
+  }
+  if (!r.status().ok()) return table;
+  for (size_t c = 0; c < n_cols; ++c) {
+    const Status added = table.AddColumn(std::move(names[c]));
+    if (!added.ok()) {
+      r.MarkCorrupt(added.message());
+      return table;
+    }
+  }
+  for (size_t c = 0; c < n_cols; ++c) {
+    table.column(c).Reserve(cells[c].size());
+    for (std::string& cell : cells[c]) table.column(c).Append(std::move(cell));
+  }
+  return table;
+}
+
+void SaveDepthCounts(io::Writer& w, const core::CandidateDepthCounts& counts) {
+  w.WriteU64(counts.counts.size());
+  for (const auto& per_evidence : counts.counts) {
+    for (const std::vector<size_t>& depths : per_evidence) {
+      w.WriteU64(depths.size());
+      for (size_t v : depths) w.WriteU64(v);
+    }
+  }
+}
+
+core::CandidateDepthCounts LoadDepthCounts(io::Reader& r) {
+  core::CandidateDepthCounts counts;
+  const size_t n_cols = r.ReadLength(core::kNumEvidence * 8);
+  counts.counts.resize(n_cols);
+  for (size_t c = 0; c < n_cols && r.status().ok(); ++c) {
+    for (size_t e = 0; e < core::kNumEvidence; ++e) {
+      const size_t n = r.ReadLength(8);
+      counts.counts[c][e].reserve(n);
+      for (size_t i = 0; i < n && r.status().ok(); ++i) {
+        counts.counts[c][e].push_back(static_cast<size_t>(r.ReadU64()));
+      }
+    }
+  }
+  return counts;
+}
+
+void SaveStopDepths(io::Writer& w, const core::CandidateStopDepths& stops) {
+  w.WriteU64(stops.depths.size());
+  for (const auto& per_evidence : stops.depths) {
+    for (size_t d : per_evidence) w.WriteU64(d);
+  }
+}
+
+core::CandidateStopDepths LoadStopDepths(io::Reader& r) {
+  core::CandidateStopDepths stops;
+  const size_t n_cols = r.ReadLength(core::kNumEvidence * 8);
+  stops.depths.resize(n_cols);
+  for (size_t c = 0; c < n_cols && r.status().ok(); ++c) {
+    for (size_t e = 0; e < core::kNumEvidence; ++e) {
+      stops.depths[c][e] = static_cast<size_t>(r.ReadU64());
+    }
+  }
+  return stops;
+}
+
+void SaveCandidateLists(io::Writer& w, const core::CandidateLists& lists) {
+  w.WriteU64(lists.ids.size());
+  for (const auto& per_evidence : lists.ids) {
+    for (const std::vector<uint32_t>& ids : per_evidence) {
+      w.WriteU64(ids.size());
+      for (uint32_t id : ids) w.WriteU32(id);
+    }
+  }
+}
+
+core::CandidateLists LoadCandidateLists(io::Reader& r) {
+  core::CandidateLists lists;
+  const size_t n_cols = r.ReadLength(core::kNumEvidence * 8);
+  lists.ids.resize(n_cols);
+  for (size_t c = 0; c < n_cols && r.status().ok(); ++c) {
+    for (size_t e = 0; e < core::kNumEvidence; ++e) {
+      const size_t n = r.ReadLength(4);
+      lists.ids[c][e].reserve(n);
+      for (size_t i = 0; i < n && r.status().ok(); ++i) {
+        lists.ids[c][e].push_back(r.ReadU32());
+      }
+    }
+  }
+  return lists;
+}
+
+void SaveRows(io::Writer& w, const std::vector<core::PairDistances>& rows) {
+  w.WriteU64(rows.size());
+  for (const core::PairDistances& row : rows) {
+    w.WriteU32(row.target_column);
+    w.WriteU32(row.attribute_id);
+    for (double d : row.d) w.WriteDouble(d);
+  }
+}
+
+std::vector<core::PairDistances> LoadRows(io::Reader& r) {
+  const size_t n = r.ReadLength(8 + core::kNumEvidence * 8);
+  std::vector<core::PairDistances> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n && r.status().ok(); ++i) {
+    core::PairDistances row;
+    row.target_column = r.ReadU32();
+    row.attribute_id = r.ReadU32();
+    for (size_t e = 0; e < core::kNumEvidence; ++e) row.d[e] = r.ReadDouble();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void SaveServerInfo(io::Writer& w, const ServerInfo& info) {
+  w.WriteU32(static_cast<uint32_t>(info.backend.kind));
+  w.WriteU64(info.backend.num_tables);
+  w.WriteU64(info.backend.num_attributes);
+  w.WriteU64(info.backend.num_shards);
+  w.WriteU64(info.backend.options_fingerprint);
+  w.WriteU64(info.backend.index_fingerprint);
+  w.WriteBool(info.serves_all);
+  w.WriteU64Vector(info.served_shards);
+  w.WriteU64(info.served_tables.size());
+  for (const serving::ShardedEngine::ServedTable& t : info.served_tables) {
+    w.WriteU32(t.global_id);
+    w.WriteString(t.name);
+    w.WriteU32(t.column_count);
+  }
+  core::SaveOptions(w, info.options);
+}
+
+ServerInfo LoadServerInfo(io::Reader& r) {
+  ServerInfo info;
+  const uint32_t kind = r.ReadU32();
+  if (kind > static_cast<uint32_t>(serving::BackendKind::kRemote)) {
+    r.MarkCorrupt("unknown backend kind " + std::to_string(kind));
+    return info;
+  }
+  info.backend.kind = static_cast<serving::BackendKind>(kind);
+  info.backend.num_tables = static_cast<size_t>(r.ReadU64());
+  info.backend.num_attributes = static_cast<size_t>(r.ReadU64());
+  info.backend.num_shards = static_cast<size_t>(r.ReadU64());
+  info.backend.options_fingerprint = r.ReadU64();
+  info.backend.index_fingerprint = r.ReadU64();
+  info.serves_all = r.ReadBool();
+  info.served_shards = r.ReadU64Vector();
+  const size_t n_tables = r.ReadLength(1);
+  info.served_tables.reserve(n_tables);
+  for (size_t i = 0; i < n_tables && r.status().ok(); ++i) {
+    serving::ShardedEngine::ServedTable t;
+    t.global_id = r.ReadU32();
+    t.name = r.ReadString();
+    t.column_count = r.ReadU32();
+    info.served_tables.push_back(std::move(t));
+  }
+  info.options = core::LoadOptions(r);
+  return info;
+}
+
+}  // namespace d3l::rpc

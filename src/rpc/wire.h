@@ -1,0 +1,186 @@
+// Wire format of the D3L remote-serving protocol: length-prefixed binary
+// messages built from the SAME hardened serialization snapshots use.
+//
+// One message on the wire is
+//
+//   [magic: 8 bytes "D3LRPC1\n"] [protocol version: u32]
+//   [method: u32 fourcc] [payload size: u64] [payload] [crc32: u32]
+//
+// i.e. a 12-byte frame header followed by exactly one io::Writer section
+// whose id is the method fourcc. Requests and responses share the shape; a
+// response's payload begins with the application Status (stable numeric
+// code + message — see StatusCode's stability contract in common/status.h)
+// and carries the method's result only when that status is OK. Reusing the
+// io::Writer/io::Reader buffer mode means every guard the snapshot decoder
+// grew — per-message CRC32, length-prefix validation before allocation,
+// soft-fail primitive reads — applies verbatim to bytes from the network,
+// which is what the protocol fuzz tests (tests/rpc_test.cc) lean on.
+//
+// Methods:
+//   INFO  -> server identity: BackendInfo, served shards/tables, options
+//   PROF  <- target table (cells) -> profiled QueryTarget
+//   SRCH  <- QueryTarget, k, mask -> SearchResult (full servers only)
+//   DCNT  <- QueryTarget, mask, m -> shard-summed candidate depth counts
+//   SCOR  <- QueryTarget, stops, m, mask -> capped candidate lists + rows
+//   RELD  -> reloads the server's deployment, returns the new identity
+//
+// DCNT + SCOR are the two halves of the exact cross-server scatter-gather:
+// the coordinator (serving::RemoteBackend) sums every server's depth
+// counts, resolves the global stop depths once, and has each server
+// retrieve + score at those depths — the same decomposition
+// serving::ShardedEngine runs in-process, and byte-identical to a single
+// engine for the same reasons (see sharded_engine.h).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "io/binary_io.h"
+#include "serving/search_backend.h"
+#include "serving/sharded_engine.h"
+#include "table/table.h"
+
+namespace d3l::rpc {
+
+inline constexpr char kMagic[9] = "D3LRPC1\n";
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frame header: 8 magic bytes + u32 protocol version.
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Section header inside a frame: u32 method fourcc + u64 payload size.
+inline constexpr size_t kSectionHeaderBytes = 12;
+
+/// Hard cap on a single message's payload, enforced BEFORE any allocation:
+/// a corrupt or hostile length prefix must not let one frame reserve
+/// arbitrary memory. Generous because PROF requests carry raw table cells.
+inline constexpr uint64_t kMaxPayloadBytes = 256ull << 20;
+
+// Method fourccs (doubling as the section id of the message payload).
+inline constexpr uint32_t kMethodInfo = io::SectionId("INFO");
+inline constexpr uint32_t kMethodProfile = io::SectionId("PROF");
+inline constexpr uint32_t kMethodSearch = io::SectionId("SRCH");
+inline constexpr uint32_t kMethodDepthCounts = io::SectionId("DCNT");
+inline constexpr uint32_t kMethodScoreAtStops = io::SectionId("SCOR");
+inline constexpr uint32_t kMethodReload = io::SectionId("RELD");
+/// Response id when a request's frame was too broken to know its method.
+inline constexpr uint32_t kMethodError = io::SectionId("ERR_");
+
+/// Absolute I/O deadline (steady clock, immune to wall-clock jumps).
+using Deadline = std::chrono::steady_clock::time_point;
+inline Deadline After(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// \brief One decoded frame: the method fourcc plus the full section bytes
+/// (header + payload + crc), ready for io::Reader::OpenBuffer.
+struct Frame {
+  uint32_t method = 0;
+  std::string section;
+};
+
+/// \brief Serializes one complete message: frame header plus one section
+/// whose payload `fill` writes. The returned bytes go on the wire as-is.
+template <typename Fill>
+std::string BuildFrame(uint32_t method, Fill&& fill) {
+  std::string section;
+  io::Writer w;
+  w.OpenBuffer(&section);
+  w.BeginSection(method);
+  fill(w);
+  w.EndSection().CheckOK();  // buffer-mode writes cannot fail
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + section.size());
+  frame.append(kMagic, 8);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((kProtocolVersion >> (8 * i)) & 0xFF));
+  }
+  frame.append(section);
+  return frame;
+}
+
+/// \brief Opens a received frame for typed reading: the reader takes the
+/// section bytes and verifies the checksum. After the returned OK, read the
+/// payload and then check r.status() / r.EndSection().
+Status OpenFrame(io::Reader& r, Frame frame);
+
+// -- Blocking socket I/O with absolute deadlines (poll-based, so a stalled
+// -- peer fails with IOError("timed out ...") instead of hanging forever) --
+
+/// Writes all of `data` to the connected socket `fd`.
+Status SendAll(int fd, const void* data, size_t len, Deadline deadline);
+
+/// Reads exactly `len` bytes. A clean close mid-read is IOError.
+Status RecvAll(int fd, void* data, size_t len, Deadline deadline);
+
+/// Sends one BuildFrame()-serialized message.
+Status SendFrame(int fd, const std::string& frame, Deadline deadline);
+
+/// Receives one message: validates the magic, protocol version and payload
+/// cap, then reads the full section. All failures are clean Statuses —
+/// garbage bytes, truncation, oversized prefixes and disconnects never
+/// crash the caller. If `clean_eof` is non-null it is set when the peer
+/// closed the connection before sending any byte (the normal end of a
+/// client session, which callers usually want to treat as non-exceptional).
+Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof = nullptr);
+
+// -- Application status over the wire --
+
+/// Writes `[u32 stable code][message string]` (response payload prefix).
+void SaveWireStatus(io::Writer& w, const Status& s);
+
+/// Reads a status written by SaveWireStatus. Unknown codes from newer
+/// peers degrade to kInternal (StatusCodeFromWire).
+Status LoadWireStatus(io::Reader& r);
+
+/// \brief Opens a response frame's section (which must carry `method`) and
+/// consumes the leading wire status. Returns the positioned reader on an OK
+/// wire status; propagates the server's error otherwise. The reader is
+/// heap-allocated because io::Reader is not movable.
+Result<std::unique_ptr<io::Reader>> OpenResponse(uint32_t method, Frame frame);
+
+// -- Domain serializers (each reads/writes within the current section; on
+// -- load, check the reader's status before trusting the value) --
+
+void SaveMask(io::Writer& w, const std::array<bool, core::kNumEvidence>& mask);
+std::array<bool, core::kNumEvidence> LoadMask(io::Reader& r);
+
+/// Full table content (name + columns with cells) — the PROF request body.
+void SaveTable(io::Writer& w, const Table& table);
+Table LoadTable(io::Reader& r);
+
+void SaveDepthCounts(io::Writer& w, const core::CandidateDepthCounts& counts);
+core::CandidateDepthCounts LoadDepthCounts(io::Reader& r);
+
+void SaveStopDepths(io::Writer& w, const core::CandidateStopDepths& stops);
+core::CandidateStopDepths LoadStopDepths(io::Reader& r);
+
+void SaveCandidateLists(io::Writer& w, const core::CandidateLists& lists);
+core::CandidateLists LoadCandidateLists(io::Reader& r);
+
+void SaveRows(io::Writer& w, const std::vector<core::PairDistances>& rows);
+std::vector<core::PairDistances> LoadRows(io::Reader& r);
+
+/// \brief Everything a coordinator must know about one shard server: the
+/// backend identity (global totals + fingerprints), which manifest shards
+/// it loaded, the tables it serves in the lake's global numbering, and the
+/// engine options (so clients rank/cache without a local deployment).
+struct ServerInfo {
+  serving::BackendInfo backend;
+  bool serves_all = false;
+  std::vector<uint64_t> served_shards;
+  std::vector<serving::ShardedEngine::ServedTable> served_tables;
+  core::D3LOptions options;
+};
+
+void SaveServerInfo(io::Writer& w, const ServerInfo& info);
+ServerInfo LoadServerInfo(io::Reader& r);
+
+}  // namespace d3l::rpc

@@ -1,0 +1,139 @@
+#include "serving/backend_ref.h"
+
+#include <utility>
+
+#include "core/query.h"
+#include "io/binary_io.h"
+#include "serving/manifest.h"
+
+namespace d3l::serving {
+
+namespace {
+
+bool ConsumePrefix(const std::string& spec, const char* prefix,
+                   std::string* rest) {
+  const size_t n = std::string(prefix).size();
+  if (spec.compare(0, n, prefix) != 0) return false;
+  *rest = spec.substr(n);
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(start));
+      break;
+    }
+    out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BackendRef> BackendRef::Parse(const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty backend spec");
+  }
+  BackendRef ref;
+  std::string rest;
+  if (ConsumePrefix(spec, "snapshot:", &rest)) {
+    if (rest.empty()) {
+      return Status::InvalidArgument("'" + spec + "' names no snapshot path");
+    }
+    ref.kind = Kind::kSnapshot;
+    ref.path = std::move(rest);
+    return ref;
+  }
+  if (ConsumePrefix(spec, "manifest:", &rest)) {
+    if (rest.empty()) {
+      return Status::InvalidArgument("'" + spec + "' names no manifest path");
+    }
+    ref.kind = Kind::kManifest;
+    ref.path = std::move(rest);
+    return ref;
+  }
+  if (ConsumePrefix(spec, "tcp:", &rest)) {
+    ref.kind = Kind::kRemote;
+    for (const std::string& endpoint : SplitCommas(rest)) {
+      const size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == endpoint.size()) {
+        return Status::InvalidArgument("endpoint '" + endpoint + "' in '" +
+                                       spec + "' is not host:port");
+      }
+      ref.endpoints.push_back(endpoint);
+    }
+    if (ref.endpoints.empty()) {
+      return Status::InvalidArgument("'" + spec + "' names no endpoints");
+    }
+    return ref;
+  }
+  // Bare path: dispatch on the file's magic, the same way `d3l_snapshot
+  // info` distinguishes container formats.
+  D3L_ASSIGN_OR_RETURN(io::FileInfo info, io::InspectFile(spec));
+  if (info.magic == std::string(core::D3LEngine::kSnapshotMagic, 8)) {
+    ref.kind = Kind::kSnapshot;
+  } else if (info.magic == std::string(ShardManifest::kMagic, 8)) {
+    ref.kind = Kind::kManifest;
+  } else {
+    return Status::InvalidArgument(
+        "'" + spec + "' is neither an engine snapshot nor a shard manifest "
+        "(unknown magic); use an explicit snapshot:/manifest:/tcp: prefix");
+  }
+  ref.path = spec;
+  return ref;
+}
+
+std::string BackendRef::ToString() const {
+  switch (kind) {
+    case Kind::kSnapshot:
+      return "snapshot:" + path;
+    case Kind::kManifest:
+      return "manifest:" + path;
+    case Kind::kRemote: {
+      std::string out = "tcp:";
+      for (size_t i = 0; i < endpoints.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += endpoints[i];
+      }
+      return out;
+    }
+  }
+  return std::string();
+}
+
+Result<std::unique_ptr<SearchBackend>> OpenBackend(
+    const BackendRef& ref, const OpenBackendOptions& options) {
+  switch (ref.kind) {
+    case BackendRef::Kind::kSnapshot: {
+      D3L_ASSIGN_OR_RETURN(std::unique_ptr<EngineBackend> backend,
+                           EngineBackend::FromSnapshot(ref.path));
+      return std::unique_ptr<SearchBackend>(std::move(backend));
+    }
+    case BackendRef::Kind::kManifest: {
+      D3L_ASSIGN_OR_RETURN(std::unique_ptr<ShardedEngine> backend,
+                           ShardedEngine::Open(ref.path, options.sharded));
+      return std::unique_ptr<SearchBackend>(std::move(backend));
+    }
+    case BackendRef::Kind::kRemote: {
+      D3L_ASSIGN_OR_RETURN(
+          std::unique_ptr<RemoteBackend> backend,
+          RemoteBackend::Connect(ref.endpoints, options.remote));
+      return std::unique_ptr<SearchBackend>(std::move(backend));
+    }
+  }
+  return Status::InvalidArgument("unknown backend ref kind");
+}
+
+Result<std::unique_ptr<SearchBackend>> OpenBackend(
+    const std::string& spec, const OpenBackendOptions& options) {
+  D3L_ASSIGN_OR_RETURN(BackendRef ref, BackendRef::Parse(spec));
+  return OpenBackend(ref, options);
+}
+
+}  // namespace d3l::serving

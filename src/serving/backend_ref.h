@@ -1,0 +1,71 @@
+// One spelling for "where my SearchBackend lives", and one factory that
+// opens it — so every front-end (d3l_snapshot, csv_lake, DiscoveryService
+// setups, tests) stops growing bespoke snapshot-vs-manifest-vs-remote
+// plumbing.
+//
+// A backend reference is a string:
+//
+//   snapshot:<path>             one engine snapshot (EngineBackend)
+//   manifest:<path>             local scatter-gather over a shard manifest
+//                               (ShardedEngine)
+//   tcp:<host:port>[,host:port...]   remote scatter-gather over shard
+//                               servers (RemoteBackend)
+//   <path>                      bare path: sniffed by file magic — D3LSNAP
+//                               opens as a snapshot, D3LSHRD as a manifest
+//
+// BackendRef::Parse validates the spelling; OpenBackend turns a ref (or a
+// raw spec string) into a ready unique_ptr<SearchBackend>.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/remote_backend.h"
+#include "serving/search_backend.h"
+#include "serving/sharded_engine.h"
+
+namespace d3l::serving {
+
+/// \brief A parsed backend location.
+struct BackendRef {
+  enum class Kind {
+    kSnapshot,  ///< one engine snapshot file
+    kManifest,  ///< a shard manifest (local scatter-gather)
+    kRemote,    ///< shard server endpoints (remote scatter-gather)
+  };
+
+  Kind kind = Kind::kSnapshot;
+  /// Snapshot or manifest path (kSnapshot / kManifest).
+  std::string path;
+  /// host:port endpoints, in spec order (kRemote).
+  std::vector<std::string> endpoints;
+
+  /// Parses a spec string (header comment). `snapshot:`/`manifest:` accept
+  /// any path; `tcp:` requires at least one host:port; a bare spec is
+  /// resolved by reading the file's magic, so the file must exist.
+  static Result<BackendRef> Parse(const std::string& spec);
+
+  /// The canonical spec string this ref parses back from.
+  std::string ToString() const;
+};
+
+/// \brief Knobs forwarded to whichever backend the ref selects (the
+/// irrelevant ones are ignored).
+struct OpenBackendOptions {
+  ShardedEngineOptions sharded;  ///< kManifest
+  RemoteBackendOptions remote;   ///< kRemote
+};
+
+/// \brief Opens the backend a ref points at: FromSnapshot, ShardedEngine::
+/// Open or RemoteBackend::Connect. The returned backend owns everything it
+/// needs.
+Result<std::unique_ptr<SearchBackend>> OpenBackend(
+    const BackendRef& ref, const OpenBackendOptions& options = {});
+
+/// \brief Parse + OpenBackend in one step.
+Result<std::unique_ptr<SearchBackend>> OpenBackend(
+    const std::string& spec, const OpenBackendOptions& options = {});
+
+}  // namespace d3l::serving

@@ -37,6 +37,13 @@ bool ShardManifest::has_source_identity() const {
   return !shards.empty();
 }
 
+bool ShardManifest::has_column_counts() const {
+  for (const ShardManifestEntry& e : shards) {
+    if (e.column_counts.size() != e.global_tables.size()) return false;
+  }
+  return !shards.empty();
+}
+
 Status ShardManifest::Validate() const {
   if (shards.empty()) {
     return Status::InvalidArgument("manifest lists no shards");
@@ -92,6 +99,24 @@ Status ShardManifest::Validate() const {
         }
       }
     }
+    // Column counts are optional too (absent in loaded v1/v2 manifests) but
+    // when present must name every table and sum to the shard's attribute
+    // count — they are the basis of the GLOBAL attribute numbering subset
+    // servers reconstruct, so an inconsistent list must not load.
+    if (!e.column_counts.empty()) {
+      if (e.column_counts.size() != e.global_tables.size()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            ": column count list disagrees with its table count");
+      }
+      uint64_t cols = 0;
+      for (uint32_t c : e.column_counts) cols += c;
+      if (cols != e.num_attributes) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            ": per-table column counts disagree with its attribute count");
+      }
+    }
     attr_total += e.num_attributes;
     for (uint32_t g : e.global_tables) {
       if (g >= total_tables) {
@@ -145,6 +170,11 @@ Status ShardManifest::Save(const std::string& path) const {
       w.WriteU64(src.bytes);
       w.WriteU32(src.crc32);
     }
+    // v3: per-table column counts (global attribute numbering for shard
+    // subsets). Like sources, 0 entries keeps a re-saved older manifest
+    // loadable; it just cannot back a subset server.
+    w.WriteU64(e.column_counts.size());
+    for (uint32_t c : e.column_counts) w.WriteU32(c);
   }
   return w.Finish();
 }
@@ -180,6 +210,11 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
         src.crc32 = r.ReadU32();
         e.sources.push_back(std::move(src));
       }
+    }
+    if (m.version >= 3) {
+      size_t n_counts = r.ReadLength(sizeof(uint32_t));
+      e.column_counts.reserve(n_counts);
+      for (size_t t = 0; t < n_counts; ++t) e.column_counts.push_back(r.ReadU32());
     }
     m.shards.push_back(std::move(e));
   }

@@ -17,6 +17,13 @@
 // against these identities and re-profiles only the shards whose table
 // sets actually changed. v1 manifests still load and serve; they just
 // cannot be updated incrementally (no recorded sources).
+//
+// Format v3 additionally records, per table, its COLUMN COUNT. The lake's
+// global attribute ids are dense in (table, column) order, so the counts +
+// the partition let a process holding only some of the shards reconstruct
+// the full global numbering — which is what a remote shard server needs to
+// return globally addressed results (serving::RemoteBackend). v1/v2
+// manifests load and serve in full; only subset serving requires v3.
 #pragma once
 
 #include <cstdint>
@@ -46,12 +53,19 @@ struct ShardManifestEntry {
   /// v2: source-file identity of each table, parallel to `global_tables`
   /// (shard-local order). Empty when loaded from a v1 manifest.
   std::vector<TableSource> sources;
+  /// v3: column count of each table, parallel to `global_tables`. Together
+  /// with the partition this determines the lake's global attribute
+  /// numbering (attributes are dense in table order, then column order), so
+  /// a server holding only a SUBSET of the shards can still remap its local
+  /// results onto global ids — the precondition for remote scatter-gather
+  /// (serving::RemoteBackend). Empty when loaded from a v1/v2 manifest.
+  std::vector<uint32_t> column_counts;
 };
 
 /// \brief A versioned description of one sharded lake.
 struct ShardManifest {
   static constexpr char kMagic[9] = "D3LSHRD\n";
-  static constexpr uint32_t kVersion = 2;          ///< written by Save()
+  static constexpr uint32_t kVersion = 3;          ///< written by Save()
   static constexpr uint32_t kMinReadVersion = 1;   ///< oldest Load() accepts
 
   /// The format version this manifest was loaded with (kVersion for
@@ -67,6 +81,11 @@ struct ShardManifest {
   /// the precondition for incremental updates (always true for manifests
   /// written by this version's builder, false for loaded v1 files).
   bool has_source_identity() const;
+
+  /// True when every shard entry carries per-table column counts — the
+  /// precondition for opening a shard SUBSET (remote shard servers). True
+  /// for manifests written by this version's builder, false for v1/v2.
+  bool has_column_counts() const;
 
   /// Structural invariants: at least one shard, per-shard counts consistent
   /// with the entry's table list, the global table ids forming an exact

@@ -7,6 +7,25 @@
 
 namespace d3l::serving {
 
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kEngine:
+      return "engine";
+    case BackendKind::kSharded:
+      return "sharded";
+    case BackendKind::kRemote:
+      return "remote";
+  }
+  return "unknown";
+}
+
+Result<BackendKind> ParseBackendKind(const std::string& name) {
+  if (name == "engine") return BackendKind::kEngine;
+  if (name == "sharded") return BackendKind::kSharded;
+  if (name == "remote") return BackendKind::kRemote;
+  return Status::InvalidArgument("unknown backend kind '" + name + "'");
+}
+
 Result<core::SearchResult> SearchBackend::Search(const Table& target,
                                                  size_t k) const {
   D3L_ASSIGN_OR_RETURN(core::QueryTarget qt, Profile(target));
@@ -17,13 +36,27 @@ EngineBackend::EngineBackend(const core::D3LEngine* engine, const DataLake* lake
                              uint64_t index_fingerprint)
     : engine_(engine), lake_(lake), index_fingerprint_(index_fingerprint) {
   if (index_fingerprint_ == 0) {
-    // Schema-derived identity for in-process engines: distinguishes lakes
-    // by their table/column names and size. Content-level identity (bit
-    // rot, re-generated data under identical schemas) is only guaranteed
-    // by the checksum-derived fingerprints of FromSnapshot / manifests.
+    // Derived identity for in-process engines. The schema fingerprint alone
+    // collides for two lakes with identical table/column names but
+    // different cells (e.g. a CSV directory re-loaded after an edit), and
+    // swapping such backends through DiscoveryService::SwapBackend would
+    // then serve stale cached results — so fold in the per-table SOURCE
+    // identities (file + size + CRC32) wherever the lake records them.
+    // Remaining caveat: tables built purely in memory carry no source, so
+    // two in-memory lakes with equal schemas but different cells still
+    // collide; such deployments should pass an explicit fingerprint or
+    // serve via FromSnapshot, whose identity covers the full content.
     index_fingerprint_ = HashCombine(
         HashCombine(SchemaFingerprint(*lake), engine_->indexes().num_attributes()),
         core::OptionsFingerprint(engine_->options()));
+    for (size_t t = 0; t < lake->size(); ++t) {
+      const TableSource& src = lake->table(t).source();
+      if (!src.valid()) continue;
+      index_fingerprint_ = HashCombine(
+          index_fingerprint_,
+          HashCombine(HashBytes(src.file.data(), src.file.size(), src.bytes),
+                      src.crc32));
+    }
   }
 }
 
@@ -59,7 +92,7 @@ Result<core::SearchResult> EngineBackend::Search(
 
 BackendInfo EngineBackend::Info() const {
   BackendInfo info;
-  info.kind = "engine";
+  info.kind = BackendKind::kEngine;
   info.num_tables = lake_->size();
   info.num_attributes = engine_->indexes().num_attributes();
   info.num_shards = 1;

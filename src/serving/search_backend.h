@@ -32,9 +32,26 @@
 
 namespace d3l::serving {
 
+/// \brief What is actually answering queries behind a SearchBackend.
+///
+/// Typed (rather than the free-form string it once was) because the kind is
+/// carried over the RPC wire and branched on by front-ends; the numeric
+/// values are stable for the same reason StatusCode's are.
+enum class BackendKind : uint32_t {
+  kEngine = 0,   ///< one in-process core::D3LEngine
+  kSharded = 1,  ///< scatter-gather over local shard snapshots
+  kRemote = 2,   ///< scatter-gather over remote shard servers (RPC)
+};
+
+/// \brief Display name of a BackendKind: "engine" / "sharded" / "remote".
+const char* BackendKindName(BackendKind kind);
+
+/// \brief Inverse of BackendKindName; fails on unknown names.
+Result<BackendKind> ParseBackendKind(const std::string& name);
+
 /// \brief Identity and shape of a SearchBackend (the `Info()` view).
 struct BackendInfo {
-  std::string kind;           ///< "engine" or "sharded"
+  BackendKind kind = BackendKind::kEngine;
   size_t num_tables = 0;      ///< datasets served
   size_t num_attributes = 0;  ///< attributes indexed
   size_t num_shards = 1;      ///< index partitions behind this backend
@@ -91,11 +108,13 @@ class EngineBackend : public SearchBackend {
  public:
   /// Wraps a built engine. `index_fingerprint` pins the cache identity of
   /// the indexed data; pass 0 to derive one from the lake's schema
-  /// fingerprint and attribute count. Two backends swapped through a
-  /// running service (DiscoveryService::SwapBackend) must not share a
-  /// fingerprint unless their results are byte-identical — snapshot-served
-  /// deployments should prefer FromSnapshot's checksum-derived identity,
-  /// which guarantees that.
+  /// fingerprint, attribute count, and each table's recorded source
+  /// identity (file + size + CRC32, when present). Two backends swapped
+  /// through a running service (DiscoveryService::SwapBackend) must not
+  /// share a fingerprint unless their results are byte-identical — tables
+  /// without a load-time source contribute only their schema here, so
+  /// in-memory deployments should pass an explicit fingerprint or prefer
+  /// FromSnapshot's checksum-derived identity, which guarantees it.
   EngineBackend(const core::D3LEngine* engine, const DataLake* lake,
                 uint64_t index_fingerprint = 0);
 

@@ -101,6 +101,10 @@ Result<ShardManifestEntry> BuildOneShard(const DataLake& lake,
   entry.global_tables = tables;
   entry.sources.reserve(tables.size());
   for (uint32_t g : tables) entry.sources.push_back(SourceOf(lake.table(g)));
+  entry.column_counts.reserve(tables.size());
+  for (uint32_t g : tables) {
+    entry.column_counts.push_back(static_cast<uint32_t>(lake.table(g).num_columns()));
+  }
   return entry;
 }
 
@@ -389,6 +393,15 @@ Result<ShardUpdateReport> UpdateShards(const DataLake& lake,
     } else {
       manifest.shards[s] = old.shards[s];
       manifest.shards[s].global_tables = report.plan[s];  // renumbered lake
+      // A reused shard's tables are byte-identical to the lake's, so the
+      // current column counts are the snapshot's — filling them here
+      // upgrades a v2 deployment to full v3 metadata on its next update.
+      manifest.shards[s].column_counts.clear();
+      manifest.shards[s].column_counts.reserve(report.plan[s].size());
+      for (uint32_t g : report.plan[s]) {
+        manifest.shards[s].column_counts.push_back(
+            static_cast<uint32_t>(lake.table(g).num_columns()));
+      }
       ++report.shards_reused;
     }
     manifest.total_attributes += manifest.shards[s].num_attributes;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <unordered_map>
 #include <utility>
 
@@ -22,12 +23,39 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   const ShardManifest& m = engine->manifest_;
   const size_t n_shards = m.shards.size();
 
+  // Which manifest shards this process loads and serves.
+  if (options.serve_shards.empty()) {
+    engine->served_.resize(n_shards);
+    std::iota(engine->served_.begin(), engine->served_.end(), 0);
+  } else {
+    if (!m.has_column_counts()) {
+      return Status::InvalidArgument(
+          "manifest records no per-table column counts (v1/v2 format); "
+          "serving a shard subset needs the global attribute numbering, so "
+          "rebuild or incrementally update the deployment first");
+    }
+    std::vector<size_t> served = options.serve_shards;
+    std::sort(served.begin(), served.end());
+    served.erase(std::unique(served.begin(), served.end()), served.end());
+    if (served.back() >= n_shards) {
+      return Status::InvalidArgument(
+          "serve_shards names shard " + std::to_string(served.back()) +
+          " but the manifest has only " + std::to_string(n_shards));
+    }
+    engine->served_ = std::move(served);
+  }
+
   // The backend's index identity: every shard file's size/CRC32 and schema
   // fingerprint — plus, for v2 manifests, every table's recorded source
   // identity — folded in manifest order. Any rebuilt, swapped or
   // re-partitioned shard set digests differently (an incremental
   // UpdateShards rewrites the dirty shards' checksums and sources), which
   // is what ties result-cache invalidation to the manifest checksums.
+  // Deliberately folded over the FULL manifest even when serve_shards
+  // restricts loading: every subset server of one deployment then reports
+  // the same identity as an in-process engine over all of it, so a remote
+  // coordinator can verify its servers agree — and cached results keyed on
+  // the local fingerprint stay valid for the remote deployment.
   engine->index_fingerprint_ = HashCombine(m.total_tables, m.total_attributes);
   for (const ShardManifestEntry& entry : m.shards) {
     engine->index_fingerprint_ = HashCombine(
@@ -50,9 +78,11 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   // the rebuilt shards.
   const size_t n_prev = reuse == nullptr ? 0 : reuse->shards_.size();
   std::vector<size_t> reuse_from(n_shards, SIZE_MAX);
-  for (size_t s = 0; s < n_shards && n_prev > 0; ++s) {
+  for (size_t s : engine->served_) {
+    if (n_prev == 0) break;
     const ShardManifestEntry& entry = m.shards[s];
     for (size_t j = 0; j < n_prev; ++j) {
+      if (reuse->shards_[j] == nullptr) continue;  // unserved in prev generation
       const ShardManifestEntry& prev = reuse->manifest_.shards[j];
       if (prev.file_bytes == entry.file_bytes &&
           prev.file_crc32 == entry.file_crc32 &&
@@ -70,7 +100,8 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   engine->shard_lakes_.resize(n_shards);
   engine->shards_.resize(n_shards);
   std::vector<Status> load_status(n_shards);
-  engine->pool_.ParallelFor(n_shards, [&](size_t s) {
+  engine->pool_.ParallelFor(engine->served_.size(), [&](size_t j) {
+    const size_t s = engine->served_[j];
     if (reuse_from[s] != SIZE_MAX) {
       // The previous generation verified these bytes when it loaded them;
       // sharing the replica skips both the disk read and the checksum pass.
@@ -106,9 +137,10 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   }
 
   // Cross-check shard contents against the manifest and each other.
+  const size_t first_served = engine->served_.front();
   const uint64_t shard0_options_fp =
-      core::OptionsFingerprint(engine->shards_[0]->options());
-  for (size_t s = 0; s < n_shards; ++s) {
+      core::OptionsFingerprint(engine->shards_[first_served]->options());
+  for (size_t s : engine->served_) {
     const ShardManifestEntry& entry = m.shards[s];
     if (engine->shard_lakes_[s]->size() != entry.num_tables ||
         engine->shards_[s]->indexes().num_attributes() != entry.num_attributes) {
@@ -127,25 +159,42 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     // signatures, distances or ranking must match. The canonical options
     // fingerprint covers exactly that set (num_threads — build-time
     // parallelism only — is excluded by construction).
-    if (s > 0 && core::OptionsFingerprint(engine->shards_[s]->options()) !=
-                     shard0_options_fp) {
+    if (s != first_served &&
+        core::OptionsFingerprint(engine->shards_[s]->options()) !=
+            shard0_options_fp) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) +
-          " was built with different engine options than shard 0; sharded "
-          "serving requires uniform options");
+          " was built with different engine options than shard " +
+          std::to_string(first_served) +
+          "; sharded serving requires uniform options");
     }
   }
 
   // Global numbering: table names, per-table attribute id bases (attributes
   // are assigned densely in table order, then column order, exactly as a
   // single engine's IndexLake would) and the shard-local -> global maps.
+  // The column counts of UNSERVED tables — without which the bases of
+  // everything after them are unknown — come from the v3 manifest; a full
+  // engine reads them off its loaded lakes (and cross-checks the manifest
+  // where it records them).
   engine->table_names_.assign(m.total_tables, "");
   std::vector<size_t> cols_of(m.total_tables, 0);
-  for (size_t s = 0; s < n_shards; ++s) {
+  if (m.has_column_counts()) {
+    for (size_t s = 0; s < n_shards; ++s) {
+      for (size_t lt = 0; lt < m.shards[s].global_tables.size(); ++lt) {
+        cols_of[m.shards[s].global_tables[lt]] = m.shards[s].column_counts[lt];
+      }
+    }
+  }
+  for (size_t s : engine->served_) {
     const DataLake& lake = *engine->shard_lakes_[s];
     for (size_t lt = 0; lt < lake.size(); ++lt) {
       const uint32_t g = m.shards[s].global_tables[lt];
       engine->table_names_[g] = lake.table(lt).name();
+      if (m.has_column_counts() && cols_of[g] != lake.table(lt).num_columns()) {
+        return Status::IOError("shard file " + m.shards[s].file +
+                               " disagrees with the manifest column counts");
+      }
       cols_of[g] = lake.table(lt).num_columns();
     }
   }
@@ -168,7 +217,7 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   engine->attr_global_.resize(n_shards);
   engine->attr_shard_.resize(next_attr);
   engine->attr_local_.resize(next_attr);
-  for (size_t s = 0; s < n_shards; ++s) {
+  for (size_t s : engine->served_) {
     const DataLake& lake = *engine->shard_lakes_[s];
     auto& map = engine->attr_global_[s];
     map.resize(engine->shards_[s]->indexes().num_attributes());
@@ -191,12 +240,12 @@ Result<core::QueryTarget> ShardedEngine::Profile(const Table& target) const {
   if (target.num_columns() == 0) {
     return Status::InvalidArgument("target has no columns");
   }
-  return shards_[0]->ProfileTarget(target);
+  return shards_[served_.front()]->ProfileTarget(target);
 }
 
 BackendInfo ShardedEngine::Info() const {
   BackendInfo info;
-  info.kind = "sharded";
+  info.kind = BackendKind::kSharded;
   info.num_tables = num_tables();
   info.num_attributes = num_attributes();
   info.num_shards = num_shards();
@@ -205,9 +254,126 @@ BackendInfo ShardedEngine::Info() const {
   return info;
 }
 
+std::vector<ShardedEngine::ServedTable> ShardedEngine::ServedTables() const {
+  std::vector<ServedTable> out;
+  for (size_t s : served_) {
+    const ShardManifestEntry& entry = manifest_.shards[s];
+    for (size_t lt = 0; lt < entry.global_tables.size(); ++lt) {
+      ServedTable t;
+      t.global_id = entry.global_tables[lt];
+      t.name = table_names_[t.global_id];
+      t.column_count =
+          static_cast<uint32_t>(shard_lakes_[s]->table(lt).num_columns());
+      out.push_back(std::move(t));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ServedTable& a, const ServedTable& b) {
+    return a.global_id < b.global_id;
+  });
+  return out;
+}
+
+Result<core::CandidateDepthCounts> ShardedEngine::CollectDepthCounts(
+    const core::QueryTarget& target,
+    const std::array<bool, core::kNumEvidence>& enabled_mask, size_t m) const {
+  if (target.sigs.empty() || target.sigs.size() != target.profiles.size()) {
+    return Status::InvalidArgument("target is not a profiled table");
+  }
+  std::vector<core::CandidateDepthCounts> counts(served_.size());
+  pool_.ParallelFor(served_.size(), [&](size_t j) {
+    counts[j] = shards_[served_[j]]->CollectDepthCounts(target, enabled_mask, m);
+  });
+  core::CandidateDepthCounts total = std::move(counts[0]);
+  for (size_t j = 1; j < counts.size(); ++j) total.Add(counts[j]);
+  return total;
+}
+
+Result<ShardedEngine::ShardScore> ShardedEngine::ScoreAtStops(
+    const core::QueryTarget& target, const core::CandidateStopDepths& stops,
+    size_t m, const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  if (target.sigs.empty() || target.sigs.size() != target.profiles.size()) {
+    return Status::InvalidArgument("target is not a profiled table");
+  }
+  if (stops.depths.size() != target.sigs.size()) {
+    return Status::InvalidArgument("stop depths do not match the target's columns");
+  }
+  const size_t n_cols = target.sigs.size();
+
+  // Retrieve per served shard at the externally resolved depths, remapped
+  // onto global ids (monotone per shard, so lists stay sorted).
+  std::vector<core::CandidateLists> cand(served_.size());
+  pool_.ParallelFor(served_.size(), [&](size_t j) {
+    const size_t s = served_[j];
+    core::CandidateLists lists = shards_[s]->CollectCandidates(target, stops, m);
+    for (auto& per_evidence : lists.ids) {
+      for (auto& ids : per_evidence) {
+        for (uint32_t& id : ids) id = attr_global_[s][id];
+      }
+    }
+    cand[j] = std::move(lists);
+  });
+
+  // Merge across the served shards and cap at the m smallest ids — this
+  // server's candidates for the cross-server merge.
+  ShardScore score;
+  score.lists.ids.resize(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    for (size_t e = 0; e < core::kNumEvidence; ++e) {
+      std::vector<uint32_t> merged;
+      for (const core::CandidateLists& lists : cand) {
+        const std::vector<uint32_t>& ids = lists.ids[c][e];
+        merged.insert(merged.end(), ids.begin(), ids.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      if (merged.size() > m) merged.resize(m);
+      score.lists.ids[c][e] = std::move(merged);
+    }
+  }
+
+  // Score this server's per-column unions and return globally addressed
+  // rows. Superset rows are fine: the coordinator filters to the globally
+  // selected candidates, and a row is a pure function of (query, candidate).
+  std::vector<std::vector<std::vector<uint32_t>>> shard_candidates(
+      served_.size(), std::vector<std::vector<uint32_t>>(n_cols));
+  for (size_t c = 0; c < n_cols; ++c) {
+    std::vector<uint32_t> selected;
+    for (size_t e = 0; e < core::kNumEvidence; ++e) {
+      const std::vector<uint32_t>& ids = score.lists.ids[c][e];
+      selected.insert(selected.end(), ids.begin(), ids.end());
+    }
+    std::sort(selected.begin(), selected.end());
+    selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+    for (uint32_t g : selected) {
+      const auto it = std::find(served_.begin(), served_.end(),
+                                static_cast<size_t>(attr_shard_[g]));
+      shard_candidates[it - served_.begin()][c].push_back(attr_local_[g]);
+    }
+  }
+  std::vector<std::vector<core::PairDistances>> rows(served_.size());
+  pool_.ParallelFor(served_.size(), [&](size_t j) {
+    const size_t s = served_[j];
+    rows[j] = shards_[s]->ScoreCandidates(target, shard_candidates[j], enabled_mask);
+    for (core::PairDistances& row : rows[j]) {
+      row.attribute_id = attr_global_[s][row.attribute_id];
+    }
+  });
+  size_t total_rows = 0;
+  for (const auto& r : rows) total_rows += r.size();
+  score.rows.reserve(total_rows);
+  for (auto& r : rows) {
+    score.rows.insert(score.rows.end(), r.begin(), r.end());
+  }
+  return score;
+}
+
 Result<core::SearchResult> ShardedEngine::Search(
     core::QueryTarget target, size_t k,
     const std::array<bool, core::kNumEvidence>& enabled_mask) const {
+  if (!serves_all()) {
+    return Status::InvalidArgument(
+        "this engine serves a shard subset; whole-lake Search needs every "
+        "shard (subset servers answer the phase API instead)");
+  }
   if (target.sigs.empty() || target.sigs.size() != target.profiles.size()) {
     return Status::InvalidArgument("target is not a profiled table");
   }
@@ -222,6 +388,17 @@ std::vector<Result<core::SearchResult>> ShardedEngine::Execute(
     const QueryBatch& batch) const {
   const size_t n_targets = batch.targets.size();
   std::vector<ProfiledSlot> slots(n_targets);
+  if (!serves_all()) {
+    for (ProfiledSlot& slot : slots) {
+      slot.error = Status::InvalidArgument(
+          "this engine serves a shard subset; whole-lake Search needs every "
+          "shard (subset servers answer the phase API instead)");
+    }
+    std::vector<Result<core::SearchResult>> out;
+    out.reserve(n_targets);
+    for (ProfiledSlot& slot : slots) out.emplace_back(std::move(slot.error));
+    return out;
+  }
   std::unordered_map<const Table*, size_t> first_slot;
   for (size_t i = 0; i < n_targets; ++i) {
     if (batch.targets[i] == nullptr) {

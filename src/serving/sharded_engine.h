@@ -46,6 +46,16 @@ struct ShardedEngineOptions {
   /// Verify each shard file's size and CRC32 against the manifest before
   /// loading (catches torn copies and bit rot at open time).
   bool verify_checksums = true;
+  /// Manifest shard indices to actually load and serve; empty means all.
+  /// A SUBSET engine is the building block of a remote deployment (one
+  /// shard_server process per subset): it keeps the whole lake's GLOBAL
+  /// numbering — reconstructed from the manifest's per-table column counts,
+  /// so the manifest must be v3 — but answers only the phase API
+  /// (CollectDepthCounts / ScoreAtStops) for its shards. Whole-lake
+  /// Search/Execute on a subset engine fails with InvalidArgument, because
+  /// stop depths resolved from a subset's counts alone would differ from
+  /// the single-engine stop rule.
+  std::vector<size_t> serve_shards;
 };
 
 /// \brief A batch of targets served together: M targets fan out into M x N
@@ -83,6 +93,59 @@ class ShardedEngine : public SearchBackend {
   const ShardManifest& manifest() const { return manifest_; }
   const core::D3LEngine& shard(size_t s) const { return *shards_[s]; }
 
+  /// The manifest shard indices this engine loaded (ascending; every shard
+  /// unless ShardedEngineOptions::serve_shards restricted the set).
+  const std::vector<size_t>& served_shards() const { return served_; }
+  bool serves_all() const { return served_.size() == manifest_.shards.size(); }
+
+  /// One table this engine serves, in the lake's global numbering — what a
+  /// shard server reports so a remote coordinator can stitch the partition
+  /// back together.
+  struct ServedTable {
+    uint32_t global_id = 0;
+    std::string name;
+    uint32_t column_count = 0;
+  };
+  /// Every served table, ascending by global id.
+  std::vector<ServedTable> ServedTables() const;
+
+  // -- Phase API (remote scatter-gather building blocks) --
+  //
+  // A whole-lake query over N servers runs: every server sums depth counts
+  // over its shards (CollectDepthCounts); the coordinator Add()s them and
+  // resolves the stop depths once (core::D3LEngine::ResolveStopDepths, the
+  // global stop rule); every server then retrieves + scores at those depths
+  // (ScoreAtStops); the coordinator merges the returned global-id candidate
+  // lists, re-caps at m, filters the rows to the selected per-column unions
+  // and ranks. Byte-identical to one engine over the unsharded lake for the
+  // same reasons the in-process scatter-gather is (see file header).
+
+  /// Summed candidate depth counts over the served shards. `m` is the
+  /// per-index early-termination budget (max(candidates_per_attribute, k)).
+  Result<core::CandidateDepthCounts> CollectDepthCounts(
+      const core::QueryTarget& target,
+      const std::array<bool, core::kNumEvidence>& enabled_mask, size_t m) const;
+
+  /// ScoreAtStops output: the served shards' contribution to one query.
+  struct ShardScore {
+    /// Per (column, evidence) candidate ids in GLOBAL numbering, ascending,
+    /// merged across the served shards and capped at the m smallest — the
+    /// coordinator re-merges these across servers and re-caps at m, which
+    /// yields exactly the whole-lake first-m (an id in the global first-m
+    /// owned by this server is necessarily in this server's first-m).
+    core::CandidateLists lists;
+    /// Scored rows for this server's per-column candidate unions, attribute
+    /// ids in GLOBAL numbering. Rows are pure functions of (query,
+    /// candidate); the coordinator drops rows for candidates that fall out
+    /// of the global first-m after the cross-server merge.
+    std::vector<core::PairDistances> rows;
+  };
+
+  /// Retrieval + scoring at externally resolved stop depths.
+  Result<ShardScore> ScoreAtStops(
+      const core::QueryTarget& target, const core::CandidateStopDepths& stops,
+      size_t m, const std::array<bool, core::kNumEvidence>& enabled_mask) const;
+
   // -- SearchBackend --
   using SearchBackend::Search;  // the Profile+Search convenience overload
 
@@ -99,7 +162,9 @@ class ShardedEngine : public SearchBackend {
       const std::array<bool, core::kNumEvidence>& enabled_mask) const override;
 
   /// The (uniform) options every shard engine was built with.
-  const core::D3LOptions& options() const override { return shards_[0]->options(); }
+  const core::D3LOptions& options() const override {
+    return shards_[served_.front()]->options();
+  }
 
   /// Backend identity: the index fingerprint folds every manifest entry's
   /// file and schema checksums, so rebuilding or swapping any shard file
@@ -142,6 +207,10 @@ class ShardedEngine : public SearchBackend {
   std::vector<std::shared_ptr<const DataLake>> shard_lakes_;
   std::vector<std::shared_ptr<const core::D3LEngine>> shards_;
   size_t reused_replicas_ = 0;
+  /// Loaded shard indices, ascending. Vectors above stay sized to the full
+  /// manifest with null entries for unserved shards, so shard indices keep
+  /// meaning manifest indices everywhere.
+  std::vector<size_t> served_;
 
   std::vector<std::string> table_names_;          ///< [global table] -> name
   std::vector<uint32_t> attr_table_;              ///< [global attr] -> global table

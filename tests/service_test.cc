@@ -329,7 +329,7 @@ TEST_F(ServiceTest, EngineBackendMatchesDirectSearch) {
   ExpectIdenticalResults(*direct, *via_backend, "engine backend");
 
   serving::BackendInfo info = backend.Info();
-  EXPECT_EQ(info.kind, "engine");
+  EXPECT_EQ(info.kind, serving::BackendKind::kEngine);
   EXPECT_EQ(info.num_tables, lake_.size());
   EXPECT_EQ(info.options_fingerprint, core::OptionsFingerprint(engine_.options()));
   EXPECT_NE(info.index_fingerprint, 0u);
@@ -603,7 +603,7 @@ TEST_F(ServiceTest, ShardedBackendThroughServiceMatchesSingleEngine) {
   ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
 
   serving::BackendInfo info = (*sharded)->Info();
-  EXPECT_EQ(info.kind, "sharded");
+  EXPECT_EQ(info.kind, serving::BackendKind::kSharded);
   EXPECT_EQ(info.num_shards, 3u);
   EXPECT_NE(info.index_fingerprint, 0u);
 

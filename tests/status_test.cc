@@ -79,5 +79,40 @@ TEST(ResultTest, AssignOrReturnMacro) {
   EXPECT_TRUE(s.IsInvalidArgument());
 }
 
+// The numeric values are a WIRE CONTRACT: rpc/wire.cc ships them between
+// processes that may run different builds, so they are frozen. Reordering
+// the enum would make an old server's InvalidArgument decode as something
+// else on a new client — these assertions turn that mistake into a test
+// failure instead of a protocol bug.
+TEST(StatusCodeTest, NumericValuesAreStable) {
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kOk), 0u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kInvalidArgument), 1u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kIOError), 2u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kNotFound), 3u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kAlreadyExists), 4u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kOutOfRange), 5u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kInternal), 6u);
+  EXPECT_EQ(static_cast<uint32_t>(StatusCode::kUnavailable), 7u);
+}
+
+TEST(StatusCodeTest, FromWireRoundTripsKnownCodesAndRejectsUnknown) {
+  for (uint32_t c = 0; c <= 7; ++c) {
+    EXPECT_EQ(static_cast<uint32_t>(StatusCodeFromWire(c)), c);
+  }
+  // A code minted by a newer peer degrades to Internal, never to OK.
+  EXPECT_EQ(StatusCodeFromWire(8), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromWire(0xFFFFFFFFu), StatusCode::kInternal);
+}
+
+TEST(StatusTest, UnavailableFactoryAndPredicate) {
+  Status s = Status::Unavailable("shard server 10.0.0.1:7001 unreachable");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_NE(s.ToString().find("unreachable"), std::string::npos);
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_FALSE(Status::Internal("x").IsUnavailable());
+}
+
 }  // namespace
 }  // namespace d3l
