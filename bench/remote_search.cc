@@ -5,6 +5,11 @@
 // exits non-zero and fails the CI bench-smoke step.
 //
 //   $ ./build/remote_search [--scale=F] [--threads=T] [--k=K]
+//                           [--metrics-out=PATH]
+//
+// --metrics-out=PATH dumps the post-run Prometheus exposition (client and
+// server series share the process-default registry here, so one file holds
+// both sides of the wire) for the CI metrics-snapshot artifact.
 //
 // Shard sets are built into a temporary directory and removed afterwards.
 // Expected shape: remote ms/query tracks local sharded ms/query plus a
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "rpc/server.h"
 #include "serving/remote_backend.h"
 #include "serving/shard_builder.h"
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   size_t threads = serving::ThreadPool::DefaultThreads();
   size_t k = 20;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--scale=", 8) == 0) {
@@ -57,6 +64,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--k=", 4) == 0) {
       long v = std::atol(a + 4);
       if (v > 0) k = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      metrics_out = a + 14;
     } else {
       std::fprintf(stderr, "unrecognized argument '%s'\n", a);
     }
@@ -80,6 +89,11 @@ int main(int argc, char** argv) {
   eval::TablePrinter out({"servers", "local ms/query", "remote ms/query",
                           "overhead", "exact"});
   bool all_exact = true;
+  // Each deployment's instruments die with its loop iteration (the registry
+  // keeps only weak references), so fold a snapshot in while they are live.
+  // Nothing instrumented outlives an iteration here, so the merge never
+  // double-counts.
+  obs::RegistrySnapshot accumulated;
   for (size_t n_servers : {size_t{1}, size_t{2}, size_t{4}}) {
     if (n_servers > data.lake.size()) break;
     serving::ShardingOptions options;
@@ -153,6 +167,7 @@ int main(int argc, char** argv) {
                 eval::TablePrinter::Num(remote_ms, 2),
                 eval::TablePrinter::Num(remote_ms / local_ms, 2),
                 exact ? "yes" : "NO"});
+    accumulated.Merge(obs::MetricRegistry::Default().Snapshot());
   }
   out.Print();
   fs::remove_all(tmp);
@@ -162,6 +177,18 @@ int main(int argc, char** argv) {
       "to the local sharded engine), and the remote overhead factor stays\n"
       "modest — the wire adds serialization and two round trips per query,\n"
       "not index work.\n");
+
+  if (!metrics_out.empty()) {
+    const std::string text = accumulated.ExportText();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
   if (!all_exact) {
     fprintf(stderr, "FAIL: a remote ranking diverged from the local engine\n");
     return 1;  // fails the CI bench-smoke step, not just the artifact text

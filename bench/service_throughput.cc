@@ -2,6 +2,7 @@
 // sharded backend — the serving-layer companion to shard_search.
 //
 //   $ ./build/service_throughput [--scale=F] [--threads=T] [--k=K]
+//                                [--metrics-out=PATH]
 //
 // Four serving modes over the same target set on the Synthetic repository:
 //
@@ -18,12 +19,20 @@
 // cached results against direct Search and exits nonzero on a divergence,
 // so the CI bench-smoke run doubles as an end-to-end cache-correctness
 // gate.
+//
+// Two observability riders: an extra uncached pass with per-query tracing
+// disabled gates the telemetry overhead (the traced pass must stay within
+// 1.5x + 0.5ms of the untraced one, a bound far above real span cost but
+// below any accidental lock-in-the-hot-path regression), and
+// --metrics-out=PATH dumps the post-run Prometheus exposition so CI can
+// archive the metrics snapshot next to the timing table.
 #include <cstring>
 #include <filesystem>
 #include <future>
 #include <unistd.h>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "serving/discovery_service.h"
 #include "serving/search_backend.h"
 #include "serving/shard_builder.h"
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   size_t threads = serving::ThreadPool::DefaultThreads();
   size_t k = 20;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--scale=", 8) == 0) {
@@ -93,6 +103,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--k=", 4) == 0) {
       long v = std::atol(a + 4);
       if (v > 0) k = static_cast<size_t>(v);
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      metrics_out = a + 14;
     } else {
       std::fprintf(stderr, "unrecognized argument '%s'\n", a);
     }
@@ -142,6 +154,15 @@ int main(int argc, char** argv) {
   ModeResult warm = RunServicePass(service, targets, k, /*bypass_cache=*/false,
                                    reference);
 
+  // Tracing overhead gate: the same uncached pass with per-query tracing
+  // off. Both services run against the already-warm engine, so the delta
+  // is the telemetry itself (span allocation, histogram records).
+  serving::DiscoveryServiceOptions untraced_options = service_options;
+  untraced_options.trace_queries = false;
+  serving::DiscoveryService untraced_service(&backend, untraced_options);
+  ModeResult untraced = RunServicePass(untraced_service, targets, k,
+                                       /*bypass_cache=*/true, reference);
+
   // Warm pass through a sharded backend: same API, same cache layer.
   namespace fs = std::filesystem;
   fs::path tmp = fs::temp_directory_path() /
@@ -177,6 +198,7 @@ int main(int argc, char** argv) {
   };
   out.AddRow({"sync direct", eval::TablePrinter::Num(sync_ms, 3), "1.00", "-", "yes"});
   row("async uncached", uncached);
+  row("async untraced", untraced);
   row("async cold (miss)", cold);
   row("async warm (hit)", warm);
   row("sharded cold (miss)", sharded_cold);
@@ -187,14 +209,34 @@ int main(int argc, char** argv) {
          "(they skip retrieval and scoring entirely), async uncached tracks\n"
          "sync direct, and every row is exact (byte-identical rankings).\n");
 
-  const bool all_exact = uncached.exact && cold.exact && warm.exact &&
-                         sharded_cold.exact && sharded_warm.exact;
+  if (!metrics_out.empty()) {
+    // Post-run registry snapshot for the CI artifact. Written before the
+    // gates so a failing run still leaves the evidence behind.
+    const std::string text = obs::MetricRegistry::Default().ExportText();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  const bool all_exact = uncached.exact && untraced.exact && cold.exact &&
+                         warm.exact && sharded_cold.exact && sharded_warm.exact;
   const bool all_hits = warm.cache_hits == targets.size() &&
                         sharded_warm.cache_hits == targets.size();
-  if (!all_exact || !all_hits) {
-    fprintf(stderr, "FAIL: %s\n", !all_exact
-                                      ? "a served ranking diverged from direct Search"
-                                      : "a warm pass missed the cache");
+  // Generous noise bound: telemetry overhead is nanoseconds per query, so
+  // only a lock or allocation regression on the hot path can trip this.
+  const bool trace_cheap =
+      uncached.ms_per_query <= untraced.ms_per_query * 1.5 + 0.5;
+  if (!all_exact || !all_hits || !trace_cheap) {
+    fprintf(stderr, "FAIL: %s\n",
+            !all_exact ? "a served ranking diverged from direct Search"
+            : !all_hits
+                ? "a warm pass missed the cache"
+                : "tracing overhead exceeded the noise gate (traced uncached "
+                  "vs untraced uncached)");
     return 1;  // fails the CI bench-smoke step, not just the artifact text
   }
   return 0;

@@ -49,7 +49,8 @@
 //       a CSV path serves that file as a top-k query, `reload` runs an
 //       incremental rebuild + RCU generation swap (in-flight queries keep
 //       the old index; see serving/hot_reload.h), `stats` prints the
-//       service and reload counters, `quit` exits. With --watch a
+//       service and reload counters plus the full Prometheus text
+//       exposition of every registry series, `quit` exits. With --watch a
 //       background poller (every MS milliseconds, default 500) reloads
 //       automatically whenever the CSV directory's recorded checksums go
 //       stale — edits to the lake show up in query results without a
@@ -77,6 +78,7 @@
 
 #include "core/query.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 #include "eval/table_printer.h"
 #include "io/binary_io.h"
 #include "serving/backend_ref.h"
@@ -378,6 +380,11 @@ int RunServe(const std::string& csv_dir, const std::string& out_base, size_t k,
                   reload_stats.reloads, reload_stats.noop_reloads,
                   reload_stats.failed_reloads, reload_stats.watch_polls,
                   static_cast<unsigned long long>(reload_stats.index_fingerprint));
+      // Full Prometheus exposition under the summary — every registry
+      // series (service, cache, pool), same bytes a STAT scrape returns.
+      const std::string text = obs::MetricRegistry::Default().ExportText();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      std::fflush(stdout);
       continue;
     }
     auto target = ReadCsvFile(line);

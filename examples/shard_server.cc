@@ -4,6 +4,12 @@
 //   $ ./build/shard_server <base.manifest> [--port=P] [--host=H]
 //                          [--serve-shards=i,j,...] [--threads=T]
 //                          [--workers=W] [--port-file=PATH] [--timeout=SEC]
+//   $ ./build/shard_server --stats=HOST:PORT
+//
+// The second form is a client: it asks a RUNNING server for its live
+// metrics over the STAT verb, prints the Prometheus text exposition and
+// exits — `curl` for the wire protocol. A running daemon also answers a
+// `stats` line on stdin by printing its own exposition.
 //
 // Loads the manifest's shards — all of them, or the --serve-shards subset
 // that makes this process one member of a multi-server deployment — behind
@@ -24,8 +30,7 @@
 //   $ ./build/d3l_snapshot shard lake_csvs out --shards=2
 //   $ ./build/shard_server out.manifest --serve-shards=0 --port=7001 &
 //   $ ./build/shard_server out.manifest --serve-shards=1 --port=7002 &
-//   $ ./build/d3l_snapshot query --remote 127.0.0.1:7001,127.0.0.1:7002 \
-//         target.csv 5
+//   $ ./build/d3l_snapshot query --remote 127.0.0.1:7001,127.0.0.1:7002 target.csv 5
 //
 // The remote answer is byte-identical to `query --shards out.manifest` —
 // the exactness contract serving::RemoteBackend documents and
@@ -38,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "rpc/client.h"
 #include "rpc/server.h"
 #include "serving/sharded_engine.h"
 
@@ -49,14 +56,39 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <base.manifest> [--port=P] [--host=H]\n"
                "       [--serve-shards=i,j,...] [--threads=T] [--workers=W]\n"
-               "       [--port-file=PATH] [--timeout=SEC]\n",
-               argv0);
+               "       [--port-file=PATH] [--timeout=SEC]\n"
+               "       %s --stats=HOST:PORT\n",
+               argv0, argv0);
   return 2;
 }
 
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   return 1;
+}
+
+/// --stats=HOST:PORT client mode: one STAT round trip, exposition to
+/// stdout.
+int FetchStats(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint.size()) {
+    return Fail(Status::InvalidArgument("--stats needs HOST:PORT, got '" +
+                                        endpoint + "'"));
+  }
+  const long port = std::atol(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("bad port in '" + endpoint + "'"));
+  }
+  rpc::RpcClient client(endpoint.substr(0, colon),
+                        static_cast<uint16_t>(port));
+  const std::string request =
+      rpc::BuildFrame(rpc::kMethodStat, [](io::Writer&) {});
+  auto r = client.CallChecked(rpc::kMethodStat, request);
+  if (!r.ok()) return Fail(r.status());
+  const std::string text = (*r)->ReadString();
+  if (!(*r)->status().ok()) return Fail((*r)->status());
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
 }
 
 bool ParseShardList(const char* list, std::vector<size_t>* out) {
@@ -82,6 +114,10 @@ bool ParseShardList(const char* list, std::vector<size_t>* out) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
+  if (std::strncmp(argv[1], "--stats=", 8) == 0) {
+    if (argc != 2) return Usage(argv[0]);
+    return FetchStats(argv[1] + 8);
+  }
   const std::string manifest_path = argv[1];
 
   rpc::RpcServerOptions server_options;
@@ -159,10 +195,16 @@ int main(int argc, char** argv) {
   }
 
   // Serve until stdin says quit (or closes): orchestration by pipe, the
-  // same convention d3l_snapshot's serve loop uses.
+  // same convention d3l_snapshot's serve loop uses. `stats` prints the
+  // live exposition — the same bytes a STAT request returns.
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") break;
+    if (line == "stats") {
+      const std::string text = obs::MetricRegistry::Default().ExportText();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      std::fflush(stdout);
+    }
   }
   server->Stop();
   std::printf("served %llu requests\n",

@@ -1,7 +1,10 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 
 namespace d3l {
 
@@ -21,16 +24,58 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small dense per-thread id (1, 2, 3, ... in first-log order) — readable
+/// where the kernel tid would be an opaque 6-digit number.
+uint64_t ThreadLogId() {
+  static std::atomic<uint64_t> next{0};
+  thread_local const uint64_t id = next.fetch_add(1) + 1;
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 
 namespace internal {
+
+std::string FormatLogRecord(LogLevel level, const std::string& msg) {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_utc;
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char prefix[64];
+  const int n = std::snprintf(
+      prefix, sizeof(prefix),
+      "[%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ] [%s] [tid %llu] ",
+      tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+      tm_utc.tm_min, tm_utc.tm_sec, ts.tv_nsec / 1000000, LevelName(level),
+      static_cast<unsigned long long>(ThreadLogId()));
+  std::string line;
+  line.reserve(static_cast<size_t>(n) + msg.size() + 1);
+  line.append(prefix, static_cast<size_t>(n));
+  line += msg;
+  line += '\n';
+  return line;
+}
+
 void EmitLog(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_min_level.load()) return;
-  fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  // One write(2) per record: concurrent loggers (ThreadPool workers, RPC
+  // handlers, the watcher thread) interleave whole lines, never characters
+  // — stdio buffering offers no such guarantee across processes sharing
+  // the stderr pipe either, which write() sidesteps entirely.
+  const std::string line = FormatLogRecord(level, msg);
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        write(STDERR_FILENO, line.data() + written, line.size() - written);
+    if (n <= 0) return;  // stderr is gone; nothing sensible left to do
+    written += static_cast<size_t>(n);
+  }
 }
+
 }  // namespace internal
 
 }  // namespace d3l

@@ -14,6 +14,13 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
+/// Renders the full record EmitLog writes: `[<UTC timestamp>] [<LEVEL>]
+/// [tid <N>] <msg>\n` with a small dense per-thread id. Exposed so tests
+/// can pin the format without capturing stderr.
+std::string FormatLogRecord(LogLevel level, const std::string& msg);
+
+/// Emits one record with a single atomic write(2) to stderr — concurrent
+/// loggers interleave whole lines, never characters.
 void EmitLog(LogLevel level, const std::string& msg);
 
 class LogMessage {

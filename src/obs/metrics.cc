@@ -1,0 +1,325 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace d3l::obs {
+
+namespace {
+
+/// Canonical series identity: name + '\0' + rendered label string. The
+/// label string is unambiguous because rendered values are escaped.
+std::string LabelString(const LabelSet& labels);
+
+std::string SeriesKey(const MetricInfo& info) {
+  return info.name + '\0' + LabelString(info.labels);
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelString(const LabelSet& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Renders a double compactly but with enough digits that bucket bounds
+/// (exact binary fractions) round-trip, e.g. 0.0009765625.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+LabelSet Canonical(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (!(v > 0)) return;  // NaN / non-positive samples count but add nothing
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0)) return 0;
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1 - kMinExponent;  // exp-1: bucket by v's floor octave
+  if (octave < 0) return 0;
+  if (octave >= kNumOctaves) return kNumBuckets - 1;
+  int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return octave * kSubBuckets + sub;
+}
+
+double Histogram::BucketUpperBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  // Bucket (octave, sub) holds v in [2^e * (0.5 + sub/8), 2^e * (0.5 +
+  // (sub+1)/8)) with e = kMinExponent + octave + 1 (frexp exponent).
+  return std::ldexp(0.5 + (sub + 1) * (0.5 / kSubBuckets),
+                    kMinExponent + octave + 1);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (const auto& [bound, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) return bound;
+  }
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  std::map<std::string, size_t> counter_at, gauge_at, histogram_at;
+  for (size_t i = 0; i < counters.size(); ++i) {
+    counter_at[SeriesKey(counters[i].info)] = i;
+  }
+  for (size_t i = 0; i < gauges.size(); ++i) gauge_at[SeriesKey(gauges[i].info)] = i;
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    histogram_at[SeriesKey(histograms[i].info)] = i;
+  }
+
+  for (const CounterSnapshot& c : other.counters) {
+    const auto it = counter_at.find(SeriesKey(c.info));
+    if (it == counter_at.end()) {
+      counters.push_back(c);
+    } else {
+      counters[it->second].value += c.value;
+      if (counters[it->second].info.help.empty()) {
+        counters[it->second].info.help = c.info.help;
+      }
+    }
+  }
+  for (const GaugeSnapshot& g : other.gauges) {
+    const auto it = gauge_at.find(SeriesKey(g.info));
+    if (it == gauge_at.end()) {
+      gauges.push_back(g);
+    } else {
+      gauges[it->second].value += g.value;
+      if (gauges[it->second].info.help.empty()) {
+        gauges[it->second].info.help = g.info.help;
+      }
+    }
+  }
+  for (const HistogramSnapshot& h : other.histograms) {
+    const auto it = histogram_at.find(SeriesKey(h.info));
+    if (it == histogram_at.end()) {
+      histograms.push_back(h);
+      continue;
+    }
+    HistogramSnapshot& mine = histograms[it->second];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (mine.info.help.empty()) mine.info.help = h.info.help;
+    // Bucket-wise add on the (shared, global) bound grid: walk both sorted
+    // bucket lists and merge.
+    std::vector<std::pair<double, uint64_t>> merged;
+    merged.reserve(mine.buckets.size() + h.buckets.size());
+    size_t a = 0, b = 0;
+    while (a < mine.buckets.size() || b < h.buckets.size()) {
+      if (b >= h.buckets.size() ||
+          (a < mine.buckets.size() && mine.buckets[a].first < h.buckets[b].first)) {
+        merged.push_back(mine.buckets[a++]);
+      } else if (a >= mine.buckets.size() ||
+                 h.buckets[b].first < mine.buckets[a].first) {
+        merged.push_back(h.buckets[b++]);
+      } else {
+        merged.emplace_back(mine.buckets[a].first,
+                            mine.buckets[a].second + h.buckets[b].second);
+        ++a;
+        ++b;
+      }
+    }
+    mine.buckets = std::move(merged);
+  }
+}
+
+std::string RegistrySnapshot::ExportText() const {
+  // One family per metric name; series within a family sorted by label
+  // string so the output is deterministic (the golden test depends on it).
+  struct Family {
+    const char* type = "";
+    std::string help;
+    std::map<std::string, std::string> series;  ///< label string -> body lines
+  };
+  std::map<std::string, Family> families;
+
+  for (const CounterSnapshot& c : counters) {
+    Family& f = families[c.info.name];
+    f.type = "counter";
+    if (f.help.empty()) f.help = c.info.help;
+    const std::string ls = LabelString(c.info.labels);
+    f.series[ls] = c.info.name + ls + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    Family& f = families[g.info.name];
+    f.type = "gauge";
+    if (f.help.empty()) f.help = g.info.help;
+    const std::string ls = LabelString(g.info.labels);
+    f.series[ls] = g.info.name + ls + ' ' + std::to_string(g.value) + '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    Family& f = families[h.info.name];
+    f.type = "histogram";
+    if (f.help.empty()) f.help = h.info.help;
+    const std::string ls = LabelString(h.info.labels);
+    std::string body;
+    uint64_t cumulative = 0;
+    for (const auto& [bound, n] : h.buckets) {
+      cumulative += n;
+      LabelSet with_le = h.info.labels;
+      with_le.emplace_back("le", FormatDouble(bound));
+      body += h.info.name + "_bucket" + LabelString(with_le) + ' ' +
+              std::to_string(cumulative) + '\n';
+    }
+    LabelSet with_inf = h.info.labels;
+    with_inf.emplace_back("le", "+Inf");
+    body += h.info.name + "_bucket" + LabelString(with_inf) + ' ' +
+            std::to_string(h.count) + '\n';
+    body += h.info.name + "_sum" + ls + ' ' + FormatDouble(h.sum) + '\n';
+    body += h.info.name + "_count" + ls + ' ' + std::to_string(h.count) + '\n';
+    f.series[ls] = std::move(body);
+  }
+
+  std::string out;
+  for (const auto& [name, family] : families) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + ' ' + family.help + '\n';
+    }
+    out += "# TYPE " + name + ' ' + family.type + '\n';
+    for (const auto& [ls, body] : family.series) out += body;
+  }
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+std::shared_ptr<Counter> MetricRegistry::AddCounter(std::string name,
+                                                    LabelSet labels,
+                                                    std::string help) {
+  auto counter = std::make_shared<Counter>();
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
+  e.kind = Kind::kCounter;
+  e.counter = counter;
+  entries_.push_back(std::move(e));
+  return counter;
+}
+
+std::shared_ptr<Gauge> MetricRegistry::AddGauge(std::string name, LabelSet labels,
+                                                std::string help) {
+  auto gauge = std::make_shared<Gauge>();
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
+  e.kind = Kind::kGauge;
+  e.gauge = gauge;
+  entries_.push_back(std::move(e));
+  return gauge;
+}
+
+std::shared_ptr<Histogram> MetricRegistry::AddHistogram(std::string name,
+                                                        LabelSet labels,
+                                                        std::string help) {
+  auto histogram = std::make_shared<Histogram>();
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
+  e.kind = Kind::kHistogram;
+  e.histogram = histogram;
+  entries_.push_back(std::move(e));
+  return histogram;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot merged;
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t kept = 0;
+  for (size_t idx = 0; idx < entries_.size(); ++idx) {
+    Entry& e = entries_[idx];
+    RegistrySnapshot one;
+    bool live = false;
+    switch (e.kind) {
+      case Kind::kCounter: {
+        if (auto c = e.counter.lock()) {
+          live = true;
+          one.counters.push_back({e.info, c->Value()});
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        if (auto g = e.gauge.lock()) {
+          live = true;
+          one.gauges.push_back({e.info, g->Value()});
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        if (auto h = e.histogram.lock()) {
+          live = true;
+          HistogramSnapshot hs;
+          hs.info = e.info;
+          hs.count = h->Count();
+          hs.sum = h->Sum();
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            const uint64_t n = h->BucketCount(i);
+            if (n > 0) hs.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+          }
+          one.histograms.push_back(std::move(hs));
+        }
+        break;
+      }
+    }
+    if (live) {
+      merged.Merge(one);
+      if (kept != idx) entries_[kept] = std::move(e);  // prune expired entries
+      ++kept;
+    }
+  }
+  entries_.resize(kept);
+  return merged;
+}
+
+}  // namespace d3l::obs

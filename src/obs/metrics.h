@@ -1,0 +1,194 @@
+// Process-wide metrics: named counters, gauges and log-bucketed latency
+// histograms with label pairs, mergeable snapshots and Prometheus-text
+// exposition — the telemetry substrate every serving layer reports into.
+//
+// Design:
+//
+//   * Instruments are lock-free on the hot path. Counter and Gauge are one
+//     relaxed atomic each; Histogram is 256 atomic buckets (4 sub-buckets
+//     per power of two, ~19% relative resolution over ~[1e-9, 1e10]) plus
+//     an atomic count and CAS-accumulated sum. Recording a sample is a
+//     handful of atomic adds — cheap enough to leave on in production and
+//     in the bench-smoke throughput gate.
+//
+//   * Add*() creates a NEW instrument on every call and hands back shared
+//     ownership; the registry keeps only a weak reference. Components
+//     therefore own their instruments (a DiscoveryService's Stats() view
+//     reads ITS counters, not a process-wide blend), instruments die with
+//     their component, and Snapshot() merges live instruments that share a
+//     (name, labels) identity into one exported series. Two caches in one
+//     process export one `d3l_cache_hits_total` series per label set while
+//     each still answers its own GetStats() exactly.
+//
+//   * Snapshots are plain data and merge associatively (counters/sums add,
+//     histogram buckets add bucket-wise), so per-process snapshots can be
+//     aggregated across a fleet by the same code path ExportText() uses
+//     locally.
+//
+// Naming scheme (see README "Observability"): `d3l_<component>_<metric>`,
+// cumulative counters end in `_total`, latency histograms in `_seconds`,
+// sizes in `_bytes`; variable dimensions (endpoint, method, pool, phase)
+// ride in labels, never in the metric name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace d3l::obs {
+
+/// \brief Label pairs attached to an instrument, e.g. {{"method","SRCH"}}.
+/// Canonicalized (sorted by key) at registration.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotone event counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed level (queue depth, cached bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Lock-free log-bucketed distribution of non-negative samples.
+///
+/// A sample v = m * 2^e (frexp, m in [0.5,1)) lands in bucket
+/// (e - kMinExponent) * kSubBuckets + floor((m - 0.5) * 2 * kSubBuckets);
+/// bucket upper bounds therefore grow geometrically with ratio <= 1.25, so
+/// any quantile read from bucket bounds overestimates the true sample by at
+/// most 25% (and usually ~12%). Samples below/above the covered range clamp
+/// into the first/last bucket. NaN and negatives clamp to the first bucket
+/// rather than poisoning the distribution.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;      ///< per power of two
+  static constexpr int kMinExponent = -30;   ///< smallest covered octave (~1e-9)
+  static constexpr int kNumOctaves = 64;     ///< covers up to ~1.7e10
+  static constexpr int kNumBuckets = kNumOctaves * kSubBuckets;
+
+  void Record(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket `v` records into (exposed for tests).
+  static int BucketIndex(double v);
+  /// Exclusive upper bound of bucket `index`.
+  static double BucketUpperBound(int index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// \brief Instrument identity within a snapshot.
+struct MetricInfo {
+  std::string name;
+  LabelSet labels;  ///< sorted by key
+  std::string help;
+};
+
+struct CounterSnapshot {
+  MetricInfo info;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  MetricInfo info;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  MetricInfo info;
+  uint64_t count = 0;
+  double sum = 0;
+  /// Non-empty buckets only: (exclusive upper bound, count in bucket),
+  /// ascending by bound. NOT cumulative (ExportText cumulates for the
+  /// Prometheus `le` convention; merging adds bucket-wise).
+  std::vector<std::pair<double, uint64_t>> buckets;
+
+  /// Upper bound of the bucket where the cumulative count first reaches
+  /// q * count (q in [0,1]); 0 with no samples. Overestimates the true
+  /// quantile by at most one bucket's relative width (<= 25%).
+  double Quantile(double q) const;
+};
+
+/// \brief Point-in-time view of a registry (or a merge of several).
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Folds `other` in: series with the same (name, labels) add (counters
+  /// and gauges by value, histograms bucket-wise); new series append.
+  /// Associative and commutative up to ordering, which ExportText
+  /// canonicalizes anyway.
+  void Merge(const RegistrySnapshot& other);
+
+  /// Prometheus text exposition, deterministically ordered (by name, then
+  /// label string). Histograms emit cumulative `le` buckets (non-empty ones
+  /// plus "+Inf"), `_sum` and `_count`.
+  std::string ExportText() const;
+};
+
+/// \brief Owner of instrument identities; instruments register weakly.
+class MetricRegistry {
+ public:
+  /// The process-wide default registry every component reports into unless
+  /// handed an explicit one (tests isolate by passing their own).
+  static MetricRegistry& Default();
+
+  /// Each Add* creates a fresh instrument (never deduplicates — see the
+  /// header comment) and registers a weak reference under the canonical
+  /// (name, sorted labels). The caller owns the instrument; it disappears
+  /// from future snapshots when the last shared_ptr drops.
+  std::shared_ptr<Counter> AddCounter(std::string name, LabelSet labels = {},
+                                      std::string help = {});
+  std::shared_ptr<Gauge> AddGauge(std::string name, LabelSet labels = {},
+                                  std::string help = {});
+  std::shared_ptr<Histogram> AddHistogram(std::string name, LabelSet labels = {},
+                                          std::string help = {});
+
+  /// Merged snapshot of every live instrument (same-identity instruments
+  /// fold into one series); expired registrations are pruned as a side
+  /// effect.
+  RegistrySnapshot Snapshot() const;
+
+  /// Snapshot().ExportText() in one call.
+  std::string ExportText() const { return Snapshot().ExportText(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    MetricInfo info;
+    Kind kind;
+    std::weak_ptr<Counter> counter;
+    std::weak_ptr<Gauge> gauge;
+    std::weak_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  mutable std::vector<Entry> entries_;
+};
+
+}  // namespace d3l::obs

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace d3l::obs {
+
+namespace {
+
+thread_local TraceHandle t_current;
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  // Random per-process seed + a monotone counter, mixed: ids are unique
+  // within the process by the counter and collide across processes with
+  // ordinary birthday probability — good enough for correlating logs.
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = Mix64(seed ^ Mix64(counter.fetch_add(1) + 1));
+  return id != 0 ? id : 1;  // 0 means "no trace" on the wire
+}
+
+TraceContext::TraceContext(uint64_t trace_id,
+                           std::chrono::steady_clock::time_point epoch)
+    : trace_id_(trace_id), epoch_(epoch) {}
+
+uint64_t TraceContext::NowNs() const {
+  const auto now = std::chrono::steady_clock::now();
+  if (now <= epoch_) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_).count());
+}
+
+int TraceContext::StartSpan(std::string name, int parent) {
+  const uint64_t start = NowNs();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (records_.size() >= kMaxSpans) return -1;
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.parent = parent;
+  rec.start_ns = start;
+  records_.push_back(std::move(rec));
+  return static_cast<int>(records_.size()) - 1;
+}
+
+void TraceContext::EndSpan(int index) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (index < 0 || static_cast<size_t>(index) >= records_.size()) return;
+  SpanRecord& rec = records_[static_cast<size_t>(index)];
+  rec.duration_ns = now > rec.start_ns ? now - rec.start_ns : 0;
+}
+
+int TraceContext::AddSpan(std::string name, int parent, uint64_t start_ns,
+                          uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (records_.size() >= kMaxSpans) return -1;
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.parent = parent;
+  rec.start_ns = start_ns;
+  rec.duration_ns = duration_ns;
+  records_.push_back(std::move(rec));
+  return static_cast<int>(records_.size()) - 1;
+}
+
+void TraceContext::Attach(int parent, Span subtree) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (parent >= 0 && static_cast<size_t>(parent) < records_.size()) {
+    records_[static_cast<size_t>(parent)].attached.push_back(std::move(subtree));
+  } else {
+    attached_roots_.push_back(std::move(subtree));
+  }
+}
+
+Trace TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Trace trace;
+  trace.trace_id = trace_id_;
+
+  // Build bottom-up: a span's children always have a LARGER index (a child
+  // starts after its parent), so walking indices in descending order moves
+  // each completed subtree into its parent exactly once.
+  const size_t n = records_.size();
+  std::vector<Span> nodes(n);
+  std::vector<std::vector<int>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes[i].name = records_[i].name;
+    nodes[i].start_ns = records_[i].start_ns;
+    nodes[i].duration_ns = records_[i].duration_ns;
+    nodes[i].children = records_[i].attached;  // foreign subtrees first
+    const int p = records_[i].parent;
+    if (p >= 0 && static_cast<size_t>(p) < i) {
+      children[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = n; i-- > 0;) {
+    for (int c : children[i]) nodes[i].children.push_back(std::move(nodes[c]));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int p = records_[i].parent;
+    if (p < 0 || static_cast<size_t>(p) >= i) trace.roots.push_back(std::move(nodes[i]));
+  }
+  for (const Span& s : attached_roots_) trace.roots.push_back(s);
+  return trace;
+}
+
+size_t TraceContext::span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+TraceHandle CurrentTrace() { return t_current; }
+
+TraceScope::TraceScope(TraceHandle handle) : saved_(std::move(t_current)) {
+  t_current = std::move(handle);
+}
+
+TraceScope::~TraceScope() { t_current = std::move(saved_); }
+
+ScopedSpan::ScopedSpan(std::string name) {
+  if (!t_current) return;
+  context_ = t_current.context;
+  index_ = context_->StartSpan(std::move(name), t_current.parent);
+  saved_ = t_current;
+  t_current.parent = index_;
+}
+
+ScopedSpan::ScopedSpan(std::shared_ptr<TraceContext> context, std::string name) {
+  if (context == nullptr) return;
+  context_ = std::move(context);
+  const int parent =
+      t_current.context == context_ ? t_current.parent : -1;
+  index_ = context_->StartSpan(std::move(name), parent);
+  saved_ = t_current;
+  t_current = TraceHandle{context_, index_};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (context_ == nullptr) return;
+  context_->EndSpan(index_);
+  t_current = std::move(saved_);
+}
+
+namespace {
+
+void AppendSpanLines(const Span& span, int depth, std::string* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%-*s %10.3f ms @ %.3f ms\n", depth * 2,
+                "", 32 - depth * 2 > 0 ? 32 - depth * 2 : 1, span.name.c_str(),
+                static_cast<double>(span.duration_ns) / 1e6,
+                static_cast<double>(span.start_ns) / 1e6);
+  *out += line;
+  for (const Span& child : span.children) AppendSpanLines(child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string FormatTrace(const Trace& trace) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "trace %016llx\n",
+                static_cast<unsigned long long>(trace.trace_id));
+  std::string out = header;
+  for (const Span& root : trace.roots) AppendSpanLines(root, 1, &out);
+  return out;
+}
+
+}  // namespace d3l::obs

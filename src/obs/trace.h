@@ -1,0 +1,167 @@
+// Per-query distributed tracing: a TraceContext carries a 64-bit trace id
+// and accumulates a span tree; ScopedSpan is the RAII timer that builds it.
+//
+// Spans nest through a thread-local cursor: a ScopedSpan parents itself
+// under the innermost open span of the thread's current trace and becomes
+// the parent for spans opened inside it. Crossing threads (ThreadPool
+// fan-out) is explicit — capture CurrentTrace() before dispatch and install
+// it in the worker with a TraceScope; the RemoteBackend scatter-gather
+// lambdas do exactly this so per-server RPC spans land under the query's
+// search span.
+//
+// Crossing PROCESSES rides on the RPC header (rpc/wire.h): RpcClient sends
+// the current trace id with each request, the server records its handling
+// into a fresh TraceContext under the SAME id and returns its span tree in
+// the response, and the client Attach()es that subtree under its own RPC
+// span — one stitched timeline per query, covering client queue/profile/
+// cache/search time AND each server's handling, with the shared trace id
+// proving they are one query.
+//
+// Span times are nanoseconds relative to the context's epoch (steady
+// clock). A context can be built with an explicit past epoch so
+// retrospective spans — e.g. DiscoveryService's queue wait, which ended
+// before tracing of the execution began — slot in at their true offsets.
+//
+// Everything is safe for concurrent use; recording a span is one mutex-
+// protected vector append (traces are per-query and spans are few, so this
+// never contends the way metrics would — hot counters live in metrics.h).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace d3l::obs {
+
+/// \brief One timed operation in a trace's tree.
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;     ///< relative to the trace's epoch
+  uint64_t duration_ns = 0;  ///< 0 while the span is still open
+  std::vector<Span> children;
+};
+
+/// \brief A completed trace: the shared id plus the span forest.
+struct Trace {
+  uint64_t trace_id = 0;
+  std::vector<Span> roots;
+};
+
+/// \brief Non-zero process-unique 64-bit trace id (random-seeded, mixed).
+uint64_t NewTraceId();
+
+/// \brief Collects the spans of one query (possibly across threads).
+class TraceContext {
+ public:
+  /// Hard cap on recorded spans: a runaway loop degrades to dropped spans,
+  /// never unbounded memory on the query path.
+  static constexpr size_t kMaxSpans = 1024;
+
+  explicit TraceContext(uint64_t trace_id = NewTraceId())
+      : TraceContext(trace_id, std::chrono::steady_clock::now()) {}
+  /// Explicit epoch: span offsets are measured from `epoch`, which may lie
+  /// in the past (retrospective spans).
+  TraceContext(uint64_t trace_id, std::chrono::steady_clock::time_point epoch);
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Nanoseconds since the epoch, clamped at 0 for pre-epoch instants.
+  uint64_t NowNs() const;
+
+  /// Opens a span (parent -1 = a root); returns its index, or -1 when the
+  /// span cap is reached (callers pass -1 back to EndSpan harmlessly).
+  int StartSpan(std::string name, int parent);
+  void EndSpan(int index);
+
+  /// Records an already-timed span (e.g. a queue wait measured before the
+  /// context existed). Returns its index like StartSpan.
+  int AddSpan(std::string name, int parent, uint64_t start_ns,
+              uint64_t duration_ns);
+
+  /// Stitches a foreign subtree (a server's span tree) under span `parent`
+  /// (-1 = as a root). The subtree's times stay in ITS epoch — offsets
+  /// within the subtree are meaningful, cross-process offsets are not
+  /// (clocks differ), which FormatTrace renders accordingly.
+  void Attach(int parent, Span subtree);
+
+  /// Deep copy of the tree built so far (open spans report duration 0).
+  Trace Snapshot() const;
+
+  size_t span_count() const;
+
+ private:
+  struct SpanRecord {
+    std::string name;
+    int parent = -1;
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+    std::vector<Span> attached;  ///< foreign subtrees under this span
+  };
+
+  const uint64_t trace_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::vector<Span> attached_roots_;
+};
+
+/// \brief The thread's position inside a trace: which context, and which
+/// open span new child spans should parent under.
+struct TraceHandle {
+  std::shared_ptr<TraceContext> context;
+  int parent = -1;
+
+  explicit operator bool() const { return context != nullptr; }
+};
+
+/// \brief The calling thread's current handle (empty when not tracing).
+TraceHandle CurrentTrace();
+
+/// \brief Installs a handle as the thread's current trace for its scope —
+/// the cross-thread propagation primitive (capture CurrentTrace() in the
+/// dispatching thread, TraceScope it in the worker). An empty handle
+/// installs "not tracing", which is how instrumented code paths are muted.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceHandle handle);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceHandle saved_;
+};
+
+/// \brief RAII span on the thread's current trace. A no-op (single branch)
+/// when the thread is not tracing, so instrumentation sites stay
+/// unconditional. While alive, the thread's spans parent under this one.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  /// Explicit-context form: also makes `context` the thread's current
+  /// trace for the span's extent (used at trace roots).
+  ScopedSpan(std::shared_ptr<TraceContext> context, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The span's index in its context (-1 when not tracing) — the Attach
+  /// anchor for subtrees arriving from servers.
+  int index() const { return index_; }
+  /// The context this span records into (null when not tracing).
+  const std::shared_ptr<TraceContext>& context() const { return context_; }
+
+ private:
+  TraceHandle saved_;
+  std::shared_ptr<TraceContext> context_;
+  int index_ = -1;
+};
+
+/// \brief Human-readable indented rendering of the span tree with start
+/// offsets and durations — the slow-query log's payload.
+std::string FormatTrace(const Trace& trace);
+
+}  // namespace d3l::obs

@@ -14,8 +14,40 @@
 
 namespace d3l::rpc {
 
+namespace {
+
+/// True when a kMethodError response carries the InvalidArgument an OLD
+/// server (pre-flags protocol) answers a trace-flagged frame with — the
+/// signal to drop tracing for this endpoint and retry plain.
+bool IsVersionRejection(const Frame& response) {
+  io::Reader r;
+  if (!OpenFrame(r, response).ok()) return false;
+  const Status wire = LoadWireStatus(r);
+  return wire.IsInvalidArgument() &&
+         wire.message().find("unsupported RPC protocol version") !=
+             std::string::npos;
+}
+
+}  // namespace
+
 RpcClient::RpcClient(std::string host, uint16_t port, RpcClientOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : host_(std::move(host)), port_(port), options_(options) {
+  obs::MetricRegistry& reg =
+      options_.registry ? *options_.registry : obs::MetricRegistry::Default();
+  const obs::LabelSet labels = {{"endpoint", endpoint()}};
+  transport_failures_ = reg.AddCounter(
+      "d3l_rpc_client_transport_failures_total", labels,
+      "Failed call attempts (connect/send/recv/framing), before retries");
+  backoff_sleeps_ = reg.AddCounter("d3l_rpc_client_backoff_sleeps_total",
+                                   labels, "Retry backoff sleeps taken");
+  unavailable_ = reg.AddCounter(
+      "d3l_rpc_client_unavailable_total", labels,
+      "Calls that exhausted every attempt and returned Unavailable");
+  bytes_sent_ = reg.AddCounter("d3l_rpc_client_bytes_sent_total", labels,
+                               "Request bytes put on the wire");
+  bytes_received_ = reg.AddCounter("d3l_rpc_client_bytes_received_total",
+                                   labels, "Response bytes read off the wire");
+}
 
 RpcClient::~RpcClient() { CloseConnection(); }
 
@@ -102,23 +134,93 @@ Status RpcClient::EnsureConnected(Deadline deadline) {
   return Status::OK();
 }
 
+RpcClient::MethodInstruments& RpcClient::InstrumentsFor(uint32_t method) {
+  auto it = per_method_.find(method);
+  if (it != per_method_.end()) return it->second;
+  obs::MetricRegistry& reg =
+      options_.registry ? *options_.registry : obs::MetricRegistry::Default();
+  const obs::LabelSet labels = {{"endpoint", endpoint()},
+                                {"method", io::SectionName(method)}};
+  MethodInstruments mi;
+  mi.requests = reg.AddCounter("d3l_rpc_client_requests_total", labels,
+                               "Calls issued (before retries)");
+  mi.latency = reg.AddHistogram("d3l_rpc_client_call_seconds", labels,
+                                "Full Call latency including retries");
+  return per_method_.emplace(method, std::move(mi)).first->second;
+}
+
 Result<Frame> RpcClient::Call(uint32_t method, const std::string& frame) {
   std::lock_guard<std::mutex> lock(mu_);
+  MethodInstruments& mi = InstrumentsFor(method);
+  mi.requests->Increment();
+  // When the calling thread is tracing, this span covers the whole call
+  // (retries included) and anchors the server's returned span subtree.
+  obs::ScopedSpan span("rpc:" + io::SectionName(method) + " " + endpoint());
+  const auto start = std::chrono::steady_clock::now();
+  Result<Frame> result = CallLocked(method, frame, span.context(), span.index());
+  mi.latency->Record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (!result.ok()) unavailable_->Increment();
+  return result;
+}
+
+Result<Frame> RpcClient::CallLocked(
+    uint32_t method, const std::string& frame,
+    const std::shared_ptr<obs::TraceContext>& trace, int span_index) {
+  const uint64_t trace_id =
+      (trace != nullptr && options_.propagate_trace) ? trace->trace_id() : 0;
   Status last = Status::OK();
   double backoff = options_.initial_backoff_seconds;
   const size_t attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
-  for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff *= 2;
-    }
+  size_t attempt = 0;
+  bool degraded_once = false;
+  while (attempt < attempts) {
+    const bool traced =
+        trace_id != 0 && peer_supports_trace_.load(std::memory_order_relaxed);
     const Deadline deadline = After(options_.request_timeout_seconds);
     Status st = EnsureConnected(deadline);
-    if (st.ok()) st = SendFrame(fd_, frame, deadline);
     if (st.ok()) {
-      Result<Frame> response = RecvFrame(fd_, deadline);
+      const std::string* wire = &frame;
+      std::string traced_frame;
+      if (traced) {
+        traced_frame = WithTraceId(frame, trace_id);
+        wire = &traced_frame;
+      }
+      st = SendFrame(fd_, *wire, deadline);
+      if (st.ok()) bytes_sent_->Increment(wire->size());
+    }
+    if (st.ok()) {
+      Result<Frame> response =
+          RecvFrame(fd_, deadline, nullptr, /*allow_spans=*/true);
       if (response.ok()) {
-        if (response->method == method || response->method == kMethodError) {
+        bytes_received_->Increment(kFrameHeaderBytes + response->section.size() +
+                                   response->spans_section.size());
+        if (response->method == method) {
+          if (trace != nullptr && !response->spans_section.empty()) {
+            Result<std::vector<obs::Span>> roots = DecodeSpans(*response);
+            if (roots.ok()) {
+              for (obs::Span& root : *roots) {
+                trace->Attach(span_index, std::move(root));
+              }
+            }
+            // A torn spans section loses observability, not the call:
+            // keep the perfectly good response.
+          }
+          return response;
+        }
+        if (response->method == kMethodError) {
+          if (traced && !degraded_once && IsVersionRejection(*response)) {
+            // An old server refused the flagged version word. Remember
+            // that, drop the connection (the server treats the protocol
+            // error as fatal for the stream) and retry untraced WITHOUT
+            // consuming an attempt — tracing degrades to no server spans,
+            // the call itself must not degrade at all.
+            peer_supports_trace_.store(false, std::memory_order_relaxed);
+            degraded_once = true;
+            CloseConnection();
+            continue;
+          }
           return response;
         }
         // A response for a different method means the stream lost framing
@@ -133,7 +235,14 @@ Result<Frame> RpcClient::Call(uint32_t method, const std::string& frame) {
     // Anything that reached here is a transport/framing failure: the
     // connection state is unknown, so drop it and retry fresh.
     last = std::move(st);
+    transport_failures_->Increment();
     CloseConnection();
+    ++attempt;
+    if (attempt < attempts) {
+      backoff_sleeps_->Increment();
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2;
+    }
   }
   return Status::Unavailable("shard server " + endpoint() + " unreachable after " +
                              std::to_string(attempts) + " attempt" +

@@ -21,12 +21,16 @@
 // exactly how RemoteBackend holds them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/wire.h"
 
 namespace d3l::rpc {
@@ -39,6 +43,14 @@ struct RpcClientOptions {
   size_t max_attempts = 3;
   /// Sleep before the first retry; doubles per subsequent retry.
   double initial_backoff_seconds = 0.05;
+  /// Registry the client's per-endpoint metrics report into (null = the
+  /// process default). Every instrument carries an `endpoint` label, so a
+  /// RemoteBackend's N clients stay distinguishable — the replica-health
+  /// signal request routing will consume.
+  obs::MetricRegistry* registry = nullptr;
+  /// Send the calling thread's current trace id with each request and
+  /// stitch the server's returned span tree under this call's span.
+  bool propagate_trace = true;
 };
 
 /// \brief One server endpoint, one lazily-(re)connected TCP session.
@@ -66,12 +78,36 @@ class RpcClient {
                                                   const std::string& frame);
 
  private:
+  struct MethodInstruments {
+    std::shared_ptr<obs::Counter> requests;
+    std::shared_ptr<obs::Histogram> latency;
+  };
+
   Status EnsureConnected(Deadline deadline);
   void CloseConnection();
+  /// The retry loop behind Call (mu_ held). `trace`/`span_index` anchor
+  /// server-returned span trees; null/-1 when the caller is not tracing.
+  Result<Frame> CallLocked(uint32_t method, const std::string& frame,
+                           const std::shared_ptr<obs::TraceContext>& trace,
+                           int span_index);
+  MethodInstruments& InstrumentsFor(uint32_t method);  // mu_ held
 
   const std::string host_;
   const uint16_t port_;
   const RpcClientOptions options_;
+
+  // Per-endpoint instruments (labels: endpoint=host:port).
+  std::shared_ptr<obs::Counter> transport_failures_;
+  std::shared_ptr<obs::Counter> backoff_sleeps_;
+  std::shared_ptr<obs::Counter> unavailable_;
+  std::shared_ptr<obs::Counter> bytes_sent_;
+  std::shared_ptr<obs::Counter> bytes_received_;
+  std::unordered_map<uint32_t, MethodInstruments> per_method_;  // mu_ held
+
+  /// Cleared the first time this endpoint rejects a trace-flagged frame as
+  /// an unsupported protocol version (an old server): later calls go out
+  /// untraced immediately instead of paying a rejected round trip each.
+  std::atomic<bool> peer_supports_trace_{true};
 
   std::mutex mu_;  ///< serializes Call: one in-flight request per connection
   int fd_ = -1;

@@ -26,6 +26,36 @@ Status SetNonBlocking(int fd) {
 
 }  // namespace
 
+RpcServer::RpcServer(RpcServerOptions options, size_t num_workers)
+    : options_(std::move(options)),
+      registry_(options_.registry ? options_.registry
+                                  : &obs::MetricRegistry::Default()),
+      pool_(num_workers, "rpc_server", registry_) {
+  requests_served_ =
+      registry_->AddCounter("d3l_rpc_server_requests_total", {},
+                            "Requests answered (including error replies)");
+  protocol_errors_ = registry_->AddCounter(
+      "d3l_rpc_server_protocol_errors_total", {},
+      "Connections dropped on an unparseable or hostile request stream");
+  bytes_received_ = registry_->AddCounter("d3l_rpc_server_bytes_received_total",
+                                          {}, "Request bytes read off the wire");
+  bytes_sent_ = registry_->AddCounter("d3l_rpc_server_bytes_sent_total", {},
+                                      "Response bytes put on the wire");
+  const uint32_t verbs[] = {kMethodInfo,       kMethodProfile,
+                            kMethodSearch,     kMethodDepthCounts,
+                            kMethodScoreAtStops, kMethodReload,
+                            kMethodStat,       kMethodError};
+  for (uint32_t verb : verbs) {
+    const obs::LabelSet labels = {{"method", io::SectionName(verb)}};
+    VerbInstruments vi;
+    vi.requests = registry_->AddCounter("d3l_rpc_server_method_requests_total",
+                                        labels, "Requests dispatched per verb");
+    vi.latency = registry_->AddHistogram("d3l_rpc_server_handle_seconds",
+                                         labels, "Request handling time");
+    per_verb_.emplace(verb, std::move(vi));
+  }
+}
+
 Result<std::unique_ptr<RpcServer>> RpcServer::Start(
     std::shared_ptr<const serving::ShardedEngine> engine, RpcServerOptions options,
     ReloadFn reload) {
@@ -85,10 +115,8 @@ void RpcServer::Stop() {
   // Closing the listen fd makes the accept poll fail fast; shutting down
   // the active connections unblocks any worker waiting in recv/send so the
   // pool can drain (the fds themselves are closed by their handlers).
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) close(listen_fd);
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (int fd : conns_) shutdown(fd, SHUT_RDWR);
@@ -103,14 +131,16 @@ std::shared_ptr<const serving::ShardedEngine> RpcServer::engine() const {
 
 void RpcServer::AcceptLoop() {
   while (!stopping_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;
     struct pollfd pfd;
-    pfd.fd = listen_fd_;
+    pfd.fd = listen_fd;
     pfd.events = POLLIN;
     pfd.revents = 0;
     const int rc = poll(&pfd, 1, 250);
     if (stopping_.load()) break;
     if (rc <= 0) continue;
-    const int conn = accept(listen_fd_, nullptr, nullptr);
+    const int conn = accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
     if (!SetNonBlocking(conn).ok()) {
       close(conn);
@@ -154,23 +184,55 @@ void RpcServer::ServeConnection(int fd) {
       // The stream is broken or hostile (bad magic/version, oversized
       // prefix, truncation): report why — best effort, the peer may be
       // gone — and drop the connection, since framing sync is lost.
+      protocol_errors_->Increment();
       const std::string response =
           BuildFrame(kMethodError,
                      [&](io::Writer& w) { SaveWireStatus(w, frame.status()); });
-      SendFrame(fd, response, After(options_.io_timeout_seconds));
-      requests_served_.fetch_add(1);
+      if (SendFrame(fd, response, After(options_.io_timeout_seconds)).ok()) {
+        bytes_sent_->Increment(response.size());
+      }
+      requests_served_->Increment();
       return;
     }
+    bytes_received_->Increment(kFrameHeaderBytes + frame->section.size() +
+                               (frame->trace_id != 0 ? 8 : 0));
 
     const std::string response = HandleRequest(std::move(frame).ValueOrDie());
-    requests_served_.fetch_add(1);
+    requests_served_->Increment();
     if (!SendFrame(fd, response, After(options_.io_timeout_seconds)).ok()) {
       return;
     }
+    bytes_sent_->Increment(response.size());
   }
 }
 
 std::string RpcServer::HandleRequest(Frame request) {
+  const uint32_t method = request.method;
+  const uint64_t trace_id = request.trace_id;
+  auto verb = per_verb_.find(method);
+  if (verb == per_verb_.end()) verb = per_verb_.find(kMethodError);
+  verb->second.requests->Increment();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::string response;
+  std::shared_ptr<obs::TraceContext> trace;
+  if (trace_id != 0) {
+    // Record this server's handling under the CLIENT's trace id; the span
+    // tree rides back on the response for the client to stitch in.
+    trace = std::make_shared<obs::TraceContext>(trace_id);
+    obs::ScopedSpan span(trace, "serve:" + io::SectionName(method));
+    response = Dispatch(std::move(request));
+  } else {
+    response = Dispatch(std::move(request));
+  }
+  verb->second.latency->Record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (trace != nullptr) AppendSpans(&response, trace->Snapshot().roots);
+  return response;
+}
+
+std::string RpcServer::Dispatch(Frame request) {
   const uint32_t method = request.method;
   const std::shared_ptr<const serving::ShardedEngine> engine = this->engine();
 
@@ -217,6 +279,7 @@ std::string RpcServer::HandleRequest(Frame request) {
         const Status ok = decoded();
         if (!ok.ok()) return respond(ok);
       }
+      obs::ScopedSpan span("engine:profile");
       auto profiled = engine->Profile(target);
       if (!profiled.ok()) return respond(profiled.status());
       return respond(Status::OK(), [&](io::Writer& w) {
@@ -231,6 +294,7 @@ std::string RpcServer::HandleRequest(Frame request) {
         const Status ok = decoded();
         if (!ok.ok()) return respond(ok);
       }
+      obs::ScopedSpan span("engine:search");
       auto result = engine->Search(std::move(target), k, mask);
       if (!result.ok()) return respond(result.status());
       return respond(Status::OK(), [&](io::Writer& w) {
@@ -245,6 +309,7 @@ std::string RpcServer::HandleRequest(Frame request) {
         const Status ok = decoded();
         if (!ok.ok()) return respond(ok);
       }
+      obs::ScopedSpan span("engine:depth_counts");
       auto counts = engine->CollectDepthCounts(target, mask, m);
       if (!counts.ok()) return respond(counts.status());
       return respond(Status::OK(), [&](io::Writer& w) {
@@ -260,6 +325,7 @@ std::string RpcServer::HandleRequest(Frame request) {
         const Status ok = decoded();
         if (!ok.ok()) return respond(ok);
       }
+      obs::ScopedSpan span("engine:score_at_stops");
       auto score = engine->ScoreAtStops(target, stops, m, mask);
       if (!score.ok()) return respond(score.status());
       return respond(Status::OK(), [&](io::Writer& w) {
@@ -291,6 +357,18 @@ std::string RpcServer::HandleRequest(Frame request) {
       info.served_tables = reloaded->ServedTables();
       info.options = reloaded->options();
       return respond(Status::OK(), [&](io::Writer& w) { SaveServerInfo(w, info); });
+    }
+    case kMethodStat: {
+      {
+        const Status ok = decoded();
+        if (!ok.ok()) return respond(ok);
+      }
+      // The snapshot walks every live instrument; cheap enough that a
+      // scrape never needs a cache, honest enough that it always reflects
+      // the counters as of THIS request.
+      const std::string text = registry_->ExportText();
+      return respond(Status::OK(),
+                     [&](io::Writer& w) { w.WriteString(text); });
     }
     default:
       return respond(Status::InvalidArgument("unknown RPC method " +

@@ -27,9 +27,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/wire.h"
 #include "serving/sharded_engine.h"
 #include "serving/thread_pool.h"
@@ -51,6 +54,10 @@ struct RpcServerOptions {
   /// window. Waiting for the NEXT request on an idle connection does not
   /// count against it.
   double io_timeout_seconds = 30.0;
+  /// Registry the server's metrics report into AND the one a STAT request
+  /// exports (null = the process default) — so `shard_server --stats` sees
+  /// the same series the daemon's own instruments feed.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 /// \brief TCP server speaking the wire.h protocol for one shard deployment.
@@ -83,23 +90,43 @@ class RpcServer {
   std::shared_ptr<const serving::ShardedEngine> engine() const;
 
   /// Requests answered since Start (any method, including error replies).
-  uint64_t requests_served() const { return requests_served_.load(); }
+  /// A thin view over the d3l_rpc_server_requests_total counter.
+  uint64_t requests_served() const { return requests_served_->Value(); }
 
  private:
-  RpcServer(RpcServerOptions options, size_t num_workers)
-      : options_(std::move(options)), pool_(num_workers) {}
+  struct VerbInstruments {
+    std::shared_ptr<obs::Counter> requests;
+    std::shared_ptr<obs::Histogram> latency;
+  };
+
+  RpcServer(RpcServerOptions options, size_t num_workers);
 
   void AcceptLoop();
   void ServeConnection(int fd);
   /// Builds the response frame for one decoded request (never fails — all
-  /// errors become wire-status responses).
+  /// errors become wire-status responses). A trace-flagged request is
+  /// handled under a fresh TraceContext carrying the client's id, and the
+  /// recorded span tree rides back appended to the response.
   std::string HandleRequest(Frame request);
+  /// The method dispatch inside HandleRequest (split out so the trace and
+  /// per-verb timing wrap every arm uniformly).
+  std::string Dispatch(Frame request);
 
   RpcServerOptions options_;
+  obs::MetricRegistry* registry_ = nullptr;  ///< resolved, never null
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
+  /// Atomic because Stop() (caller thread) retires the fd while
+  /// AcceptLoop() (accept thread) is reading it between poll rounds.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> requests_served_{0};
+
+  std::shared_ptr<obs::Counter> requests_served_;
+  std::shared_ptr<obs::Counter> protocol_errors_;
+  std::shared_ptr<obs::Counter> bytes_received_;
+  std::shared_ptr<obs::Counter> bytes_sent_;
+  /// Keyed by method fourcc, fully built in the constructor (lock-free
+  /// lookup on the request path); unknown methods fall back to kMethodError.
+  std::unordered_map<uint32_t, VerbInstruments> per_verb_;
 
   mutable std::mutex engine_mu_;
   std::shared_ptr<const serving::ShardedEngine> engine_;

@@ -52,6 +52,29 @@ uint64_t DecodeU64(const unsigned char* p) {
          static_cast<uint64_t>(DecodeU32(p + 4)) << 32;
 }
 
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PatchU32(std::string* frame, size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*frame)[offset + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint32_t FrameVersionWord(const std::string& frame) {
+  return DecodeU32(reinterpret_cast<const unsigned char*>(frame.data()) + 8);
+}
+
+/// Flattened spans are bounded twice: TraceContext caps what one query can
+/// record, and this cap bounds what a peer can make us decode.
+constexpr size_t kMaxWireSpans = 4096;
+
 }  // namespace
 
 Status OpenFrame(io::Reader& r, Frame frame) {
@@ -108,7 +131,8 @@ Status SendFrame(int fd, const std::string& frame, Deadline deadline) {
   return SendAll(fd, frame.data(), frame.size(), deadline);
 }
 
-Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof) {
+Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof,
+                        bool allow_spans) {
   if (clean_eof != nullptr) *clean_eof = false;
 
   // Frame header, with the first byte read separately so a peer that
@@ -136,11 +160,32 @@ Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof) {
   if (std::memcmp(header, kMagic, 8) != 0) {
     return Status::InvalidArgument("not a D3L RPC stream (bad magic)");
   }
-  const uint32_t version = DecodeU32(header + 8);
+  const uint32_t word = DecodeU32(header + 8);
+  const uint32_t version = word & kVersionMask;
+  const uint32_t flags = word & ~kVersionMask;
   if (version != kProtocolVersion) {
     return Status::InvalidArgument(
         "unsupported RPC protocol version " + std::to_string(version) +
         " (this build speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return Status::InvalidArgument("unknown RPC header flags 0x" +
+                                   std::to_string(flags >> 16));
+  }
+  // Only responses carry spans. Refusing the flag here (rather than
+  // waiting for the claimed section) means a bit-flipped or hostile
+  // request fails instantly instead of stalling a server worker until the
+  // I/O deadline.
+  if ((flags & kFlagSpans) != 0 && !allow_spans) {
+    return Status::InvalidArgument(
+        "span section flagged on a frame that may not carry one");
+  }
+
+  Frame frame;
+  if ((flags & kFlagTraceId) != 0) {
+    unsigned char id[8];
+    D3L_RETURN_NOT_OK(RecvAll(fd, id, sizeof(id), deadline));
+    frame.trace_id = DecodeU64(id);
   }
 
   // Section header: method fourcc + payload size. The size is validated
@@ -155,13 +200,126 @@ Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof) {
         " byte limit");
   }
 
-  Frame frame;
   frame.method = DecodeU32(section_header);
   frame.section.resize(kSectionHeaderBytes + payload_bytes + 4);  // + crc32
   std::memcpy(frame.section.data(), section_header, kSectionHeaderBytes);
   D3L_RETURN_NOT_OK(RecvAll(fd, frame.section.data() + kSectionHeaderBytes,
                             payload_bytes + 4, deadline));
+
+  if ((flags & kFlagSpans) != 0) {
+    unsigned char spans_header[kSectionHeaderBytes];
+    D3L_RETURN_NOT_OK(RecvAll(fd, spans_header, sizeof(spans_header), deadline));
+    if (DecodeU32(spans_header) != kSectionTraceSpans) {
+      return Status::InvalidArgument(
+          "span-flagged frame's trailing section is not TRSP");
+    }
+    const uint64_t spans_bytes = DecodeU64(spans_header + 4);
+    if (spans_bytes > kMaxSpansBytes) {
+      return Status::InvalidArgument(
+          "RPC span section claims " + std::to_string(spans_bytes) +
+          " bytes, above the " + std::to_string(kMaxSpansBytes) + " byte limit");
+    }
+    frame.spans_section.resize(kSectionHeaderBytes + spans_bytes + 4);
+    std::memcpy(frame.spans_section.data(), spans_header, kSectionHeaderBytes);
+    D3L_RETURN_NOT_OK(RecvAll(fd, frame.spans_section.data() + kSectionHeaderBytes,
+                              spans_bytes + 4, deadline));
+  }
   return frame;
+}
+
+std::string WithTraceId(const std::string& frame, uint64_t trace_id) {
+  if (trace_id == 0 || frame.size() < kFrameHeaderBytes) return frame;
+  std::string out;
+  out.reserve(frame.size() + 8);
+  out.append(frame, 0, 8);
+  AppendU32(&out, FrameVersionWord(frame) | kFlagTraceId);
+  AppendU64(&out, trace_id);
+  out.append(frame, kFrameHeaderBytes, std::string::npos);
+  return out;
+}
+
+void AppendSpans(std::string* frame, const std::vector<obs::Span>& roots) {
+  if (frame->size() < kFrameHeaderBytes) return;
+  std::string section;
+  io::Writer w;
+  w.OpenBuffer(&section);
+  w.BeginSection(kSectionTraceSpans);
+  SaveSpans(w, roots);
+  w.EndSection().CheckOK();  // buffer-mode writes cannot fail
+  PatchU32(frame, 8, FrameVersionWord(*frame) | kFlagSpans);
+  frame->append(section);
+}
+
+Result<std::vector<obs::Span>> DecodeSpans(const Frame& frame) {
+  if (frame.spans_section.empty()) return std::vector<obs::Span>{};
+  io::Reader r;
+  D3L_RETURN_NOT_OK(r.OpenBuffer(frame.spans_section));
+  D3L_RETURN_NOT_OK(r.OpenSection(kSectionTraceSpans));
+  std::vector<obs::Span> roots = LoadSpans(r);
+  D3L_RETURN_NOT_OK(r.status());
+  D3L_RETURN_NOT_OK(r.EndSection());
+  return roots;
+}
+
+void SaveSpans(io::Writer& w, const std::vector<obs::Span>& roots) {
+  // Pre-order flatten with parent indices: children always serialize after
+  // (and point back at) their parent, which is what lets the loader
+  // rebuild bottom-up without recursion on untrusted depth.
+  std::vector<std::pair<const obs::Span*, int32_t>> flat;
+  std::vector<std::pair<const obs::Span*, int32_t>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(&*it, -1);
+  }
+  while (!stack.empty() && flat.size() < kMaxWireSpans) {
+    const auto [span, parent] = stack.back();
+    stack.pop_back();
+    const int32_t index = static_cast<int32_t>(flat.size());
+    flat.emplace_back(span, parent);
+    for (auto it = span->children.rbegin(); it != span->children.rend(); ++it) {
+      stack.emplace_back(&*it, index);
+    }
+  }
+  w.WriteU64(flat.size());
+  for (const auto& [span, parent] : flat) {
+    w.WriteI32(parent);
+    w.WriteU64(span->start_ns);
+    w.WriteU64(span->duration_ns);
+    w.WriteString(span->name);
+  }
+}
+
+std::vector<obs::Span> LoadSpans(io::Reader& r) {
+  std::vector<obs::Span> roots;
+  const size_t n = r.ReadLength(4 + 8 + 8 + 8);  // parent + times + name length
+  if (n > kMaxWireSpans) {
+    r.MarkCorrupt("span list claims " + std::to_string(n) + " spans");
+    return roots;
+  }
+  std::vector<obs::Span> nodes(n);
+  std::vector<int32_t> parents(n, -1);
+  std::vector<std::vector<size_t>> children(n);
+  for (size_t i = 0; i < n && r.status().ok(); ++i) {
+    const int32_t parent = r.ReadI32();
+    if (parent != -1 &&
+        (parent < 0 || static_cast<size_t>(parent) >= i)) {
+      r.MarkCorrupt("span " + std::to_string(i) + " has invalid parent " +
+                    std::to_string(parent));
+      return roots;
+    }
+    parents[i] = parent;
+    nodes[i].start_ns = r.ReadU64();
+    nodes[i].duration_ns = r.ReadU64();
+    nodes[i].name = r.ReadString();
+    if (parent >= 0) children[static_cast<size_t>(parent)].push_back(i);
+  }
+  if (!r.status().ok()) return roots;
+  for (size_t i = n; i-- > 0;) {
+    for (size_t c : children[i]) nodes[i].children.push_back(std::move(nodes[c]));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (parents[i] == -1) roots.push_back(std::move(nodes[i]));
+  }
+  return roots;
 }
 
 void SaveWireStatus(io::Writer& w, const Status& s) {

@@ -23,6 +23,21 @@
 //   DCNT  <- QueryTarget, mask, m -> shard-summed candidate depth counts
 //   SCOR  <- QueryTarget, stops, m, mask -> capped candidate lists + rows
 //   RELD  -> reloads the server's deployment, returns the new identity
+//   STAT  -> the server's live metrics (Prometheus text exposition)
+//
+// Tracing extension (backward compatible). The version word's low 16 bits
+// carry the protocol version; the high bits are flags. kFlagTraceId marks
+// an 8-byte trace id inserted between the frame header and the method
+// section — a client propagating an obs::TraceContext sets it on requests,
+// and the server records its handling under that id. kFlagSpans marks one
+// extra "TRSP" section AFTER the method section holding the server's span
+// tree; it appears only on responses to trace-flagged requests, so a
+// client that never sends trace ids never sees a second section and an
+// old client is never confused. An OLD server rejects the flagged version
+// word with a clean InvalidArgument error response, which the client
+// detects, remembers, and transparently retries untraced — tracing
+// degrades to "no server spans" against old servers, it never breaks the
+// call (see RpcClient).
 //
 // DCNT + SCOR are the two halves of the exact cross-server scatter-gather:
 // the coordinator (serving::RemoteBackend) sums every server's depth
@@ -42,6 +57,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "io/binary_io.h"
+#include "obs/trace.h"
 #include "serving/search_backend.h"
 #include "serving/sharded_engine.h"
 #include "table/table.h"
@@ -50,6 +66,16 @@ namespace d3l::rpc {
 
 inline constexpr char kMagic[9] = "D3LRPC1\n";
 inline constexpr uint32_t kProtocolVersion = 1;
+
+/// The version word is [flags: high 16 bits][version: low 16 bits]. Flags
+/// outside kKnownFlags reject the frame (a future peer must bump the
+/// version instead of inventing flags old builds would ignore silently).
+inline constexpr uint32_t kVersionMask = 0xFFFFu;
+/// An 8-byte trace id follows the frame header.
+inline constexpr uint32_t kFlagTraceId = 0x10000u;
+/// A TRSP span-tree section follows the method section (responses only).
+inline constexpr uint32_t kFlagSpans = 0x20000u;
+inline constexpr uint32_t kKnownFlags = kFlagTraceId | kFlagSpans;
 
 /// Frame header: 8 magic bytes + u32 protocol version.
 inline constexpr size_t kFrameHeaderBytes = 12;
@@ -68,8 +94,15 @@ inline constexpr uint32_t kMethodSearch = io::SectionId("SRCH");
 inline constexpr uint32_t kMethodDepthCounts = io::SectionId("DCNT");
 inline constexpr uint32_t kMethodScoreAtStops = io::SectionId("SCOR");
 inline constexpr uint32_t kMethodReload = io::SectionId("RELD");
+inline constexpr uint32_t kMethodStat = io::SectionId("STAT");
 /// Response id when a request's frame was too broken to know its method.
 inline constexpr uint32_t kMethodError = io::SectionId("ERR_");
+
+/// Section id of the span-tree payload a kFlagSpans response appends.
+inline constexpr uint32_t kSectionTraceSpans = io::SectionId("TRSP");
+/// Span sections are tiny (span counts are capped); a larger claim is a
+/// corrupt or hostile frame and is rejected before allocation.
+inline constexpr uint64_t kMaxSpansBytes = 1ull << 20;
 
 /// Absolute I/O deadline (steady clock, immune to wall-clock jumps).
 using Deadline = std::chrono::steady_clock::time_point;
@@ -84,6 +117,11 @@ inline Deadline After(double seconds) {
 struct Frame {
   uint32_t method = 0;
   std::string section;
+  /// Trace id from a kFlagTraceId header (0 = the peer sent none).
+  uint64_t trace_id = 0;
+  /// Raw TRSP section bytes from a kFlagSpans response (empty = none);
+  /// decode with DecodeSpans.
+  std::string spans_section;
 };
 
 /// \brief Serializes one complete message: frame header plus one section
@@ -129,7 +167,33 @@ Status SendFrame(int fd, const std::string& frame, Deadline deadline);
 /// crash the caller. If `clean_eof` is non-null it is set when the peer
 /// closed the connection before sending any byte (the normal end of a
 /// client session, which callers usually want to treat as non-exceptional).
-Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof = nullptr);
+/// `allow_spans` gates the kFlagSpans extension: clients reading responses
+/// pass true; servers keep the default so a request claiming to carry
+/// spans (which only responses may) is rejected instantly instead of
+/// waiting on payload bytes a confused or hostile peer never sends.
+Result<Frame> RecvFrame(int fd, Deadline deadline, bool* clean_eof = nullptr,
+                        bool allow_spans = false);
+
+// -- Tracing header extension --
+
+/// Returns `frame` (a BuildFrame()-serialized message) rewritten to carry
+/// `trace_id`: sets kFlagTraceId in the version word and inserts the
+/// 8-byte id after the frame header. With trace_id 0, returns `frame`
+/// unchanged.
+std::string WithTraceId(const std::string& frame, uint64_t trace_id);
+
+/// Appends a span-tree TRSP section to a response frame and sets
+/// kFlagSpans. Only meaningful on responses to trace-flagged requests.
+void AppendSpans(std::string* frame, const std::vector<obs::Span>& roots);
+
+/// Decodes the TRSP section captured in frame.spans_section (empty input
+/// yields an empty forest).
+Result<std::vector<obs::Span>> DecodeSpans(const Frame& frame);
+
+/// Span forest (de)serialization within the current section: a flattened
+/// pre-order list with parent indices, capped and validated on load.
+void SaveSpans(io::Writer& w, const std::vector<obs::Span>& roots);
+std::vector<obs::Span> LoadSpans(io::Reader& r);
 
 // -- Application status over the wire --
 

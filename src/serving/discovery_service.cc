@@ -1,10 +1,12 @@
 #include "serving/discovery_service.h"
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "io/binary_io.h"
 
 namespace d3l::serving {
@@ -37,11 +39,43 @@ DiscoveryService::DiscoveryService(const SearchBackend* backend,
 DiscoveryService::DiscoveryService(std::shared_ptr<const SearchBackend> backend,
                                    DiscoveryServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity, options.cache_shards, options.cache_max_bytes),
+      registry_(options.registry ? options.registry
+                                 : &obs::MetricRegistry::Default()),
+      cache_(options.cache_capacity, options.cache_shards,
+             options.cache_max_bytes, registry_),
       pool_(options.inline_execution
                 ? 0
                 : (options.num_threads > 0 ? options.num_threads
-                                           : ThreadPool::DefaultThreads())) {
+                                           : ThreadPool::DefaultThreads()),
+            "discovery_service", registry_) {
+  submitted_ = registry_->AddCounter("d3l_service_queries_submitted_total", {},
+                                     "Queries accepted or rejected at Submit");
+  completed_ = registry_->AddCounter("d3l_service_queries_completed_total", {},
+                                     "Queries whose future resolved");
+  rejected_ = registry_->AddCounter("d3l_service_queries_rejected_total", {},
+                                    "Queries refused after shutdown");
+  failed_ = registry_->AddCounter("d3l_service_queries_failed_total", {},
+                                  "Completed queries with a non-OK result");
+  cache_hits_ = registry_->AddCounter("d3l_service_cache_hits_total", {},
+                                      "Queries answered by the result cache");
+  negative_hits_ =
+      registry_->AddCounter("d3l_service_negative_hits_total", {},
+                            "Cache hits answered by a negative entry");
+  cache_misses_ = registry_->AddCounter(
+      "d3l_service_cache_misses_total", {},
+      "Executed queries that went to the backend's search");
+  slow_queries_ = registry_->AddCounter(
+      "d3l_service_slow_queries_total", {},
+      "Queries at or over the slow-query log threshold");
+  const auto phase_hist = [this](const char* phase, const char* help) {
+    return registry_->AddHistogram("d3l_service_phase_seconds",
+                                   {{"phase", phase}}, help);
+  };
+  queue_seconds_ = phase_hist("queue", "Submit to execution start");
+  profile_seconds_ = phase_hist("profile", "Target profiling");
+  search_seconds_ = phase_hist("search", "Backend retrieval and ranking");
+  total_seconds_ = phase_hist("total", "Submit to response ready");
+
   auto gen = std::make_shared<Generation>();
   gen->info = backend->Info();
   gen->backend = std::move(backend);
@@ -114,9 +148,9 @@ std::future<QueryResponse> DiscoveryService::Submit(QueryRequest request) {
   const auto submitted = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ++submitted_;
+    submitted_->Increment();
     if (!accepting_) {
-      ++rejected_;  // keeps submitted == completed + rejected + in-flight
+      rejected_->Increment();  // keeps submitted == completed + rejected + in-flight
       QueryResponse response;
       response.result = Status::InvalidArgument("service is shut down");
       promise->set_value(std::move(response));
@@ -158,7 +192,10 @@ void DiscoveryService::RunQuery(const Generation& gen,
     return;
   }
   auto t0 = std::chrono::steady_clock::now();
-  Result<core::QueryTarget> profiled = backend.Profile(*request.target);
+  Result<core::QueryTarget> profiled = [&] {
+    obs::ScopedSpan span("profile");
+    return backend.Profile(*request.target);
+  }();
   response.stats.profile_seconds = SecondsSince(t0);
   if (!profiled.ok()) {
     response.result = profiled.status();
@@ -169,6 +206,7 @@ void DiscoveryService::RunQuery(const Generation& gen,
   core::SearchResult cached;
   CacheLookup looked = CacheLookup::kMiss;
   if (use_cache) {
+    obs::ScopedSpan span("cache:lookup");
     // Keyed with the fingerprints of THIS query's generation snapshot: a
     // query racing a swap both looks up and inserts under the generation
     // whose backend actually answers it, so a swap can never alias an old
@@ -197,9 +235,13 @@ void DiscoveryService::RunQuery(const Generation& gen,
   } else {
     searched = true;
     t0 = std::chrono::steady_clock::now();
-    response.result = backend.Search(std::move(*profiled), request.k, mask);
+    {
+      obs::ScopedSpan span("search");
+      response.result = backend.Search(std::move(*profiled), request.k, mask);
+    }
     response.stats.search_seconds = SecondsSince(t0);
     if (use_cache && response.result.ok()) {
+      obs::ScopedSpan span("cache:insert");
       if (response.result->ranked.empty() &&
           response.result->candidate_alignments.empty()) {
         cache_.InsertNegative(key);  // remember the emptiness, not the bytes
@@ -223,35 +265,67 @@ void DiscoveryService::Execute(const QueryRequest& request,
   const std::shared_ptr<const Generation> gen = CurrentGeneration();
   response.stats.index_fingerprint = gen->info.index_fingerprint;
 
+  std::shared_ptr<obs::TraceContext> trace;
+  if (options_.trace_queries) {
+    // Epoch = submit time, so the queue wait — which ended before this
+    // context existed — slots in retrospectively at its true offset.
+    trace = std::make_shared<obs::TraceContext>(obs::NewTraceId(), submitted);
+    trace->AddSpan(
+        "queue", -1, 0,
+        static_cast<uint64_t>(response.stats.queue_seconds * 1e9));
+  }
+
   bool hit = false;
   bool negative = false;
   bool searched = false;  ///< the query reached the backend's Search
-  try {
-    RunQuery(*gen, request, response, hit, negative, searched);
-  } catch (const std::exception& e) {
-    // The codebase speaks Status, not exceptions — but a throw must not
-    // escape into the pool (it would strand every queued future). Convert
-    // it so THIS caller gets a failed response and everyone else proceeds.
-    response.result = Status::Internal(std::string("query threw: ") + e.what());
-  } catch (...) {
-    response.result = Status::Internal("query threw a non-std exception");
+  {
+    // The execute span is the trace root every phase span nests under; the
+    // optional keeps the untraced path free of even a TLS install.
+    std::optional<obs::ScopedSpan> exec_span;
+    if (trace != nullptr) exec_span.emplace(trace, "execute");
+    try {
+      RunQuery(*gen, request, response, hit, negative, searched);
+    } catch (const std::exception& e) {
+      // The codebase speaks Status, not exceptions — but a throw must not
+      // escape into the pool (it would strand every queued future). Convert
+      // it so THIS caller gets a failed response and everyone else proceeds.
+      response.result = Status::Internal(std::string("query threw: ") + e.what());
+    } catch (...) {
+      response.result = Status::Internal("query threw a non-std exception");
+    }
   }
   response.stats.total_seconds = SecondsSince(submitted);
+
+  queue_seconds_->Record(response.stats.queue_seconds);
+  profile_seconds_->Record(response.stats.profile_seconds);
+  if (searched) search_seconds_->Record(response.stats.search_seconds);
+  total_seconds_->Record(response.stats.total_seconds);
+
+  if (trace != nullptr) {
+    response.stats.trace = std::make_shared<const obs::Trace>(trace->Snapshot());
+    if (options_.slow_query_seconds > 0 &&
+        response.stats.total_seconds >= options_.slow_query_seconds) {
+      slow_queries_->Increment();
+      D3L_LOG_WARNING << "slow query ("
+                      << response.stats.total_seconds << "s >= "
+                      << options_.slow_query_seconds << "s threshold):\n"
+                      << obs::FormatTrace(*response.stats.trace);
+    }
+  }
 
   // Book the counters BEFORE fulfilling the future: a caller that wakes
   // from future.get() must already see this query in Stats().
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ++completed_;
-    if (!response.result.ok()) ++failed_;
+    completed_->Increment();
+    if (!response.result.ok()) failed_->Increment();
     if (hit) {
-      ++cache_hits_;
-      if (negative) ++negative_hits_;
+      cache_hits_->Increment();
+      if (negative) negative_hits_->Increment();
     } else if (searched) {
-      ++cache_misses_;  // failed-before-retrieval queries count only in failed_
+      // Failed-before-retrieval queries count only in failed_.
+      cache_misses_->Increment();
     }
-    profile_seconds_ += response.stats.profile_seconds;
-    search_seconds_ += response.stats.search_seconds;
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
   // Safe after in_flight_ hits zero: the promise is owned by this task, and
@@ -260,18 +334,22 @@ void DiscoveryService::Execute(const QueryRequest& request,
 }
 
 ServiceStats DiscoveryService::Stats() const {
+  // Thin view over this service's own instruments. mu_ still orders the
+  // reads against the booking sections above: a caller woken by
+  // future.get() takes the lock after the booking released it, so the
+  // completed query is already visible here.
   ServiceStats stats;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    stats.submitted = submitted_;
-    stats.completed = completed_;
-    stats.rejected = rejected_;
-    stats.failed = failed_;
-    stats.cache_hits = cache_hits_;
-    stats.negative_hits = negative_hits_;
-    stats.cache_misses = cache_misses_;
-    stats.profile_seconds = profile_seconds_;
-    stats.search_seconds = search_seconds_;
+    stats.submitted = submitted_->Value();
+    stats.completed = completed_->Value();
+    stats.rejected = rejected_->Value();
+    stats.failed = failed_->Value();
+    stats.cache_hits = cache_hits_->Value();
+    stats.negative_hits = negative_hits_->Value();
+    stats.cache_misses = cache_misses_->Value();
+    stats.profile_seconds = profile_seconds_->Sum();
+    stats.search_seconds = search_seconds_->Sum();
   }
   stats.cache = cache_.GetStats();
   return stats;

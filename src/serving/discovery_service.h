@@ -53,6 +53,8 @@
 #include <vector>
 
 #include "core/query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/result_cache.h"
 #include "serving/search_backend.h"
 #include "serving/thread_pool.h"
@@ -75,6 +77,18 @@ struct DiscoveryServiceOptions {
   /// (no worker threads): deterministic single-threaded execution for
   /// tests and benchmarks; futures are ready when Submit returns.
   bool inline_execution = false;
+  /// Registry the service's counters and phase histograms report into
+  /// (null = the process default). Also handed to the ResultCache and the
+  /// worker pool, so one Snapshot covers all three layers.
+  obs::MetricRegistry* registry = nullptr;
+  /// Record a span tree per query (queue wait, profile, cache, search —
+  /// plus the per-server RPC spans a RemoteBackend stitches in). The trace
+  /// rides back on QueryStats::trace. Off, queries skip every tracing
+  /// branch and QueryStats::trace stays null.
+  bool trace_queries = true;
+  /// When > 0, a completed query whose total time reaches this threshold
+  /// logs its full span tree at WARNING (needs trace_queries). 0 = off.
+  double slow_query_seconds = 0;
 };
 
 /// \brief One discovery query: target table, k, optional evidence mask.
@@ -101,6 +115,10 @@ struct QueryStats {
   /// Index fingerprint of the generation this query executed against —
   /// lets callers attribute a response to a reload generation.
   uint64_t index_fingerprint = 0;
+  /// The query's span tree (null when tracing is off): queue/profile/
+  /// cache/search phases, with any remote servers' handling stitched in
+  /// under the same trace id. Render with obs::FormatTrace.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// \brief The outcome a Submit future resolves to.
@@ -111,8 +129,10 @@ struct QueryResponse {
   QueryResponse() : result(Status::Internal("query not executed")) {}
 };
 
-/// \brief Aggregate service counters (all queries since construction).
-/// Invariant: submitted == completed + rejected + in-flight work.
+/// \brief Aggregate service counters (all queries since construction) — a
+/// thin view over the service's registry instruments (the same series a
+/// STAT scrape exports). Invariant once the service is quiescent:
+/// submitted == completed + rejected (+ in-flight work while running).
 struct ServiceStats {
   size_t submitted = 0;
   size_t completed = 0;
@@ -200,6 +220,9 @@ class DiscoveryService {
                 bool& searched);
 
   DiscoveryServiceOptions options_;
+  /// Resolved registry, never null. Declared before cache_ and pool_: both
+  /// register their instruments into it during construction.
+  obs::MetricRegistry* registry_;
   ResultCache cache_;
   ThreadPool pool_;
 
@@ -211,16 +234,23 @@ class DiscoveryService {
   bool accepting_ = true;
   size_t in_flight_ = 0;
 
-  // Aggregate counters (guarded by mu_; doubles make atomics awkward).
-  size_t submitted_ = 0;
-  size_t completed_ = 0;
-  size_t rejected_ = 0;
-  size_t failed_ = 0;
-  size_t cache_hits_ = 0;
-  size_t negative_hits_ = 0;
-  size_t cache_misses_ = 0;
-  double profile_seconds_ = 0;
-  double search_seconds_ = 0;
+  // Aggregate instruments. Incremented inside the mu_ critical sections
+  // that used to own plain counters, preserving the ordering Stats()
+  // documents (a query is booked before its future resolves); phase sums
+  // come from the histograms' Sum(), so ServiceStats needs no second
+  // bookkeeping.
+  std::shared_ptr<obs::Counter> submitted_;
+  std::shared_ptr<obs::Counter> completed_;
+  std::shared_ptr<obs::Counter> rejected_;
+  std::shared_ptr<obs::Counter> failed_;
+  std::shared_ptr<obs::Counter> cache_hits_;
+  std::shared_ptr<obs::Counter> negative_hits_;
+  std::shared_ptr<obs::Counter> cache_misses_;
+  std::shared_ptr<obs::Counter> slow_queries_;
+  std::shared_ptr<obs::Histogram> queue_seconds_;
+  std::shared_ptr<obs::Histogram> profile_seconds_;
+  std::shared_ptr<obs::Histogram> search_seconds_;
+  std::shared_ptr<obs::Histogram> total_seconds_;
 };
 
 }  // namespace d3l::serving

@@ -12,7 +12,21 @@ HotReloader::HotReloader(std::string csv_dir, std::string out_base,
                          HotReloaderOptions options)
     : csv_dir_(std::move(csv_dir)),
       out_base_(std::move(out_base)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  // Same registry the service options carry, so a STAT scrape of the
+  // daemon sees reload health next to query metrics.
+  obs::MetricRegistry& reg = options_.service.registry
+                                 ? *options_.service.registry
+                                 : obs::MetricRegistry::Default();
+  reloads_ = reg.AddCounter("d3l_hot_reload_swaps_total", {},
+                            "Reloads that published a new generation");
+  noop_reloads_ = reg.AddCounter("d3l_hot_reload_noops_total", {},
+                                 "Reloads that found nothing to rebuild");
+  failed_reloads_ = reg.AddCounter("d3l_hot_reload_failures_total", {},
+                                   "Reloads that returned an error");
+  watch_polls_ = reg.AddCounter("d3l_hot_reload_watch_polls_total", {},
+                                "Freshness checks run by the watcher");
+}
 
 Result<std::unique_ptr<HotReloader>> HotReloader::Open(
     std::string csv_dir, std::string out_base, HotReloaderOptions options) {
@@ -64,10 +78,7 @@ Result<ReloadReport> HotReloader::Reload() {
         .count();
   };
   auto fail = [this](Status status) -> Result<ReloadReport> {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++failed_reloads_;
-    }
+    failed_reloads_->Increment();
     return status;
   };
 
@@ -85,7 +96,7 @@ Result<ReloadReport> HotReloader::Reload() {
     // or an edit was reverted): nothing was rebuilt, so the serving
     // generation is already exact — skip the open+swap entirely.
     std::lock_guard<std::mutex> lk(mu_);
-    ++noop_reloads_;
+    noop_reloads_->Increment();
     report.index_fingerprint = current_->Info().index_fingerprint;
     report.replicas_reused = current_->num_shards();
     report.seconds = seconds_since();
@@ -111,8 +122,8 @@ Result<ReloadReport> HotReloader::Reload() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     current_ = std::move(next);
-    ++reloads_;
   }
+  reloads_->Increment();
   report.seconds = seconds_since();
   return report;
 }
@@ -142,10 +153,7 @@ void HotReloader::WatchLoop() {
       watch_cv_.wait_for(lk, interval, [this] { return watch_stop_; });
       if (watch_stop_) return;
     }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++watch_polls_;
-    }
+    watch_polls_->Increment();
     // Staleness is judged by the recorded source identities alone — a
     // checksum pass over the CSVs, no parsing. Only a detected diff pays
     // for a reload.
@@ -166,11 +174,11 @@ void HotReloader::WatchLoop() {
 
 ReloadStats HotReloader::Stats() const {
   ReloadStats stats;
+  stats.reloads = reloads_->Value();
+  stats.noop_reloads = noop_reloads_->Value();
+  stats.failed_reloads = failed_reloads_->Value();
+  stats.watch_polls = watch_polls_->Value();
   std::lock_guard<std::mutex> lk(mu_);
-  stats.reloads = reloads_;
-  stats.noop_reloads = noop_reloads_;
-  stats.failed_reloads = failed_reloads_;
-  stats.watch_polls = watch_polls_;
   stats.index_fingerprint = current_->Info().index_fingerprint;
   return stats;
 }

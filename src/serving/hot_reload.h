@@ -78,7 +78,9 @@ struct ReloadReport {
   double seconds = 0;          ///< lake load + rebuild + open + swap
 };
 
-/// \brief Aggregate reload counters (all since Open).
+/// \brief Aggregate reload counters (all since Open) — a thin view over
+/// the reloader's d3l_hot_reload_* registry instruments (it reports into
+/// the registry the service options carry).
 struct ReloadStats {
   size_t reloads = 0;         ///< Reload() calls that swapped a generation
   size_t noop_reloads = 0;    ///< Reload() calls that found nothing to do
@@ -133,12 +135,12 @@ class HotReloader {
   /// queries (which only touch current_ / the service's generation).
   std::mutex reload_mu_;
 
-  mutable std::mutex mu_;  ///< guards current_ and the counters
+  mutable std::mutex mu_;  ///< guards current_
   std::shared_ptr<const ShardedEngine> current_;
-  size_t reloads_ = 0;
-  size_t noop_reloads_ = 0;
-  size_t failed_reloads_ = 0;
-  size_t watch_polls_ = 0;
+  std::shared_ptr<obs::Counter> reloads_;
+  std::shared_ptr<obs::Counter> noop_reloads_;
+  std::shared_ptr<obs::Counter> failed_reloads_;
+  std::shared_ptr<obs::Counter> watch_polls_;
 
   std::mutex watch_mu_;
   std::condition_variable watch_cv_;

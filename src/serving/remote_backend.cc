@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace d3l::serving {
 
 namespace {
@@ -233,7 +235,12 @@ Result<core::SearchResult> RemoteBackend::Search(
       });
   std::vector<core::CandidateDepthCounts> counts(n_servers);
   std::vector<Status> errors(n_servers, Status::OK());
+  // ParallelFor workers carry no trace of their own; re-installing the
+  // caller's handle in each lambda puts every per-server RPC span (and the
+  // server subtree it stitches in) under this query's search span.
+  const obs::TraceHandle trace = obs::CurrentTrace();
   pool_.ParallelFor(n_servers, [&](size_t i) {
+    obs::TraceScope scope(trace);
     Result<std::unique_ptr<io::Reader>> r =
         clients_[i]->CallChecked(rpc::kMethodDepthCounts, count_request);
     if (!r.ok()) {
@@ -262,6 +269,7 @@ Result<core::SearchResult> RemoteBackend::Search(
   std::vector<core::CandidateLists> lists(n_servers);
   std::vector<std::vector<core::PairDistances>> rows(n_servers);
   pool_.ParallelFor(n_servers, [&](size_t i) {
+    obs::TraceScope scope(trace);
     Result<std::unique_ptr<io::Reader>> r =
         clients_[i]->CallChecked(rpc::kMethodScoreAtStops, score_request);
     if (!r.ok()) {

@@ -105,7 +105,8 @@ class RemoteBackend : public SearchBackend {
     bool single_full_server = false;       ///< SRCH fast path applies
   };
 
-  explicit RemoteBackend(size_t num_threads) : pool_(num_threads) {}
+  explicit RemoteBackend(size_t num_threads)
+      : pool_(num_threads, "remote_backend") {}
 
   static Result<Stitched> Stitch(const std::vector<rpc::ServerInfo>& infos,
                                  const std::vector<std::string>& endpoints);

@@ -36,10 +36,29 @@ size_t ApproxResultBytes(const core::SearchResult& result) {
   return bytes;
 }
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes)
+ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes,
+                         obs::MetricRegistry* registry)
     : capacity_(capacity),
       max_bytes_(max_bytes),
       shards_(std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, capacity)))) {
+  obs::MetricRegistry& reg =
+      registry ? *registry : obs::MetricRegistry::Default();
+  hits_ = reg.AddCounter("d3l_result_cache_hits_total", {},
+                         "Probes answered by a cached full result");
+  misses_ = reg.AddCounter("d3l_result_cache_misses_total", {},
+                           "Probes that found nothing cached");
+  negative_hits_ = reg.AddCounter("d3l_result_cache_negative_hits_total", {},
+                                  "Probes answered by a negative entry");
+  insertions_ = reg.AddCounter("d3l_result_cache_insertions_total", {},
+                               "Inserts including refreshes of existing keys");
+  evictions_ = reg.AddCounter("d3l_result_cache_evictions_total", {},
+                              "Entries evicted by the LRU budgets");
+  entries_gauge_ = reg.AddGauge("d3l_result_cache_entries", {},
+                                "Currently cached entries (both kinds)");
+  negative_entries_gauge_ = reg.AddGauge("d3l_result_cache_negative_entries",
+                                         {}, "Currently cached negative entries");
+  bytes_gauge_ = reg.AddGauge("d3l_result_cache_bytes", {},
+                              "Accounted bytes currently cached");
   // Distribute the budgets as evenly as possible; the first
   // `capacity % shards` shards take the remainder.
   const size_t base = capacity_ / shards_.size();
@@ -67,15 +86,15 @@ CacheLookup ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
     std::lock_guard<std::mutex> lk(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      ++shard.misses;
+      misses_->Increment();
       return CacheLookup::kMiss;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     if (it->second->result == nullptr) {
-      ++shard.negative_hits;
+      negative_hits_->Increment();
       return CacheLookup::kNegative;
     }
-    ++shard.hits;
+    hits_->Increment();
     result = it->second->result;
   }
   // Deep copy outside the lock: concurrent hits on this shard only
@@ -102,7 +121,7 @@ void ResultCache::InsertEntry(const CacheKey& key,
                               size_t bytes) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lk(shard.mu);
-  ++shard.insertions;  // refreshes count too: one per Insert call
+  insertions_->Increment();  // refreshes count too: one per Insert call
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Refresh: identical key means identical outcome, but overwrite anyway
@@ -111,17 +130,30 @@ void ResultCache::InsertEntry(const CacheKey& key,
     // k/mask-collision-free recompute never happens in practice, but the
     // accounting must stay consistent regardless).
     shard.bytes_used -= it->second->bytes;
-    if (it->second->result == nullptr) --shard.negative_entries;
+    bytes_gauge_->Add(-static_cast<int64_t>(it->second->bytes));
+    if (it->second->result == nullptr) {
+      --shard.negative_entries;
+      negative_entries_gauge_->Add(-1);
+    }
     it->second->result = std::move(result);
     it->second->bytes = bytes;
     shard.bytes_used += bytes;
-    if (it->second->result == nullptr) ++shard.negative_entries;
+    bytes_gauge_->Add(static_cast<int64_t>(bytes));
+    if (it->second->result == nullptr) {
+      ++shard.negative_entries;
+      negative_entries_gauge_->Add(1);
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    if (result == nullptr) ++shard.negative_entries;
+    if (result == nullptr) {
+      ++shard.negative_entries;
+      negative_entries_gauge_->Add(1);
+    }
     shard.lru.push_front(Entry{key, std::move(result), bytes});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes_used += bytes;
+    bytes_gauge_->Add(static_cast<int64_t>(bytes));
+    entries_gauge_->Add(1);
   }
   // Trim to both budgets, never evicting the entry just admitted: a single
   // result larger than the whole byte slice still caches (and serves
@@ -131,16 +163,24 @@ void ResultCache::InsertEntry(const CacheKey& key,
           (shard.byte_budget > 0 && shard.bytes_used > shard.byte_budget))) {
     const Entry& victim = shard.lru.back();
     shard.bytes_used -= victim.bytes;
-    if (victim.result == nullptr) --shard.negative_entries;
+    bytes_gauge_->Add(-static_cast<int64_t>(victim.bytes));
+    if (victim.result == nullptr) {
+      --shard.negative_entries;
+      negative_entries_gauge_->Add(-1);
+    }
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    ++shard.evictions;
+    entries_gauge_->Add(-1);
+    evictions_->Increment();
   }
 }
 
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
+    entries_gauge_->Add(-static_cast<int64_t>(shard.lru.size()));
+    negative_entries_gauge_->Add(-static_cast<int64_t>(shard.negative_entries));
+    bytes_gauge_->Add(-static_cast<int64_t>(shard.bytes_used));
     shard.lru.clear();
     shard.index.clear();
     shard.bytes_used = 0;
@@ -149,20 +189,21 @@ void ResultCache::Clear() {
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
+  // A read of this cache's OWN instruments (other caches in the process
+  // feed separate instrument instances even when the exported series
+  // merge), so the struct stays exact per cache.
   Stats stats;
   stats.capacity = capacity_;
   stats.max_bytes = max_bytes_;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
-    stats.hits += shard.hits;
-    stats.misses += shard.misses;
-    stats.negative_hits += shard.negative_hits;
-    stats.insertions += shard.insertions;
-    stats.evictions += shard.evictions;
-    stats.entries += shard.lru.size();
-    stats.negative_entries += shard.negative_entries;
-    stats.bytes += shard.bytes_used;
-  }
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.negative_hits = negative_hits_->Value();
+  stats.insertions = insertions_->Value();
+  stats.evictions = evictions_->Value();
+  stats.entries = static_cast<size_t>(entries_gauge_->Value());
+  stats.negative_entries =
+      static_cast<size_t>(negative_entries_gauge_->Value());
+  stats.bytes = static_cast<size_t>(bytes_gauge_->Value());
   return stats;
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "obs/metrics.h"
 
 namespace d3l::serving {
 
@@ -65,7 +66,9 @@ enum class CacheLookup {
 /// \brief Sharded LRU map from CacheKey to SearchResult.
 class ResultCache {
  public:
-  /// Point-in-time counters (monotone except `entries`/`bytes`).
+  /// Point-in-time counters (monotone except `entries`/`bytes`). A thin
+  /// view over the cache's registry instruments — GetStats() reads the same
+  /// series a STAT scrape exports, there is no second bookkeeping to drift.
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
@@ -85,8 +88,11 @@ class ResultCache {
   /// ApproxResultBytes of the cached entries (also sliced per shard).
   /// `capacity` 0 disables caching: Lookup always misses, Insert is a
   /// no-op. `num_shards` is clamped to [1, capacity] so no shard sits
-  /// permanently empty.
-  explicit ResultCache(size_t capacity, size_t num_shards = 8, size_t max_bytes = 0);
+  /// permanently empty. Counters and occupancy gauges report into
+  /// `registry` (null = the process default) as d3l_result_cache_* series.
+  explicit ResultCache(size_t capacity, size_t num_shards = 8,
+                       size_t max_bytes = 0,
+                       obs::MetricRegistry* registry = nullptr);
 
   /// On a hit, deep-copies the cached result into `*out` and marks the
   /// entry most-recently-used. A negative hit touches recency but leaves
@@ -134,13 +140,11 @@ class ResultCache {
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
     size_t capacity = 0;
     size_t byte_budget = 0;  ///< 0 = unbounded
+    // Occupancy the EVICTION logic needs under this shard's lock; the
+    // outcome counters live directly on the registry instruments below
+    // (atomic — no reason to shard them).
     size_t bytes_used = 0;
     size_t negative_entries = 0;
-    size_t hits = 0;
-    size_t misses = 0;
-    size_t negative_hits = 0;
-    size_t insertions = 0;
-    size_t evictions = 0;
   };
 
   void InsertEntry(const CacheKey& key,
@@ -154,6 +158,18 @@ class ResultCache {
 
   size_t capacity_ = 0;
   size_t max_bytes_ = 0;
+
+  // Registry instruments: counters for probe/insert outcomes, gauges for
+  // current occupancy (updated under the owning shard's lock).
+  std::shared_ptr<obs::Counter> hits_;
+  std::shared_ptr<obs::Counter> misses_;
+  std::shared_ptr<obs::Counter> negative_hits_;
+  std::shared_ptr<obs::Counter> insertions_;
+  std::shared_ptr<obs::Counter> evictions_;
+  std::shared_ptr<obs::Gauge> entries_gauge_;
+  std::shared_ptr<obs::Gauge> negative_entries_gauge_;
+  std::shared_ptr<obs::Gauge> bytes_gauge_;
+
   std::vector<Shard> shards_;
 };
 

@@ -1,11 +1,24 @@
 #include "serving/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace d3l::serving {
 
-ThreadPool::ThreadPool(size_t num_workers) {
+ThreadPool::ThreadPool(size_t num_workers, const char* name,
+                       obs::MetricRegistry* registry) {
+  if (name != nullptr) {
+    obs::MetricRegistry& reg =
+        registry ? *registry : obs::MetricRegistry::Default();
+    const obs::LabelSet labels = {{"pool", name}};
+    queue_depth_ = reg.AddGauge("d3l_thread_pool_queue_depth", labels,
+                                "Posted tasks waiting for a worker");
+    tasks_total_ = reg.AddCounter("d3l_thread_pool_tasks_total", labels,
+                                  "Posted tasks run to completion");
+    task_seconds_ = reg.AddHistogram("d3l_thread_pool_task_seconds", labels,
+                                     "Posted task run time");
+  }
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -53,12 +66,17 @@ void ThreadPool::DrainTasks() {
       if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      // Inside the lock so the gauge moves with the queue it describes
+      // (outside, a concurrent pop could briefly read as a negative depth).
+      if (queue_depth_) queue_depth_->Add(-1);
     }
     RunContained(task);
   }
 }
 
 void ThreadPool::RunContained(const std::function<void()>& task) {
+  const auto start = task_seconds_ ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
   try {
     task();
   } catch (...) {
@@ -66,6 +84,12 @@ void ThreadPool::RunContained(const std::function<void()>& task) {
     // process), silently abandoning every queued task. Contain it instead;
     // the task's own promise (if any) is the task's responsibility.
     task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (task_seconds_) {
+    task_seconds_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    tasks_total_->Increment();
   }
 }
 
@@ -113,6 +137,7 @@ void ThreadPool::Post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lk(m_);
     tasks_.push_back(std::move(fn));
+    if (queue_depth_) queue_depth_->Add(1);
   }
   wake_cv_.notify_one();
 }

@@ -31,9 +31,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace d3l::serving {
 
@@ -41,8 +44,14 @@ namespace d3l::serving {
 class ThreadPool {
  public:
   /// Spawns `num_workers` threads (0 is valid: ParallelFor runs serially on
-  /// the caller, and Post runs tasks inline).
-  explicit ThreadPool(size_t num_workers);
+  /// the caller, and Post runs tasks inline). A non-null `name` turns on
+  /// task-mode metrics under a pool=<name> label (queue depth, task count
+  /// and latency) in `registry` (null = the process default). Batch-mode
+  /// iterations stay uninstrumented on purpose: they are the query engine's
+  /// inner loops, where a histogram record per iteration would be real
+  /// overhead for a signal the per-phase query histograms already carry.
+  explicit ThreadPool(size_t num_workers, const char* name = nullptr,
+                      obs::MetricRegistry* registry = nullptr);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -97,6 +106,11 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::atomic<size_t> task_exceptions_{0};
+
+  // Task-mode instruments; all null when the pool was built without a name.
+  std::shared_ptr<obs::Gauge> queue_depth_;
+  std::shared_ptr<obs::Counter> tasks_total_;
+  std::shared_ptr<obs::Histogram> task_seconds_;
 };
 
 }  // namespace d3l::serving

@@ -1,0 +1,396 @@
+// Unit tests for the observability substrate (src/obs): metric instruments
+// and registry semantics, snapshot merging, Prometheus exposition, the
+// trace span tree with its thread and process propagation primitives, and
+// the log record format.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <regex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace d3l::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddRead) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-20);
+  EXPECT_EQ(g.Value(), -13);  // gauges are signed levels
+}
+
+TEST(HistogramTest, BucketIndexBoundsConsistent) {
+  // Every in-range sample must land in the bucket whose bounds bracket it:
+  // upper_bound(index - 1) <= v < upper_bound(index).
+  const double values[] = {1e-8, 0.001, 0.5,  0.51, 1.0, 1.24,
+                           1.25, 3.7,   42.0, 1e3,  1e9};
+  for (double v : values) {
+    const int index = Histogram::BucketIndex(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    EXPECT_LT(v, Histogram::BucketUpperBound(index)) << v;
+    if (index > 0) {
+      EXPECT_GE(v, Histogram::BucketUpperBound(index - 1)) << v;
+    }
+    // Log-bucketing resolution contract: the bound overestimates v by at
+    // most the 25% bucket width.
+    EXPECT_LE(Histogram::BucketUpperBound(index), v * 1.25 * 1.0000001) << v;
+  }
+}
+
+TEST(HistogramTest, RecordCountsSumAndBuckets) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(1.0);
+  h.Record(8.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 10.0);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(1.0)), 2u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(8.0)), 1u);
+}
+
+TEST(HistogramTest, DegenerateSamplesClampWithoutPoisoningSum) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.Count(), 3u);  // counted...
+  EXPECT_EQ(h.Sum(), 0.0);   // ...but contribute nothing to the sum
+  EXPECT_EQ(h.BucketCount(0), 3u);
+  // Out-of-range magnitudes clamp to the edge buckets.
+  h.Record(1e300);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
+  h.Record(1e-300);
+  EXPECT_EQ(h.BucketCount(0), 4u);
+}
+
+TEST(HistogramTest, QuantilesOverestimateByAtMostOneBucket) {
+  MetricRegistry registry;
+  auto h = registry.AddHistogram("q_seconds");
+  for (int i = 1; i <= 1000; ++i) h->Record(static_cast<double>(i));
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.count, 1000u);
+  const double p50 = hs.Quantile(0.5);
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 500.0 * 1.25);
+  const double p99 = hs.Quantile(0.99);
+  EXPECT_GE(p99, 990.0);
+  EXPECT_LE(p99, 990.0 * 1.25);
+  EXPECT_EQ(hs.Quantile(0.0), hs.Quantile(1e-9));  // lowest bucket
+  EXPECT_GE(hs.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  HistogramSnapshot hs;
+  EXPECT_EQ(hs.Quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, SameIdentityInstrumentsFoldIntoOneSeries) {
+  MetricRegistry registry;
+  auto a = registry.AddCounter("d3l_cache_hits_total", {{"cache", "x"}});
+  auto b = registry.AddCounter("d3l_cache_hits_total", {{"cache", "x"}});
+  a->Increment(2);
+  b->Increment(3);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);  // merged, not duplicated
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  // Each instrument still answers its own reads exactly — the component
+  // Stats() contract.
+  EXPECT_EQ(a->Value(), 2u);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(RegistryTest, LabelSetsSeparateSeries) {
+  MetricRegistry registry;
+  auto a = registry.AddCounter("reqs_total", {{"method", "SRCH"}});
+  auto b = registry.AddCounter("reqs_total", {{"method", "PROF"}});
+  a->Increment(1);
+  b->Increment(2);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("reqs_total{method=\"SRCH\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reqs_total{method=\"PROF\"} 2"), std::string::npos)
+      << text;
+}
+
+TEST(RegistryTest, LabelsCanonicalizeByKey) {
+  MetricRegistry registry;
+  auto a = registry.AddCounter("t_total", {{"b", "2"}, {"a", "1"}});
+  auto b = registry.AddCounter("t_total", {{"a", "1"}, {"b", "2"}});
+  a->Increment(1);
+  b->Increment(1);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);  // same identity despite order
+  EXPECT_EQ(snap.counters[0].value, 2u);
+}
+
+TEST(RegistryTest, DeadInstrumentsDropFromSnapshots) {
+  MetricRegistry registry;
+  auto keep = registry.AddCounter("keep_total");
+  {
+    auto die = registry.AddCounter("die_total");
+    die->Increment(7);
+    EXPECT_EQ(registry.Snapshot().counters.size(), 2u);
+  }
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].info.name, "keep_total");
+}
+
+RegistrySnapshot MakeSnapshot(uint64_t c, int64_t g, double sample) {
+  MetricRegistry registry;
+  auto counter = registry.AddCounter("m_total");
+  auto gauge = registry.AddGauge("m_depth");
+  auto histogram = registry.AddHistogram("m_seconds");
+  counter->Increment(c);
+  gauge->Set(g);
+  histogram->Record(sample);
+  return registry.Snapshot();
+}
+
+TEST(SnapshotTest, MergeIsAssociative) {
+  // (A + B) + C must equal A + (B + C) — the property that lets per-process
+  // snapshots aggregate across a fleet in any order.
+  const RegistrySnapshot a = MakeSnapshot(1, 10, 0.5);
+  const RegistrySnapshot b = MakeSnapshot(2, 20, 0.5);
+  const RegistrySnapshot c = MakeSnapshot(4, 40, 8.0);
+
+  RegistrySnapshot left = a;
+  left.Merge(b);
+  left.Merge(c);
+  RegistrySnapshot bc = b;
+  bc.Merge(c);
+  RegistrySnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.ExportText(), right.ExportText());
+  ASSERT_EQ(left.counters.size(), 1u);
+  EXPECT_EQ(left.counters[0].value, 7u);
+  ASSERT_EQ(left.histograms.size(), 1u);
+  EXPECT_EQ(left.histograms[0].count, 3u);
+  EXPECT_DOUBLE_EQ(left.histograms[0].sum, 9.0);
+  ASSERT_EQ(left.histograms[0].buckets.size(), 2u);  // bucket-wise add
+  EXPECT_EQ(left.histograms[0].buckets[0].second, 2u);
+}
+
+TEST(SnapshotTest, ExportTextGolden) {
+  MetricRegistry registry;
+  auto gauge = registry.AddGauge("d3l_test_depth", {}, "Depth");
+  auto counter =
+      registry.AddCounter("d3l_test_requests_total", {{"method", "SRCH"}},
+                          "Requests");
+  auto histogram = registry.AddHistogram("d3l_test_seconds", {}, "Latency");
+  gauge->Set(5);
+  counter->Increment(3);
+  histogram->Record(1.0);  // bucket upper bound 1.25
+  EXPECT_EQ(registry.ExportText(),
+            "# HELP d3l_test_depth Depth\n"
+            "# TYPE d3l_test_depth gauge\n"
+            "d3l_test_depth 5\n"
+            "# HELP d3l_test_requests_total Requests\n"
+            "# TYPE d3l_test_requests_total counter\n"
+            "d3l_test_requests_total{method=\"SRCH\"} 3\n"
+            "# HELP d3l_test_seconds Latency\n"
+            "# TYPE d3l_test_seconds histogram\n"
+            "d3l_test_seconds_bucket{le=\"1.25\"} 1\n"
+            "d3l_test_seconds_bucket{le=\"+Inf\"} 1\n"
+            "d3l_test_seconds_sum 1\n"
+            "d3l_test_seconds_count 1\n");
+}
+
+TEST(SnapshotTest, ExportEscapesLabelValues) {
+  MetricRegistry registry;
+  auto c = registry.AddCounter("esc_total", {{"path", "a\"b\\c\nd"}});
+  c->Increment(1);
+  EXPECT_NE(registry.ExportText().find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << registry.ExportText();
+}
+
+TEST(RegistryTest, ConcurrentHammerKeepsTotalsExact) {
+  // 8 writer threads on shared instruments, with snapshots taken mid-flight
+  // — the TSan CI job turns any missing synchronization into a failure.
+  MetricRegistry registry;
+  auto counter = registry.AddCounter("hammer_total");
+  auto gauge = registry.AddGauge("hammer_depth");
+  auto histogram = registry.AddHistogram("hammer_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1);
+        histogram->Record(static_cast<double>((i % 16) + 1));
+        if (i % 4096 == 0) (void)registry.Snapshot();
+      }
+      gauge->Add(-kPerThread);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(counter->Value(), kTotal);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), kTotal);
+  // Each thread records 625 of each value 1..16.
+  const double per_thread = (16.0 * 17.0 / 2.0) * (kPerThread / 16);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), per_thread * kThreads);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += histogram->BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(TraceTest, NewTraceIdsAreNonZeroAndDistinct) {
+  const uint64_t a = NewTraceId();
+  const uint64_t b = NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, ScopedSpanIsNoOpWithoutCurrentTrace) {
+  EXPECT_FALSE(CurrentTrace());
+  ScopedSpan span("orphan");
+  EXPECT_EQ(span.index(), -1);
+  EXPECT_EQ(span.context(), nullptr);
+  EXPECT_FALSE(CurrentTrace());
+}
+
+TEST(TraceTest, ScopedSpansNestIntoATree) {
+  auto context = std::make_shared<TraceContext>();
+  {
+    ScopedSpan outer(context, "outer");
+    EXPECT_EQ(outer.index(), 0);
+    EXPECT_TRUE(CurrentTrace());
+    ScopedSpan inner("inner");  // parents under outer via the TLS cursor
+    EXPECT_EQ(inner.index(), 1);
+  }
+  EXPECT_FALSE(CurrentTrace());  // scope restored on destruction
+  const Trace trace = context->Snapshot();
+  EXPECT_EQ(trace.trace_id, context->trace_id());
+  ASSERT_EQ(trace.roots.size(), 1u);
+  EXPECT_EQ(trace.roots[0].name, "outer");
+  ASSERT_EQ(trace.roots[0].children.size(), 1u);
+  EXPECT_EQ(trace.roots[0].children[0].name, "inner");
+  EXPECT_GE(trace.roots[0].duration_ns, trace.roots[0].children[0].duration_ns);
+}
+
+TEST(TraceTest, RetrospectiveSpanUsesExplicitEpoch) {
+  const auto epoch =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(10);
+  TraceContext context(77, epoch);
+  EXPECT_EQ(context.trace_id(), 77u);
+  EXPECT_GE(context.NowNs(), 10u * 1000 * 1000);  // epoch lies in the past
+  context.AddSpan("queue", -1, 0, 5 * 1000 * 1000);
+  const Trace trace = context.Snapshot();
+  ASSERT_EQ(trace.roots.size(), 1u);
+  EXPECT_EQ(trace.roots[0].name, "queue");
+  EXPECT_EQ(trace.roots[0].start_ns, 0u);
+  EXPECT_EQ(trace.roots[0].duration_ns, 5u * 1000 * 1000);
+}
+
+TEST(TraceTest, AttachStitchesForeignSubtrees) {
+  TraceContext context(42);
+  const int root = context.AddSpan("rpc:SRCH", -1, 0, 100);
+  Span server;
+  server.name = "serve:SRCH";
+  server.children.push_back({"engine:search", 10, 80, {}});
+  context.Attach(root, std::move(server));
+  // A second subtree with no anchor becomes a root of its own.
+  context.Attach(-1, Span{"orphan", 0, 1, {}});
+  const Trace trace = context.Snapshot();
+  ASSERT_EQ(trace.roots.size(), 2u);
+  ASSERT_EQ(trace.roots[0].children.size(), 1u);
+  EXPECT_EQ(trace.roots[0].children[0].name, "serve:SRCH");
+  ASSERT_EQ(trace.roots[0].children[0].children.size(), 1u);
+  EXPECT_EQ(trace.roots[0].children[0].children[0].name, "engine:search");
+  EXPECT_EQ(trace.roots[1].name, "orphan");
+}
+
+TEST(TraceTest, TraceScopePropagatesAcrossThreads) {
+  auto context = std::make_shared<TraceContext>();
+  {
+    ScopedSpan dispatch(context, "dispatch");
+    const TraceHandle handle = CurrentTrace();  // capture before the hop
+    std::thread worker([handle] {
+      EXPECT_FALSE(CurrentTrace());  // fresh thread starts untraced
+      TraceScope scope(handle);
+      ScopedSpan span("worker");
+      EXPECT_GE(span.index(), 0);
+    });
+    worker.join();
+  }
+  const Trace trace = context->Snapshot();
+  ASSERT_EQ(trace.roots.size(), 1u);
+  ASSERT_EQ(trace.roots[0].children.size(), 1u);
+  EXPECT_EQ(trace.roots[0].children[0].name, "worker");
+}
+
+TEST(TraceTest, SpanCapDegradesToDroppedSpans) {
+  TraceContext context(1);
+  for (size_t i = 0; i < TraceContext::kMaxSpans + 10; ++i) {
+    context.AddSpan("s", -1, 0, 1);
+  }
+  EXPECT_EQ(context.span_count(), TraceContext::kMaxSpans);
+  EXPECT_EQ(context.StartSpan("over", -1), -1);
+  context.EndSpan(-1);  // harmless by contract
+}
+
+TEST(TraceTest, FormatTraceRendersIdAndTree) {
+  TraceContext context(0xABCDu);
+  const int root = context.AddSpan("execute", -1, 0, 2000000);
+  context.AddSpan("search", root, 500, 1000000);
+  const std::string text = FormatTrace(context.Snapshot());
+  EXPECT_NE(text.find("000000000000abcd"), std::string::npos) << text;
+  EXPECT_NE(text.find("execute"), std::string::npos) << text;
+  EXPECT_NE(text.find("search"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingTest, FormatLogRecordPinsThePrefixShape) {
+  const std::string line =
+      internal::FormatLogRecord(LogLevel::kWarning, "hello");
+  const std::regex shape(
+      "\\[[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:"
+      "[0-9]{2}\\.[0-9]{3}Z\\] \\[WARN\\] \\[tid [0-9]+\\] hello\n");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+  // Same thread, same dense tid.
+  const std::string again =
+      internal::FormatLogRecord(LogLevel::kError, "again");
+  const auto tid_at = [](const std::string& s) {
+    const size_t at = s.find("[tid ");
+    return s.substr(at, s.find(']', at) - at);
+  };
+  EXPECT_EQ(tid_at(line), tid_at(again));
+  EXPECT_NE(again.find("[ERROR]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d3l::obs

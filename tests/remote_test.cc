@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "core/query.h"
+#include "obs/trace.h"
 #include "rpc/server.h"
 #include "serving/backend_ref.h"
 #include "serving/discovery_service.h"
@@ -250,6 +251,83 @@ TEST_F(RemoteTest, ReloadPicksUpARebuiltDeploymentExactly) {
     ExpectIdenticalResults(*expected, *actual,
                            "post-reload target=" + target.name());
   }
+}
+
+// ----------------------------------------------------------------- tracing
+
+/// Flattens the span tree into slash-joined root-to-span paths, e.g.
+/// "execute/search/rpc:DCNT 127.0.0.1:7001/serve:DCNT".
+void CollectSpanPaths(const obs::Span& span, const std::string& prefix,
+                      std::vector<std::string>* paths) {
+  const std::string path = prefix.empty() ? span.name : prefix + "/" + span.name;
+  paths->push_back(path);
+  for (const obs::Span& child : span.children) {
+    CollectSpanPaths(child, path, paths);
+  }
+}
+
+TEST_F(RemoteTest, QueryAgainstTwoServersYieldsOneStitchedTrace) {
+  DataLake lake = testutil::FigureLake(4);
+  const std::string manifest = BuildDeployment(lake, 2, "trace");
+  const std::vector<std::string> endpoints = StartServers(manifest, {{0}, {1}});
+  auto remote = serving::RemoteBackend::Connect(endpoints, FastFail());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  serving::DiscoveryService service(remote->get());
+  const Table target = testutil::FigureTarget();
+  serving::QueryResponse response =
+      service.Submit({&target, 5, std::nullopt, false}).get();
+  ASSERT_TRUE(response.result.ok()) << response.result.status().ToString();
+
+  // One trace for the whole cross-process query: the client's phase spans
+  // with each server's subtree stitched under the RPC that fetched it.
+  ASSERT_NE(response.stats.trace, nullptr);
+  const obs::Trace& trace = *response.stats.trace;
+  EXPECT_NE(trace.trace_id, 0u);
+  std::vector<std::string> paths;
+  for (const obs::Span& root : trace.roots) CollectSpanPaths(root, "", &paths);
+  // Counts the spans whose path matches `needle` ending in the FINAL
+  // segment — descendants of a match extend the path with '/' and are not
+  // re-counted.
+  const auto count_with = [&paths](const std::string& needle) {
+    size_t n = 0;
+    for (const std::string& p : paths) {
+      const size_t at = p.rfind(needle);
+      if (at != std::string::npos &&
+          p.find('/', at + needle.size()) == std::string::npos) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  // Client-side phases (queue is a retrospective root, execute wraps the
+  // pipeline).
+  EXPECT_EQ(count_with("queue"), 1u) << FormatTrace(trace);
+  EXPECT_EQ(count_with("execute/profile"), 1u) << FormatTrace(trace);
+  EXPECT_GE(count_with("execute/search"), 1u) << FormatTrace(trace);
+  // Server-side handling spans: each of the two servers answers one DCNT
+  // and one SCOR during the scatter-gather, under the client span of the
+  // RPC that carried it.
+  EXPECT_EQ(count_with("search/rpc:DCNT"), 2u) << FormatTrace(trace);
+  EXPECT_EQ(count_with("serve:DCNT"), 2u) << FormatTrace(trace);
+  EXPECT_EQ(count_with("serve:SCOR"), 2u) << FormatTrace(trace);
+  // ...including the servers' own engine phases, proving the subtree came
+  // from the server process, not the client's bookkeeping.
+  EXPECT_EQ(count_with("serve:DCNT/engine:depth_counts"), 2u)
+      << FormatTrace(trace);
+  EXPECT_EQ(count_with("serve:SCOR/engine:score_at_stops"), 2u)
+      << FormatTrace(trace);
+
+  // Tracing off → no trace is built or shipped.
+  serving::DiscoveryServiceOptions quiet;
+  quiet.trace_queries = false;
+  serving::DiscoveryService untraced(remote->get(), quiet);
+  serving::QueryResponse quiet_response =
+      untraced.Submit({&target, 5, std::nullopt, true}).get();
+  ASSERT_TRUE(quiet_response.result.ok())
+      << quiet_response.result.status().ToString();
+  EXPECT_EQ(quiet_response.stats.trace, nullptr);
 }
 
 // ------------------------------------------------------------- degradation

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "obs/trace.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
 #include "rpc/wire.h"
@@ -300,6 +301,51 @@ TEST_F(RpcServerTest, ApplicationErrorsComeBackAsWireStatuses) {
   ExpectServerStillHealthy();
 }
 
+TEST_F(RpcServerTest, StatReturnsPrometheusExposition) {
+  rpc::RpcClient client("127.0.0.1", server_->port());
+  const std::string request =
+      rpc::BuildFrame(rpc::kMethodStat, [](io::Writer&) {});
+  auto response = client.CallChecked(rpc::kMethodStat, request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const std::string text = (*response)->ReadString();
+  ASSERT_TRUE((*response)->status().ok());
+  ASSERT_TRUE((*response)->EndSection().ok());
+  EXPECT_NE(text.find("# TYPE d3l_rpc_server_requests_total counter"),
+            std::string::npos)
+      << text;
+  // The STAT request itself is already on the books when the exposition is
+  // rendered.
+  EXPECT_NE(text.find("d3l_rpc_server_method_requests_total{method=\"STAT\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE d3l_rpc_server_handle_seconds histogram"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(RpcServerTest, TracedCallStitchesTheServerSubtree) {
+  auto context = std::make_shared<obs::TraceContext>();
+  rpc::RpcClient client("127.0.0.1", server_->port());
+  const std::string request =
+      rpc::BuildFrame(rpc::kMethodInfo, [](io::Writer&) {});
+  {
+    obs::ScopedSpan root(context, "query");
+    auto response = client.CallChecked(rpc::kMethodInfo, request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  // query -> rpc:INFO <endpoint> -> serve:INFO (the server's span tree,
+  // recorded in its process under the same trace id and attached by the
+  // client).
+  const obs::Trace trace = context->Snapshot();
+  ASSERT_EQ(trace.roots.size(), 1u);
+  EXPECT_EQ(trace.roots[0].name, "query");
+  ASSERT_EQ(trace.roots[0].children.size(), 1u);
+  const obs::Span& rpc_span = trace.roots[0].children[0];
+  EXPECT_EQ(rpc_span.name.rfind("rpc:INFO", 0), 0u) << rpc_span.name;
+  ASSERT_FALSE(rpc_span.children.empty());
+  EXPECT_EQ(rpc_span.children[0].name, "serve:INFO");
+}
+
 TEST_F(RpcServerTest, ReloadWithoutHookIsInvalidArgument) {
   rpc::RpcClient client("127.0.0.1", server_->port());
   const std::string request =
@@ -445,6 +491,72 @@ TEST(RpcFrameTest, RoundTripsOverASocketPair) {
   io::Reader r;
   ASSERT_TRUE(rpc::OpenFrame(r, std::move(*received)).ok());
   EXPECT_EQ(r.ReadU64(), 12345u);
+  EXPECT_TRUE(r.EndSection().ok());
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(RpcFrameTest, TraceIdRidesTheVersionWord) {
+  const std::string frame =
+      rpc::BuildFrame(rpc::kMethodInfo, [](io::Writer&) {});
+  EXPECT_EQ(rpc::WithTraceId(frame, 0), frame);  // 0 = not tracing
+  const std::string traced = rpc::WithTraceId(frame, 0x1122334455667788ull);
+  EXPECT_EQ(traced.size(), frame.size() + 8);
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(rpc::SendFrame(fds[0], traced, rpc::After(5.0)).ok());
+  auto received = rpc::RecvFrame(fds[1], rpc::After(5.0));
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(received->method, rpc::kMethodInfo);
+  io::Reader r;
+  EXPECT_TRUE(rpc::OpenFrame(r, std::move(*received)).ok());
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(RpcFrameTest, SpanSectionRoundTripsAndIsResponseOnly) {
+  std::string frame =
+      rpc::BuildFrame(rpc::kMethodSearch, [](io::Writer& w) {
+        w.WriteU64(1);
+      });
+  std::vector<obs::Span> roots(1);
+  roots[0].name = "serve:SRCH";
+  roots[0].start_ns = 100;
+  roots[0].duration_ns = 2000;
+  roots[0].children.push_back({"engine:search", 150, 1800, {}});
+  rpc::AppendSpans(&frame, roots);
+
+  // A receiver in server position (allow_spans off) must reject a frame
+  // claiming to carry spans — only responses may.
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(rpc::SendFrame(fds[0], frame, rpc::After(5.0)).ok());
+  auto rejected = rpc::RecvFrame(fds[1], rpc::After(5.0));
+  EXPECT_FALSE(rejected.ok());
+  close(fds[0]);
+  close(fds[1]);
+
+  // A client reading a response decodes the subtree exactly.
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(rpc::SendFrame(fds[0], frame, rpc::After(5.0)).ok());
+  auto received =
+      rpc::RecvFrame(fds[1], rpc::After(5.0), nullptr, /*allow_spans=*/true);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  ASSERT_FALSE(received->spans_section.empty());
+  auto decoded = rpc::DecodeSpans(*received);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].name, "serve:SRCH");
+  EXPECT_EQ((*decoded)[0].start_ns, 100u);
+  EXPECT_EQ((*decoded)[0].duration_ns, 2000u);
+  ASSERT_EQ((*decoded)[0].children.size(), 1u);
+  EXPECT_EQ((*decoded)[0].children[0].name, "engine:search");
+  // The method payload is still intact behind the appended section.
+  io::Reader r;
+  ASSERT_TRUE(rpc::OpenFrame(r, std::move(*received)).ok());
+  EXPECT_EQ(r.ReadU64(), 1u);
   EXPECT_TRUE(r.EndSection().ok());
   close(fds[0]);
   close(fds[1]);
