@@ -26,6 +26,28 @@
 
 namespace d3l::bench {
 
+/// Writes `text` to `path`, reporting every failure mode (open, short
+/// write, close/flush) as a Status. The --metrics-out CI artifacts go
+/// through this so a full disk or bad path fails the bench run instead of
+/// silently uploading a truncated snapshot.
+inline Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (std::fclose(f) != 0) {
+    return Status::IOError("close failed for " + path +
+                           " (buffered bytes may be lost)");
+  }
+  if (written != text.size()) {
+    return Status::IOError("short write to " + path + ": " +
+                           std::to_string(written) + " of " +
+                           std::to_string(text.size()) + " bytes");
+  }
+  return Status::OK();
+}
+
 /// Default-scale Synthetic repository (DESIGN.md §7: 900 tables at 1.0).
 inline benchdata::GeneratedLake MakeSynthetic(double scale, uint64_t seed = 42) {
   benchdata::SyntheticOptions opts;

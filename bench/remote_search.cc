@@ -179,14 +179,13 @@ int main(int argc, char** argv) {
       "not index work.\n");
 
   if (!metrics_out.empty()) {
-    const std::string text = accumulated.ExportText();
-    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
-    if (f == nullptr) {
-      fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
+    const Status written =
+        bench::WriteTextFile(metrics_out, accumulated.ExportText());
+    if (!written.ok()) {
+      fprintf(stderr, "metrics snapshot failed: %s\n",
+              written.ToString().c_str());
       return 1;
     }
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
   }
 
   if (!all_exact) {

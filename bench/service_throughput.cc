@@ -212,14 +212,13 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     // Post-run registry snapshot for the CI artifact. Written before the
     // gates so a failing run still leaves the evidence behind.
-    const std::string text = obs::MetricRegistry::Default().ExportText();
-    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
-    if (f == nullptr) {
-      fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
+    const Status written = bench::WriteTextFile(
+        metrics_out, obs::MetricRegistry::Default().ExportText());
+    if (!written.ok()) {
+      fprintf(stderr, "metrics snapshot failed: %s\n",
+              written.ToString().c_str());
       return 1;
     }
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
   }
 
   const bool all_exact = uncached.exact && untraced.exact && cold.exact &&

@@ -105,7 +105,9 @@ int main(int argc, char** argv) {
     serving::QueryBatch batch;
     batch.targets = targets;
     batch.k = k;
-    (void)(*engine)->Execute(batch);  // warm-up
+    // Warm-up — but an error here would skew the timed pass below, so
+    // check it instead of discarding (this used to be a silent `(void)`).
+    for (auto& warm : (*engine)->Execute(batch)) warm.status().CheckOK();
     eval::Timer t_query;
     auto results = (*engine)->Execute(batch);
     double ms = t_query.Seconds() * 1000 / static_cast<double>(targets.size());

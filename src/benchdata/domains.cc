@@ -311,6 +311,8 @@ DomainRegistry::DomainRegistry() {
 }
 
 const DomainRegistry& DomainRegistry::Instance() {
+  // d3l-lint: allow(naked-new) -- intentional static leak (never destroyed),
+  // so generator threads can touch the registry during program teardown.
   static const DomainRegistry* kInstance = new DomainRegistry();
   return *kInstance;
 }

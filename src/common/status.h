@@ -17,6 +17,9 @@ namespace d3l {
 /// The numeric values are STABLE: they are carried verbatim over the RPC
 /// wire protocol (src/rpc) between builds of different versions, so an
 /// existing code must never be renumbered. New codes append at the end.
+/// The frozen values live in tools/frozen_codes.json, and tools/d3l_lint.py
+/// fails the build if this enum (or the RPC verbs / wire magics) drifts
+/// from that manifest — update the manifest ONLY when appending a new code.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,
@@ -43,7 +46,11 @@ StatusCode StatusCodeFromWire(uint32_t code);
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
 /// An OK status carries no allocation; error statuses carry a heap message.
-class Status {
+///
+/// Class-level [[nodiscard]]: every function returning a Status by value
+/// warns (and fails -Werror builds) if the caller drops the return. A
+/// deliberate drop must go through D3L_IGNORE_STATUS with a rationale.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -121,8 +128,11 @@ class Status {
 };
 
 /// \brief A value-or-Status holder for fallible functions that produce a T.
+///
+/// [[nodiscard]] like Status: dropping a Result discards an error AND a
+/// computed value, which is a bug in every case observed so far.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -169,6 +179,21 @@ class Result {
 
   std::variant<T, Status> v_;
 };
+
+/// Discards a Status/Result on purpose, with an auditable rationale.
+///
+/// [[nodiscard]] makes a bare `Foo();` a build error when Foo returns a
+/// Status — which is almost always right. The rare legitimate drops
+/// (best-effort cleanup, an error already counted through a metric and
+/// retried elsewhere) go through this macro so each one names its reason
+/// at the call site and greps as `D3L_IGNORE_STATUS`. The `why` argument
+/// must be a non-empty string literal; it is compiled out.
+#define D3L_IGNORE_STATUS(expr, why)                                         \
+  do {                                                                       \
+    static_assert(sizeof("" why) > 1,                                        \
+                  "D3L_IGNORE_STATUS needs a non-empty rationale literal");  \
+    static_cast<void>(expr);                                                 \
+  } while (0)
 
 /// Propagates a non-OK Status to the caller.
 #define D3L_RETURN_NOT_OK(expr)            \

@@ -1,0 +1,214 @@
+// Clang thread-safety annotations plus capability-annotated mutex wrappers
+// — the compile-time locking discipline of the concurrent tier.
+//
+// Every mutex-protected member in src/serving, src/rpc, src/obs and
+// src/table is declared through these wrappers and tagged with
+// D3L_GUARDED_BY(mu), and every function with a locking precondition is
+// tagged D3L_REQUIRES(mu). Under clang with -Wthread-safety (the CI
+// static-analysis job passes -Werror=thread-safety-analysis) the compiler
+// then REJECTS code that reads or writes a guarded member without holding
+// its mutex, releases a lock it does not hold, or calls a REQUIRES
+// function unlocked — the two race classes PR 6 and PR 8 fixed at runtime
+// become build failures. Under gcc (and any compiler without the
+// attributes) every macro expands to nothing and the wrappers are
+// zero-overhead shims over the std primitives.
+//
+// Usage pattern:
+//
+//   class Account {
+//    public:
+//     void Deposit(int64_t amount) D3L_EXCLUDES(mu_) {
+//       MutexLock lk(mu_);
+//       balance_ += amount;          // OK: mu_ held via the scoped lock
+//     }
+//    private:
+//     mutable Mutex mu_;
+//     int64_t balance_ D3L_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition variables: CondVar::Wait takes the MutexLock itself, so the
+// analysis sees the capability held across the wait (matching reality:
+// wait() reacquires before returning). Write waits as explicit loops —
+//
+//   MutexLock lk(m_);
+//   while (!ready_) cv_.Wait(lk);    // ready_ checked with m_ held
+//
+// — rather than predicate lambdas: the predicate then lives in the
+// annotated enclosing function and needs no lambda attributes.
+//
+// The repo lint (tools/d3l_lint.py) enforces that no raw std::mutex /
+// std::shared_mutex / std::condition_variable member is declared outside
+// this header: locking that bypasses the wrappers is invisible to the
+// analysis and fails the build.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+
+// -- Attribute macros (clang -Wthread-safety vocabulary; no-ops elsewhere) --
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define D3L_THREAD_ANNOTATION_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef D3L_THREAD_ANNOTATION_ATTR
+#define D3L_THREAD_ANNOTATION_ATTR(x)  // not clang: annotations compile away
+#endif
+
+/// Declares a type to be a lockable capability (e.g. "mutex").
+#define D3L_CAPABILITY(x) D3L_THREAD_ANNOTATION_ATTR(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define D3L_SCOPED_CAPABILITY D3L_THREAD_ANNOTATION_ATTR(scoped_lockable)
+
+/// Member may only be accessed while holding the given mutex.
+#define D3L_GUARDED_BY(x) D3L_THREAD_ANNOTATION_ATTR(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding the given mutex.
+#define D3L_PT_GUARDED_BY(x) D3L_THREAD_ANNOTATION_ATTR(pt_guarded_by(x))
+
+/// Function may only be called while holding the given mutex(es).
+#define D3L_REQUIRES(...) \
+  D3L_THREAD_ANNOTATION_ATTR(requires_capability(__VA_ARGS__))
+#define D3L_REQUIRES_SHARED(...) \
+  D3L_THREAD_ANNOTATION_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex and holds it on return.
+#define D3L_ACQUIRE(...) D3L_THREAD_ANNOTATION_ATTR(acquire_capability(__VA_ARGS__))
+#define D3L_ACQUIRE_SHARED(...) \
+  D3L_THREAD_ANNOTATION_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex (which must be held on entry).
+#define D3L_RELEASE(...) D3L_THREAD_ANNOTATION_ATTR(release_capability(__VA_ARGS__))
+#define D3L_RELEASE_SHARED(...) \
+  D3L_THREAD_ANNOTATION_ATTR(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define D3L_TRY_ACQUIRE(...) \
+  D3L_THREAD_ANNOTATION_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given mutex (deadlock prevention).
+#define D3L_EXCLUDES(...) D3L_THREAD_ANNOTATION_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex.
+#define D3L_RETURN_CAPABILITY(x) D3L_THREAD_ANNOTATION_ATTR(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but inexpressible.
+/// Every use needs a comment saying why — audited by review, not tooling.
+#define D3L_NO_THREAD_SAFETY_ANALYSIS \
+  D3L_THREAD_ANNOTATION_ATTR(no_thread_safety_analysis)
+
+namespace d3l {
+
+class CondVar;
+
+/// \brief Capability-annotated exclusive mutex over std::mutex.
+///
+/// Prefer the scoped MutexLock; Lock()/Unlock() exist for the rare
+/// split-acquire pattern and stay visible to the analysis.
+class D3L_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() D3L_ACQUIRE() { mu_.lock(); }
+  void Unlock() D3L_RELEASE() { mu_.unlock(); }
+  bool TryLock() D3L_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// \brief Capability-annotated reader/writer mutex over std::shared_mutex.
+class D3L_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() D3L_ACQUIRE() { mu_.lock(); }
+  void Unlock() D3L_RELEASE() { mu_.unlock(); }
+  void LockShared() D3L_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() D3L_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class SharedMutexLock;
+  friend class SharedReaderLock;
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock on a Mutex (the std::lock_guard /
+/// std::unique_lock replacement). Holds the capability for its lifetime;
+/// CondVar::Wait may temporarily release and reacquire it.
+class D3L_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) D3L_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexLock() D3L_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// \brief Scoped exclusive lock on a SharedMutex.
+class D3L_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) D3L_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~SharedMutexLock() D3L_RELEASE() {}
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lk_;
+};
+
+/// \brief Scoped shared (reader) lock on a SharedMutex.
+class D3L_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) D3L_ACQUIRE_SHARED(mu)
+      : lk_(mu.mu_) {}
+  ~SharedReaderLock() D3L_RELEASE() {}
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lk_;
+};
+
+/// \brief Condition variable bound to MutexLock, so waits stay inside the
+/// annotated locking discipline (the capability reads as held across Wait,
+/// which matches the reacquire-before-return semantics).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, waits, reacquires. Spurious wakeups
+  /// happen: always wait in a `while (!condition)` loop.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lk_); }
+
+  /// Wait with a deadline; std::cv_status::timeout when it passed.
+  std::cv_status WaitUntil(MutexLock& lock,
+                           std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lk_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace d3l

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace d3l::eval {
@@ -15,18 +16,32 @@ std::vector<uint32_t> SampleTargets(const DataLake& lake, size_t n, uint64_t see
   return out;
 }
 
-double ParseScaleArg(int argc, char** argv, double default_scale) {
+Result<double> ParseScale(int argc, char** argv, double default_scale) {
+  double scale = default_scale;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--scale=", 8) == 0) {
-      double v = std::atof(a + 8);
-      if (v > 0) return v;
-      std::fprintf(stderr, "ignoring non-positive scale '%s'\n", a);
+      const double v = std::atof(a + 8);
+      if (v <= 0) {
+        return Status::InvalidArgument(std::string("non-positive scale '") + a +
+                                       "'");
+      }
+      scale = v;
     } else {
-      std::fprintf(stderr, "unrecognized argument '%s' (expected --scale=X)\n", a);
+      return Status::InvalidArgument(std::string("unrecognized argument '") +
+                                     a + "' (expected --scale=X)");
     }
   }
-  return default_scale;
+  return scale;
+}
+
+double ParseScaleArg(int argc, char** argv, double default_scale) {
+  Result<double> scale = ParseScale(argc, argv, default_scale);
+  if (!scale.ok()) {
+    std::fprintf(stderr, "%s\n", scale.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *scale;
 }
 
 size_t Scaled(size_t base, double scale) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "table/lake.h"
 
 namespace d3l::eval {
@@ -29,8 +30,14 @@ class Timer {
 /// targets (the paper draws 100 random targets per experiment point).
 std::vector<uint32_t> SampleTargets(const DataLake& lake, size_t n, uint64_t seed);
 
-/// \brief Parses a "--scale=<float>" argument from argv (1.0 if absent);
-/// benches use it to grow/shrink workload sizes.
+/// \brief Parses a "--scale=<float>" argument from argv (`default_scale`
+/// if absent). A non-positive/unparsable scale or an unrecognized argument
+/// is an InvalidArgument — NOT a warning: a mistyped flag must not silently
+/// run the default workload and publish its numbers as if configured.
+Result<double> ParseScale(int argc, char** argv, double default_scale = 1.0);
+
+/// \brief ParseScale for bench main()s: prints the error and exits with
+/// status 2 on a bad command line, so CI fails instead of mislabeling runs.
 double ParseScaleArg(int argc, char** argv, double default_scale = 1.0);
 
 /// \brief Scales a count by the bench scale factor (minimum 1).

@@ -231,6 +231,8 @@ std::string RegistrySnapshot::ExportText() const {
 }
 
 MetricRegistry& MetricRegistry::Default() {
+  // d3l-lint: allow(naked-new) -- intentional static leak: exit-time
+  // destruction would race instrument threads still recording at shutdown.
   static MetricRegistry* registry = new MetricRegistry();  // never destroyed
   return *registry;
 }
@@ -239,7 +241,7 @@ std::shared_ptr<Counter> MetricRegistry::AddCounter(std::string name,
                                                     LabelSet labels,
                                                     std::string help) {
   auto counter = std::make_shared<Counter>();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Entry e;
   e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
   e.kind = Kind::kCounter;
@@ -251,7 +253,7 @@ std::shared_ptr<Counter> MetricRegistry::AddCounter(std::string name,
 std::shared_ptr<Gauge> MetricRegistry::AddGauge(std::string name, LabelSet labels,
                                                 std::string help) {
   auto gauge = std::make_shared<Gauge>();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Entry e;
   e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
   e.kind = Kind::kGauge;
@@ -264,7 +266,7 @@ std::shared_ptr<Histogram> MetricRegistry::AddHistogram(std::string name,
                                                         LabelSet labels,
                                                         std::string help) {
   auto histogram = std::make_shared<Histogram>();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Entry e;
   e.info = {std::move(name), Canonical(std::move(labels)), std::move(help)};
   e.kind = Kind::kHistogram;
@@ -275,7 +277,7 @@ std::shared_ptr<Histogram> MetricRegistry::AddHistogram(std::string name,
 
 RegistrySnapshot MetricRegistry::Snapshot() const {
   RegistrySnapshot merged;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   size_t kept = 0;
   for (size_t idx = 0; idx < entries_.size(); ++idx) {
     Entry& e = entries_[idx];

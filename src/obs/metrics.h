@@ -34,10 +34,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace d3l::obs {
 
@@ -187,8 +188,8 @@ class MetricRegistry {
     std::weak_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  mutable std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  mutable std::vector<Entry> entries_ D3L_GUARDED_BY(mu_);
 };
 
 }  // namespace d3l::obs

@@ -41,7 +41,7 @@ uint64_t TraceContext::NowNs() const {
 
 int TraceContext::StartSpan(std::string name, int parent) {
   const uint64_t start = NowNs();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (records_.size() >= kMaxSpans) return -1;
   SpanRecord rec;
   rec.name = std::move(name);
@@ -53,7 +53,7 @@ int TraceContext::StartSpan(std::string name, int parent) {
 
 void TraceContext::EndSpan(int index) {
   const uint64_t now = NowNs();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (index < 0 || static_cast<size_t>(index) >= records_.size()) return;
   SpanRecord& rec = records_[static_cast<size_t>(index)];
   rec.duration_ns = now > rec.start_ns ? now - rec.start_ns : 0;
@@ -61,7 +61,7 @@ void TraceContext::EndSpan(int index) {
 
 int TraceContext::AddSpan(std::string name, int parent, uint64_t start_ns,
                           uint64_t duration_ns) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (records_.size() >= kMaxSpans) return -1;
   SpanRecord rec;
   rec.name = std::move(name);
@@ -73,7 +73,7 @@ int TraceContext::AddSpan(std::string name, int parent, uint64_t start_ns,
 }
 
 void TraceContext::Attach(int parent, Span subtree) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (parent >= 0 && static_cast<size_t>(parent) < records_.size()) {
     records_[static_cast<size_t>(parent)].attached.push_back(std::move(subtree));
   } else {
@@ -82,7 +82,7 @@ void TraceContext::Attach(int parent, Span subtree) {
 }
 
 Trace TraceContext::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Trace trace;
   trace.trace_id = trace_id_;
 
@@ -114,7 +114,7 @@ Trace TraceContext::Snapshot() const {
 }
 
 size_t TraceContext::span_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return records_.size();
 }
 

@@ -30,9 +30,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace d3l::obs {
 
@@ -103,9 +104,9 @@ class TraceContext {
 
   const uint64_t trace_id_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> records_;
-  std::vector<Span> attached_roots_;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> records_ D3L_GUARDED_BY(mu_);
+  std::vector<Span> attached_roots_ D3L_GUARDED_BY(mu_);
 };
 
 /// \brief The thread's position inside a trace: which context, and which

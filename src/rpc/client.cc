@@ -49,7 +49,13 @@ RpcClient::RpcClient(std::string host, uint16_t port, RpcClientOptions options)
                                    labels, "Response bytes read off the wire");
 }
 
-RpcClient::~RpcClient() { CloseConnection(); }
+RpcClient::~RpcClient() {
+  // No concurrent Call can exist at destruction, but CloseConnection
+  // REQUIRES(mu_) — take the (uncontended) lock so the contract holds
+  // everywhere instead of carving out a destructor exception.
+  MutexLock lock(mu_);
+  CloseConnection();
+}
 
 void RpcClient::CloseConnection() {
   if (fd_ >= 0) {
@@ -150,7 +156,7 @@ RpcClient::MethodInstruments& RpcClient::InstrumentsFor(uint32_t method) {
 }
 
 Result<Frame> RpcClient::Call(uint32_t method, const std::string& frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MethodInstruments& mi = InstrumentsFor(method);
   mi.requests->Increment();
   // When the calling thread is tracing, this span covers the whole call

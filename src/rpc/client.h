@@ -24,11 +24,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/wire.h"
@@ -70,7 +70,8 @@ class RpcClient {
   /// Transport failures exhaust the retry budget and come back as
   /// Status::Unavailable; a well-formed response is returned whatever wire
   /// status it carries (decode it with OpenResponse).
-  Result<Frame> Call(uint32_t method, const std::string& frame);
+  Result<Frame> Call(uint32_t method, const std::string& frame)
+      D3L_EXCLUDES(mu_);
 
   /// Call + OpenResponse in one step: the reader is positioned after an OK
   /// wire status, ready for the method's response body.
@@ -83,14 +84,14 @@ class RpcClient {
     std::shared_ptr<obs::Histogram> latency;
   };
 
-  Status EnsureConnected(Deadline deadline);
-  void CloseConnection();
+  Status EnsureConnected(Deadline deadline) D3L_REQUIRES(mu_);
+  void CloseConnection() D3L_REQUIRES(mu_);
   /// The retry loop behind Call (mu_ held). `trace`/`span_index` anchor
   /// server-returned span trees; null/-1 when the caller is not tracing.
   Result<Frame> CallLocked(uint32_t method, const std::string& frame,
                            const std::shared_ptr<obs::TraceContext>& trace,
-                           int span_index);
-  MethodInstruments& InstrumentsFor(uint32_t method);  // mu_ held
+                           int span_index) D3L_REQUIRES(mu_);
+  MethodInstruments& InstrumentsFor(uint32_t method) D3L_REQUIRES(mu_);
 
   const std::string host_;
   const uint16_t port_;
@@ -102,15 +103,16 @@ class RpcClient {
   std::shared_ptr<obs::Counter> unavailable_;
   std::shared_ptr<obs::Counter> bytes_sent_;
   std::shared_ptr<obs::Counter> bytes_received_;
-  std::unordered_map<uint32_t, MethodInstruments> per_method_;  // mu_ held
+  std::unordered_map<uint32_t, MethodInstruments> per_method_
+      D3L_GUARDED_BY(mu_);
 
   /// Cleared the first time this endpoint rejects a trace-flagged frame as
   /// an unsupported protocol version (an old server): later calls go out
   /// untraced immediately instead of paying a rejected round trip each.
   std::atomic<bool> peer_supports_trace_{true};
 
-  std::mutex mu_;  ///< serializes Call: one in-flight request per connection
-  int fd_ = -1;
+  Mutex mu_;  ///< serializes Call: one in-flight request per connection
+  int fd_ D3L_GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace d3l::rpc

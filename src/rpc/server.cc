@@ -65,7 +65,12 @@ Result<std::unique_ptr<RpcServer>> RpcServer::Start(
   const size_t workers = options.num_workers > 0 ? options.num_workers : 1;
   auto server =
       std::unique_ptr<RpcServer>(new RpcServer(std::move(options), workers));
-  server->engine_ = std::move(engine);
+  {
+    // Start is a static factory, not the constructor: the guarded member
+    // takes its lock even though the server is not yet shared.
+    MutexLock lock(server->engine_mu_);
+    server->engine_ = std::move(engine);
+  }
   server->reload_ = std::move(reload);
 
   struct sockaddr_in addr;
@@ -118,14 +123,14 @@ void RpcServer::Stop() {
   const int listen_fd = listen_fd_.exchange(-1);
   if (listen_fd >= 0) close(listen_fd);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (int fd : conns_) shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 }
 
 std::shared_ptr<const serving::ShardedEngine> RpcServer::engine() const {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   return engine_;
 }
 
@@ -149,13 +154,13 @@ void RpcServer::AcceptLoop() {
     const int one = 1;
     setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       conns_.insert(conn);
     }
     pool_.Post([this, conn] {
       ServeConnection(conn);
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(conns_mu_);
         conns_.erase(conn);
       }
       close(conn);
@@ -342,11 +347,11 @@ std::string RpcServer::Dispatch(Frame request) {
         return respond(Status::InvalidArgument(
             "this server was started without a reload hook"));
       }
-      std::lock_guard<std::mutex> reload_lock(reload_mu_);
+      MutexLock reload_lock(reload_mu_);
       auto next = reload_(this->engine().get());
       if (!next.ok()) return respond(next.status());
       {
-        std::lock_guard<std::mutex> lock(engine_mu_);
+        MutexLock lock(engine_mu_);
         engine_ = *next;
       }
       const std::shared_ptr<const serving::ShardedEngine> reloaded = *next;

@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/wire.h"
@@ -84,10 +84,11 @@ class RpcServer {
 
   /// Stops accepting, unblocks and closes every active connection, joins
   /// the accept thread. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() D3L_EXCLUDES(conns_mu_);
 
   /// The engine generation currently serving (tests; swaps on RELD).
-  std::shared_ptr<const serving::ShardedEngine> engine() const;
+  std::shared_ptr<const serving::ShardedEngine> engine() const
+      D3L_EXCLUDES(engine_mu_);
 
   /// Requests answered since Start (any method, including error replies).
   /// A thin view over the d3l_rpc_server_requests_total counter.
@@ -101,7 +102,7 @@ class RpcServer {
 
   RpcServer(RpcServerOptions options, size_t num_workers);
 
-  void AcceptLoop();
+  void AcceptLoop() D3L_EXCLUDES(conns_mu_);
   void ServeConnection(int fd);
   /// Builds the response frame for one decoded request (never fails — all
   /// errors become wire-status responses). A trace-flagged request is
@@ -110,7 +111,7 @@ class RpcServer {
   std::string HandleRequest(Frame request);
   /// The method dispatch inside HandleRequest (split out so the trace and
   /// per-verb timing wrap every arm uniformly).
-  std::string Dispatch(Frame request);
+  std::string Dispatch(Frame request) D3L_EXCLUDES(reload_mu_, engine_mu_);
 
   RpcServerOptions options_;
   obs::MetricRegistry* registry_ = nullptr;  ///< resolved, never null
@@ -128,15 +129,17 @@ class RpcServer {
   /// lookup on the request path); unknown methods fall back to kMethodError.
   std::unordered_map<uint32_t, VerbInstruments> per_verb_;
 
-  mutable std::mutex engine_mu_;
-  std::shared_ptr<const serving::ShardedEngine> engine_;
+  mutable Mutex engine_mu_;
+  std::shared_ptr<const serving::ShardedEngine> engine_
+      D3L_GUARDED_BY(engine_mu_);
   ReloadFn reload_;
   /// Serializes RELD handling (the hook may be expensive; overlapping
   /// reloads would race their swaps in an arbitrary order).
-  std::mutex reload_mu_;
+  Mutex reload_mu_;
 
-  std::mutex conns_mu_;
-  std::unordered_set<int> conns_;  ///< active connection fds (for Stop)
+  Mutex conns_mu_;
+  /// Active connection fds (for Stop).
+  std::unordered_set<int> conns_ D3L_GUARDED_BY(conns_mu_);
 
   serving::ThreadPool pool_;
   std::thread accept_thread_;

@@ -85,16 +85,16 @@ DiscoveryService::DiscoveryService(std::shared_ptr<const SearchBackend> backend,
 DiscoveryService::~DiscoveryService() { Shutdown(); }
 
 void DiscoveryService::Shutdown() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   accepting_ = false;
-  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  while (in_flight_ != 0) idle_cv_.Wait(lk);
 }
 
 void DiscoveryService::SwapBackend(std::shared_ptr<const SearchBackend> backend) {
   auto gen = std::make_shared<Generation>();
   gen->info = backend->Info();
   gen->backend = std::move(backend);
-  std::lock_guard<std::mutex> lk(gen_mu_);
+  MutexLock lk(gen_mu_);
   generation_ = std::move(gen);
 }
 
@@ -103,7 +103,7 @@ DiscoveryService::CurrentGeneration() const {
   // A plain mutex (not std::atomic<shared_ptr>) keeps the copy wait-free
   // enough: the critical section is one refcount increment, and the swap
   // path is rare. Copying the shared_ptr is the RCU read-side "lock".
-  std::lock_guard<std::mutex> lk(gen_mu_);
+  MutexLock lk(gen_mu_);
   return generation_;
 }
 
@@ -147,7 +147,7 @@ std::future<QueryResponse> DiscoveryService::Submit(QueryRequest request) {
   std::future<QueryResponse> future = promise->get_future();
   const auto submitted = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     submitted_->Increment();
     if (!accepting_) {
       rejected_->Increment();  // keeps submitted == completed + rejected + in-flight
@@ -316,7 +316,7 @@ void DiscoveryService::Execute(const QueryRequest& request,
   // Book the counters BEFORE fulfilling the future: a caller that wakes
   // from future.get() must already see this query in Stats().
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     completed_->Increment();
     if (!response.result.ok()) failed_->Increment();
     if (hit) {
@@ -326,7 +326,7 @@ void DiscoveryService::Execute(const QueryRequest& request,
       // Failed-before-retrieval queries count only in failed_.
       cache_misses_->Increment();
     }
-    if (--in_flight_ == 0) idle_cv_.notify_all();
+    if (--in_flight_ == 0) idle_cv_.NotifyAll();
   }
   // Safe after in_flight_ hits zero: the promise is owned by this task, and
   // pool destruction joins the worker running it before the service dies.
@@ -340,7 +340,7 @@ ServiceStats DiscoveryService::Stats() const {
   // completed query is already visible here.
   ServiceStats stats;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stats.submitted = submitted_->Value();
     stats.completed = completed_->Value();
     stats.rejected = rejected_->Value();

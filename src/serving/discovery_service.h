@@ -43,15 +43,14 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/query.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -163,14 +162,14 @@ class DiscoveryService {
   /// by the destructor). Queries submitted after Shutdown fail fast with
   /// an InvalidArgument response — their futures still resolve.
   ~DiscoveryService();
-  void Shutdown();
+  void Shutdown() D3L_EXCLUDES(mu_);
 
   DiscoveryService(const DiscoveryService&) = delete;
   DiscoveryService& operator=(const DiscoveryService&) = delete;
 
   /// Enqueues one query; the future resolves to its response. Never
   /// blocks on query execution (inline_execution mode aside).
-  std::future<QueryResponse> Submit(QueryRequest request);
+  std::future<QueryResponse> Submit(QueryRequest request) D3L_EXCLUDES(mu_);
 
   /// Enqueues a vector of queries; futures[i] corresponds to requests[i].
   std::vector<std::future<QueryResponse>> SubmitBatch(
@@ -185,7 +184,8 @@ class DiscoveryService {
   /// start executing afterwards see the new one. The ResultCache needs no
   /// flush — the new generation's index fingerprint changes every key, so
   /// old entries can never hit and age out by LRU.
-  void SwapBackend(std::shared_ptr<const SearchBackend> backend);
+  void SwapBackend(std::shared_ptr<const SearchBackend> backend)
+      D3L_EXCLUDES(gen_mu_);
 
   /// The currently published backend (a new Submit would run against it).
   std::shared_ptr<const SearchBackend> backend() const;
@@ -208,7 +208,8 @@ class DiscoveryService {
     BackendInfo info;
   };
 
-  std::shared_ptr<const Generation> CurrentGeneration() const;
+  std::shared_ptr<const Generation> CurrentGeneration() const
+      D3L_EXCLUDES(gen_mu_);
   static CacheKey KeyForGeneration(
       const BackendInfo& info, const core::QueryTarget& target, size_t k,
       const std::array<bool, core::kNumEvidence>& enabled_mask);
@@ -226,13 +227,13 @@ class DiscoveryService {
   ResultCache cache_;
   ThreadPool pool_;
 
-  mutable std::mutex gen_mu_;  ///< guards only the generation_ pointer swap
-  std::shared_ptr<const Generation> generation_;
+  mutable Mutex gen_mu_;  ///< guards only the generation_ pointer swap
+  std::shared_ptr<const Generation> generation_ D3L_GUARDED_BY(gen_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  bool accepting_ = true;
-  size_t in_flight_ = 0;
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  bool accepting_ D3L_GUARDED_BY(mu_) = true;
+  size_t in_flight_ D3L_GUARDED_BY(mu_) = 0;
 
   // Aggregate instruments. Incremented inside the mu_ critical sections
   // that used to own plain counters, preserving the ordering Stats()

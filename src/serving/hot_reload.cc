@@ -50,9 +50,15 @@ Result<std::unique_ptr<HotReloader>> HotReloader::Open(
   D3L_ASSIGN_OR_RETURN(
       std::unique_ptr<ShardedEngine> engine,
       ShardedEngine::Open(manifest_path, reloader->options_.engine));
-  reloader->current_ = std::shared_ptr<const ShardedEngine>(std::move(engine));
+  // Open is a static factory, not the constructor, so guarded members take
+  // their lock even though the object is not yet shared.
+  std::shared_ptr<const ShardedEngine> current(std::move(engine));
+  {
+    MutexLock lk(reloader->mu_);
+    reloader->current_ = current;
+  }
   reloader->service_ = std::make_unique<DiscoveryService>(
-      reloader->current_, reloader->options_.service);
+      std::move(current), reloader->options_.service);
   return reloader;
 }
 
@@ -63,7 +69,7 @@ HotReloader::~HotReloader() {
 }
 
 std::shared_ptr<const ShardedEngine> HotReloader::engine() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return current_;
 }
 
@@ -71,7 +77,7 @@ Result<ReloadReport> HotReloader::Reload() {
   // One rebuild at a time. Queries never take this lock — during the
   // whole body they keep executing against the generation the service
   // currently publishes.
-  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  MutexLock reload_lk(reload_mu_);
   const auto t0 = std::chrono::steady_clock::now();
   auto seconds_since = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -95,7 +101,7 @@ Result<ReloadReport> HotReloader::Reload() {
     // The directory already matches the deployment (poll raced a reload,
     // or an edit was reverted): nothing was rebuilt, so the serving
     // generation is already exact — skip the open+swap entirely.
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     noop_reloads_->Increment();
     report.index_fingerprint = current_->Info().index_fingerprint;
     report.replicas_reused = current_->num_shards();
@@ -120,7 +126,7 @@ Result<ReloadReport> HotReloader::Reload() {
   report.shards_rebuilt = update->rebuilt_shards.size();
   report.replicas_reused = next->reused_replicas();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     current_ = std::move(next);
   }
   reloads_->Increment();
@@ -129,7 +135,7 @@ Result<ReloadReport> HotReloader::Reload() {
 }
 
 void HotReloader::StartWatching() {
-  std::lock_guard<std::mutex> lk(watch_mu_);
+  MutexLock lk(watch_mu_);
   if (watcher_.joinable()) return;
   watch_stop_ = false;
   watcher_ = std::thread([this] { WatchLoop(); });
@@ -137,11 +143,11 @@ void HotReloader::StartWatching() {
 
 void HotReloader::StopWatching() {
   {
-    std::lock_guard<std::mutex> lk(watch_mu_);
+    MutexLock lk(watch_mu_);
     if (!watcher_.joinable()) return;
     watch_stop_ = true;
   }
-  watch_cv_.notify_all();
+  watch_cv_.NotifyAll();
   watcher_.join();
 }
 
@@ -149,8 +155,11 @@ void HotReloader::WatchLoop() {
   const auto interval = std::chrono::milliseconds(options_.watch_interval_ms);
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(watch_mu_);
-      watch_cv_.wait_for(lk, interval, [this] { return watch_stop_; });
+      MutexLock lk(watch_mu_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!watch_stop_) {
+        if (watch_cv_.WaitUntil(lk, deadline) == std::cv_status::timeout) break;
+      }
       if (watch_stop_) return;
     }
     watch_polls_->Increment();
@@ -165,10 +174,10 @@ void HotReloader::WatchLoop() {
       stale = stale || !shard.fresh();
     }
     if (!stale) continue;
-    // Failures are counted (failed_reloads) and retried on the next poll;
-    // the old generation keeps serving throughout.
-    Result<ReloadReport> ignored = Reload();
-    (void)ignored;
+    D3L_IGNORE_STATUS(
+        Reload(),
+        "watch-loop reload failures are counted in failed_reloads and retried "
+        "on the next poll; the old generation keeps serving throughout");
   }
 }
 
@@ -178,7 +187,7 @@ ReloadStats HotReloader::Stats() const {
   stats.noop_reloads = noop_reloads_->Value();
   stats.failed_reloads = failed_reloads_->Value();
   stats.watch_polls = watch_polls_->Value();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   stats.index_fingerprint = current_->Info().index_fingerprint;
   return stats;
 }

@@ -35,15 +35,14 @@
 // and reload cost is bounded by the real diff anyway.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serving/discovery_service.h"
 #include "serving/shard_builder.h"
 #include "serving/sharded_engine.h"
@@ -110,16 +109,16 @@ class HotReloader {
   /// CSV directory. Thread-safe (concurrent calls serialize); queries are
   /// never blocked — they either run on the old generation or, after the
   /// swap, on the new one. On error the old generation keeps serving.
-  Result<ReloadReport> Reload();
+  Result<ReloadReport> Reload() D3L_EXCLUDES(reload_mu_, mu_);
 
   /// Starts / stops the background freshness poller (idempotent).
-  void StartWatching();
-  void StopWatching();
+  void StartWatching() D3L_EXCLUDES(watch_mu_);
+  void StopWatching() D3L_EXCLUDES(watch_mu_);
 
   /// The query front-end. Submit from any thread.
   DiscoveryService& service() { return *service_; }
   /// The currently serving generation.
-  std::shared_ptr<const ShardedEngine> engine() const;
+  std::shared_ptr<const ShardedEngine> engine() const D3L_EXCLUDES(mu_);
 
   ReloadStats Stats() const;
 
@@ -133,18 +132,21 @@ class HotReloader {
 
   /// Serializes Reload() bodies: one rebuild at a time, never blocking
   /// queries (which only touch current_ / the service's generation).
-  std::mutex reload_mu_;
+  Mutex reload_mu_;
 
-  mutable std::mutex mu_;  ///< guards current_
-  std::shared_ptr<const ShardedEngine> current_;
+  mutable Mutex mu_;  ///< guards current_
+  std::shared_ptr<const ShardedEngine> current_ D3L_GUARDED_BY(mu_);
   std::shared_ptr<obs::Counter> reloads_;
   std::shared_ptr<obs::Counter> noop_reloads_;
   std::shared_ptr<obs::Counter> failed_reloads_;
   std::shared_ptr<obs::Counter> watch_polls_;
 
-  std::mutex watch_mu_;
-  std::condition_variable watch_cv_;
-  bool watch_stop_ = false;
+  Mutex watch_mu_;
+  CondVar watch_cv_;
+  bool watch_stop_ D3L_GUARDED_BY(watch_mu_) = false;
+  /// Not guarded: StartWatching/StopWatching decide ownership under
+  /// watch_mu_ (the joinable check), but join() must happen unlocked —
+  /// the watcher takes watch_mu_ on its way out.
   std::thread watcher_;
 
   /// Declared last: destroyed first, draining in-flight queries while the

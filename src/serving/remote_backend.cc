@@ -375,7 +375,7 @@ Status RemoteBackend::Reload() {
   D3L_ASSIGN_OR_RETURN(Stitched st, Stitch(infos, endpoints));
   options_ = std::move(infos.front().options);
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     state_ = std::make_shared<const Stitched>(std::move(st));
   }
   return Status::OK();

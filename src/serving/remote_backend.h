@@ -35,11 +35,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "rpc/client.h"
 #include "rpc/wire.h"
 #include "serving/search_backend.h"
@@ -89,7 +89,7 @@ class RemoteBackend : public SearchBackend {
   /// Asks every server to reload its deployment (the RELD RPC), then
   /// re-verifies coherence and re-stitches the global numbering from the
   /// reloaded identities. In-flight Search calls keep the old numbering.
-  Status Reload();
+  Status Reload() D3L_EXCLUDES(state_mu_);
 
   size_t num_servers() const { return clients_.size(); }
 
@@ -111,16 +111,16 @@ class RemoteBackend : public SearchBackend {
   static Result<Stitched> Stitch(const std::vector<rpc::ServerInfo>& infos,
                                  const std::vector<std::string>& endpoints);
 
-  std::shared_ptr<const Stitched> state() const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+  std::shared_ptr<const Stitched> state() const D3L_EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
     return state_;
   }
 
   std::vector<std::unique_ptr<rpc::RpcClient>> clients_;
   core::D3LOptions options_;
 
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const Stitched> state_;
+  mutable Mutex state_mu_;
+  std::shared_ptr<const Stitched> state_ D3L_GUARDED_BY(state_mu_);
 
   mutable ThreadPool pool_;
 };

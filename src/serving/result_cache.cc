@@ -83,7 +83,7 @@ CacheLookup ResultCache::Lookup(const CacheKey& key, core::SearchResult* out) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<const core::SearchResult> result;
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_->Increment();
@@ -120,7 +120,7 @@ void ResultCache::InsertEntry(const CacheKey& key,
                               std::shared_ptr<const core::SearchResult> result,
                               size_t bytes) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   insertions_->Increment();  // refreshes count too: one per Insert call
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -177,7 +177,7 @@ void ResultCache::InsertEntry(const CacheKey& key,
 
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     entries_gauge_->Add(-static_cast<int64_t>(shard.lru.size()));
     negative_entries_gauge_->Add(-static_cast<int64_t>(shard.negative_entries));
     bytes_gauge_->Add(-static_cast<int64_t>(shard.bytes_used));

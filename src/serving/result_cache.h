@@ -32,11 +32,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/query.h"
 #include "obs/metrics.h"
 
@@ -134,17 +134,20 @@ class ResultCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Most-recently-used at the front. The map owns iterators into it.
-    std::list<Entry> lru;
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::list<Entry> lru D3L_GUARDED_BY(mu);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        D3L_GUARDED_BY(mu);
+    // The budgets are set once in the ResultCache constructor (before any
+    // concurrent access) and read-only afterwards — deliberately unguarded.
     size_t capacity = 0;
     size_t byte_budget = 0;  ///< 0 = unbounded
     // Occupancy the EVICTION logic needs under this shard's lock; the
     // outcome counters live directly on the registry instruments below
     // (atomic — no reason to shard them).
-    size_t bytes_used = 0;
-    size_t negative_entries = 0;
+    size_t bytes_used D3L_GUARDED_BY(mu) = 0;
+    size_t negative_entries D3L_GUARDED_BY(mu) = 0;
   };
 
   void InsertEntry(const CacheKey& key,

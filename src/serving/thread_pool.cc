@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/thread_annotations.h"
+
 namespace d3l::serving {
 
 ThreadPool::ThreadPool(size_t num_workers, const char* name,
@@ -27,10 +29,10 @@ ThreadPool::ThreadPool(size_t num_workers, const char* name,
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
   // Workers exit as soon as they observe stop_, possibly leaving queued
   // tasks behind; run them inline so no posted task (and no future backed
@@ -45,15 +47,17 @@ size_t ThreadPool::DefaultThreads() {
 void ThreadPool::Drain() {
   for (;;) {
     size_t i;
+    const std::function<void(size_t)>* fn;
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       if (fn_ == nullptr || next_ >= n_) return;
+      fn = fn_;
       i = next_++;
     }
-    (*fn_)(i);
+    (*fn)(i);
     {
-      std::lock_guard<std::mutex> lk(m_);
-      if (++completed_ == n_) done_cv_.notify_all();
+      MutexLock lk(m_);
+      if (++completed_ == n_) done_cv_.NotifyAll();
     }
   }
 }
@@ -62,7 +66,7 @@ void ThreadPool::DrainTasks() {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -97,11 +101,11 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(m_);
-      wake_cv_.wait(lk, [&] {
-        return stop_ || !tasks_.empty() ||
-               (fn_ != nullptr && epoch_ != seen_epoch && next_ < n_);
-      });
+      MutexLock lk(m_);
+      while (!(stop_ || !tasks_.empty() ||
+               (fn_ != nullptr && epoch_ != seen_epoch && next_ < n_))) {
+        wake_cv_.Wait(lk);
+      }
       if (stop_) return;
       seen_epoch = epoch_;
     }
@@ -113,19 +117,19 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   // One batch owns the pool at a time; a second caller queues here.
-  std::lock_guard<std::mutex> batch(batch_mutex_);
+  MutexLock batch(batch_mutex_);
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     fn_ = &fn;
     n_ = n;
     next_ = 0;
     completed_ = 0;
     ++epoch_;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   Drain();  // the caller works too — correct even with zero workers
-  std::unique_lock<std::mutex> lk(m_);
-  done_cv_.wait(lk, [&] { return completed_ == n_; });
+  MutexLock lk(m_);
+  while (completed_ != n_) done_cv_.Wait(lk);
   fn_ = nullptr;
 }
 
@@ -135,11 +139,11 @@ void ThreadPool::Post(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     tasks_.push_back(std::move(fn));
     if (queue_depth_) queue_depth_->Add(1);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 }  // namespace d3l::serving

@@ -26,16 +26,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace d3l::serving {
@@ -66,7 +65,8 @@ class ThreadPool {
   /// (Status, not exceptions), the pool treats a throwing task as a fatal
   /// programming error — an unwind would leave the batch armed while `fn`
   /// dangles. Worker-thread throws hit std::terminate regardless.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      D3L_EXCLUDES(batch_mutex_, m_);
 
   /// Enqueues `fn` to run on a worker thread and returns immediately. With
   /// zero workers the task runs inline on the calling thread before Post
@@ -74,7 +74,7 @@ class ThreadPool {
   /// Tasks must not call ParallelFor on this pool. An exception escaping
   /// the task is swallowed at the task boundary (see the header comment):
   /// the worker survives and later queued tasks still run.
-  void Post(std::function<void()> fn);
+  void Post(std::function<void()> fn) D3L_EXCLUDES(m_);
 
   /// Exceptions caught escaping posted tasks since construction.
   size_t task_exceptions() const { return task_exceptions_.load(); }
@@ -83,28 +83,29 @@ class ThreadPool {
   static size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() D3L_EXCLUDES(m_);
   // Claims and runs iterations of the current batch until none remain.
-  void Drain();
+  void Drain() D3L_EXCLUDES(m_);
   // Pops and runs queued tasks until the queue is empty.
-  void DrainTasks();
+  void DrainTasks() D3L_EXCLUDES(m_);
   // Runs one task, containing any exception it throws.
   void RunContained(const std::function<void()>& task);
 
   std::vector<std::thread> workers_;
 
-  std::mutex batch_mutex_;  ///< serializes whole batches
+  Mutex batch_mutex_;  ///< serializes whole batches
 
-  std::mutex m_;  ///< guards the per-batch state and the task queue below
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t n_ = 0;
-  size_t next_ = 0;
-  size_t completed_ = 0;
-  uint64_t epoch_ = 0;  ///< bumped per batch so workers never rejoin a done one
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex m_;  ///< guards the per-batch state and the task queue below
+  CondVar wake_cv_;
+  CondVar done_cv_;
+  const std::function<void(size_t)>* fn_ D3L_GUARDED_BY(m_) = nullptr;
+  size_t n_ D3L_GUARDED_BY(m_) = 0;
+  size_t next_ D3L_GUARDED_BY(m_) = 0;
+  size_t completed_ D3L_GUARDED_BY(m_) = 0;
+  /// Bumped per batch so workers never rejoin a done one.
+  uint64_t epoch_ D3L_GUARDED_BY(m_) = 0;
+  std::deque<std::function<void()>> tasks_ D3L_GUARDED_BY(m_);
+  bool stop_ D3L_GUARDED_BY(m_) = false;
   std::atomic<size_t> task_exceptions_{0};
 
   // Task-mode instruments; all null when the pool was built without a name.

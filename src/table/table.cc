@@ -6,10 +6,9 @@
 
 namespace d3l {
 
-void Column::ComputeStats() const {
-  // Serializes the one-time computation; late arrivals see dirty_ == false
-  // after taking the lock and read the stats with a happens-before edge.
-  std::lock_guard<std::mutex> lk(stats_mu_);
+void Column::ComputeStatsLocked() const {
+  // Runs under stats_mu_ (the accessor's lock); late arrivals see
+  // dirty_ == false and return with the cached stats.
   if (!dirty_) return;
   size_t nulls = 0;
   size_t numeric = 0;
@@ -33,17 +32,20 @@ void Column::ComputeStats() const {
 }
 
 ColumnType Column::type() const {
-  ComputeStats();
+  MutexLock lk(stats_mu_);
+  ComputeStatsLocked();
   return type_;
 }
 
 size_t Column::null_count() const {
-  ComputeStats();
+  MutexLock lk(stats_mu_);
+  ComputeStatsLocked();
   return null_count_;
 }
 
 size_t Column::distinct_count() const {
-  ComputeStats();
+  MutexLock lk(stats_mu_);
+  ComputeStatsLocked();
   return distinct_count_;
 }
 

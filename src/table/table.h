@@ -2,12 +2,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/binary_io.h"
 #include "table/value.h"
 
@@ -44,7 +44,13 @@ class Column {
   const std::vector<std::string>& cells() const { return cells_; }
 
   void Append(std::string cell) {
-    dirty_ = true;
+    {
+      // Uncontended in the single-writer contract below, but dirty_ is
+      // guarded state: the lock keeps the invalidation visible to any
+      // reader that computed stats concurrently with the (buggy) mutation.
+      MutexLock lk(stats_mu_);
+      dirty_ = true;
+    }
     cells_.push_back(std::move(cell));
   }
   void Reserve(size_t n) { cells_.reserve(n); }
@@ -72,37 +78,53 @@ class Column {
   size_t MemoryUsage() const;
 
  private:
-  void ComputeStats() const;
+  /// The lazy computation; the caller holds stats_mu_.
+  void ComputeStatsLocked() const D3L_REQUIRES(stats_mu_);
+  /// Cached-stats transfer for copies/moves: the source's snapshot is taken
+  /// under ITS lock, then written under OURS — sequential, never nested, so
+  /// no lock-order edge between two columns exists.
+  struct StatsSnapshot {
+    bool dirty;
+    ColumnType type;
+    size_t null_count;
+    size_t distinct_count;
+  };
+  StatsSnapshot SnapshotStats() const D3L_EXCLUDES(stats_mu_) {
+    MutexLock lk(stats_mu_);
+    return {dirty_, type_, null_count_, distinct_count_};
+  }
   void CopyFieldsFrom(const Column& other) {
     name_ = other.name_;
     cells_ = other.cells_;
-    std::lock_guard<std::mutex> lk(other.stats_mu_);
-    dirty_ = other.dirty_;
-    type_ = other.type_;
-    null_count_ = other.null_count_;
-    distinct_count_ = other.distinct_count_;
+    const StatsSnapshot snap = other.SnapshotStats();
+    MutexLock lk(stats_mu_);
+    dirty_ = snap.dirty;
+    type_ = snap.type;
+    null_count_ = snap.null_count;
+    distinct_count_ = snap.distinct_count;
   }
   void MoveFieldsFrom(Column&& other) noexcept {
     name_ = std::move(other.name_);
     cells_ = std::move(other.cells_);
-    std::lock_guard<std::mutex> lk(other.stats_mu_);
-    dirty_ = other.dirty_;
-    type_ = other.type_;
-    null_count_ = other.null_count_;
-    distinct_count_ = other.distinct_count_;
+    const StatsSnapshot snap = other.SnapshotStats();
+    MutexLock lk(stats_mu_);
+    dirty_ = snap.dirty;
+    type_ = snap.type;
+    null_count_ = snap.null_count;
+    distinct_count_ = snap.distinct_count;
   }
 
   std::string name_;
   std::vector<std::string> cells_;
 
-  // Lazily computed statistics. The first accessor call computes them under
-  // stats_mu_; every read happens after that critical section, so stats are
-  // data-race-free for any number of concurrent readers.
-  mutable std::mutex stats_mu_;
-  mutable bool dirty_ = true;
-  mutable ColumnType type_ = ColumnType::kString;
-  mutable size_t null_count_ = 0;
-  mutable size_t distinct_count_ = 0;
+  // Lazily computed statistics. Accessors compute them on first use and
+  // read them under stats_mu_, so stats are data-race-free for any number
+  // of concurrent readers.
+  mutable Mutex stats_mu_;
+  mutable bool dirty_ D3L_GUARDED_BY(stats_mu_) = true;
+  mutable ColumnType type_ D3L_GUARDED_BY(stats_mu_) = ColumnType::kString;
+  mutable size_t null_count_ D3L_GUARDED_BY(stats_mu_) = 0;
+  mutable size_t distinct_count_ D3L_GUARDED_BY(stats_mu_) = 0;
 };
 
 /// \brief Identity of the file a table was loaded from, captured at load

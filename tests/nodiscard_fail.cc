@@ -1,0 +1,23 @@
+// NEGATIVE-COMPILE fixture — this translation unit must FAIL to build.
+//
+// It is deliberately absent from D3L_TESTS: the status_nodiscard_negative
+// ctest (tests/CMakeLists.txt) runs `$CXX -fsyntax-only -Werror=unused-result`
+// over it and is registered WILL_FAIL, so the suite goes red if a bare
+// discard of a [[nodiscard]] Status or Result<T> ever becomes legal again —
+// e.g. if the class-level attribute or the -Werror promotion is dropped.
+//
+// The sanctioned way to drop a Status is D3L_IGNORE_STATUS(expr, "why");
+// the positive half of this contract lives in tests/status_test.cc.
+#include "common/status.h"
+
+namespace d3l {
+
+static Status MakeStatus() { return Status::IOError("dropped"); }
+static Result<int> MakeResult() { return 7; }
+
+void BareDiscards() {
+  MakeStatus();  // error: ignoring [[nodiscard]] Status
+  MakeResult();  // error: ignoring [[nodiscard]] Result<int>
+}
+
+}  // namespace d3l

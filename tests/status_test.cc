@@ -104,6 +104,33 @@ TEST(StatusCodeTest, FromWireRoundTripsKnownCodesAndRejectsUnknown) {
   EXPECT_EQ(StatusCodeFromWire(0xFFFFFFFFu), StatusCode::kInternal);
 }
 
+// Status and Result<T> are class-level [[nodiscard]] and the build runs with
+// -Werror=unused-result, so a bare `MakeStatus();` statement does not compile
+// (tests/nodiscard_fail.cc + the status_nodiscard_negative ctest prove that
+// from the outside). D3L_IGNORE_STATUS is the one sanctioned escape hatch:
+// it must compile, actually evaluate its argument exactly once, and demand a
+// non-empty rationale (the empty-rationale form is a static_assert failure,
+// which cannot be shown in a runtime test — see the negative-compile file).
+TEST(StatusTest, IgnoreStatusMacroDiscardsExplicitly) {
+  int calls = 0;
+  auto make = [&calls]() {
+    ++calls;
+    return Status::IOError("deliberately dropped");
+  };
+  D3L_IGNORE_STATUS(make(), "test: exercising the sanctioned discard path");
+  EXPECT_EQ(calls, 1);
+
+  // Result<T> discards go through the same macro.
+  auto make_result = [&calls]() -> Result<int> {
+    ++calls;
+    return 41;
+  };
+  D3L_IGNORE_STATUS(make_result(),
+                    "test: Result<T> is [[nodiscard]] too and the macro "
+                    "must accept it unchanged");
+  EXPECT_EQ(calls, 2);
+}
+
 TEST(StatusTest, UnavailableFactoryAndPredicate) {
   Status s = Status::Unavailable("shard server 10.0.0.1:7001 unreachable");
   EXPECT_FALSE(s.ok());

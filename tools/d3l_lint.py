@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Repo lint for invariants the compiler cannot see.
+
+Four rule families, each mirroring a breakage this codebase actually cares
+about (CI runs this in the static-analysis job; `ctest -R lint` runs it
+locally):
+
+  frozen-constants   The StatusCode enum, RPC verbs/magic, shard-manifest
+                     magic/version, and snapshot magic/version must match
+                     tools/frozen_codes.json byte for byte. These values are
+                     persisted on disk and on the wire; renumbering one makes
+                     old shards unreadable and old peers misinterpret errors.
+  naked-new          No naked `new` / `delete` outside tests. `new` is
+                     allowed when the same or previous line wraps it into a
+                     unique_ptr/shared_ptr (the private-constructor factory
+                     idiom); anything else needs a waiver comment.
+  raw-mutex          No raw std::mutex / std::shared_mutex /
+                     std::condition_variable outside
+                     src/common/thread_annotations.h — everything must go
+                     through the capability-annotated wrappers so clang's
+                     -Wthread-safety actually sees the locking.
+  reader-sections    Every io::Reader/Writer OpenSection must be paired with
+                     an EndSection (the call that verifies the section
+                     checksum), and every EndSection result must be consumed
+                     — a dropped EndSection Status means a corrupt section
+                     parses as clean data.
+
+Waiver: append `d3l-lint: allow(<rule>) -- <reason>` in a comment on the
+offending line or the line above it. The reason is mandatory prose, not a
+tag; waivers without one are themselves findings.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/manifest error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "bench", "examples")
+SOURCE_SUFFIXES = (".h", ".cc")
+
+# Files the rules themselves are about, exempted from the rule they implement.
+RAW_MUTEX_EXEMPT = {"src/common/thread_annotations.h"}
+READER_SECTION_EXEMPT = {"src/io/binary_io.h", "src/io/binary_io.cc"}
+
+WAIVER_RE = re.compile(r"d3l-lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<reason>.*)")
+
+
+class Linter:
+    def __init__(self, root: Path, manifest_path: Path):
+        self.root = root
+        self.manifest_path = manifest_path
+        self.findings = []
+
+    def finding(self, rel, lineno, rule, msg):
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    # ----- shared helpers ---------------------------------------------------
+
+    def source_files(self):
+        for d in SCAN_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                    yield path
+
+    @staticmethod
+    def strip_code(line):
+        """Remove string/char literals and // comments so rule regexes only
+        see code. Good enough for this codebase: no raw strings, no /* */
+        spanning lines in rule-relevant positions."""
+        out = []
+        i, n = 0, len(line)
+        quote = None
+        while i < n:
+            c = line[i]
+            if quote:
+                if c == "\\":
+                    i += 2
+                    continue
+                if c == quote:
+                    quote = None
+                i += 1
+                continue
+            if c in ('"', "'"):
+                quote = c
+                i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                end = line.find("*/", i + 2)
+                if end < 0:
+                    break
+                i = end + 2
+                continue
+            out.append(c)
+            i += 1
+        return "".join(out)
+
+    def waived(self, rel, lines, idx, rule):
+        """True if line idx (0-based) or the contiguous comment block above it
+        carries a valid waiver for `rule`. A waiver with no reason is reported
+        and does not waive."""
+        candidates = [idx]
+        j = idx - 1
+        while j >= 0 and lines[j].lstrip().startswith("//"):
+            candidates.append(j)
+            j -= 1
+        for j in candidates:
+            m = WAIVER_RE.search(lines[j])
+            if m and m.group("rule") == rule:
+                reason = m.group("reason").strip(" -:\t")
+                if not reason:
+                    self.finding(rel, j + 1, rule,
+                                 "waiver comment without a reason")
+                return bool(reason)
+        return False
+
+    # ----- rule: frozen-constants -------------------------------------------
+
+    @staticmethod
+    def _int_of(text):
+        """Evaluate the integer constant expressions the frozen headers use:
+        decimal/hex literals with u/l suffixes, optionally `A << B`."""
+        text = text.strip().rstrip(";").strip()
+        shift = re.fullmatch(r"(.+?)<<(.+)", text)
+        if shift:
+            return Linter._int_of(shift.group(1)) << Linter._int_of(shift.group(2))
+        text = re.sub(r"[uUlL]+$", "", text.strip())
+        return int(text, 0)
+
+    def _check_named_ints(self, rel, text, expected, rule):
+        for name, want in expected.items():
+            m = re.search(rf"\b{name}\s*=\s*([^;,\n]+)[;,]", text)
+            if not m:
+                self.finding(rel, 1, rule, f"frozen constant {name} not found")
+                continue
+            try:
+                got = self._int_of(m.group(1))
+            except ValueError:
+                self.finding(rel, 1, rule,
+                             f"{name}: cannot parse '{m.group(1).strip()}'")
+                continue
+            if got != want:
+                self.finding(
+                    rel, 1, rule,
+                    f"{name} = {got} but tools/frozen_codes.json freezes "
+                    f"{want} — existing values must never be renumbered")
+
+    def check_frozen(self):
+        rule = "frozen-constants"
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"d3l_lint: cannot load manifest {self.manifest_path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+
+        for family, spec in manifest.items():
+            if family.startswith("_"):
+                continue
+            rel = spec["file"]
+            path = self.root / rel
+            if not path.is_file():
+                continue  # fixture roots carry only the files under test
+            text = path.read_text()
+
+            if family == "status_codes":
+                self._check_named_ints(rel, text, spec["values"], rule)
+                continue
+
+            magic = spec.get("magic")
+            if magic is not None:
+                name = spec.get("magic_name", "kMagic")
+                m = re.search(rf'\b{name}\s*\[\s*9\s*\]\s*=\s*"([^"]*)"', text)
+                if not m:
+                    self.finding(rel, 1, rule, f"magic {name} not found")
+                elif m.group(1) != magic:
+                    self.finding(
+                        rel, 1, rule,
+                        f'{name} = "{m.group(1)}" but the manifest freezes '
+                        f'"{magic}"')
+
+            self._check_named_ints(rel, text, spec.get("ints", {}), rule)
+
+            for name, fourcc in spec.get("fourccs", {}).items():
+                m = re.search(rf'\b{name}\s*=\s*io::SectionId\("([^"]*)"\)', text)
+                if not m:
+                    self.finding(rel, 1, rule, f"fourcc {name} not found")
+                elif m.group(1) != fourcc:
+                    self.finding(
+                        rel, 1, rule,
+                        f'{name} = SectionId("{m.group(1)}") but the manifest '
+                        f'freezes "{fourcc}"')
+
+    # ----- rule: naked-new --------------------------------------------------
+
+    WRAPPED_RE = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
+
+    def check_naked_new(self):
+        rule = "naked-new"
+        for path in self.source_files():
+            rel = str(path.relative_to(self.root))
+            lines = path.read_text().splitlines()
+            stripped = [self.strip_code(l) for l in lines]
+            for i, code in enumerate(stripped):
+                if re.search(r"\bnew\b", code):
+                    if self.WRAPPED_RE.search(code) or (
+                            i > 0 and self.WRAPPED_RE.search(stripped[i - 1])):
+                        continue  # factory idiom: wrapped at the call site
+                    if self.waived(rel, lines, i, rule):
+                        continue
+                    self.finding(rel, i + 1, rule,
+                                 "naked `new` — wrap it in unique_ptr/"
+                                 "shared_ptr on this or the previous line, "
+                                 "or add a d3l-lint waiver with a reason")
+                if re.search(r"\bdelete\b", code) and \
+                        not re.search(r"=\s*(delete)\b", code):
+                    if self.waived(rel, lines, i, rule):
+                        continue
+                    self.finding(rel, i + 1, rule,
+                                 "naked `delete` — ownership belongs in a "
+                                 "smart pointer")
+
+    # ----- rule: raw-mutex --------------------------------------------------
+
+    RAW_MUTEX_RE = re.compile(
+        r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+        r"shared_timed_mutex|condition_variable|condition_variable_any)\b")
+
+    def check_raw_mutex(self):
+        rule = "raw-mutex"
+        for path in self.source_files():
+            rel = str(path.relative_to(self.root))
+            if rel in RAW_MUTEX_EXEMPT:
+                continue
+            lines = path.read_text().splitlines()
+            for i, line in enumerate(lines):
+                code = self.strip_code(line)
+                m = self.RAW_MUTEX_RE.search(code)
+                if not m:
+                    continue
+                if self.waived(rel, lines, i, rule):
+                    continue
+                self.finding(
+                    rel, i + 1, rule,
+                    f"raw std::{m.group(1)} — use the capability-annotated "
+                    "wrappers in src/common/thread_annotations.h so clang's "
+                    "-Wthread-safety can check the locking")
+
+    # ----- rule: reader-sections --------------------------------------------
+
+    CONSUMED_RE = re.compile(
+        r"D3L_RETURN_NOT_OK|D3L_ASSIGN_OR_RETURN|D3L_IGNORE_STATUS|"
+        r"\breturn\b|=|\.CheckOK\(\)|EXPECT_|ASSERT_|\bif\b")
+
+    def check_reader_sections(self):
+        rule = "reader-sections"
+        for path in self.source_files():
+            rel = str(path.relative_to(self.root))
+            if rel in READER_SECTION_EXEMPT:
+                continue
+            lines = path.read_text().splitlines()
+            stripped = [self.strip_code(l) for l in lines]
+            for i, code in enumerate(stripped):
+                if re.search(r"\bOpenSection\s*\(", code):
+                    # Delegating the whole Status to the caller is fine; the
+                    # caller's EndSection pairing is checked in its own file.
+                    if re.search(r"\breturn\b.*OpenSection", code):
+                        continue
+                    if any(re.search(r"\bEndSection\s*\(", s)
+                           for s in stripped[i + 1:]):
+                        continue
+                    if self.waived(rel, lines, i, rule):
+                        continue
+                    self.finding(
+                        rel, i + 1, rule,
+                        "OpenSection with no later EndSection in this file — "
+                        "the section checksum is never verified")
+                if re.search(r"\bEndSection\s*\(", code) and \
+                        not self.CONSUMED_RE.search(code):
+                    if self.waived(rel, lines, i, rule):
+                        continue
+                    self.finding(
+                        rel, i + 1, rule,
+                        "EndSection result dropped — this is the checksum "
+                        "verification; check it or D3L_IGNORE_STATUS it")
+
+    # ----- driver -----------------------------------------------------------
+
+    def run(self):
+        self.check_frozen()
+        self.check_naked_new()
+        self.check_raw_mutex()
+        self.check_reader_sections()
+        return self.findings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repo root to scan (default: cwd)")
+    ap.add_argument("--manifest", default=None,
+                    help="frozen-constants manifest "
+                         "(default: <root>/tools/frozen_codes.json, falling "
+                         "back to the manifest next to this script)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if args.manifest:
+        manifest = Path(args.manifest)
+    else:
+        manifest = root / "tools" / "frozen_codes.json"
+        if not manifest.is_file():
+            manifest = Path(__file__).resolve().parent / "frozen_codes.json"
+
+    findings = Linter(root, manifest).run()
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"d3l_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("d3l_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

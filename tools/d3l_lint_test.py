@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Self-test for tools/d3l_lint.py against the known-bad fixture trees.
+
+Each fixture root under tools/lint_fixtures/ is a miniature repo layout
+carrying exactly one class of violation. The lint must (a) exit non-zero on
+every fixture, (b) emit the expected rule tag the expected number of times,
+and (c) emit nothing from any other rule family — a lint that cries wolf on
+clean code would get waived into uselessness within a week.
+
+Run directly or via `ctest -R lint_selftest`.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+LINT = TOOLS / "d3l_lint.py"
+FIXTURES = TOOLS / "lint_fixtures"
+MANIFEST = TOOLS / "frozen_codes.json"
+
+# fixture dir -> {rule tag: expected finding count}
+CASES = {
+    "bad_status_enum": {"frozen-constants": 2},   # kIOError + kNotFound swapped
+    "bad_naked_mutex": {"raw-mutex": 1},
+    "bad_unchecked_section": {"reader-sections": 2},  # no-EndSection + dropped
+    "bad_naked_new": {"naked-new": 3},  # new, delete, reasonless waiver
+}
+
+ALL_RULES = {"frozen-constants", "naked-new", "raw-mutex", "reader-sections"}
+
+
+def run_lint(root):
+    return subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root),
+         "--manifest", str(MANIFEST)],
+        capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    for case, expected in CASES.items():
+        root = FIXTURES / case
+        proc = run_lint(root)
+        out = proc.stdout
+        if proc.returncode != 1:
+            failures.append(f"{case}: expected exit 1, got {proc.returncode}\n"
+                            f"{out}{proc.stderr}")
+            continue
+        for rule, want in expected.items():
+            got = out.count(f"[{rule}]")
+            if got != want:
+                failures.append(
+                    f"{case}: expected {want} [{rule}] finding(s), got {got}\n{out}")
+        for rule in ALL_RULES - set(expected):
+            if f"[{rule}]" in out:
+                failures.append(
+                    f"{case}: unexpected [{rule}] finding (false positive)\n{out}")
+
+    # The lint must also be runnable at all (usage error is exit 2, not 1).
+    proc = run_lint(FIXTURES / "bad_naked_new")
+    if proc.returncode == 2:
+        failures.append(f"lint reported a usage/manifest error:\n{proc.stderr}")
+
+    if failures:
+        print("d3l_lint_test: FAIL", file=sys.stderr)
+        for f in failures:
+            print("---\n" + f, file=sys.stderr)
+        return 1
+    print(f"d3l_lint_test: {len(CASES)} fixture case(s) behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+// Lint fixture — NOT compiled. A raw std::mutex member outside the
+// capability-annotated wrappers in src/common/thread_annotations.h:
+// clang's -Wthread-safety cannot see locking through it, so the guarded
+// members silently lose their analysis. d3l_lint.py must flag the member.
+#pragma once
+
+#include <mutex>
+
+namespace d3l::serving {
+
+class Watcher {
+ public:
+  void Poke();
+
+ private:
+  std::mutex mu_;
+  int ticks_ = 0;
+};
+
+}  // namespace d3l::serving

@@ -1,0 +1,24 @@
+// Lint fixture — NOT compiled. Raw owning pointers: both the naked `new`
+// and the naked `delete` must be flagged (and a waiver comment without a
+// reason must itself be a finding, not a pass).
+namespace d3l::core {
+
+struct Buffer {
+  int* data = nullptr;
+  int size = 0;
+};
+
+Buffer MakeBuffer(int n) {
+  Buffer b;
+  b.data = new int[n];
+  b.size = n;
+  return b;
+}
+
+void FreeBuffer(Buffer& b) {
+  // d3l-lint: allow(naked-new)
+  delete[] b.data;
+  b.data = nullptr;
+}
+
+}  // namespace d3l::core

@@ -1,0 +1,20 @@
+// Lint fixture — NOT compiled, NOT the real status.h.
+// kIOError and kNotFound are renumbered (swapped) relative to
+// tools/frozen_codes.json; d3l_lint.py must flag both. A peer built from
+// this header would report file corruption as missing shards and vice versa.
+#pragma once
+
+namespace d3l {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 3,
+  kNotFound = 2,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+  kUnavailable = 7,
+};
+
+}  // namespace d3l

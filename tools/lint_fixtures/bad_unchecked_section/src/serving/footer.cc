@@ -1,0 +1,14 @@
+// Lint fixture — NOT compiled. EndSection IS the checksum verification;
+// dropping its Status on the floor means corruption is detected and then
+// ignored. d3l_lint.py must flag the bare EndSection statement.
+#include "io/binary_io.h"
+
+namespace d3l::serving {
+
+void SkipFooter(io::Reader& r) {
+  Status open = r.OpenSection(0x46545230);
+  if (!open.ok()) return;
+  r.EndSection();
+}
+
+}  // namespace d3l::serving

@@ -1,0 +1,14 @@
+// Lint fixture — NOT compiled. OpenSection with no EndSection anywhere in
+// the file: the section's checksum is never verified, so a corrupt payload
+// parses as clean data. d3l_lint.py must flag the OpenSection call.
+#include "io/binary_io.h"
+
+namespace d3l::serving {
+
+Status LoadHeader(io::Reader& r) {
+  Status open = r.OpenSection(0x54534554);
+  if (!open.ok()) return open;
+  return Status::OK();
+}
+
+}  // namespace d3l::serving
