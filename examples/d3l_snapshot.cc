@@ -58,9 +58,11 @@
 //
 //   $ ./build/d3l_snapshot info <file> [csv_dir]
 //       Prints container metadata (format version, section table with
-//       sizes and checksum state) plus, for engine snapshots, the
-//       table/attribute counts and key options, and for shard manifests,
-//       the per-shard layout — all without loading any index. With a CSV
+//       offsets, sizes and checksum state) plus, for engine snapshots, the
+//       table/attribute counts, key options, whether the format is
+//       mappable (v2 aligned arrays) and a trial mapped load's stats
+//       (zero-copy engaged?, alignment-padding bytes, open/parse time),
+//       and for shard manifests, the per-shard layout. With a CSV
 //       directory, each shard is additionally checked for staleness
 //       against the current files (by recorded size/CRC32 only — nothing
 //       is parsed or profiled).
@@ -430,10 +432,10 @@ int RunInfo(const std::string& path, const std::string& csv_dir) {
               magic_display.c_str(), inspected->version,
               static_cast<unsigned long long>(inspected->file_bytes));
 
-  eval::TablePrinter sections({"section", "payload bytes", "checksum"});
+  eval::TablePrinter sections({"section", "offset", "payload bytes", "checksum"});
   for (const io::SectionInfo& s : inspected->sections) {
-    sections.AddRow({io::SectionName(s.id), std::to_string(s.payload_bytes),
-                     s.crc_ok ? "ok" : "MISMATCH"});
+    sections.AddRow({io::SectionName(s.id), std::to_string(s.payload_offset),
+                     std::to_string(s.payload_bytes), s.crc_ok ? "ok" : "MISMATCH"});
   }
   sections.Print();
 
@@ -443,6 +445,27 @@ int RunInfo(const std::string& path, const std::string& csv_dir) {
     if (!info.ok()) return Fail(info.status());
     std::printf("\nengine snapshot: %zu tables, %zu attributes\n", info->num_tables,
                 info->num_attributes);
+    std::printf("mappable: %s\n",
+                info->mappable
+                    ? "yes (v2 aligned index arrays; loads are zero-copy)"
+                    : "no (v1 per-entry layout; loads deserialize)");
+    {
+      // Trial mapped load: reports whether zero-copy actually engages on
+      // this platform and how many alignment-padding bytes the writer
+      // spent to make the arrays land 8-aligned.
+      DataLake trial_lake;
+      auto trial = core::D3LEngine::LoadSnapshot(path, &trial_lake,
+                                                 core::SnapshotLoadMode::kMapped);
+      if (trial.ok()) {
+        const core::SnapshotLoadStats& ls = (*trial)->load_stats();
+        std::printf("trial load: %s, %llu alignment-padding bytes, "
+                    "%.3fs open (%.3fs index parse, %.6fs forest parse)\n",
+                    ls.mapped ? "mapped (zero-copy)" : "buffered fallback",
+                    static_cast<unsigned long long>(ls.pad_bytes),
+                    ls.open_seconds, ls.index_parse_seconds,
+                    ls.forest_parse_seconds);
+      }
+    }
     std::printf("options: minhash=%zu rp_bits=%zu trees=%zux%zu threshold=%.2f "
                 "candidates/attr=%zu\n",
                 info->options.index.minhash_size, info->options.index.rp_bits,

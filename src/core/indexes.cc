@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace d3l::core {
 
@@ -258,7 +259,7 @@ void D3LIndexes::Save(io::Writer& w) const {
   emb_forest_.Save(w);
 }
 
-Result<D3LIndexes> D3LIndexes::Load(io::Reader& r) {
+Result<D3LIndexes> D3LIndexes::Load(io::Reader& r, ForestWireFormat forest_format) {
   IndexOptions o;
   o.minhash_size = r.ReadU64();
   o.lsh_threshold = r.ReadDouble();
@@ -315,10 +316,14 @@ Result<D3LIndexes> D3LIndexes::Load(io::Reader& r) {
     idx.sigs_.push_back(std::move(s));
   }
 
-  idx.name_forest_ = LshForest::Load(r);
-  idx.value_forest_ = LshForest::Load(r);
-  idx.format_forest_ = LshForest::Load(r);
-  idx.emb_forest_ = LshForest::Load(r);
+  const auto t_forests = std::chrono::steady_clock::now();
+  idx.name_forest_ = LshForest::Load(r, forest_format);
+  idx.value_forest_ = LshForest::Load(r, forest_format);
+  idx.format_forest_ = LshForest::Load(r, forest_format);
+  idx.emb_forest_ = LshForest::Load(r, forest_format);
+  idx.forest_parse_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_forests)
+          .count();
   D3L_RETURN_NOT_OK(r.status());
   if (idx.name_forest_.size() != n || idx.format_forest_.size() != n) {
     return Status::IOError("corrupt file: forest sizes disagree with attribute count");
@@ -328,8 +333,9 @@ Result<D3LIndexes> D3LIndexes::Load(io::Reader& r) {
   for (const LshForest* forest :
        {&idx.name_forest_, &idx.value_forest_, &idx.format_forest_, &idx.emb_forest_}) {
     for (size_t t = 0; t < forest->num_trees(); ++t) {
-      for (const LshForest::Entry& e : forest->tree_entries(t)) {
-        if (e.id >= n) {
+      const LshForest::ItemId* ids = forest->tree_ids(t);
+      for (size_t i = 0, sz = forest->tree_size(t); i < sz; ++i) {
+        if (ids[i] >= n) {
           return Status::IOError("corrupt file: forest entry id out of range");
         }
       }

@@ -114,6 +114,13 @@ class D3LIndexes {
 
   size_t MemoryUsage() const;
 
+  /// Wall time the last Load() spent deserializing the four forests — the
+  /// array-materialization component that a mapped kFlat reader collapses
+  /// to pointer fixups. Zero for indexes built in process. The banded
+  /// replay and profile/signature decode are deliberately excluded: they
+  /// cost the same under either load mode.
+  double forest_parse_seconds() const { return forest_parse_seconds_; }
+
   /// Serializes options, profiles, signatures and the four LSH forests into
   /// the writer's current section. The banded threshold indexes are not
   /// written: Load() rebuilds them deterministically from the saved
@@ -121,10 +128,15 @@ class D3LIndexes {
   /// profiling + MinHash work the snapshot exists to avoid).
   void Save(io::Writer& w) const;
 
-  /// Deserializes indexes written by Save(). Fails with a non-OK Status on
+  /// Deserializes indexes written by Save(). `forest_format` names the
+  /// layout the embedded forests were written in (the engine snapshot
+  /// version determines it; current snapshots are kFlat, v1 snapshots
+  /// kPerEntry). Under a mapped reader the kFlat forests borrow the mapping
+  /// instead of copying their arrays. Fails with a non-OK Status on
   /// truncated payloads, structural inconsistencies (e.g. signature sizes
   /// that contradict the saved options) or reader errors.
-  static Result<D3LIndexes> Load(io::Reader& r);
+  static Result<D3LIndexes> Load(
+      io::Reader& r, ForestWireFormat forest_format = ForestWireFormat::kFlat);
 
  private:
   IndexOptions options_;
@@ -146,6 +158,8 @@ class D3LIndexes {
 
   std::vector<AttributeProfile> profiles_;
   std::vector<AttributeSignatures> sigs_;
+
+  double forest_parse_seconds_ = 0;  ///< see forest_parse_seconds()
 };
 
 }  // namespace d3l::core

@@ -221,7 +221,7 @@ D3LEngine::D3LEngine(D3LOptions options)
         options.wem.dim = options.index.embedding_dim;
         return options;
       }()),
-      wem_(options_.wem),
+      wem_(SharedSubwordModel(options_.wem)),
       indexes_(options_.index) {}
 
 Status D3LEngine::IndexLake(const DataLake& lake) {
@@ -246,14 +246,14 @@ Status D3LEngine::IndexLake(const DataLake& lake) {
     std::atomic<size_t> next{0};
     for (size_t w = 0; w < n_threads; ++w) {
       workers.emplace_back([&] {
-        CachingEmbedder cache(&wem_);
+        CachingEmbedder cache(wem_.get());
         for (;;) {
           size_t ti = next.fetch_add(1);
           if (ti >= n_tables) break;
           const Table& t = lake.table(ti);
           profiles[ti].reserve(t.num_columns());
           for (size_t c = 0; c < t.num_columns(); ++c) {
-            AttributeProfile p = BuildProfile(t, c, wem_, &cache, options_.profile);
+            AttributeProfile p = BuildProfile(t, c, *wem_, &cache, options_.profile);
             p.ref = AttributeRef{static_cast<uint32_t>(ti), static_cast<uint32_t>(c)};
             profiles[ti].push_back(std::move(p));
           }
@@ -317,12 +317,22 @@ Status D3LEngine::SaveSnapshot(const std::string& path) const {
 }
 
 Result<std::unique_ptr<D3LEngine>> D3LEngine::LoadSnapshot(const std::string& path,
-                                                           DataLake* lake_metadata) {
+                                                           DataLake* lake_metadata,
+                                                           SnapshotLoadMode mode) {
   if (lake_metadata == nullptr || lake_metadata->size() != 0) {
     return Status::InvalidArgument("LoadSnapshot requires an empty destination lake");
   }
+  const auto t_open = std::chrono::steady_clock::now();
   io::Reader r;
-  D3L_RETURN_NOT_OK(r.Open(path, kSnapshotMagic, kSnapshotVersion));
+  uint32_t version = 0;
+  D3L_RETURN_NOT_OK(r.Open(path, kSnapshotMagic, kSnapshotMinReadVersion,
+                           kSnapshotVersion, &version,
+                           mode == SnapshotLoadMode::kMapped ? io::ReadMode::kMapped
+                                                             : io::ReadMode::kBuffered));
+  // v1 predates the flat forest arrays; its forests always deserialize via
+  // the per-entry copy path, mapped or not.
+  const ForestWireFormat forest_format =
+      version >= 2 ? ForestWireFormat::kFlat : ForestWireFormat::kPerEntry;
 
   D3L_RETURN_NOT_OK(r.OpenSection(kSectionOptions));
   D3LOptions options = LoadOptions(r);
@@ -343,7 +353,11 @@ Result<std::unique_ptr<D3LEngine>> D3LEngine::LoadSnapshot(const std::string& pa
   D3L_RETURN_NOT_OK(r.EndSection());
 
   D3L_RETURN_NOT_OK(r.OpenSection(kSectionIndexes));
-  D3L_ASSIGN_OR_RETURN(engine->indexes_, D3LIndexes::Load(r));
+  const auto t_index = std::chrono::steady_clock::now();
+  D3L_ASSIGN_OR_RETURN(engine->indexes_, D3LIndexes::Load(r, forest_format));
+  engine->load_stats_.index_parse_seconds = SecondsSince(t_index);
+  engine->load_stats_.forest_parse_seconds =
+      engine->indexes_.forest_parse_seconds();
   D3L_RETURN_NOT_OK(r.EndSection());
   // The index options live both in OPTS (engine construction) and inside
   // INDX (self-contained D3LIndexes::Save). If the copies disagree, the
@@ -409,6 +423,14 @@ Result<std::unique_ptr<D3LEngine>> D3LEngine::LoadSnapshot(const std::string& pa
   }
 
   engine->lake_ = lake_metadata;
+  engine->load_stats_.format_version = version;
+  // "Mapped" means zero-copy actually happened: a v1 file may well be
+  // mmap-backed inside the Reader, but its per-entry layout still decodes
+  // into owned arrays, so it does not count.
+  engine->load_stats_.mapped =
+      r.mapped() && forest_format == ForestWireFormat::kFlat;
+  engine->load_stats_.pad_bytes = r.pad_bytes();
+  engine->load_stats_.open_seconds = SecondsSince(t_open);
   return engine;
 }
 
@@ -458,11 +480,11 @@ void CandidateDepthCounts::Add(const CandidateDepthCounts& other) {
 QueryTarget D3LEngine::ProfileTarget(const Table& target) const {
   QueryTarget qt;
   const size_t n_cols = target.num_columns();
-  CachingEmbedder cache(&wem_);
+  CachingEmbedder cache(wem_.get());
   qt.profiles.reserve(n_cols);
   qt.sigs.reserve(n_cols);
   for (size_t c = 0; c < n_cols; ++c) {
-    AttributeProfile p = BuildProfile(target, c, wem_, &cache, options_.profile);
+    AttributeProfile p = BuildProfile(target, c, *wem_, &cache, options_.profile);
     qt.sigs.push_back(indexes_.Sign(p));
     qt.profiles.push_back(std::move(p));
   }
@@ -678,9 +700,13 @@ Result<SearchResult> D3LEngine::SearchTarget(
 
 Result<D3LEngine::SnapshotInfo> D3LEngine::ReadSnapshotInfo(const std::string& path) {
   io::Reader r;
-  D3L_RETURN_NOT_OK(r.Open(path, kSnapshotMagic, kSnapshotVersion));
+  uint32_t version = 0;
+  D3L_RETURN_NOT_OK(
+      r.Open(path, kSnapshotMagic, kSnapshotMinReadVersion, kSnapshotVersion, &version));
 
   SnapshotInfo info;
+  info.format_version = version;
+  info.mappable = version >= 2;
   D3L_RETURN_NOT_OK(r.OpenSection(kSectionOptions));
   info.options = LoadOptions(r);
   D3L_RETURN_NOT_OK(r.status());

@@ -73,6 +73,33 @@ struct IndexBuildStats {
   size_t index_bytes = 0;      ///< MemoryUsage of the four indexes
 };
 
+/// \brief How LoadSnapshot backs the loaded index structures.
+enum class SnapshotLoadMode {
+  kCopied,  ///< buffered read; every array is a heap copy
+  /// mmap the snapshot; the forest key/id arrays are served in place from
+  /// the mapping (shared, page-cached across processes and replicas).
+  /// Falls back to kCopied when mapping is unavailable — results are
+  /// identical either way, only the backing differs.
+  kMapped,
+};
+
+/// \brief What a LoadSnapshot call actually did (perf accounting: the
+/// snapshot_load bench and `d3l_snapshot info` report these).
+struct SnapshotLoadStats {
+  uint32_t format_version = 0;  ///< version found in the file
+  bool mapped = false;          ///< the file was served from an mmap
+  uint64_t pad_bytes = 0;       ///< alignment padding skipped while reading
+  double open_seconds = 0;      ///< whole LoadSnapshot wall time
+  /// Wall time decoding the INDX section: signature/profile decode, the
+  /// banded-index replay (mode-independent by design — see
+  /// D3LIndexes::Save) and the forest deserialization.
+  double index_parse_seconds = 0;
+  /// Wall time of the forest deserialization alone — the full-array
+  /// materialization that a mapped v2 load collapses to pointer fixups.
+  /// This is the component `bench/snapshot_load` gates mapped-vs-copied.
+  double forest_parse_seconds = 0;
+};
+
 /// \brief A profiled query target: per-column profiles and signatures plus
 /// the detected subject column.
 ///
@@ -287,20 +314,30 @@ class D3LEngine {
   /// Loads a snapshot written by SaveSnapshot. `lake_metadata` receives
   /// schema-only tables (names + column names, no cells), must be empty on
   /// entry and must outlive the returned engine, which serves Search()
-  /// without re-profiling. Truncated, corrupt or version-mismatched files
-  /// fail with a descriptive non-OK Status.
-  static Result<std::unique_ptr<D3LEngine>> LoadSnapshot(const std::string& path,
-                                                         DataLake* lake_metadata);
+  /// without re-profiling. Under the default SnapshotLoadMode::kMapped a
+  /// current-version snapshot is mmapped and the index arrays borrow the
+  /// mapping (the engine keeps it alive); v1 snapshots and mapping failures
+  /// fall back to full deserialization with identical results. Truncated,
+  /// corrupt or version-mismatched files fail with a descriptive non-OK
+  /// Status. See load_stats() for what a given load actually did.
+  static Result<std::unique_ptr<D3LEngine>> LoadSnapshot(
+      const std::string& path, DataLake* lake_metadata,
+      SnapshotLoadMode mode = SnapshotLoadMode::kMapped);
 
-  /// Magic bytes and current format version of engine snapshot files.
+  /// Magic bytes and format-version range of engine snapshot files.
+  /// v1: per-entry forest encoding. v2: flat aligned forest arrays
+  /// (mappable). Readers accept [kSnapshotMinReadVersion, kSnapshotVersion].
   static constexpr char kSnapshotMagic[9] = "D3LSNAP\n";
-  static constexpr uint32_t kSnapshotVersion = 1;
+  static constexpr uint32_t kSnapshotVersion = 2;
+  static constexpr uint32_t kSnapshotMinReadVersion = 1;
 
   /// Lightweight snapshot metadata (the `d3l_snapshot info` view).
   struct SnapshotInfo {
     D3LOptions options;
     size_t num_tables = 0;
-    size_t num_attributes = 0;  ///< sum of the schema column counts
+    size_t num_attributes = 0;    ///< sum of the schema column counts
+    uint32_t format_version = 0;  ///< version found in the file
+    bool mappable = false;        ///< flat-array format (zero-copy capable)
   };
 
   /// Reads a snapshot's options and lake schema metadata without loading
@@ -314,18 +351,26 @@ class D3LEngine {
   /// Registry id of a table's subject attribute (UINT32_MAX if none).
   uint32_t subject_attribute_id(uint32_t table_index) const;
 
-  const WordEmbeddingModel& wem() const { return wem_; }
+  const WordEmbeddingModel& wem() const { return *wem_; }
   const SubjectAttributeDetector& subject_detector() const { return detector_; }
+
+  /// What the snapshot load that produced this engine did (all zero for
+  /// engines built via IndexLake).
+  const SnapshotLoadStats& load_stats() const { return load_stats_; }
 
  private:
   D3LOptions options_;
-  SubwordHashModel wem_;
+  /// Shared across engines with equal options (SharedSubwordModel): the
+  /// bucket table is immutable and expensive, and serving processes hold
+  /// many same-options engines (shard replicas, reload generations).
+  std::shared_ptr<const SubwordHashModel> wem_;
   SubjectAttributeDetector detector_;
   D3LIndexes indexes_;
   const DataLake* lake_ = nullptr;
   std::vector<std::vector<uint32_t>> attr_ids_;  // [table][column] -> id
   std::vector<int> subject_cols_;                // [table] -> column or -1
   IndexBuildStats build_stats_;
+  SnapshotLoadStats load_stats_;
 };
 
 }  // namespace d3l::core

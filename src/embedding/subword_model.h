@@ -10,6 +10,7 @@
 // Distributional semantics of unrelated surface forms are NOT captured.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -70,6 +71,18 @@ class SubwordHashModel : public WordEmbeddingModel {
   SubwordModelOptions options_;
   std::vector<float> buckets_;  // [bucket * dim + component]
 };
+
+/// \brief Process-wide shared instance of the model for `options`.
+///
+/// The bucket table is deterministic in the options and immutable after
+/// construction, so every engine with equal options can share one instance.
+/// That matters for snapshot loads: materializing the table (num_buckets *
+/// dim Gaussians) dominates an engine open, and a serving process holds
+/// many engines with identical options (shard replicas, reload generations).
+/// Backed by a weak registry — models are freed when the last engine using
+/// them goes away, and rebuilt on the next request. Thread-safe.
+std::shared_ptr<const SubwordHashModel> SharedSubwordModel(
+    const SubwordModelOptions& options);
 
 /// \brief Memoizing wrapper: caches vectors of previously embedded words.
 class CachingEmbedder {

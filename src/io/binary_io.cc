@@ -1,10 +1,13 @@
 #include "io/binary_io.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <utility>
@@ -42,6 +45,8 @@ Status WriteAll(std::FILE* f, const void* data, size_t len, const char* what) {
   return Status::OK();
 }
 
+constexpr bool kHostLittleEndian = std::endian::native == std::endian::little;
+
 }  // namespace
 
 void Crc32Accumulator::Update(const void* data, size_t len) {
@@ -57,6 +62,40 @@ uint32_t Crc32(const void* data, size_t len) {
   acc.Update(data, len);
   return acc.Finish();
 }
+
+// ------------------------------------------------------------ MappedFile
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  // Test/ops hook: force the buffered fallback without touching the caller.
+  const char* disabled = std::getenv("D3L_DISABLE_MMAP");
+  if (disabled != nullptr && disabled[0] != '\0') {
+    return Status::Unavailable("mmap disabled by D3L_DISABLE_MMAP");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = nullptr;
+  if (size > 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      ::close(fd);
+      return Status::Unavailable("cannot mmap " + path);
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages; the fd is not needed
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+// ------------------------------------------------------------ inspection
 
 Result<FileInfo> InspectFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -95,6 +134,7 @@ Result<FileInfo> InspectFile(const std::string& path) {
     for (size_t i = 0; i < 8; ++i) {
       section.payload_bytes |= static_cast<uint64_t>(header[4 + i]) << (8 * i);
     }
+    section.payload_offset = info.file_bytes + 12;
     // Stream the payload through the CRC in bounded chunks so inspection
     // never allocates proportionally to section size.
     Crc32Accumulator acc;
@@ -221,6 +261,7 @@ Status Writer::Open(const std::string& path, const char (&magic)[9], uint32_t ve
   D3L_RETURN_NOT_OK(WriteAll(file_, magic, 8, "magic"));
   std::string header;
   AppendLittleEndian(&header, version, 4);
+  flushed_offset_ = 12;
   return WriteAll(file_, header.data(), header.size(), "version");
 }
 
@@ -232,6 +273,10 @@ void Writer::OpenBuffer(std::string* out) {
     return;
   }
   buffer_ = out;
+  // Buffer framing carries no magic/version header, but AlignTo still
+  // behaves as if one existed so buffer-written sections are byte-identical
+  // to their file-written counterparts.
+  flushed_offset_ = 12 + out->size();
 }
 
 void Writer::BeginSection(uint32_t id) {
@@ -264,6 +309,7 @@ Status Writer::EndSection() {
         WriteAll(file_, section_.data(), section_.size(), "section payload"));
     D3L_RETURN_NOT_OK(WriteAll(file_, crc.data(), crc.size(), "section checksum"));
   }
+  flushed_offset_ += 12 + section_.size() + 4;
   in_section_ = false;
   section_.clear();
   return Status::OK();
@@ -334,6 +380,33 @@ void Writer::WriteFloatVector(const std::vector<float>& v) {
   for (float x : v) WriteU32(std::bit_cast<uint32_t>(x));
 }
 
+void Writer::AlignTo(size_t alignment) {
+  if (alignment == 0) return;
+  // The next payload byte's file offset: everything flushed, plus this
+  // section's 12-byte header, plus the payload built so far.
+  const uint64_t offset = flushed_offset_ + 12 + section_.size();
+  const uint64_t pad = (alignment - offset % alignment) % alignment;
+  section_.append(static_cast<size_t>(pad), '\0');
+}
+
+void Writer::WriteRawU64Array(const uint64_t* values, size_t n) {
+  if (n == 0) return;
+  if constexpr (kHostLittleEndian) {
+    section_.append(reinterpret_cast<const char*>(values), n * sizeof(uint64_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) AppendLittleEndian(&section_, values[i], 8);
+  }
+}
+
+void Writer::WriteRawU32Array(const uint32_t* values, size_t n) {
+  if (n == 0) return;
+  if constexpr (kHostLittleEndian) {
+    section_.append(reinterpret_cast<const char*>(values), n * sizeof(uint32_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) AppendLittleEndian(&section_, values[i], 4);
+  }
+}
+
 // ---------------------------------------------------------------- Reader
 
 Reader::~Reader() {
@@ -346,54 +419,76 @@ Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t ve
 }
 
 Status Reader::OpenBuffer(std::string data) {
-  if (file_ != nullptr || buffer_mode_) {
+  if (file_ != nullptr || buffer_mode_ || mapping_ != nullptr) {
     return Status::InvalidArgument("Reader already open");
   }
   buffer_mode_ = true;
   input_ = std::move(data);
-  input_cursor_ = 0;
+  frame_data_ = input_.data();
+  frame_size_ = input_.size();
+  frame_cursor_ = 0;
+  // Mirror Writer::OpenBuffer: alignment pretends a 12-byte header exists.
+  stream_offset_ = 12;
   return Status::OK();
 }
 
 Status Reader::Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
-                    uint32_t max_version, uint32_t* version_out) {
-  if (file_ != nullptr || buffer_mode_) {
+                    uint32_t max_version, uint32_t* version_out, ReadMode mode) {
+  if (file_ != nullptr || buffer_mode_ || mapping_ != nullptr) {
     return Status::InvalidArgument("Reader already open");
   }
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::NotFound("cannot open " + path);
+  if (mode == ReadMode::kMapped) {
+    auto mapped = MappedFile::Map(path);
+    if (mapped.ok()) {
+      mapping_ = std::move(mapped).ValueOrDie();
+      frame_data_ = mapping_->data();
+      frame_size_ = mapping_->size();
+      frame_cursor_ = 0;
+    } else if (!mapped.status().IsUnavailable()) {
+      return mapped.status();  // hard error (e.g. file missing)
+    }
+    // Unavailable: mapping disabled or impossible here — fall back to the
+    // buffered file path below, which serves identical bytes.
+  }
+  if (mapping_ == nullptr) {
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::NotFound("cannot open " + path);
+    }
   }
   char got[8];
-  if (std::fread(got, 1, 8, file_) != 8 || std::memcmp(got, magic, 8) != 0) {
+  if (!ReadFrame(got, 8) || std::memcmp(got, magic, 8) != 0) {
     return Status::InvalidArgument(path + " is not a " + std::string(magic, 7) +
                                    " file (bad magic)");
   }
   unsigned char vb[4];
-  if (std::fread(vb, 1, 4, file_) != 4) {
+  if (!ReadFrame(vb, 4)) {
     return Status::IOError(path + ": truncated header");
   }
   uint32_t got_version = static_cast<uint32_t>(vb[0]) | static_cast<uint32_t>(vb[1]) << 8 |
                          static_cast<uint32_t>(vb[2]) << 16 |
                          static_cast<uint32_t>(vb[3]) << 24;
   if (got_version < min_version || got_version > max_version) {
-    const std::string want =
-        min_version == max_version
-            ? "v" + std::to_string(min_version)
-            : "v" + std::to_string(min_version) + "..v" + std::to_string(max_version);
+    std::string want = "v";
+    want += std::to_string(min_version);
+    if (min_version != max_version) {
+      want += "..v";
+      want += std::to_string(max_version);
+    }
     return Status::InvalidArgument("format version mismatch: file has v" +
                                    std::to_string(got_version) + ", reader expects " +
                                    want);
   }
-  *version_out = got_version;
+  if (version_out != nullptr) *version_out = got_version;
+  stream_offset_ = 12;
   return Status::OK();
 }
 
 bool Reader::ReadFrame(void* out, size_t n) {
-  if (buffer_mode_) {
-    if (input_cursor_ + n > input_.size()) return false;
-    std::memcpy(out, input_.data() + input_cursor_, n);
-    input_cursor_ += n;
+  if (frame_data_ != nullptr) {
+    if (frame_cursor_ + n > frame_size_) return false;
+    std::memcpy(out, frame_data_ + frame_cursor_, n);
+    frame_cursor_ += n;
     return true;
   }
   return std::fread(out, 1, n, file_) == n;
@@ -401,7 +496,9 @@ bool Reader::ReadFrame(void* out, size_t n) {
 
 Status Reader::OpenSection(uint32_t id) {
   D3L_RETURN_NOT_OK(status_);
-  if (file_ == nullptr && !buffer_mode_) return Status::Internal("Reader not open");
+  if (file_ == nullptr && frame_data_ == nullptr) {
+    return Status::Internal("Reader not open");
+  }
   unsigned char header[12];
   if (!ReadFrame(header, sizeof(header))) {
     return Status::IOError("truncated file: missing section header");
@@ -422,25 +519,36 @@ Status Reader::OpenSection(uint32_t id) {
     return Status::InvalidArgument(std::string("expected section '") + want +
                                    "', found '" + got + "'");
   }
-  // In buffer mode the remaining input bounds the payload, so a corrupt
-  // length is rejected BEFORE the resize below can allocate for it (network
-  // frames are untrusted input; see src/rpc).
-  if (buffer_mode_ && size > input_.size() - input_cursor_) {
-    return Status::IOError("truncated file: section payload cut short");
+  payload_offset_ = stream_offset_ + 12;
+  if (frame_data_ != nullptr) {
+    // In-memory framing (buffer or mapping): the remaining input bounds the
+    // payload, so a corrupt length is rejected BEFORE anything allocates
+    // for it (network frames are untrusted input; see src/rpc) — and the
+    // payload is served in place, no copy.
+    if (size > frame_size_ - frame_cursor_) {
+      return Status::IOError("truncated file: section payload cut short");
+    }
+    sec_data_ = frame_data_ + frame_cursor_;
+    sec_size_ = static_cast<size_t>(size);
+    frame_cursor_ += sec_size_;
+  } else {
+    section_.resize(size);
+    if (size > 0 && !ReadFrame(section_.data(), size)) {
+      return Status::IOError("truncated file: section payload cut short");
+    }
+    sec_data_ = section_.data();
+    sec_size_ = section_.size();
   }
-  section_.resize(size);
   cursor_ = 0;
-  if (size > 0 && !ReadFrame(section_.data(), size)) {
-    return Status::IOError("truncated file: section payload cut short");
-  }
   unsigned char cb[4];
   if (!ReadFrame(cb, 4)) {
     return Status::IOError("truncated file: missing section checksum");
   }
+  stream_offset_ += 12 + size + 4;
   uint32_t got_crc = static_cast<uint32_t>(cb[0]) | static_cast<uint32_t>(cb[1]) << 8 |
                      static_cast<uint32_t>(cb[2]) << 16 |
                      static_cast<uint32_t>(cb[3]) << 24;
-  uint32_t want_crc = Crc32(section_.data(), section_.size());
+  uint32_t want_crc = Crc32(sec_data_, sec_size_);
   if (got_crc != want_crc) {
     return Status::IOError("corrupt file: section checksum mismatch");
   }
@@ -449,8 +557,8 @@ Status Reader::OpenSection(uint32_t id) {
 
 Status Reader::EndSection() {
   D3L_RETURN_NOT_OK(status_);
-  if (cursor_ != section_.size()) {
-    return Status::Internal("section has " + std::to_string(section_.size() - cursor_) +
+  if (cursor_ != sec_size_) {
+    return Status::Internal("section has " + std::to_string(sec_size_ - cursor_) +
                             " unread bytes");
   }
   return Status::OK();
@@ -462,13 +570,24 @@ void Reader::Fail(Status s) {
 
 bool Reader::TakeBytes(void* out, size_t n) {
   if (!status_.ok()) return false;
-  if (cursor_ + n > section_.size()) {
+  if (cursor_ + n > sec_size_) {
     Fail(Status::OutOfRange("read past end of section payload"));
     return false;
   }
-  std::memcpy(out, section_.data() + cursor_, n);
+  std::memcpy(out, sec_data_ + cursor_, n);
   cursor_ += n;
   return true;
+}
+
+const char* Reader::TakeView(size_t n) {
+  if (!status_.ok()) return nullptr;
+  if (cursor_ + n > sec_size_) {
+    Fail(Status::OutOfRange("read past end of section payload"));
+    return nullptr;
+  }
+  const char* p = sec_data_ + cursor_;
+  cursor_ += n;
+  return p;
 }
 
 uint8_t Reader::ReadU8() {
@@ -497,13 +616,71 @@ double Reader::ReadDouble() { return std::bit_cast<double>(ReadU64()); }
 size_t Reader::ReadLength(size_t elem_size) {
   uint64_t n = ReadU64();
   if (!status_.ok()) return 0;
-  size_t remaining = section_.size() - cursor_;
+  size_t remaining = sec_size_ - cursor_;
   if (elem_size == 0) elem_size = 1;
   if (n > remaining / elem_size) {
     Fail(Status::OutOfRange("corrupt length prefix exceeds section payload"));
     return 0;
   }
   return static_cast<size_t>(n);
+}
+
+void Reader::AlignTo(size_t alignment) {
+  if (alignment == 0 || !status_.ok()) return;
+  const uint64_t offset = payload_offset_ + cursor_;
+  const uint64_t pad = (alignment - offset % alignment) % alignment;
+  if (pad == 0) return;
+  if (TakeView(static_cast<size_t>(pad)) != nullptr) {
+    pad_bytes_ += pad;
+  }
+}
+
+const uint64_t* Reader::ReadU64Span(size_t n, std::vector<uint64_t>* owned) {
+  owned->clear();
+  const size_t bytes = n * sizeof(uint64_t);
+  const char* view = TakeView(bytes);
+  if (view == nullptr) return nullptr;
+  if (kHostLittleEndian && mapped() &&
+      reinterpret_cast<uintptr_t>(view) % alignof(uint64_t) == 0) {
+    return reinterpret_cast<const uint64_t*>(view);
+  }
+  owned->resize(n);
+  if constexpr (kHostLittleEndian) {
+    std::memcpy(owned->data(), view, bytes);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      for (size_t b = 0; b < 8; ++b) {
+        v |= static_cast<uint64_t>(static_cast<unsigned char>(view[8 * i + b])) << (8 * b);
+      }
+      (*owned)[i] = v;
+    }
+  }
+  return owned->data();
+}
+
+const uint32_t* Reader::ReadU32Span(size_t n, std::vector<uint32_t>* owned) {
+  owned->clear();
+  const size_t bytes = n * sizeof(uint32_t);
+  const char* view = TakeView(bytes);
+  if (view == nullptr) return nullptr;
+  if (kHostLittleEndian && mapped() &&
+      reinterpret_cast<uintptr_t>(view) % alignof(uint32_t) == 0) {
+    return reinterpret_cast<const uint32_t*>(view);
+  }
+  owned->resize(n);
+  if constexpr (kHostLittleEndian) {
+    std::memcpy(owned->data(), view, bytes);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t v = 0;
+      for (size_t b = 0; b < 4; ++b) {
+        v |= static_cast<uint32_t>(static_cast<unsigned char>(view[4 * i + b])) << (8 * b);
+      }
+      (*owned)[i] = v;
+    }
+  }
+  return owned->data();
 }
 
 std::string Reader::ReadString() {

@@ -15,10 +15,21 @@
 // instead of after every field, mirroring Chromium's Pickle. All multi-byte
 // values are little-endian regardless of host byte order, so snapshots are
 // portable across machines.
+//
+// Zero-copy loads: Writer::AlignTo lets a format place fixed-width arrays
+// at 8-byte-aligned FILE offsets (zero padding inside the section payload,
+// mirrored by Reader::AlignTo). A Reader opened in ReadMode::kMapped mmaps
+// the whole file; because mappings are page-aligned, file-offset alignment
+// equals in-memory alignment, and ReadU64Span/ReadU32Span then return
+// pointers straight into the mapping instead of copying — the loaded
+// structure borrows the mapping (keep it alive via mapping()). When the map
+// cannot be established (or D3L_DISABLE_MMAP is set), kMapped silently
+// falls back to the buffered path and the span reads copy.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,10 +53,33 @@ class Crc32Accumulator {
   uint32_t state_ = 0xFFFFFFFFu;
 };
 
+/// \brief A read-only memory mapping of a whole file (RAII: unmapped on
+/// destruction). Loaded structures that borrow spans of the mapping hold
+/// the shared_ptr so the pages outlive every borrower. Map() fails with
+/// Unavailable when the environment variable D3L_DISABLE_MMAP is set to a
+/// non-empty value — the hook the mmap-fallback tests use.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<MappedFile>> Map(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief Raw shape of one section as found on disk.
 struct SectionInfo {
   uint32_t id = 0;            ///< fourcc
   uint64_t payload_bytes = 0;
+  uint64_t payload_offset = 0;  ///< file offset of the first payload byte
   bool crc_ok = false;
 };
 
@@ -59,10 +93,10 @@ struct FileInfo {
 };
 
 /// \brief Walks a snapshot/manifest container without decoding payloads:
-/// reads the header, then each section's id, size and checksum. Works for
-/// ANY magic (the caller dispatches on FileInfo::magic), so `d3l_snapshot
-/// info` can describe engine snapshots and shard manifests alike. Fails on
-/// files too short for a header or with truncated sections.
+/// reads the header, then each section's id, size, offset and checksum.
+/// Works for ANY magic (the caller dispatches on FileInfo::magic), so
+/// `d3l_snapshot info` can describe engine snapshots and shard manifests
+/// alike. Fails on files too short for a header or with truncated sections.
 Result<FileInfo> InspectFile(const std::string& path);
 
 /// \brief Cheap content identity of a container file: (file size, CRC32
@@ -83,6 +117,12 @@ constexpr uint32_t SectionId(const char (&s)[5]) {
          static_cast<uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
          static_cast<uint32_t>(static_cast<unsigned char>(s[3])) << 24;
 }
+
+/// \brief How a Reader backs its section payloads.
+enum class ReadMode {
+  kBuffered,  ///< read sections into an owned buffer (always works)
+  kMapped,    ///< mmap the file; falls back to kBuffered when mapping fails
+};
 
 /// \brief Streams sections of little-endian primitives to a file.
 ///
@@ -109,7 +149,8 @@ class Writer {
   /// sink behind fingerprinting (core::OptionsFingerprint and the serving
   /// result-cache keys): anything with a Save(Writer&) method can be
   /// reduced to a deterministic byte string without touching disk. `out`
-  /// must outlive the writer.
+  /// must outlive the writer. For AlignTo, the buffer is treated as if it
+  /// began right after a 12-byte container header, matching file mode.
   void OpenBuffer(std::string* out);
 
   /// Starts buffering a new section. A section must be ended before the
@@ -136,6 +177,21 @@ class Writer {
   void WriteDoubleVector(const std::vector<double>& v);
   void WriteFloatVector(const std::vector<float>& v);
 
+  /// Pads the current section with zero bytes until the next payload byte's
+  /// FILE offset is a multiple of `alignment` (a power of two). Because
+  /// mmap bases are page-aligned, a file-offset-aligned array is also
+  /// memory-aligned inside a mapping — the precondition for serving it as
+  /// an in-place uint64_t/uint32_t span. Reader::AlignTo skips the same pad.
+  void AlignTo(size_t alignment);
+
+  /// Appends `n` values verbatim as little-endian u64s, with no length
+  /// prefix (the caller's format carries the count). Combined with
+  /// AlignTo(8) this produces a mappable in-place array.
+  void WriteRawU64Array(const uint64_t* values, size_t n);
+
+  /// Appends `n` values verbatim as little-endian u32s (no length prefix).
+  void WriteRawU32Array(const uint32_t* values, size_t n);
+
   /// Writes any forward range of std::string (vector, set) as count + items.
   template <typename Range>
   void WriteStringRange(const Range& r) {
@@ -150,6 +206,7 @@ class Writer {
   std::string tmp_path_;           ///< the file actually being written
   std::string section_;  ///< payload of the section being built
   uint32_t section_id_ = 0;
+  uint64_t flushed_offset_ = 0;  ///< file offset just past everything flushed
   bool in_section_ = false;
   Status status_;
 };
@@ -169,10 +226,14 @@ class Reader {
 
   /// Version-range form for formats with backward-compatible readers: the
   /// file's version must lie in [min_version, max_version]; the version
-  /// actually found is stored into `*version_out` so the caller can branch
-  /// its field decoding on it.
+  /// actually found is stored into `*version_out` (may be null) so the
+  /// caller can branch its field decoding on it. `mode` selects the
+  /// payload backing;
+  /// ReadMode::kMapped falls back to buffered reads when the file cannot
+  /// be mapped (check mapped() to see which one you got).
   Status Open(const std::string& path, const char (&magic)[9], uint32_t min_version,
-              uint32_t max_version, uint32_t* version_out);
+              uint32_t max_version, uint32_t* version_out,
+              ReadMode mode = ReadMode::kBuffered);
 
   /// Opens the reader over in-memory bytes produced by Writer::OpenBuffer
   /// (framed sections, no magic/version header — the mirror of the writer's
@@ -190,6 +251,17 @@ class Reader {
   /// Verifies the just-read section was fully consumed (a guard against
   /// format drift between Save and Load code paths).
   Status EndSection();
+
+  /// True when section payloads live in an established memory mapping
+  /// (ReadMode::kMapped that did not fall back): span reads can borrow.
+  bool mapped() const { return mapping_ != nullptr; }
+
+  /// The mapping backing this reader (null unless mapped()). Structures
+  /// that borrow spans hold this to keep the pages alive.
+  const std::shared_ptr<MappedFile>& mapping() const { return mapping_; }
+
+  /// Total zero-pad bytes skipped by AlignTo so far (diagnostics).
+  uint64_t pad_bytes() const { return pad_bytes_; }
 
   /// First error latched by any failed read (OutOfRange on exhausted
   /// section payloads), or OK.
@@ -219,19 +291,47 @@ class Reader {
   /// corrupt counts cannot trigger huge allocations.
   size_t ReadLength(size_t elem_size);
 
+  /// Skips the zero padding Writer::AlignTo produced for the same
+  /// alignment. Must mirror the writer call for call: the two sides agree
+  /// on the pad length because they agree on the absolute payload offset.
+  void AlignTo(size_t alignment);
+
+  /// Reads `n` u64 values written by WriteRawU64Array. When the payload is
+  /// mapped, the host is little-endian and the in-file array is 8-byte
+  /// aligned (the writer's AlignTo guarantees it), returns a pointer
+  /// straight into the mapping and leaves `*owned` empty — the caller must
+  /// keep mapping() alive for the lifetime of the span. Otherwise decodes
+  /// into `*owned` and returns owned->data(). Returns nullptr (with
+  /// status() latched) on a short section.
+  const uint64_t* ReadU64Span(size_t n, std::vector<uint64_t>* owned);
+
+  /// ReadU64Span's u32 counterpart (4-byte alignment).
+  const uint32_t* ReadU32Span(size_t n, std::vector<uint32_t>* owned);
+
  private:
   bool TakeBytes(void* out, size_t n);
   void Fail(Status s);
-  /// Reads `n` bytes of the framing stream (file or in-memory buffer) into
+  /// Reads `n` bytes of the framing stream (file, buffer or mapping) into
   /// `out`; false at end of stream or on a short read.
   bool ReadFrame(void* out, size_t n);
+  /// Borrows `n` bytes of the current section payload (bounds-checked
+  /// cursor advance) without copying; nullptr + latched status on overrun.
+  const char* TakeView(size_t n);
 
   std::FILE* file_ = nullptr;
   std::string input_;       ///< framing bytes (OpenBuffer mode)
-  size_t input_cursor_ = 0;
+  std::shared_ptr<MappedFile> mapping_;  ///< framing bytes (mapped mode)
+  const char* frame_data_ = nullptr;  ///< in-memory framing (buffer/mapped)
+  size_t frame_size_ = 0;
+  size_t frame_cursor_ = 0;
   bool buffer_mode_ = false;
-  std::string section_;  ///< payload of the currently open section
+  std::string section_;  ///< owned payload (file mode)
+  const char* sec_data_ = nullptr;  ///< current section payload view
+  size_t sec_size_ = 0;
   size_t cursor_ = 0;
+  uint64_t payload_offset_ = 0;  ///< file offset of the current payload
+  uint64_t stream_offset_ = 0;   ///< file offset just past consumed frames
+  uint64_t pad_bytes_ = 0;
   Status status_;
 };
 

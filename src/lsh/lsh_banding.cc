@@ -44,23 +44,22 @@ BandedLsh::BandedLsh(BandedLshOptions options) : options_(options) {
   buckets_.resize(bands_);
 }
 
-void BandedLsh::CheckSignatureSize(const Signature& sig) const {
+void BandedLsh::CheckSignatureSize(size_t n) const {
   // BandHash reads sig[bands * rows - 1]; a short signature (an ensemble
   // whose options disagree with its hasher) would read out of bounds. Fail
   // loudly in release builds too, like LshForest::CheckSignatureSize —
   // Insert/Query are per-item, so the check is cheap.
   const size_t need = bands_ * rows_;
-  if (sig.size() < need) {
+  if (n < need) {
     std::fprintf(stderr,
                  "BandedLsh: signature has %zu values but bands * rows = %zu "
                  "(options signature_size %zu)\n",
-                 sig.size(), need, options_.signature_size);
+                 n, need, options_.signature_size);
     std::abort();
   }
 }
 
-uint64_t BandedLsh::BandHash(size_t band, const Signature& sig) const {
-  assert(sig.size() >= bands_ * rows_);
+uint64_t BandedLsh::BandHash(size_t band, const uint64_t* sig) const {
   uint64_t h = Mix64(band + 0x51ed2701);
   for (size_t i = 0; i < rows_; ++i) {
     h = HashCombine(h, sig[band * rows_ + i]);
@@ -69,7 +68,11 @@ uint64_t BandedLsh::BandHash(size_t band, const Signature& sig) const {
 }
 
 void BandedLsh::Insert(ItemId id, const Signature& signature) {
-  CheckSignatureSize(signature);
+  Insert(id, signature.data(), signature.size());
+}
+
+void BandedLsh::Insert(ItemId id, const uint64_t* signature, size_t n) {
+  CheckSignatureSize(n);
   for (size_t b = 0; b < bands_; ++b) {
     buckets_[b][BandHash(b, signature)].push_back(id);
   }
@@ -77,11 +80,11 @@ void BandedLsh::Insert(ItemId id, const Signature& signature) {
 }
 
 std::vector<BandedLsh::ItemId> BandedLsh::Query(const Signature& signature) const {
-  CheckSignatureSize(signature);
+  CheckSignatureSize(signature.size());
   std::unordered_set<ItemId> seen;
   std::vector<ItemId> out;
   for (size_t b = 0; b < bands_; ++b) {
-    auto it = buckets_[b].find(BandHash(b, signature));
+    auto it = buckets_[b].find(BandHash(b, signature.data()));
     if (it == buckets_[b].end()) continue;
     for (ItemId id : it->second) {
       if (seen.insert(id).second) out.push_back(id);

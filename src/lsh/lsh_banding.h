@@ -43,6 +43,9 @@ class BandedLsh {
 
   void Insert(ItemId id, const Signature& signature);
 
+  /// Span form for flat signature stores: `signature` points at `n` values.
+  void Insert(ItemId id, const uint64_t* signature, size_t n);
+
   /// Items sharing at least one band with the query (candidates whose
   /// Jaccard similarity is likely >= threshold). Deduplicated.
   std::vector<ItemId> Query(const Signature& signature) const;
@@ -51,9 +54,9 @@ class BandedLsh {
   size_t MemoryUsage() const;
 
  private:
-  uint64_t BandHash(size_t band, const Signature& sig) const;
+  uint64_t BandHash(size_t band, const uint64_t* sig) const;
   // Aborts (in all build types) if the signature is too short for BandHash.
-  void CheckSignatureSize(const Signature& sig) const;
+  void CheckSignatureSize(size_t n) const;
 
   BandedLshOptions options_;
   size_t bands_;

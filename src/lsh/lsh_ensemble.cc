@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace d3l {
 
@@ -14,40 +16,58 @@ double ContainmentFromJaccard(double jaccard, size_t query_size, size_t set_size
 
 LshEnsemble::LshEnsemble(LshEnsembleOptions options) : options_(options) {}
 
+void LshEnsemble::Detach() {
+  if (borrowed_sigs_ == nullptr) return;
+  owned_sigs_.assign(borrowed_sigs_,
+                     borrowed_sigs_ + ids_.size() * options_.signature_size);
+  borrowed_sigs_ = nullptr;
+  storage_.reset();
+}
+
 void LshEnsemble::Insert(ItemId id, const Signature& signature, size_t set_size) {
   assert(!indexed_);
-  items_.push_back(Item{id, signature, set_size});
+  // The flat store has a fixed stride; a mis-sized signature would shift
+  // every later item's values. Fail loudly in release builds too.
+  if (signature.size() != options_.signature_size) {
+    std::fprintf(stderr,
+                 "LshEnsemble: signature has %zu values but options "
+                 "signature_size = %zu\n",
+                 signature.size(), options_.signature_size);
+    std::abort();
+  }
+  Detach();
+  ids_.push_back(id);
+  set_sizes_.push_back(set_size);
+  owned_sigs_.insert(owned_sigs_.end(), signature.begin(), signature.end());
 }
 
 void LshEnsemble::Index() {
   assert(!indexed_);
   indexed_ = true;
-  if (items_.empty()) return;
+  if (ids_.empty()) return;
 
   // Order by cardinality; cut into near-equal partitions so each partition
   // has tight size bounds (the ensemble's skew fix).
-  std::vector<size_t> order(items_.size());
+  std::vector<size_t> order(ids_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-    if (items_[a].set_size != items_[b].set_size) {
-      return items_[a].set_size < items_[b].set_size;
-    }
-    return items_[a].id < items_[b].id;
+    if (set_sizes_[a] != set_sizes_[b]) return set_sizes_[a] < set_sizes_[b];
+    return ids_[a] < ids_[b];
   });
 
-  size_t n_parts = std::max<size_t>(1, std::min(options_.num_partitions, items_.size()));
+  size_t n_parts = std::max<size_t>(1, std::min(options_.num_partitions, ids_.size()));
   assert(!options_.threshold_ladder.empty());
 
   partitions_.clear();
   partitions_.reserve(n_parts);
-  size_t per_part = (items_.size() + n_parts - 1) / n_parts;
+  size_t per_part = (ids_.size() + n_parts - 1) / n_parts;
   for (size_t p = 0; p < n_parts; ++p) {
     size_t begin = p * per_part;
-    if (begin >= items_.size()) break;
-    size_t end = std::min(items_.size(), begin + per_part);
+    if (begin >= ids_.size()) break;
+    size_t end = std::min(ids_.size(), begin + per_part);
     Partition part;
-    part.min_size = items_[order[begin]].set_size;
-    part.max_size = items_[order[end - 1]].set_size;
+    part.min_size = set_sizes_[order[begin]];
+    part.max_size = set_sizes_[order[end - 1]];
     for (double rung_threshold : options_.threshold_ladder) {
       BandedLshOptions banded;
       banded.threshold = rung_threshold;
@@ -57,7 +77,8 @@ void LshEnsemble::Index() {
     for (size_t i = begin; i < end; ++i) {
       part.member_indexes.push_back(order[i]);
       for (BandedLsh& rung : part.rungs) {
-        rung.Insert(static_cast<ItemId>(order[i]), items_[order[i]].signature);
+        rung.Insert(static_cast<ItemId>(order[i]), SignatureOf(order[i]),
+                    options_.signature_size);
       }
     }
     partitions_.push_back(std::move(part));
@@ -69,6 +90,7 @@ std::vector<LshEnsemble::ItemId> LshEnsemble::QueryContainment(
   assert(indexed_);
   std::vector<ItemId> out;
   if (query_set_size == 0) return out;
+  assert(query.size() == options_.signature_size);
 
   for (const Partition& part : partitions_) {
     // Containment threshold t translates into the partition-specific
@@ -80,7 +102,8 @@ std::vector<LshEnsemble::ItemId> LshEnsemble::QueryContainment(
 
     // If even a maximal overlap in this partition cannot reach the
     // containment threshold, skip it entirely.
-    double best_inter = static_cast<double>(std::min(query_set_size, part.max_size));
+    double best_inter = static_cast<double>(std::min<size_t>(
+        query_set_size, static_cast<size_t>(part.max_size)));
     if (best_inter / static_cast<double>(query_set_size) < threshold) continue;
 
     // Dynamic banding: probe the ladder rung tuned just below the bound.
@@ -90,11 +113,11 @@ std::vector<LshEnsemble::ItemId> LshEnsemble::QueryContainment(
     }
 
     for (ItemId idx : part.rungs[rung_idx].Query(query)) {
-      const Item& item = items_[idx];
-      double j = EstimateJaccard(query, item.signature);
+      double j = EstimateJaccard(query.data(), SignatureOf(idx),
+                                 options_.signature_size);
       if (j + 1e-12 < jaccard_bound * 0.5) continue;  // clearly hopeless
-      double c = ContainmentFromJaccard(j, query_set_size, item.set_size);
-      if (c >= threshold) out.push_back(item.id);
+      double c = ContainmentFromJaccard(j, query_set_size, set_sizes_[idx]);
+      if (c >= threshold) out.push_back(ids_[idx]);
     }
   }
   return out;
@@ -102,10 +125,12 @@ std::vector<LshEnsemble::ItemId> LshEnsemble::QueryContainment(
 
 double LshEnsemble::EstimateContainment(const Signature& query, size_t query_set_size,
                                         ItemId id) const {
-  for (const Item& item : items_) {
-    if (item.id == id) {
-      return ContainmentFromJaccard(EstimateJaccard(query, item.signature),
-                                    query_set_size, item.set_size);
+  assert(query.size() == options_.signature_size);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) {
+      return ContainmentFromJaccard(
+          EstimateJaccard(query.data(), SignatureOf(i), options_.signature_size),
+          query_set_size, set_sizes_[i]);
     }
   }
   return 0;
@@ -116,12 +141,14 @@ void LshEnsemble::Save(io::Writer& w) const {
   w.WriteU64(options_.signature_size);
   w.WriteDoubleVector(options_.threshold_ladder);
   w.WriteBool(indexed_);
-  w.WriteU64(items_.size());
-  for (const Item& item : items_) {
-    w.WriteU64(item.id);
-    w.WriteU64(item.set_size);
-    w.WriteU64Vector(item.signature);
-  }
+  w.WriteU64(ids_.size());
+  // Flat layout: the parallel arrays verbatim, the signature block 8-byte
+  // aligned so a mapped reader serves it in place.
+  w.WriteRawU32Array(ids_.data(), ids_.size());
+  w.AlignTo(8);
+  w.WriteRawU64Array(set_sizes_.data(), set_sizes_.size());
+  w.WriteRawU64Array(ids_.empty() ? nullptr : SignatureOf(0),
+                     ids_.size() * options_.signature_size);
 }
 
 LshEnsemble LshEnsemble::Load(io::Reader& r) {
@@ -129,36 +156,51 @@ LshEnsemble LshEnsemble::Load(io::Reader& r) {
   options.num_partitions = r.ReadU64();
   options.signature_size = r.ReadU64();
   options.threshold_ladder = r.ReadDoubleVector();
-  if (r.status().ok() && (options.threshold_ladder.empty() || options.num_partitions == 0)) {
+  // The bound keeps the per-item byte arithmetic below overflow-safe.
+  if (r.status().ok() &&
+      (options.threshold_ladder.empty() || options.num_partitions == 0 ||
+       options.signature_size == 0 || options.signature_size > (1u << 20))) {
     r.MarkCorrupt("LshEnsemble options are degenerate");
     return LshEnsemble();
   }
   LshEnsemble ensemble(options);
   bool was_indexed = r.ReadBool();
-  size_t n_items = r.ReadLength(3 * sizeof(uint64_t));
-  ensemble.items_.reserve(n_items);
-  for (size_t i = 0; i < n_items && r.status().ok(); ++i) {
-    Item item;
-    item.id = static_cast<ItemId>(r.ReadU64());
-    item.set_size = r.ReadU64();
-    item.signature = r.ReadU64Vector();
-    // A short signature would make the banded rungs read out of bounds
-    // when Index() replays the insertions below.
-    if (r.status().ok() && item.signature.size() != options.signature_size) {
-      r.MarkCorrupt("LshEnsemble signature size disagrees with its options");
-      return LshEnsemble();
-    }
-    ensemble.items_.push_back(std::move(item));
+  // Each item contributes an id (4), a set size (8) and a signature
+  // (signature_size * 8) to the section, bounding the count.
+  size_t n_items =
+      r.ReadLength(sizeof(ItemId) + sizeof(uint64_t) +
+                   options.signature_size * sizeof(uint64_t));
+  if (!r.status().ok()) return LshEnsemble();
+  {
+    std::vector<uint32_t> owned_ids;
+    const uint32_t* ids = r.ReadU32Span(n_items, &owned_ids);
+    // Ids are always owned (they are mutated by nothing, but keeping one
+    // borrow surface — the big signature block — keeps lifetime reasoning
+    // simple and the savings negligible at 4 bytes per item).
+    if (ids != nullptr) ensemble.ids_.assign(ids, ids + n_items);
   }
-  if (r.status().ok() && was_indexed) ensemble.Index();
+  r.AlignTo(8);
+  {
+    std::vector<uint64_t> owned_sizes;
+    const uint64_t* sizes = r.ReadU64Span(n_items, &owned_sizes);
+    if (sizes != nullptr) ensemble.set_sizes_.assign(sizes, sizes + n_items);
+  }
+  const uint64_t* sigs =
+      r.ReadU64Span(n_items * options.signature_size, &ensemble.owned_sigs_);
+  if (!r.status().ok()) return LshEnsemble();
+  if (n_items > 0 && sigs != ensemble.owned_sigs_.data()) {
+    ensemble.borrowed_sigs_ = sigs;
+    ensemble.storage_ = r.mapping();
+  }
+  if (was_indexed) ensemble.Index();
   return ensemble;
 }
 
 size_t LshEnsemble::MemoryUsage() const {
   size_t bytes = sizeof(LshEnsemble);
-  for (const Item& i : items_) {
-    bytes += sizeof(Item) + i.signature.size() * sizeof(uint64_t);
-  }
+  bytes += ids_.capacity() * sizeof(ItemId);
+  bytes += set_sizes_.capacity() * sizeof(uint64_t);
+  bytes += owned_sigs_.capacity() * sizeof(uint64_t);  // zero when borrowed
   for (const Partition& p : partitions_) {
     for (const BandedLsh& rung : p.rungs) bytes += rung.MemoryUsage();
     bytes += p.member_indexes.size() * sizeof(size_t);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "io/binary_io.h"
@@ -43,7 +44,9 @@ class LshEnsemble {
 
   explicit LshEnsemble(LshEnsembleOptions options = {});
 
-  /// Registers a set's signature together with its exact cardinality.
+  /// Registers a set's signature together with its exact cardinality. The
+  /// signature must have exactly options().signature_size values: the
+  /// ensemble stores signatures in one flat fixed-stride array.
   void Insert(ItemId id, const Signature& signature, size_t set_size);
 
   /// Partitions by cardinality and builds the per-partition indexes. Must
@@ -59,35 +62,47 @@ class LshEnsemble {
   double EstimateContainment(const Signature& query, size_t query_set_size,
                              ItemId id) const;
 
-  size_t size() const { return items_.size(); }
+  size_t size() const { return ids_.size(); }
   size_t num_partitions() const { return partitions_.size(); }
   size_t MemoryUsage() const;
 
-  /// Serializes options and the inserted signatures into the writer's
-  /// current section. Partitions are not written: they are a deterministic
-  /// function of the items, so Load() rebuilds them via Index().
+  const LshEnsembleOptions& options() const { return options_; }
+
+  /// Serializes options and the inserted signatures (one flat aligned
+  /// array) into the writer's current section. Partitions are not written:
+  /// they are a deterministic function of the items, so Load() rebuilds
+  /// them via Index().
   void Save(io::Writer& w) const;
 
   /// Deserializes an ensemble written by Save(); check the reader's
-  /// status() before use.
+  /// status() before use. Under a mapped reader the signature array
+  /// borrows the mapping (and keeps it alive) instead of being copied.
   static LshEnsemble Load(io::Reader& r);
 
  private:
-  struct Item {
-    ItemId id;
-    Signature signature;
-    size_t set_size;
-  };
   struct Partition {
     size_t min_size = 0;
     size_t max_size = 0;
-    std::vector<size_t> member_indexes;   // into items_
+    std::vector<size_t> member_indexes;   // into the item arrays
     std::vector<BandedLsh> rungs;         // one banded index per ladder rung
   };
 
+  /// Signature of item `index`: options_.signature_size values.
+  const uint64_t* SignatureOf(size_t index) const {
+    const uint64_t* base = borrowed_sigs_ != nullptr ? borrowed_sigs_ : owned_sigs_.data();
+    return base + index * options_.signature_size;
+  }
+  /// Copies a borrowed signature array into owned storage (pre-mutation).
+  void Detach();
+
   LshEnsembleOptions options_;
-  std::vector<Item> items_;
-  std::vector<size_t> item_index_of_id_;  // id -> index into items_ (post-Index)
+  // Parallel item arrays; signatures are fixed-stride (signature_size) in
+  // one contiguous block, either owned or borrowed from a snapshot mapping.
+  std::vector<ItemId> ids_;
+  std::vector<uint64_t> set_sizes_;
+  std::vector<uint64_t> owned_sigs_;
+  const uint64_t* borrowed_sigs_ = nullptr;
+  std::shared_ptr<io::MappedFile> storage_;  ///< alive while borrowing
   std::vector<Partition> partitions_;
   bool indexed_ = false;
 };

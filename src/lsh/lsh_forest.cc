@@ -4,10 +4,52 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace d3l {
+
+namespace {
+
+/// Three-way compare of one stored key's first `depth` values against the
+/// query key. `entry` points at the key's first value in the flat array.
+inline int ComparePrefix(const uint64_t* entry, const uint64_t* key, size_t depth) {
+  for (size_t i = 0; i < depth; ++i) {
+    if (entry[i] != key[i]) return entry[i] < key[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// First entry index in [first, last) whose depth-prefix is >= the query's.
+size_t PrefixLowerBound(const uint64_t* keys, size_t stride, size_t first, size_t last,
+                        const uint64_t* key, size_t depth) {
+  while (first < last) {
+    const size_t mid = first + (last - first) / 2;
+    if (ComparePrefix(keys + mid * stride, key, depth) < 0) {
+      first = mid + 1;
+    } else {
+      last = mid;
+    }
+  }
+  return first;
+}
+
+/// First entry index in [first, last) whose depth-prefix is > the query's.
+size_t PrefixUpperBound(const uint64_t* keys, size_t stride, size_t first, size_t last,
+                        const uint64_t* key, size_t depth) {
+  while (first < last) {
+    const size_t mid = first + (last - first) / 2;
+    if (ComparePrefix(keys + mid * stride, key, depth) <= 0) {
+      first = mid + 1;
+    } else {
+      last = mid;
+    }
+  }
+  return first;
+}
+
+}  // namespace
 
 LshForestOptions ClampForestToSignature(LshForestOptions f, size_t available_values) {
   assert(available_values >= 1);  // an empty signature fits no key shape
@@ -46,23 +88,62 @@ std::vector<uint64_t> LshForest::TreeKey(size_t tree, const Signature& sig) cons
   return key;
 }
 
+void LshForest::DetachTree(Tree& tree) {
+  if (tree.borrowed_keys == nullptr && tree.borrowed_ids == nullptr) return;
+  const size_t kpt = options_.hashes_per_tree;
+  if (tree.borrowed_keys != nullptr) {
+    tree.owned_keys.assign(tree.borrowed_keys, tree.borrowed_keys + tree.size * kpt);
+    tree.borrowed_keys = nullptr;
+  }
+  if (tree.borrowed_ids != nullptr) {
+    tree.owned_ids.assign(tree.borrowed_ids, tree.borrowed_ids + tree.size);
+    tree.borrowed_ids = nullptr;
+  }
+}
+
 void LshForest::Insert(ItemId id, const Signature& signature) {
   CheckSignatureSize(signature);
+  const size_t kpt = options_.hashes_per_tree;
   for (size_t t = 0; t < trees_.size(); ++t) {
-    trees_[t].entries.push_back(Entry{TreeKey(t, signature), id});
-    trees_[t].sorted = false;
+    Tree& tree = trees_[t];
+    DetachTree(tree);
+    for (size_t i = 0; i < kpt; ++i) {
+      tree.owned_keys.push_back(signature[t * kpt + i]);
+    }
+    tree.owned_ids.push_back(id);
+    ++tree.size;
+    tree.sorted = false;
   }
+  storage_.reset();  // every tree was detached; nothing borrows the mapping
   ++num_items_;
 }
 
 void LshForest::Index() {
+  const size_t kpt = options_.hashes_per_tree;
   for (Tree& tree : trees_) {
     if (tree.sorted) continue;
-    std::sort(tree.entries.begin(), tree.entries.end(),
-              [](const Entry& a, const Entry& b) {
-                if (a.key != b.key) return a.key < b.key;
-                return a.id < b.id;
-              });
+    // Sort via a permutation, then rebuild both arrays in one pass: the
+    // keys are wide (kpt values), so moving 4-byte indices during the sort
+    // beats swapping whole entries.
+    const uint64_t* keys = tree.keys();
+    const ItemId* ids = tree.ids();
+    std::vector<uint32_t> perm(tree.size);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+      const int c = ComparePrefix(keys + a * kpt, keys + b * kpt, kpt);
+      if (c != 0) return c < 0;
+      return ids[a] < ids[b];
+    });
+    std::vector<uint64_t> sorted_keys(tree.size * kpt);
+    std::vector<ItemId> sorted_ids(tree.size);
+    for (size_t i = 0; i < tree.size; ++i) {
+      std::copy_n(keys + perm[i] * kpt, kpt, sorted_keys.data() + i * kpt);
+      sorted_ids[i] = ids[perm[i]];
+    }
+    tree.owned_keys = std::move(sorted_keys);
+    tree.owned_ids = std::move(sorted_ids);
+    tree.borrowed_keys = nullptr;
+    tree.borrowed_ids = nullptr;
     tree.sorted = true;
   }
 }
@@ -72,22 +153,13 @@ void LshForest::CollectAtDepth(const Tree& tree, const std::vector<uint64_t>& ke
   assert(tree.sorted);
   // Entries matching the first `depth` components form a contiguous sorted
   // range; locate it with prefix-comparing binary searches.
-  auto prefix_less = [depth](const Entry& e, const std::vector<uint64_t>& k) {
-    for (size_t i = 0; i < depth; ++i) {
-      if (e.key[i] != k[i]) return e.key[i] < k[i];
-    }
-    return false;
-  };
-  auto less_prefix = [depth](const std::vector<uint64_t>& k, const Entry& e) {
-    for (size_t i = 0; i < depth; ++i) {
-      if (k[i] != e.key[i]) return k[i] < e.key[i];
-    }
-    return false;
-  };
-  auto lo = std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
-  auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
-  for (auto it = lo; it != hi; ++it) {
-    out->push_back(it->id);
+  const size_t kpt = options_.hashes_per_tree;
+  const uint64_t* keys = tree.keys();
+  const size_t lo = PrefixLowerBound(keys, kpt, 0, tree.size, key.data(), depth);
+  const size_t hi = PrefixUpperBound(keys, kpt, lo, tree.size, key.data(), depth);
+  const ItemId* ids = tree.ids();
+  for (size_t i = lo; i < hi; ++i) {
+    out->push_back(ids[i]);
   }
 }
 
@@ -147,19 +219,15 @@ std::vector<size_t> LshForest::DepthCounts(const Signature& signature,
       const Tree& tree = trees_[t];
       assert(tree.sorted);
       const std::vector<uint64_t> key = TreeKey(t, signature);
-      auto prefix_less = [](const Entry& e, const std::vector<uint64_t>& k) {
-        return e.key[0] < k[0];
-      };
-      auto less_prefix = [](const std::vector<uint64_t>& k, const Entry& e) {
-        return k[0] < e.key[0];
-      };
-      auto lo =
-          std::lower_bound(tree.entries.begin(), tree.entries.end(), key, prefix_less);
-      auto hi = std::upper_bound(lo, tree.entries.end(), key, less_prefix);
-      for (auto it = lo; it != hi; ++it) {
+      const uint64_t* keys = tree.keys();
+      const ItemId* ids = tree.ids();
+      const size_t lo = PrefixLowerBound(keys, kpt, 0, tree.size, key.data(), 1);
+      const size_t hi = PrefixUpperBound(keys, kpt, lo, tree.size, key.data(), 1);
+      for (size_t i = lo; i < hi; ++i) {
+        const uint64_t* entry = keys + i * kpt;
         size_t lcp = 1;
-        while (lcp < kpt && it->key[lcp] == key[lcp]) ++lcp;
-        size_t& best = deepest[it->id];
+        while (lcp < kpt && entry[lcp] == key[lcp]) ++lcp;
+        size_t& best = deepest[ids[i]];
         best = std::max(best, lcp);
       }
     }
@@ -187,15 +255,8 @@ std::vector<size_t> LshForest::DepthCounts(const Signature& signature,
     TreeRange r{&trees_[t], TreeKey(t, signature), 0, 0};
     // Seed with the (possibly empty) deepest range's insertion point so the
     // first expansion below starts from a valid nested position.
-    auto full_less = [kpt](const Entry& e, const std::vector<uint64_t>& k) {
-      for (size_t i = 0; i < kpt; ++i) {
-        if (e.key[i] != k[i]) return e.key[i] < k[i];
-      }
-      return false;
-    };
-    auto lo = std::lower_bound(r.tree->entries.begin(), r.tree->entries.end(), r.key,
-                               full_less);
-    r.lo = r.hi = static_cast<size_t>(lo - r.tree->entries.begin());
+    r.lo = r.hi = PrefixLowerBound(r.tree->keys(), kpt, 0, r.tree->size,
+                                   r.key.data(), kpt);
     ranges.push_back(std::move(r));
   }
 
@@ -203,33 +264,20 @@ std::vector<size_t> LshForest::DepthCounts(const Signature& signature,
   size_t stopped_above = 0;  // depths < this were never scanned (clamped)
   for (size_t d = kpt; d >= 1; --d) {
     for (TreeRange& r : ranges) {
-      const std::vector<Entry>& entries = r.tree->entries;
-      auto prefix_less = [d](const Entry& e, const std::vector<uint64_t>& k) {
-        for (size_t i = 0; i < d; ++i) {
-          if (e.key[i] != k[i]) return e.key[i] < k[i];
-        }
-        return false;
-      };
-      auto less_prefix = [d](const std::vector<uint64_t>& k, const Entry& e) {
-        for (size_t i = 0; i < d; ++i) {
-          if (k[i] != e.key[i]) return k[i] < e.key[i];
-        }
-        return false;
-      };
-      const size_t lo = static_cast<size_t>(
-          std::lower_bound(entries.begin(), entries.begin() + r.lo, r.key, prefix_less) -
-          entries.begin());
-      const size_t hi = static_cast<size_t>(
-          std::upper_bound(entries.begin() + r.hi, entries.end(), r.key, less_prefix) -
-          entries.begin());
+      const uint64_t* keys = r.tree->keys();
+      const ItemId* ids = r.tree->ids();
+      const size_t lo =
+          PrefixLowerBound(keys, kpt, 0, r.lo, r.key.data(), d);
+      const size_t hi =
+          PrefixUpperBound(keys, kpt, r.hi, r.tree->size, r.key.data(), d);
       // Entries in [lo, r.lo) and [r.hi, hi) match d values but not d+1:
       // their lcp with the query is exactly d.
       for (size_t i = lo; i < r.lo; ++i) {
-        size_t& best = deepest[entries[i].id];
+        size_t& best = deepest[ids[i]];
         best = std::max(best, d);
       }
       for (size_t i = r.hi; i < hi; ++i) {
-        size_t& best = deepest[entries[i].id];
+        size_t& best = deepest[ids[i]];
         best = std::max(best, d);
       }
       r.lo = lo;
@@ -259,23 +307,26 @@ size_t LshForest::StopDepth(const std::vector<size_t>& counts, size_t m) {
 }
 
 void LshForest::Save(io::Writer& w) const {
+  const size_t kpt = options_.hashes_per_tree;
   w.WriteU64(options_.num_trees);
-  w.WriteU64(options_.hashes_per_tree);
+  w.WriteU64(kpt);
   w.WriteU64(num_items_);
   w.WriteU64(trees_.size());
   for (const Tree& tree : trees_) {
     w.WriteBool(tree.sorted);
-    w.WriteU64(tree.entries.size());
-    for (const Entry& e : tree.entries) {
-      // Keys are fixed-width (hashes_per_tree values), so no per-entry
-      // length prefix is needed.
-      for (uint64_t k : e.key) w.WriteU64(k);
-      w.WriteU64(e.id);
-    }
+    w.WriteU64(tree.size);
+    // Keys are fixed-width (hashes_per_tree values per entry) and ids
+    // parallel, so no per-entry framing is needed; the 8-byte pad puts the
+    // key array at an aligned file offset, making both arrays valid
+    // in-place spans under a mapped reader (ids land 4-aligned because the
+    // key array's byte length is a multiple of 8).
+    w.AlignTo(8);
+    w.WriteRawU64Array(tree.keys(), tree.size * kpt);
+    w.WriteRawU32Array(tree.ids(), tree.size);
   }
 }
 
-LshForest LshForest::Load(io::Reader& r) {
+LshForest LshForest::Load(io::Reader& r, ForestWireFormat format) {
   LshForestOptions options;
   options.num_trees = r.ReadU64();
   options.hashes_per_tree = r.ReadU64();
@@ -295,30 +346,56 @@ LshForest LshForest::Load(io::Reader& r) {
     r.MarkCorrupt("LshForest tree count disagrees with its options");
     return LshForest();
   }
-  const size_t entry_bytes = (options.hashes_per_tree + 1) * sizeof(uint64_t);
+  const size_t kpt = options.hashes_per_tree;
+  const size_t entry_bytes = format == ForestWireFormat::kPerEntry
+                                 ? (kpt + 1) * sizeof(uint64_t)
+                                 : kpt * sizeof(uint64_t) + sizeof(ItemId);
   for (size_t t = 0; t < n_trees && r.status().ok(); ++t) {
     Tree& tree = forest.trees_[t];
     tree.sorted = r.ReadBool();
     size_t n_entries = r.ReadLength(entry_bytes);
-    tree.entries.reserve(n_entries);
-    for (size_t i = 0; i < n_entries && r.status().ok(); ++i) {
-      Entry e;
-      e.key.resize(options.hashes_per_tree);
-      for (uint64_t& k : e.key) k = r.ReadU64();
-      e.id = static_cast<ItemId>(r.ReadU64());
-      tree.entries.push_back(std::move(e));
+    if (!r.status().ok()) break;
+    if (format == ForestWireFormat::kPerEntry) {
+      // Legacy layout: interleaved key values + u64 id per entry. Always
+      // de-interleaved into owned flat arrays.
+      tree.owned_keys.reserve(n_entries * kpt);
+      tree.owned_ids.reserve(n_entries);
+      for (size_t i = 0; i < n_entries && r.status().ok(); ++i) {
+        for (size_t k = 0; k < kpt; ++k) tree.owned_keys.push_back(r.ReadU64());
+        tree.owned_ids.push_back(static_cast<ItemId>(r.ReadU64()));
+      }
+      tree.size = tree.owned_ids.size();
+    } else {
+      r.AlignTo(8);
+      const uint64_t* keys = r.ReadU64Span(n_entries * kpt, &tree.owned_keys);
+      const uint32_t* ids = r.ReadU32Span(n_entries, &tree.owned_ids);
+      if (!r.status().ok()) break;
+      tree.size = n_entries;
+      // A span that did not land in the owned vector borrows the mapping.
+      if (n_entries > 0 && keys != tree.owned_keys.data()) tree.borrowed_keys = keys;
+      if (n_entries > 0 && ids != tree.owned_ids.data()) tree.borrowed_ids = ids;
+    }
+  }
+  if (r.status().ok() && r.mapped()) {
+    for (const Tree& tree : forest.trees_) {
+      if (tree.borrowed_keys != nullptr || tree.borrowed_ids != nullptr) {
+        forest.storage_ = r.mapping();
+        break;
+      }
     }
   }
   return forest;
 }
 
 size_t LshForest::MemoryUsage() const {
+  // Exact: flat arrays have no per-entry allocation, so the footprint is
+  // the owned capacities plus the tree table. Borrowed arrays live in the
+  // snapshot mapping and cost no heap.
   size_t bytes = sizeof(LshForest);
+  bytes += trees_.capacity() * sizeof(Tree);
   for (const Tree& tree : trees_) {
-    bytes += tree.entries.capacity() * sizeof(Entry);
-    for (const Entry& e : tree.entries) {
-      bytes += e.key.capacity() * sizeof(uint64_t);
-    }
+    bytes += tree.owned_keys.capacity() * sizeof(uint64_t);
+    bytes += tree.owned_ids.capacity() * sizeof(ItemId);
   }
   return bytes;
 }

@@ -6,12 +6,18 @@
 // enough candidates are found, which keeps search time nearly independent
 // of repository size (the property the paper relies on, Section II).
 //
-// This implementation stores each tree as a sorted array of fixed-width
-// keys and performs prefix-range binary searches, equivalent to a prefix
-// tree but far more cache-friendly.
+// This implementation stores each tree as a flat structure-of-arrays: one
+// contiguous array of fixed-width keys (hashes_per_tree uint64_t values per
+// entry, entries prefix-sorted) and a parallel array of item ids. Queries
+// are prefix-range binary searches over the key array — equivalent to a
+// prefix tree but cache-friendly, allocation-free per entry, and directly
+// serializable: Save() emits the arrays verbatim (8-byte aligned), so a
+// mapped snapshot load is pointer fix-up and the tree borrows the mapping
+// instead of copying it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +41,15 @@ struct LshForestOptions {
 /// returned 1x1 shape would still abort on the first Insert.
 LshForestOptions ClampForestToSignature(LshForestOptions f, size_t available_values);
 
+/// \brief On-disk layout of a serialized forest. The engine snapshot
+/// version determines which one a file contains; the enum exists because
+/// several container formats (engine snapshots, shard files) embed forests
+/// and each versions its own magic.
+enum class ForestWireFormat {
+  kPerEntry,  ///< legacy: per-entry key values + id as u64 (copy-only load)
+  kFlat,      ///< flat aligned key/id arrays (zero-copy capable)
+};
+
 /// \brief Top-m candidate index over integer-sequence signatures.
 ///
 /// Works for MinHash signatures directly and for bit signatures via
@@ -44,16 +59,10 @@ class LshForest {
  public:
   using ItemId = uint32_t;
 
-  /// One stored entry of a tree: the fixed-width key (hashes_per_tree
-  /// values sliced from the inserted signature) plus the item id.
-  struct Entry {
-    std::vector<uint64_t> key;
-    ItemId id;
-  };
-
   explicit LshForest(LshForestOptions options = {});
 
-  /// Registers an item; call Index() before querying.
+  /// Registers an item; call Index() before querying. Inserting into a
+  /// forest that borrows a mapping detaches it (copies the arrays) first.
   void Insert(ItemId id, const Signature& signature);
 
   /// Sorts the trees. Insert/Index may be alternated (Index re-sorts).
@@ -100,35 +109,66 @@ class LshForest {
   const LshForestOptions& options() const { return options_; }
   size_t num_trees() const { return trees_.size(); }
 
-  /// Read-only view of one tree's stored entries (insertion order before
-  /// Index(), key-sorted after). This is the enumeration surface used by
-  /// Save() and by diagnostics; it exists so serialization does not need
-  /// friend access to the internals.
-  const std::vector<Entry>& tree_entries(size_t tree) const {
-    return trees_[tree].entries;
-  }
+  /// Number of entries stored in one tree (== size() once every item is
+  /// inserted into every tree, i.e. always outside of Insert itself).
+  size_t tree_size(size_t tree) const { return trees_[tree].size; }
 
-  /// Serializes options and all tree entries into the writer's current
-  /// section. The forest should be Index()ed first so a loaded forest is
-  /// immediately queryable.
+  /// Read-only view of one tree's key array: tree_size(tree) entries of
+  /// hashes_per_tree values each, entry i at [i*hashes_per_tree,
+  /// (i+1)*hashes_per_tree). Insertion order before Index(), key-sorted
+  /// after. This is the enumeration surface used by Save() and by
+  /// diagnostics; it exists so serialization does not need friend access.
+  const uint64_t* tree_keys(size_t tree) const { return trees_[tree].keys(); }
+
+  /// Read-only view of one tree's item-id array, parallel to tree_keys().
+  const ItemId* tree_ids(size_t tree) const { return trees_[tree].ids(); }
+
+  /// True when any tree borrows its arrays from a snapshot mapping instead
+  /// of owning heap copies (diagnostics; zero heap cost in MemoryUsage).
+  bool borrows_mapping() const { return storage_ != nullptr; }
+
+  /// Serializes options and all tree arrays (ForestWireFormat::kFlat) into
+  /// the writer's current section, 8-byte aligning the arrays so a mapped
+  /// reader can serve them in place. The forest should be Index()ed first
+  /// so a loaded forest is immediately queryable.
   void Save(io::Writer& w) const;
 
-  /// Deserializes a forest written by Save(). On any read error the
+  /// Deserializes a forest written in `format`. On any read error the
   /// reader's status() is non-OK and the returned forest must be discarded.
-  static LshForest Load(io::Reader& r);
+  /// When the reader is mapped and the host allows it, a kFlat forest
+  /// borrows its arrays straight from the mapping and holds the mapping
+  /// alive; otherwise it owns heap copies. kPerEntry reads the legacy
+  /// per-entry layout (always copied).
+  static LshForest Load(io::Reader& r, ForestWireFormat format = ForestWireFormat::kFlat);
 
-  /// Approximate heap footprint in bytes (space-overhead bench).
+  /// Exact heap footprint in bytes (space-overhead bench): the owned key
+  /// and id array capacities plus the tree table. Arrays borrowed from a
+  /// mapping cost no heap and count zero — resident cost for those lives in
+  /// the (shared, page-cached) mapping.
   size_t MemoryUsage() const;
 
  private:
   struct Tree {
-    std::vector<Entry> entries;
+    std::vector<uint64_t> owned_keys;  ///< size * hashes_per_tree values
+    std::vector<ItemId> owned_ids;     ///< size values
+    const uint64_t* borrowed_keys = nullptr;  ///< into a mapping, or null
+    const ItemId* borrowed_ids = nullptr;
+    size_t size = 0;  ///< number of entries
     bool sorted = false;
+
+    const uint64_t* keys() const {
+      return borrowed_keys != nullptr ? borrowed_keys : owned_keys.data();
+    }
+    const ItemId* ids() const {
+      return borrowed_ids != nullptr ? borrowed_ids : owned_ids.data();
+    }
   };
 
   std::vector<uint64_t> TreeKey(size_t tree, const Signature& sig) const;
   // Aborts (in all build types) if the signature is too short for TreeKey.
   void CheckSignatureSize(const Signature& sig) const;
+  // Copies borrowed arrays into owned storage so the tree can be mutated.
+  void DetachTree(Tree& tree);
   // Collects ids of entries matching the first `depth` key values.
   void CollectAtDepth(const Tree& tree, const std::vector<uint64_t>& key, size_t depth,
                       std::vector<ItemId>* out) const;
@@ -136,6 +176,8 @@ class LshForest {
   LshForestOptions options_;
   std::vector<Tree> trees_;
   size_t num_items_ = 0;
+  /// Keeps the snapshot mapping alive while any tree borrows from it.
+  std::shared_ptr<io::MappedFile> storage_;
 };
 
 }  // namespace d3l

@@ -34,11 +34,15 @@ Signature MinHasher::Sign(const std::vector<std::string>& elements) const {
 
 double EstimateJaccard(const Signature& a, const Signature& b) {
   assert(a.size() == b.size());
-  if (a.empty()) return 0;
+  return EstimateJaccard(a.data(), b.data(), a.size());
+}
+
+double EstimateJaccard(const uint64_t* a, const uint64_t* b, size_t n) {
+  if (n == 0) return 0;
   size_t match = 0;
   size_t valid = 0;
   constexpr uint64_t kEmpty = std::numeric_limits<uint64_t>::max();
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     // Sentinel components (both sets empty at i) are not evidence of
     // similarity; a signature of an empty set matches nothing.
     if (a[i] == kEmpty && b[i] == kEmpty) continue;
@@ -46,7 +50,7 @@ double EstimateJaccard(const Signature& a, const Signature& b) {
     if (a[i] == b[i]) ++match;
   }
   if (valid == 0) return 0;
-  return static_cast<double>(match) / static_cast<double>(a.size());
+  return static_cast<double>(match) / static_cast<double>(n);
 }
 
 }  // namespace d3l

@@ -45,6 +45,10 @@ class MinHasher {
 /// similarity for signatures produced with the same MinHasher.
 double EstimateJaccard(const Signature& a, const Signature& b);
 
+/// \brief Span form over `n`-value signatures (flat signature stores that
+/// keep many signatures in one contiguous — possibly mapped — array).
+double EstimateJaccard(const uint64_t* a, const uint64_t* b, size_t n);
+
 /// \brief 1 - EstimateJaccard: the estimated Jaccard distance.
 inline double EstimateJaccardDistance(const Signature& a, const Signature& b) {
   return 1.0 - EstimateJaccard(a, b);

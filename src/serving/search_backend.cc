@@ -61,14 +61,14 @@ EngineBackend::EngineBackend(const core::D3LEngine* engine, const DataLake* lake
 }
 
 Result<std::unique_ptr<EngineBackend>> EngineBackend::FromSnapshot(
-    const std::string& path) {
+    const std::string& path, core::SnapshotLoadMode mode) {
   auto backend = std::unique_ptr<EngineBackend>(new EngineBackend());
   // Identity from the container's section table (size + stored section
   // CRCs, payloads seeked over): O(sections) I/O, while LoadSnapshot below
   // fully verifies the payload checksums it reads.
   D3L_ASSIGN_OR_RETURN(auto size_crc, io::FileIdentity(path));
   backend->owned_lake_ = std::make_unique<DataLake>();
-  auto loaded = core::D3LEngine::LoadSnapshot(path, backend->owned_lake_.get());
+  auto loaded = core::D3LEngine::LoadSnapshot(path, backend->owned_lake_.get(), mode);
   if (!loaded.ok()) return loaded.status();
   backend->owned_engine_ = std::move(loaded).ValueOrDie();
   backend->engine_ = backend->owned_engine_.get();

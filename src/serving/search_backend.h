@@ -121,8 +121,12 @@ class EngineBackend : public SearchBackend {
   /// Loads a snapshot written by D3LEngine::SaveSnapshot and serves it,
   /// owning the engine and its schema metadata. The index fingerprint is
   /// derived from the snapshot's size and section checksums
-  /// (io::FileIdentity — O(sections), no second full-file read).
-  static Result<std::unique_ptr<EngineBackend>> FromSnapshot(const std::string& path);
+  /// (io::FileIdentity — O(sections), no second full-file read). `mode`
+  /// defaults to mapped loading (zero-copy index arrays where the format
+  /// and platform allow it; silent buffered fallback otherwise).
+  static Result<std::unique_ptr<EngineBackend>> FromSnapshot(
+      const std::string& path,
+      core::SnapshotLoadMode mode = core::SnapshotLoadMode::kMapped);
 
   using SearchBackend::Search;  // the Profile+Search convenience overload
 

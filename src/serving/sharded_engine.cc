@@ -124,7 +124,7 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
       }
     }
     auto lake = std::make_unique<DataLake>();
-    auto loaded = core::D3LEngine::LoadSnapshot(path, lake.get());
+    auto loaded = core::D3LEngine::LoadSnapshot(path, lake.get(), options.load_mode);
     if (!loaded.ok()) {
       load_status[s] = loaded.status();
       return;

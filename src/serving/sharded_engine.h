@@ -46,6 +46,11 @@ struct ShardedEngineOptions {
   /// Verify each shard file's size and CRC32 against the manifest before
   /// loading (catches torn copies and bit rot at open time).
   bool verify_checksums = true;
+  /// How shard snapshots are loaded. kMapped (the default) borrows the
+  /// index arrays straight out of the mapped file — replicas open faster
+  /// and share page cache across processes; falls back to buffered reads
+  /// where mmap is unavailable. kCopied forces the buffered path.
+  core::SnapshotLoadMode load_mode = core::SnapshotLoadMode::kMapped;
   /// Manifest shard indices to actually load and serve; empty means all.
   /// A SUBSET engine is the building block of a remote deployment (one
   /// shard_server process per subset): it keeps the whole lake's GLOBAL

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "common/random.h"
+#include "io/binary_io.h"
 #include "lsh/minhash.h"
 
 namespace d3l {
@@ -138,9 +140,10 @@ TEST_F(LshForestTest, SizeAndMemory) {
   EXPECT_GT(forest.MemoryUsage(), 0u);
 }
 
-TEST_F(LshForestTest, TreeEntriesExposeStoredKeys) {
-  // The serialization accessor: every inserted signature contributes one
-  // entry per tree, whose key is the tree's slice of the signature.
+TEST_F(LshForestTest, TreeArraysExposeStoredKeys) {
+  // The serialization accessors: every inserted signature contributes
+  // hashes_per_tree key values (the tree's slice of the signature) plus one
+  // id per tree, laid out as parallel flat arrays.
   LshForest forest;  // default 8 trees * 8 hashes
   auto sig_a = hasher_.Sign(SetWithSharedPrefix(20, 20, 0));
   auto sig_b = hasher_.Sign(SetWithSharedPrefix(0, 25, 1));
@@ -150,26 +153,88 @@ TEST_F(LshForestTest, TreeEntriesExposeStoredKeys) {
   ASSERT_EQ(forest.num_trees(), forest.options().num_trees);
   const size_t kpt = forest.options().hashes_per_tree;
   for (size_t t = 0; t < forest.num_trees(); ++t) {
-    const auto& entries = forest.tree_entries(t);
-    ASSERT_EQ(entries.size(), 2u);
+    ASSERT_EQ(forest.tree_size(t), 2u);
+    const uint64_t* keys = forest.tree_keys(t);
+    const LshForest::ItemId* ids = forest.tree_ids(t);
     // Pre-Index(), entries appear in insertion order.
-    EXPECT_EQ(entries[0].id, 7u);
-    EXPECT_EQ(entries[1].id, 9u);
+    EXPECT_EQ(ids[0], 7u);
+    EXPECT_EQ(ids[1], 9u);
     for (size_t i = 0; i < kpt; ++i) {
-      EXPECT_EQ(entries[0].key.at(i), sig_a.at(t * kpt + i));
-      EXPECT_EQ(entries[1].key.at(i), sig_b.at(t * kpt + i));
+      EXPECT_EQ(keys[0 * kpt + i], sig_a.at(t * kpt + i));
+      EXPECT_EQ(keys[1 * kpt + i], sig_b.at(t * kpt + i));
     }
   }
 
   // After Index() the entries are key-sorted but the same multiset.
   forest.Index();
   for (size_t t = 0; t < forest.num_trees(); ++t) {
-    const auto& entries = forest.tree_entries(t);
-    ASSERT_EQ(entries.size(), 2u);
-    EXPECT_TRUE(std::is_sorted(entries.begin(), entries.end(),
-                               [](const LshForest::Entry& a, const LshForest::Entry& b) {
-                                 return a.key < b.key;
-                               }));
+    ASSERT_EQ(forest.tree_size(t), 2u);
+    const uint64_t* keys = forest.tree_keys(t);
+    const LshForest::ItemId* ids = forest.tree_ids(t);
+    std::vector<std::vector<uint64_t>> sorted_keys;
+    std::vector<LshForest::ItemId> seen_ids;
+    for (size_t e = 0; e < forest.tree_size(t); ++e) {
+      sorted_keys.emplace_back(keys + e * kpt, keys + (e + 1) * kpt);
+      seen_ids.push_back(ids[e]);
+    }
+    EXPECT_TRUE(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+    std::sort(seen_ids.begin(), seen_ids.end());
+    EXPECT_EQ(seen_ids, (std::vector<LshForest::ItemId>{7u, 9u}));
+  }
+}
+
+TEST_F(LshForestTest, MemoryUsageIsExact) {
+  // MemoryUsage is documented exact, byte for byte: an empty same-shape
+  // forest is the fixed baseline, and each loaded entry adds exactly its
+  // flat-array footprint (hashes_per_tree u64 keys + one u32 id per tree)
+  // when the arrays are owned — and nothing when they are borrowed from a
+  // snapshot mapping.
+  LshForestOptions options;
+  options.num_trees = 4;
+  options.hashes_per_tree = 6;
+  MinHasher hasher(64, 3);
+  LshForest forest(options);
+  const uint32_t n = 25;
+  for (uint32_t i = 0; i < n; ++i) {
+    forest.Insert(i, hasher.Sign(SetWithSharedPrefix(5, 30, static_cast<int>(i))));
+  }
+  forest.Index();
+
+  const std::string path = ::testing::TempDir() + "/forest_mem.bin";
+  io::Writer w;
+  ASSERT_TRUE(w.Open(path, "LSHFRST\n", 1).ok());
+  w.BeginSection(0x54534554u);
+  forest.Save(w);
+  ASSERT_TRUE(w.Finish().ok());
+
+  const size_t base = LshForest(options).MemoryUsage();
+  const size_t per_entry_bytes =
+      options.num_trees *
+      (options.hashes_per_tree * sizeof(uint64_t) + sizeof(LshForest::ItemId));
+
+  {  // Buffered load: owns every array, sized exactly to the entry count.
+    io::Reader r;
+    ASSERT_TRUE(r.Open(path, "LSHFRST\n", 1, 1, nullptr, io::ReadMode::kBuffered).ok());
+    ASSERT_TRUE(r.OpenSection(0x54534554u).ok());
+    LshForest loaded = LshForest::Load(r);
+    ASSERT_TRUE(r.status().ok());
+    EXPECT_FALSE(loaded.borrows_mapping());
+    EXPECT_EQ(loaded.MemoryUsage(), base + n * per_entry_bytes);
+  }
+  {  // Mapped load: arrays borrowed from the mapping, zero heap beyond base.
+    io::Reader r;
+    ASSERT_TRUE(r.Open(path, "LSHFRST\n", 1, 1, nullptr, io::ReadMode::kMapped).ok());
+    ASSERT_TRUE(r.OpenSection(0x54534554u).ok());
+    LshForest loaded = LshForest::Load(r);
+    ASSERT_TRUE(r.status().ok());
+    if (loaded.borrows_mapping()) {
+      EXPECT_EQ(loaded.MemoryUsage(), base);
+    }
+    // Either way the loaded forest answers queries identically.
+    for (uint32_t i = 0; i < n; i += 7) {
+      Signature q = hasher.Sign(SetWithSharedPrefix(5, 30, static_cast<int>(i)));
+      EXPECT_EQ(loaded.Query(q, 10), forest.Query(q, 10));
+    }
   }
 }
 

@@ -396,6 +396,124 @@ TEST_F(SnapshotTest, SaveBeforeIndexFails) {
   EXPECT_TRUE(engine.SaveSnapshot(Path("x.d3l")).IsInvalidArgument());
 }
 
+// ------------------------------------------------- zero-copy / mapped load
+
+// Ranking parity between two loaded engines over the same search.
+void ExpectIdenticalSearch(core::D3LEngine& a, core::D3LEngine& b) {
+  Table target = testutil::FigureTarget();
+  auto ra = a.Search(target, 5);
+  auto rb = b.Search(target, 5);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_EQ(ra->ranked.size(), rb->ranked.size());
+  for (size_t i = 0; i < ra->ranked.size(); ++i) {
+    EXPECT_EQ(ra->ranked[i].table_index, rb->ranked[i].table_index);
+    EXPECT_EQ(ra->ranked[i].distance, rb->ranked[i].distance);
+    EXPECT_EQ(ra->ranked[i].evidence_distances, rb->ranked[i].evidence_distances);
+  }
+}
+
+TEST_F(SnapshotTest, MappedAndCopiedLoadsRankIdentically) {
+  DataLake lake = MakeFigureLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+  const std::string path = Path("engine.d3l");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  DataLake meta_mapped, meta_copied;
+  auto mapped = core::D3LEngine::LoadSnapshot(path, &meta_mapped,
+                                              core::SnapshotLoadMode::kMapped);
+  auto copied = core::D3LEngine::LoadSnapshot(path, &meta_copied,
+                                              core::SnapshotLoadMode::kCopied);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+
+  EXPECT_EQ((*mapped)->load_stats().format_version, core::D3LEngine::kSnapshotVersion);
+  EXPECT_EQ((*copied)->load_stats().format_version, core::D3LEngine::kSnapshotVersion);
+  EXPECT_FALSE((*copied)->load_stats().mapped);
+  // On this platform the default mode should really map (no silent
+  // regression to the copy path).
+  EXPECT_TRUE((*mapped)->load_stats().mapped);
+
+  ExpectIdenticalSearch(**mapped, **copied);
+}
+
+TEST_F(SnapshotTest, MmapDisableEnvFallsBackToBufferedIdentically) {
+  DataLake lake = MakeFigureLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+  const std::string path = Path("engine.d3l");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  // With D3L_DISABLE_MMAP set, a kMapped open silently degrades to the
+  // buffered path — identical results, just not zero-copy.
+  ASSERT_EQ(setenv("D3L_DISABLE_MMAP", "1", 1), 0);
+  DataLake meta_fallback;
+  auto fallback = core::D3LEngine::LoadSnapshot(path, &meta_fallback,
+                                                core::SnapshotLoadMode::kMapped);
+  ASSERT_EQ(unsetenv("D3L_DISABLE_MMAP"), 0);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE((*fallback)->load_stats().mapped);
+
+  DataLake meta_mapped;
+  auto mapped = core::D3LEngine::LoadSnapshot(path, &meta_mapped,
+                                              core::SnapshotLoadMode::kMapped);
+  ASSERT_TRUE(mapped.ok());
+  ExpectIdenticalSearch(**fallback, **mapped);
+}
+
+TEST_F(SnapshotTest, SnapshotInfoReportsFormatVersionAndMappability) {
+  DataLake lake = MakeFigureLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+  const std::string path = Path("engine.d3l");
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+
+  auto info = core::D3LEngine::ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, core::D3LEngine::kSnapshotVersion);
+  EXPECT_TRUE(info->mappable);
+}
+
+// ------------------------------------------------- v1 back-compat (golden)
+
+// The checked-in fixture was written by the pre-flat-layout v1 writer over
+// this exact lake; the loader must keep reading it forever.
+DataLake MakeGoldenLake() {
+  DataLake lake;
+  lake.AddTable(testutil::FigureS1()).CheckOK();
+  lake.AddTable(testutil::FigureS2()).CheckOK();
+  lake.AddTable(testutil::FigureS3()).CheckOK();
+  lake.AddTable(testutil::FillerColors(0)).CheckOK();
+  lake.AddTable(testutil::FillerInventory(0)).CheckOK();
+  return lake;
+}
+
+TEST_F(SnapshotTest, GoldenV1SnapshotStillLoads) {
+  const std::string golden = std::string(D3L_TEST_DATA_DIR) + "/golden_v1.snap";
+  ASSERT_TRUE(fs::exists(golden)) << golden;
+
+  auto info = core::D3LEngine::ReadSnapshotInfo(golden);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, 1u);
+  EXPECT_FALSE(info->mappable);
+
+  DataLake meta;
+  auto loaded = core::D3LEngine::LoadSnapshot(golden, &meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->load_stats().format_version, 1u);
+  // v1 predates the alignment padding; its forests always copy.
+  EXPECT_FALSE((*loaded)->load_stats().mapped);
+
+  // A freshly built engine over the same lake ranks identically — the old
+  // wire format decodes to the same index state as today's.
+  DataLake lake = MakeGoldenLake();
+  core::D3LEngine built;
+  ASSERT_TRUE(built.IndexLake(lake).ok());
+  ASSERT_EQ(meta.size(), lake.size());
+  ExpectIdenticalSearch(**loaded, built);
+}
+
 // ------------------------------------------------------- damaged files
 
 class DamagedSnapshotTest : public SnapshotTest {
@@ -434,9 +552,12 @@ TEST_F(DamagedSnapshotTest, TruncatedFilesFailCleanly) {
                       bytes.size() - 3}) {
     std::string trunc_path = Path("trunc_" + std::to_string(keep) + ".d3l");
     WriteAll(trunc_path, bytes.substr(0, keep));
-    DataLake meta;
-    auto result = core::D3LEngine::LoadSnapshot(trunc_path, &meta);
-    EXPECT_FALSE(result.ok()) << "keep=" << keep;
+    for (auto mode :
+         {core::SnapshotLoadMode::kMapped, core::SnapshotLoadMode::kCopied}) {
+      DataLake meta;
+      auto result = core::D3LEngine::LoadSnapshot(trunc_path, &meta, mode);
+      EXPECT_FALSE(result.ok()) << "keep=" << keep;
+    }
   }
 }
 
@@ -452,9 +573,14 @@ TEST_F(DamagedSnapshotTest, BitFlipsAreCaughtByChecksums) {
     std::string damaged = bytes;
     damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
     WriteAll(flip_path, damaged);
-    DataLake meta;
-    auto result = core::D3LEngine::LoadSnapshot(flip_path, &meta);
-    EXPECT_FALSE(result.ok()) << "pos=" << pos;
+    // Checksums must catch the damage on both the mapped (zero-copy) and
+    // the buffered path.
+    for (auto mode :
+         {core::SnapshotLoadMode::kMapped, core::SnapshotLoadMode::kCopied}) {
+      DataLake meta;
+      auto result = core::D3LEngine::LoadSnapshot(flip_path, &meta, mode);
+      EXPECT_FALSE(result.ok()) << "pos=" << pos;
+    }
   }
 }
 
